@@ -1,0 +1,37 @@
+// Reproduces Table 3: the crossbar size assigned to each VGG16 layer under
+// Base (best homogeneous), +He (RL over squares) and +Hy (RL over hybrid
+// squares + rectangles).
+//
+// Usage: table3_layer_sizes [episodes]   (default 200 per search)
+#include "bench_common.hpp"
+
+using namespace autohet;
+
+int main(int argc, char** argv) {
+  const int episodes = bench::episodes_from_args(argc, argv, 200);
+  bench::print_header("Table 3 — per-layer crossbar sizes for VGG16");
+  const auto net = nn::vgg16();
+
+  const auto square_env = bench::make_env(net, mapping::square_candidates(),
+                                          /*tile_shared=*/false);
+  const auto base = core::best_homogeneous(square_env);
+  const auto he = bench::run_search(square_env, episodes);
+  const auto hy_env = bench::make_env(net, mapping::hybrid_candidates(),
+                                      /*tile_shared=*/false);
+  const auto hy = bench::run_search(hy_env, episodes);
+
+  report::Table table({"Layer", "Spec", "Base", "+He", "+Hy"});
+  const auto layers = net.mappable_layers();
+  for (std::size_t k = 0; k < layers.size(); ++k) {
+    table.add_row(
+        {"L" + std::to_string(k + 1), layers[k].to_string(),
+         square_env.candidates()[base.actions[k]].name(),
+         square_env.candidates()[he.best_actions[k]].name(),
+         hy_env.candidates()[hy.best_actions[k]].name()});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper shape: Base is uniform; +He diversifies a few layers "
+               "(256 vs 512); +Hy shifts to rectangle shapes (288x256 / "
+               "576x512).\n";
+  return 0;
+}

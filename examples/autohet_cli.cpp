@@ -1,0 +1,194 @@
+// autohet_cli — the command-line driver a downstream user runs.
+//
+//   autohet_cli search   --model vgg16 --episodes 300 --out strategy.txt
+//   autohet_cli evaluate --model vgg16 --strategy strategy.txt
+//   autohet_cli baselines --model alexnet
+//
+// `search` runs the RL search and writes the winning strategy in the Fig. 6
+// text format (plus an optional per-episode CSV); `evaluate` loads a
+// strategy file and reports its hardware metrics; `baselines` prints the
+// homogeneous sweep.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "autohet/baselines.hpp"
+#include "autohet/search.hpp"
+#include "autohet/strategy.hpp"
+#include "common/cli.hpp"
+#include "nn/describe.hpp"
+#include "nn/model_zoo.hpp"
+#include "report/table.hpp"
+
+using namespace autohet;
+
+namespace {
+
+std::vector<mapping::CrossbarShape> candidates_by_name(
+    const std::string& name) {
+  if (name == "hybrid") return mapping::hybrid_candidates();
+  if (name == "square") return mapping::square_candidates();
+  if (name == "rectangle") return mapping::rectangle_candidates();
+  if (name == "all") return mapping::all_candidates();
+  AUTOHET_CHECK(false, "unknown candidate set: " + name +
+                           " (use hybrid|square|rectangle|all)");
+  return {};
+}
+
+core::CrossbarEnv build_env(const common::ArgParser& args,
+                            const nn::NetworkSpec& net) {
+  core::EnvConfig cfg;
+  cfg.candidates = candidates_by_name(args.option("candidates"));
+  cfg.accel.tile_shared = !args.flag("no-tile-shared");
+  cfg.accel.pes_per_tile = args.option_int("pes-per-tile");
+  return core::CrossbarEnv(net.mappable_layers(), cfg);
+}
+
+void print_report(const std::string& name, const reram::NetworkReport& r) {
+  report::Table table({"Metric", "Value"});
+  table.add_row({"configuration", name});
+  table.add_row({"utilization %",
+                 report::format_fixed(r.utilization * 100.0, 2)});
+  table.add_row({"energy (nJ)", report::format_sci(r.energy.total_nj(), 3)});
+  table.add_row({"RUE", report::format_sci(r.rue(), 3)});
+  table.add_row({"area (um^2)", report::format_sci(r.area.total_um2(), 3)});
+  table.add_row({"latency (ns)", report::format_sci(r.latency_ns, 3)});
+  table.add_row({"occupied tiles", std::to_string(r.occupied_tiles)});
+  table.add_row({"empty crossbars", std::to_string(r.empty_crossbars)});
+  table.print(std::cout);
+}
+
+std::string model_or(const common::ArgParser& args,
+                     const std::string& fallback) {
+  return args.option("model").empty() ? fallback : args.option("model");
+}
+
+int run_search(const common::ArgParser& args) {
+  const auto net = nn::network_by_name(model_or(args, "vgg16"));
+  const auto env = build_env(args, net);
+  core::SearchConfig cfg;
+  cfg.episodes = static_cast<int>(args.option_int("episodes"));
+  cfg.seed = static_cast<std::uint64_t>(args.option_int("seed"));
+  cfg.warmup_episodes = std::min(25, cfg.episodes / 4);
+  const auto result = core::AutoHetSearch(env, cfg).run();
+
+  const auto strategy = core::strategy_from_actions(
+      net.name, env.candidates(), result.best_actions);
+  const std::string out = args.option("out");
+  if (!out.empty()) {
+    std::ofstream file(out);
+    AUTOHET_CHECK(file.good(), "cannot open output file: " + out);
+    file << strategy.to_text();
+    std::cout << "strategy written to " << out << "\n\n";
+  } else {
+    std::cout << strategy.to_text() << '\n';
+  }
+  const std::string csv = args.option("csv");
+  if (!csv.empty()) {
+    report::Table history({"episode", "reward", "utilization", "energy_nj",
+                           "rue"});
+    for (std::size_t e = 0; e < result.history.size(); ++e) {
+      const auto& rec = result.history[e];
+      history.add_row({std::to_string(e), report::format_sci(rec.reward, 6),
+                       report::format_fixed(rec.utilization, 6),
+                       report::format_sci(rec.energy_nj, 6),
+                       report::format_sci(rec.rue, 6)});
+    }
+    std::ofstream file(csv);
+    AUTOHET_CHECK(file.good(), "cannot open csv file: " + csv);
+    history.print_csv(file);
+    std::cout << "episode history written to " << csv << "\n\n";
+  }
+  print_report("AutoHet (RL search)", result.best_report);
+  return 0;
+}
+
+int run_evaluate(const common::ArgParser& args) {
+  const std::string path = args.option("strategy");
+  AUTOHET_CHECK(!path.empty(), "evaluate needs --strategy <file>");
+  std::ifstream file(path);
+  AUTOHET_CHECK(file.good(), "cannot open strategy file: " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const auto strategy = core::Strategy::from_text(buffer.str());
+
+  const auto net = nn::network_by_name(model_or(args, strategy.network));
+  const auto layers = net.mappable_layers();
+  AUTOHET_CHECK(strategy.shapes.size() == layers.size(),
+                "strategy layer count does not match " + net.name);
+  reram::AcceleratorConfig accel;
+  accel.tile_shared = !args.flag("no-tile-shared");
+  accel.pes_per_tile = args.option_int("pes-per-tile");
+  const auto report = reram::evaluate_network(layers, strategy.shapes, accel);
+  print_report(path, report);
+  return 0;
+}
+
+int run_describe(const common::ArgParser& args) {
+  const auto net = nn::network_by_name(model_or(args, "vgg16"));
+  nn::describe(net, std::cout);
+  return 0;
+}
+
+int run_baselines(const common::ArgParser& args) {
+  const auto net = nn::network_by_name(model_or(args, "vgg16"));
+  const auto env = build_env(args, net);
+  report::Table table({"Config", "Utilization %", "Energy (nJ)", "RUE",
+                       "Area (um^2)"});
+  for (const auto& s : core::homogeneous_sweep(env)) {
+    table.add_row({s.name,
+                   report::format_fixed(s.report.utilization * 100.0, 1),
+                   report::format_sci(s.report.energy.total_nj(), 3),
+                   report::format_sci(s.report.rue(), 3),
+                   report::format_sci(s.report.area.total_um2(), 3)});
+  }
+  const auto greedy = core::greedy_search(env);
+  table.add_row({"Greedy",
+                 report::format_fixed(greedy.report.utilization * 100.0, 1),
+                 report::format_sci(greedy.report.energy.total_nj(), 3),
+                 report::format_sci(greedy.report.rue(), 3),
+                 report::format_sci(greedy.report.area.total_um2(), 3)});
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::ArgParser args(
+      "autohet_cli",
+      "AutoHet heterogeneous ReRAM accelerator driver: RL search, strategy "
+      "evaluation, and homogeneous baselines.");
+  args.add_positional("command", "search | evaluate | baselines | describe");
+  args.add_option("model", "",
+                  "lenet5 | alexnet | vgg16 | resnet152 (default: vgg16; "
+                  "'evaluate' defaults to the strategy file's network)");
+  args.add_option("candidates", "hybrid",
+                  "crossbar candidate set: hybrid | square | rectangle | all");
+  args.add_option("episodes", "300", "RL search episodes");
+  args.add_option("seed", "1", "RNG seed");
+  args.add_option("pes-per-tile", "4", "logical crossbars per tile");
+  args.add_option("out", "", "write the learned strategy to this file");
+  args.add_option("csv", "", "write per-episode search history CSV");
+  args.add_option("strategy", "", "strategy file for 'evaluate'");
+  args.add_flag("no-tile-shared", "disable the tile-shared allocation");
+
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::cerr << error << '\n';
+    return 2;
+  }
+  try {
+    const std::string command = args.positional("command");
+    if (command == "search") return run_search(args);
+    if (command == "evaluate") return run_evaluate(args);
+    if (command == "baselines") return run_baselines(args);
+    if (command == "describe") return run_describe(args);
+    std::cerr << "unknown command: " << command << "\n\n"
+              << args.help_text();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,69 @@
+// ASCII visualization of the paper's Fig. 2: how DNN kernels occupy a
+// crossbar under the kernel-aligned mapping, making the internal wastage
+// (and the rectangle-crossbar fix of §3.3) visible at a glance.
+//
+//   '#' = cell holding a weight, '.' = wasted cell.
+#include <iostream>
+
+#include "mapping/layer_mapping.hpp"
+#include "nn/describe.hpp"
+#include "nn/model_zoo.hpp"
+
+using namespace autohet;
+
+namespace {
+
+// Renders the first (row-block 0, col-block 0) crossbar of the layer's
+// mapping grid.
+void render(const nn::LayerSpec& layer, const mapping::CrossbarShape& shape) {
+  const auto m = mapping::map_layer(layer, shape);
+  std::cout << layer.to_string() << " on " << shape.name() << "  ("
+            << m.logical_crossbars() << " crossbar(s), Eq.4 utilization "
+            << static_cast<int>(m.utilization() * 1000.0) / 10.0 << "%)\n";
+  const std::int64_t k2 = layer.kernel * layer.kernel;
+  // Kernels resident in the first row block / first column block.
+  const std::int64_t kernels_here =
+      m.split_kernel ? 0
+                     : std::min(m.kernels_per_row_block, layer.in_channels);
+  const std::int64_t cols_here =
+      std::min(shape.cols, layer.out_channels);
+  for (std::int64_t r = 0; r < shape.rows; ++r) {
+    std::cout << "  ";
+    for (std::int64_t c = 0; c < shape.cols; ++c) {
+      bool occupied;
+      if (m.split_kernel) {
+        occupied = r < std::min(shape.rows, layer.weight_rows()) &&
+                   c < cols_here;
+      } else {
+        occupied = r < kernels_here * k2 && c < cols_here;
+      }
+      std::cout << (occupied ? '#' : '.');
+    }
+    std::cout << '\n';
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 2(a): four 3x3x3 kernels of layer 1 on a 32x32 "
+               "crossbar (10.5% used)\n";
+  render(nn::make_conv(3, 4, 3, 1, 1, 8, 8), {32, 32});
+
+  std::cout << "Fig. 2(b): twenty 1x1x32 kernels of layer 2 on the same "
+               "crossbar (62.5% used)\n";
+  render(nn::make_conv(32, 20, 1, 1, 0, 8, 8), {32, 32});
+
+  std::cout << "§3.3: the same 3x3 layer on a square vs a rectangle "
+               "crossbar — the multiple-of-9 height removes the row "
+               "stranding\n";
+  render(nn::make_conv(8, 32, 3, 1, 1, 8, 8), {32, 32});
+  render(nn::make_conv(8, 32, 3, 1, 1, 8, 8), {36, 32});
+
+  std::cout << "Network summaries:\n\n";
+  nn::describe(nn::lenet5(), std::cout);
+  std::cout << '\n';
+  nn::describe(nn::vgg16(), std::cout);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// End-to-end deployment workflow (the full Fig. 6 path):
+//   1. run the RL search on LeNet-5,
+//   2. serialize the winning strategy to the Fig. 6 text format (and parse
+//      it back, as a deployment flow would from a file),
+//   3. allocate tiles (tile-shared) for the strategy and place them on the
+//      chip's bank grid,
+//   4. compile a Global Controller program and run the checked decoder,
+//   5. report interconnect traffic for the placement,
+//   6. execute real inference on the configured fabric.
+#include <iostream>
+
+#include "autohet/search.hpp"
+#include "autohet/strategy.hpp"
+#include "nn/model_zoo.hpp"
+#include "reram/controller.hpp"
+#include "reram/functional.hpp"
+#include "reram/noc.hpp"
+#include "reram/programming.hpp"
+#include "report/table.hpp"
+#include "tensor/ops.hpp"
+
+using namespace autohet;
+
+int main() {
+  const nn::NetworkSpec net = nn::lenet5();
+
+  // --- 1. search ---
+  core::EnvConfig env_cfg;
+  env_cfg.candidates = mapping::hybrid_candidates();
+  env_cfg.accel.tile_shared = true;
+  const core::CrossbarEnv env(net.mappable_layers(), env_cfg);
+  core::SearchConfig search_cfg;
+  search_cfg.episodes = 80;
+  search_cfg.seed = 11;
+  const auto result = core::AutoHetSearch(env, search_cfg).run();
+
+  // --- 2. strategy serialization round-trip ---
+  const core::Strategy strategy = core::strategy_from_actions(
+      net.name, env.candidates(), result.best_actions);
+  const std::string text = strategy.to_text();
+  std::cout << "Learned strategy (Fig. 6 format):\n" << text << '\n';
+  const core::Strategy reloaded = core::Strategy::from_text(text);
+
+  // --- 3. allocation + placement ---
+  const auto layers = net.mappable_layers();
+  const mapping::TileAllocator allocator(env_cfg.accel.pes_per_tile,
+                                         /*tile_shared=*/true);
+  const auto allocation = allocator.allocate(layers, reloaded.shapes);
+  reram::ChipSpec chip;
+  chip.banks = 1;
+  chip.bank.tile_rows = 16;
+  chip.bank.tile_cols = 16;
+  const auto placement = reram::place_tiles(allocation.tiles, chip);
+  std::cout << "Placed " << placement.tiles_placed << " tiles on "
+            << placement.banks_used << " bank(s), chip occupancy "
+            << report::format_fixed(placement.chip_occupancy * 100.0, 1)
+            << "%\n";
+
+  // --- 4. Global Controller program ---
+  const auto program = reram::compile_program(layers, allocation);
+  const auto stats = reram::execute_program(program);
+  std::cout << "GC program: " << stats.instructions << " instructions, "
+            << stats.tiles_configured << " tiles configured, "
+            << stats.mvms_issued << " MVMs issued, " << stats.layers_executed
+            << " layers executed\n";
+  std::cout << "First instructions:\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, program.size()); ++i) {
+    std::cout << "  " << program[i].to_string() << '\n';
+  }
+
+  // --- 4b. deployment (weight programming) cost ---
+  const auto programming =
+      reram::evaluate_programming(allocation, env_cfg.accel.device);
+  std::cout << "Programming cost: " << programming.cells_programmed
+            << " cells, "
+            << report::format_fixed(programming.energy_nj, 1) << " nJ, "
+            << report::format_sci(programming.latency_ns, 2)
+            << " ns wall-clock\n";
+
+  // --- 5. interconnect traffic ---
+  const auto noc = reram::evaluate_noc(layers, allocation, placement);
+  std::cout << "Interconnect: " << noc.total_bytes
+            << " bytes/inference over mean "
+            << report::format_fixed(noc.mean_hops, 2) << " hops ("
+            << report::format_fixed(noc.total_energy_nj, 2) << " nJ)\n";
+
+  // --- 6. inference on the configured fabric ---
+  common::Rng weight_rng(3);
+  const nn::Model model(net, weight_rng);
+  const reram::SimulatedModel fabric(model, reloaded.shapes);
+  common::Rng img_rng(4);
+  int agree = 0;
+  constexpr int kSamples = 5;
+  for (int s = 0; s < kSamples; ++s) {
+    const auto img = nn::synthetic_image(img_rng, 1, 32, 32);
+    if (tensor::argmax(model.forward(img)) ==
+        tensor::argmax(fabric.forward(img))) {
+      ++agree;
+    }
+  }
+  std::cout << "Inference on deployed fabric: " << agree << '/' << kSamples
+            << " argmax agreement with float reference\n";
+  return 0;
+}

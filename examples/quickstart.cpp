@@ -1,0 +1,66 @@
+// Quickstart: map a DNN onto the heterogeneous ReRAM accelerator and read
+// out the hardware metrics the paper optimizes.
+//
+//   1. pick a workload network (AlexNet from the paper's Table 2),
+//   2. evaluate the five homogeneous square-crossbar baselines,
+//   3. run a short AutoHet RL search over the paper's hybrid candidates,
+//   4. print utilization / energy / RUE side by side.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "autohet/baselines.hpp"
+#include "autohet/search.hpp"
+#include "nn/model_zoo.hpp"
+#include "report/table.hpp"
+
+using namespace autohet;
+
+int main() {
+  const nn::NetworkSpec net = nn::alexnet();
+  std::cout << "AutoHet quickstart: " << net.name << " ("
+            << net.mappable_layers().size() << " mappable layers, "
+            << net.total_weights() << " weights)\n\n";
+
+  // --- homogeneous baselines (fixed-size square crossbars) ---
+  core::EnvConfig homo_cfg;
+  homo_cfg.candidates = mapping::square_candidates();
+  const core::CrossbarEnv homo_env(net.mappable_layers(), homo_cfg);
+
+  // --- AutoHet: hybrid candidates + tile sharing + RL search ---
+  core::EnvConfig auto_cfg;
+  auto_cfg.candidates = mapping::hybrid_candidates();
+  auto_cfg.accel.tile_shared = true;
+  const core::CrossbarEnv auto_env(net.mappable_layers(), auto_cfg);
+
+  core::SearchConfig search_cfg;
+  search_cfg.episodes = 150;
+  search_cfg.seed = 1;
+  core::AutoHetSearch search(auto_env, search_cfg);
+  const core::SearchResult result = search.run();
+
+  report::Table table(
+      {"Accelerator", "Utilization %", "Energy (nJ)", "RUE", "Tiles"});
+  for (const auto& homo : core::homogeneous_sweep(homo_env)) {
+    table.add_row({homo.name,
+                   report::format_fixed(homo.report.utilization * 100.0, 1),
+                   report::format_sci(homo.report.energy.total_nj()),
+                   report::format_sci(homo.report.rue()),
+                   std::to_string(homo.report.occupied_tiles)});
+  }
+  const auto& best = result.best_report;
+  table.add_row({"AutoHet", report::format_fixed(best.utilization * 100.0, 1),
+                 report::format_sci(best.energy.total_nj()),
+                 report::format_sci(best.rue()),
+                 std::to_string(best.occupied_tiles)});
+  table.print(std::cout);
+
+  std::cout << "\nPer-layer crossbar sizes chosen by the RL agent:\n";
+  const auto layers = net.mappable_layers();
+  for (std::size_t k = 0; k < result.best_actions.size(); ++k) {
+    std::cout << "  L" << k + 1 << "  "
+              << auto_env.candidates()[result.best_actions[k]].name() << "  ("
+              << layers[k].to_string() << ")\n";
+  }
+  return 0;
+}

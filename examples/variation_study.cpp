@@ -1,0 +1,64 @@
+// Device non-ideality study: how ReRAM conductance variation degrades
+// inference on the simulated fabric. Motivated by the paper's edge-device
+// setting (§2.2 cites variability-aware RRAM controllers); the fabric
+// model exposes apply_variation() to inject programming noise per cell.
+//
+// For each sigma, a fresh LeNet fabric is perturbed and the argmax
+// agreement with the float reference plus the mean logit error are
+// reported over a batch of synthetic samples.
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+#include "nn/model_zoo.hpp"
+#include "reram/functional.hpp"
+#include "report/table.hpp"
+#include "tensor/ops.hpp"
+
+using namespace autohet;
+
+int main() {
+  const nn::NetworkSpec net = nn::lenet5();
+  common::Rng weight_rng(21);
+  const nn::Model model(net, weight_rng);
+  const std::vector<mapping::CrossbarShape> shapes = {
+      {36, 32}, {288, 256}, {576, 512}, {128, 128}, {128, 128}};
+
+  constexpr int kSamples = 20;
+  std::vector<tensor::Tensor> images;
+  std::vector<std::int64_t> reference_classes;
+  std::vector<tensor::Tensor> reference_logits;
+  common::Rng img_rng(22);
+  for (int s = 0; s < kSamples; ++s) {
+    images.push_back(nn::synthetic_image(img_rng, 1, 32, 32));
+    reference_logits.push_back(model.forward(images.back()));
+    reference_classes.push_back(tensor::argmax(reference_logits.back()));
+  }
+
+  std::cout << "LeNet-5 under ReRAM conductance variation ("
+            << kSamples << " samples per point)\n\n";
+  report::Table table({"Sigma", "Argmax agreement", "Mean max |logit diff|"});
+  for (const double sigma : {0.0, 0.001, 0.002, 0.005, 0.01, 0.05, 0.2}) {
+    reram::SimulatedModel fabric(model, shapes);
+    common::Rng noise_rng(23);
+    fabric.apply_variation(noise_rng, sigma);
+    int agree = 0;
+    double total_diff = 0.0;
+    for (int s = 0; s < kSamples; ++s) {
+      const auto out = fabric.forward(images[s]);
+      if (tensor::argmax(out) == reference_classes[static_cast<std::size_t>(s)]) {
+        ++agree;
+      }
+      total_diff += tensor::max_abs_diff(
+          out, reference_logits[static_cast<std::size_t>(s)]);
+    }
+    table.add_row({report::format_fixed(sigma, 3),
+                   std::to_string(agree) + "/" + std::to_string(kSamples),
+                   report::format_fixed(total_diff / kSamples, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape: agreement holds for small programming noise and "
+               "collapses as variation approaches the weight scale — the "
+               "regime where variability-aware controllers are needed.\n";
+  return 0;
+}

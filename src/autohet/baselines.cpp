@@ -1,0 +1,150 @@
+#include "autohet/baselines.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mapping/layer_mapping.hpp"
+#include "reram/hardware_model.hpp"
+
+namespace autohet::core {
+
+namespace {
+StrategyResult finish(const CrossbarEnv& env, std::string name,
+                      std::vector<std::size_t> actions) {
+  StrategyResult r;
+  r.name = std::move(name);
+  r.report = env.evaluate(actions);
+  r.reward = env.reward(r.report);
+  r.actions = std::move(actions);
+  return r;
+}
+}  // namespace
+
+StrategyResult evaluate_homogeneous_strategy(const CrossbarEnv& env,
+                                             std::size_t candidate_index) {
+  AUTOHET_CHECK(candidate_index < env.num_actions(),
+                "candidate index out of range");
+  std::vector<std::size_t> actions(env.num_layers(), candidate_index);
+  return finish(env, env.candidates()[candidate_index].name(),
+                std::move(actions));
+}
+
+std::vector<StrategyResult> homogeneous_sweep(const CrossbarEnv& env) {
+  std::vector<StrategyResult> out;
+  out.reserve(env.num_actions());
+  for (std::size_t c = 0; c < env.num_actions(); ++c) {
+    out.push_back(evaluate_homogeneous_strategy(env, c));
+  }
+  return out;
+}
+
+StrategyResult best_homogeneous(const CrossbarEnv& env) {
+  auto sweep = homogeneous_sweep(env);
+  auto best = std::max_element(sweep.begin(), sweep.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.report.rue() < b.report.rue();
+                               });
+  StrategyResult r = std::move(*best);
+  r.name = "Best-Homo(" + r.name + ")";
+  return r;
+}
+
+StrategyResult manual_hetero(const CrossbarEnv& env, std::size_t head_index,
+                             std::size_t tail_index, std::size_t head_layers) {
+  AUTOHET_CHECK(head_index < env.num_actions() &&
+                    tail_index < env.num_actions(),
+                "candidate index out of range");
+  AUTOHET_CHECK(head_layers <= env.num_layers(),
+                "head_layers exceeds layer count");
+  std::vector<std::size_t> actions(env.num_layers(), tail_index);
+  std::fill(actions.begin(),
+            actions.begin() + static_cast<std::ptrdiff_t>(head_layers),
+            head_index);
+  return finish(env, "Manual-Hetero", std::move(actions));
+}
+
+StrategyResult greedy_search(const CrossbarEnv& env) {
+  std::vector<std::size_t> actions;
+  actions.reserve(env.num_layers());
+  for (std::size_t k = 0; k < env.num_layers(); ++k) {
+    double best_score = -1.0;
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < env.num_actions(); ++c) {
+      // Layer-local utilization / energy proxy using the single-layer report.
+      const auto m = mapping::map_layer(env.layers()[k], env.candidates()[c]);
+      const auto lr = reram::evaluate_layer(
+          env.layers()[k], m, /*tiles_spanned=*/
+          (m.logical_crossbars() + env.accel().pes_per_tile - 1) /
+              env.accel().pes_per_tile,
+          env.accel().device);
+      const double e = lr.energy.total_nj();
+      const double score = e > 0.0 ? lr.utilization / e : 0.0;
+      if (score > best_score) {
+        best_score = score;
+        best_c = c;
+      }
+    }
+    actions.push_back(best_c);
+  }
+  return finish(env, "Greedy", std::move(actions));
+}
+
+StrategyResult random_search(const CrossbarEnv& env, int evaluations,
+                             std::uint64_t seed) {
+  AUTOHET_CHECK(evaluations > 0, "evaluations must be positive");
+  common::Rng rng(seed);
+  StrategyResult best;
+  best.name = "Random";
+  best.reward = -1.0;
+  for (int e = 0; e < evaluations; ++e) {
+    std::vector<std::size_t> actions(env.num_layers());
+    for (auto& a : actions) a = rng.uniform_u64(env.num_actions());
+    const auto report = env.evaluate(actions);
+    const double reward = env.reward(report);
+    if (reward > best.reward) {
+      best.reward = reward;
+      best.report = report;
+      best.actions = std::move(actions);
+    }
+  }
+  return best;
+}
+
+StrategyResult exhaustive_search(const CrossbarEnv& env,
+                                 std::int64_t max_evaluations) {
+  const std::size_t n = env.num_layers();
+  const std::size_t c = env.num_actions();
+  // Overflow-safe space-size check.
+  std::int64_t space = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    AUTOHET_CHECK(space <= max_evaluations / static_cast<std::int64_t>(c),
+                  "exhaustive search space exceeds max_evaluations");
+    space *= static_cast<std::int64_t>(c);
+  }
+
+  StrategyResult best;
+  best.name = "Exhaustive";
+  best.reward = -1.0;
+  std::vector<std::size_t> actions(n, 0);
+  for (;;) {
+    const auto report = env.evaluate(actions);
+    const double reward = env.reward(report);
+    if (reward > best.reward) {
+      best.reward = reward;
+      best.report = report;
+      best.actions = actions;
+    }
+    // Odometer increment over the C^N space.
+    std::size_t pos = 0;
+    while (pos < n) {
+      if (++actions[pos] < c) break;
+      actions[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return best;
+}
+
+}  // namespace autohet::core

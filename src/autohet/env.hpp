@@ -1,0 +1,104 @@
+// The RL environment: state space (Table 1), action quantization, and the
+// reward function (Eq. 2) over the behavioral hardware model.
+//
+// One episode walks the network's mappable layers in order. The observation
+// for layer k contains eight static layer features plus the two dynamic
+// features the paper lists — the action a and utilization u "obtained from
+// the decision stage" of the *previous* step (HAQ-style), so the agent sees
+// the consequences of its last choice while deciding the next one. All
+// features are normalized to [0, 1] against per-network maxima for
+// conditioning.
+//
+// Reward: the paper defines R = u / e and notes R lands in [0, 1] because e
+// is orders of magnitude larger than u. We additionally divide e by a fixed
+// per-network scale (the energy of the largest-candidate homogeneous
+// configuration) — a constant positive factor that leaves the induced
+// ordering of configurations unchanged but keeps R in a numerically friendly
+// range for the critic regardless of model size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/crossbar_shape.hpp"
+#include "nn/layer.hpp"
+#include "reram/hardware_model.hpp"
+
+namespace autohet::core {
+
+/// What the search optimizes. The paper's reward is utilization/energy
+/// (Eq. 2); the area- and latency-aware variants extend it in the
+/// direction of §4.5's discussion (edge deployments care about chip area
+/// and latency too) by dividing by the additional normalized cost.
+enum class RewardObjective {
+  kUtilizationPerEnergy,  ///< Eq. 2: R = u / e (the paper)
+  kAreaAware,             ///< R = u / (e · a)
+  kLatencyAware           ///< R = u / (e · t)
+};
+
+struct EnvConfig {
+  std::vector<mapping::CrossbarShape> candidates;  ///< the action space
+  reram::AcceleratorConfig accel;
+  RewardObjective objective = RewardObjective::kUtilizationPerEnergy;
+  /// Normalization divisors for the reward; 0 = auto-calibrate against the
+  /// largest-candidate homogeneous configuration (see above).
+  double energy_scale_nj = 0.0;
+  double area_scale_um2 = 0.0;
+  double latency_scale_ns = 0.0;
+};
+
+inline constexpr int kStateDim = 10;  // paper Table 1
+
+class CrossbarEnv {
+ public:
+  CrossbarEnv(std::vector<nn::LayerSpec> mappable_layers, EnvConfig config);
+
+  std::size_t num_layers() const noexcept { return layers_.size(); }
+  std::size_t num_actions() const noexcept {
+    return config_.candidates.size();
+  }
+  const std::vector<mapping::CrossbarShape>& candidates() const noexcept {
+    return config_.candidates;
+  }
+  const std::vector<nn::LayerSpec>& layers() const noexcept { return layers_; }
+  const reram::AcceleratorConfig& accel() const noexcept {
+    return config_.accel;
+  }
+  double energy_scale_nj() const noexcept { return config_.energy_scale_nj; }
+  double area_scale_um2() const noexcept { return config_.area_scale_um2; }
+  double latency_scale_ns() const noexcept {
+    return config_.latency_scale_ns;
+  }
+  RewardObjective objective() const noexcept { return config_.objective; }
+
+  /// Table-1 state vector for layer `k`. `prev_action` / `prev_utilization`
+  /// are the dynamic features from step k-1 (use 0, 0 for the first layer).
+  std::vector<double> state(std::size_t k, std::size_t prev_action,
+                            double prev_utilization) const;
+
+  /// Quantizes a continuous DDPG action in [0, 1] to a candidate index.
+  std::size_t action_to_index(double action) const noexcept;
+
+  /// Eq. 4 utilization of layer `k` under candidate `action_index`.
+  double layer_utilization(std::size_t k, std::size_t action_index) const;
+
+  /// Full hardware evaluation of a per-layer candidate assignment.
+  reram::NetworkReport evaluate(
+      const std::vector<std::size_t>& action_indices) const;
+
+  /// Eq. 2 reward from a hardware report (utilization over scaled energy).
+  double reward(const reram::NetworkReport& report) const;
+
+ private:
+  std::vector<nn::LayerSpec> layers_;
+  EnvConfig config_;
+  // Per-network normalization maxima for the state features.
+  double max_inc_ = 1.0;
+  double max_outc_ = 1.0;
+  double max_ks_ = 1.0;
+  double max_stride_ = 1.0;
+  double max_weights_ = 1.0;
+  double max_ins_ = 1.0;
+};
+
+}  // namespace autohet::core

@@ -1,0 +1,131 @@
+#include "autohet/search.hpp"
+
+#include "autohet/baselines.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace autohet::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+AutoHetSearch::AutoHetSearch(const CrossbarEnv& env, SearchConfig config)
+    : env_(env),
+      config_(config),
+      rng_(config.seed),
+      agent_([&] {
+        rl::DdpgConfig ddpg = config.ddpg;
+        ddpg.state_dim = kStateDim;
+        return ddpg;
+      }(), common::Rng(config.seed ^ 0x5bf0a8b1u)) {
+  AUTOHET_CHECK(config_.episodes > 0, "episodes must be positive");
+  AUTOHET_CHECK(config_.warmup_episodes >= 0, "warmup must be non-negative");
+}
+
+EpisodeRecord AutoHetSearch::run_episode(
+    const std::vector<std::size_t>* forced_actions, bool explore_randomly,
+    SearchResult& result) {
+  const std::size_t n = env_.num_layers();
+  EpisodeRecord record;
+  record.actions.reserve(n);
+
+  // ---- decision stage: assign a candidate to each layer in order ----
+  const auto decision_start = Clock::now();
+  std::vector<std::vector<double>> states;
+  states.reserve(n + 1);
+  std::size_t prev_action = 0;
+  double prev_util = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    states.push_back(env_.state(k, prev_action, prev_util));
+    std::size_t idx;
+    if (forced_actions != nullptr) {
+      idx = (*forced_actions)[k];
+    } else if (explore_randomly) {
+      idx = rng_.uniform_u64(env_.num_actions());
+    } else {
+      idx = env_.action_to_index(agent_.act_with_noise(states.back()));
+    }
+    record.actions.push_back(idx);
+    prev_action = idx;
+    prev_util = env_.layer_utilization(k, idx);
+  }
+  // Bootstrap state after the last layer (terminal; content unused).
+  states.push_back(env_.state(n - 1, prev_action, prev_util));
+  result.decision_seconds += seconds_since(decision_start);
+
+  // ---- hardware feedback (the "simulator" of §4.5) ----
+  const auto sim_start = Clock::now();
+  const reram::NetworkReport report = env_.evaluate(record.actions);
+  result.simulator_seconds += seconds_since(sim_start);
+
+  record.reward = env_.reward(report);
+  record.utilization = report.utilization;
+  record.energy_nj = report.energy.total_nj();
+  record.rue = report.rue();
+
+  // ---- learning stage: fill the experience pool, update the pair network --
+  const auto learn_start = Clock::now();
+  for (std::size_t k = 0; k < n; ++k) {
+    rl::Transition t;
+    t.state = states[k];
+    t.next_state = states[k + 1];
+    t.action = (env_.num_actions() > 1)
+                   ? (static_cast<double>(record.actions[k]) + 0.5) /
+                         static_cast<double>(env_.num_actions())
+                   : 0.5;
+    t.reward = record.reward;  // Eq. 3: the episode reward, shared by steps
+    t.terminal = (k + 1 == n);
+    agent_.remember(std::move(t));
+  }
+  double loss_sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) loss_sum += agent_.update();
+  record.mean_critic_loss = loss_sum / static_cast<double>(n);
+  agent_.decay_noise();
+  result.learning_seconds += seconds_since(learn_start);
+  return record;
+}
+
+SearchResult AutoHetSearch::run() {
+  SearchResult result;
+  result.history.reserve(static_cast<std::size_t>(config_.episodes));
+
+  // Structured warmup demonstrations: the homogeneous configurations and
+  // the greedy per-layer solution.
+  std::vector<std::vector<std::size_t>> seeded;
+  if (config_.seeded_warmup) {
+    for (std::size_t c = 0; c < env_.num_actions(); ++c) {
+      seeded.emplace_back(env_.num_layers(), c);
+    }
+    seeded.push_back(greedy_search(env_).actions);
+  }
+
+  for (int ep = 0; ep < config_.episodes; ++ep) {
+    const bool random_phase = ep < config_.warmup_episodes;
+    const std::vector<std::size_t>* forced =
+        (random_phase && static_cast<std::size_t>(ep) < seeded.size())
+            ? &seeded[static_cast<std::size_t>(ep)]
+            : nullptr;
+    EpisodeRecord record = run_episode(forced, random_phase, result);
+    if (result.history.empty() || record.reward > result.best_reward) {
+      result.best_reward = record.reward;
+      result.best_actions = record.actions;
+      result.best_report = env_.evaluate(record.actions);
+    }
+    if ((ep + 1) % 50 == 0) {
+      common::log_debug("episode ", ep + 1, "/", config_.episodes,
+                        " reward=", record.reward,
+                        " best=", result.best_reward);
+    }
+    result.history.push_back(std::move(record));
+  }
+  return result;
+}
+
+}  // namespace autohet::core

@@ -1,0 +1,94 @@
+#include "autohet/strategy.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace autohet::core {
+
+std::string Strategy::to_text() const {
+  std::ostringstream oss;
+  oss << "network: " << network << '\n';
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    oss << 'L' << i + 1 << ": " << shapes[i].name() << '\n';
+  }
+  return oss.str();
+}
+
+namespace {
+
+std::string trimmed(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+mapping::CrossbarShape parse_shape(const std::string& text) {
+  const auto x = text.find('x');
+  AUTOHET_CHECK(x != std::string::npos && x > 0 && x + 1 < text.size(),
+                "malformed crossbar shape: " + text);
+  mapping::CrossbarShape shape;
+  try {
+    std::size_t used = 0;
+    shape.rows = std::stoll(text.substr(0, x), &used);
+    AUTOHET_CHECK(used == x, "malformed crossbar rows: " + text);
+    shape.cols = std::stoll(text.substr(x + 1), &used);
+    AUTOHET_CHECK(used == text.size() - x - 1,
+                  "malformed crossbar cols: " + text);
+  } catch (const std::logic_error&) {
+    AUTOHET_CHECK(false, "malformed crossbar shape: " + text);
+  }
+  AUTOHET_CHECK(shape.rows > 0 && shape.cols > 0,
+                "crossbar shape must be positive: " + text);
+  return shape;
+}
+
+}  // namespace
+
+Strategy Strategy::from_text(const std::string& text) {
+  Strategy strategy;
+  std::istringstream iss(text);
+  std::string line;
+  bool header_seen = false;
+  std::size_t expected_layer = 1;
+  while (std::getline(iss, line)) {
+    line = trimmed(line);
+    if (line.empty() || line[0] == '#') continue;
+    const auto colon = line.find(':');
+    AUTOHET_CHECK(colon != std::string::npos, "missing ':' in line: " + line);
+    const std::string key = trimmed(line.substr(0, colon));
+    const std::string value = trimmed(line.substr(colon + 1));
+    if (!header_seen) {
+      AUTOHET_CHECK(key == "network",
+                    "strategy must start with 'network:', got: " + line);
+      AUTOHET_CHECK(!value.empty(), "network name must be non-empty");
+      strategy.network = value;
+      header_seen = true;
+      continue;
+    }
+    AUTOHET_CHECK(key == "L" + std::to_string(expected_layer),
+                  "expected L" + std::to_string(expected_layer) +
+                      ", got: " + key);
+    strategy.shapes.push_back(parse_shape(value));
+    ++expected_layer;
+  }
+  AUTOHET_CHECK(header_seen, "empty strategy text");
+  AUTOHET_CHECK(!strategy.shapes.empty(), "strategy lists no layers");
+  return strategy;
+}
+
+Strategy strategy_from_actions(
+    std::string network, const std::vector<mapping::CrossbarShape>& candidates,
+    const std::vector<std::size_t>& actions) {
+  Strategy strategy;
+  strategy.network = std::move(network);
+  strategy.shapes.reserve(actions.size());
+  for (std::size_t a : actions) {
+    AUTOHET_CHECK(a < candidates.size(), "action index out of range");
+    strategy.shapes.push_back(candidates[a]);
+  }
+  return strategy;
+}
+
+}  // namespace autohet::core

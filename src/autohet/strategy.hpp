@@ -1,0 +1,38 @@
+// The crossbar configuration strategy (Fig. 6: "Strategy — L0: XB0, L1:
+// XB1, ... Lk: XBk"): the artifact the RL search produces and the Global
+// Controller consumes. Serializable to a small line-oriented text format so
+// a search result can be saved, inspected, and replayed without re-running
+// the search:
+//
+//   network: VGG16
+//   L1: 288x256
+//   L2: 576x512
+//   ...
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapping/crossbar_shape.hpp"
+
+namespace autohet::core {
+
+struct Strategy {
+  std::string network;
+  std::vector<mapping::CrossbarShape> shapes;  ///< one per mappable layer
+
+  std::string to_text() const;
+
+  /// Parses the text format; throws std::invalid_argument on malformed
+  /// input (bad header, out-of-order layer ids, unparsable shapes).
+  static Strategy from_text(const std::string& text);
+
+  friend bool operator==(const Strategy&, const Strategy&) = default;
+};
+
+/// Builds a Strategy from a search/baseline action vector over candidates.
+Strategy strategy_from_actions(
+    std::string network, const std::vector<mapping::CrossbarShape>& candidates,
+    const std::vector<std::size_t>& actions);
+
+}  // namespace autohet::core

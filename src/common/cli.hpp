@@ -1,0 +1,55 @@
+// Minimal GNU-style command-line parser for the example/driver binaries.
+//
+// Supports boolean flags (--tile-shared), valued options (--episodes 300 or
+// --episodes=300), and positional arguments. Unknown arguments are parse
+// errors; --help renders a usage text built from the registered options.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace autohet::common {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Registers a boolean flag (present => true).
+  void add_flag(const std::string& name, const std::string& help);
+  /// Registers a valued option with a default.
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Registers a named positional argument (required, in order).
+  void add_positional(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false and fills *error on malformed input or when
+  /// --help was requested (error is then the help text).
+  bool parse(int argc, const char* const* argv, std::string* error);
+
+  bool flag(const std::string& name) const;
+  const std::string& option(const std::string& name) const;
+  std::int64_t option_int(const std::string& name) const;
+  double option_double(const std::string& name) const;
+  const std::string& positional(const std::string& name) const;
+
+  std::string help_text() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string value;
+    std::string help;
+    bool is_flag = false;
+    bool seen = false;
+  };
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_names_;
+  std::vector<std::string> positional_help_;
+  std::map<std::string, std::string> positional_values_;
+};
+
+}  // namespace autohet::common

@@ -1,0 +1,25 @@
+// Error-handling helpers.
+//
+// The library uses exceptions for programmer errors (invalid configuration,
+// out-of-range arguments) per the C++ Core Guidelines; AUTOHET_CHECK gives a
+// one-line precondition check that throws std::invalid_argument with context.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace autohet::common {
+
+[[noreturn]] inline void fail(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+}  // namespace autohet::common
+
+/// Precondition check: throws std::invalid_argument when `cond` is false.
+#define AUTOHET_CHECK(cond, message)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::autohet::common::fail(std::string(__func__) + ": " + (message)); \
+    }                                                                     \
+  } while (false)

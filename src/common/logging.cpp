@@ -1,0 +1,23 @@
+#include "common/logging.hpp"
+
+namespace autohet::common {
+
+LogLevel& log_level() noexcept {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+std::mutex& log_mutex() noexcept {
+  static std::mutex mutex;
+  return mutex;
+}
+
+void log_line(LogLevel level, std::string_view message) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+  const int idx = static_cast<int>(level);
+  if (idx < 0 || idx > 3) return;
+  std::lock_guard<std::mutex> guard(log_mutex());
+  std::cerr << "[autohet " << kNames[idx] << "] " << message << '\n';
+}
+
+}  // namespace autohet::common

@@ -1,0 +1,51 @@
+// Minimal leveled logging to stderr.
+//
+// Intentionally tiny: benches and examples produce their primary output on
+// stdout; logging is for progress/diagnostics and can be silenced globally.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace autohet::common {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+LogLevel& log_level() noexcept;
+
+/// Serializes concurrent log writes from the thread pool.
+std::mutex& log_mutex() noexcept;
+
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  log_line(level, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log_fmt(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log_fmt(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log_fmt(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log_fmt(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace autohet::common

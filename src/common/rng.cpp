@@ -1,0 +1,11 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace autohet::common {
+
+double Rng::sqrt_neg2log(double s) noexcept {
+  return std::sqrt(-2.0 * std::log(s) / s);
+}
+
+}  // namespace autohet::common

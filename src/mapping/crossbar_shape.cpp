@@ -1,0 +1,50 @@
+#include "mapping/crossbar_shape.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace autohet::mapping {
+
+std::vector<CrossbarShape> square_candidates() {
+  return {{32, 32}, {64, 64}, {128, 128}, {256, 256}, {512, 512}};
+}
+
+std::vector<CrossbarShape> rectangle_candidates() {
+  return {{36, 32}, {72, 64}, {144, 128}, {288, 256}, {576, 512}};
+}
+
+std::vector<CrossbarShape> hybrid_candidates() {
+  return {{32, 32}, {36, 32}, {72, 64}, {288, 256}, {576, 512}};
+}
+
+std::vector<CrossbarShape> all_candidates() {
+  auto out = square_candidates();
+  const auto rect = rectangle_candidates();
+  out.insert(out.end(), rect.begin(), rect.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<CrossbarShape> mixed_candidates(int num_square, int num_rect) {
+  const auto squares = square_candidates();
+  const auto rects = rectangle_candidates();
+  AUTOHET_CHECK(num_square >= 0 &&
+                    num_square <= static_cast<int>(squares.size()),
+                "num_square out of range");
+  AUTOHET_CHECK(num_rect >= 0 && num_rect <= static_cast<int>(rects.size()),
+                "num_rect out of range");
+  std::vector<CrossbarShape> out;
+  // Largest-first: big crossbars carry the energy advantage, so every mixed
+  // set keeps the energy-efficient end of each family.
+  for (int i = 0; i < num_square; ++i) {
+    out.push_back(squares[squares.size() - 1 - static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < num_rect; ++i) {
+    out.push_back(rects[rects.size() - 1 - static_cast<std::size_t>(i)]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace autohet::mapping

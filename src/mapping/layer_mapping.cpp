@@ -1,0 +1,55 @@
+#include "mapping/layer_mapping.hpp"
+
+#include "common/error.hpp"
+
+namespace autohet::mapping {
+
+namespace {
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+}  // namespace
+
+LayerMapping map_layer(const nn::LayerSpec& layer, const CrossbarShape& shape) {
+  AUTOHET_CHECK(nn::is_mappable(layer.type),
+                "only CONV/FC layers map onto crossbars");
+  AUTOHET_CHECK(shape.rows > 0 && shape.cols > 0, "invalid crossbar shape");
+
+  const std::int64_t k2 = layer.kernel * layer.kernel;
+  const std::int64_t cin = layer.in_channels;
+  const std::int64_t cout = layer.out_channels;
+
+  LayerMapping m;
+  m.shape = shape;
+  m.useful_cells = cin * k2 * cout;
+  m.weight_rows = cin * k2;
+  m.weight_cols = cout;
+  m.col_blocks = ceil_div(cout, shape.cols);
+
+  const std::int64_t kernels_per_block = shape.rows / k2;  // floor(r/k²)
+  if (kernels_per_block >= 1) {
+    m.kernels_per_row_block = kernels_per_block;
+    m.row_blocks = ceil_div(cin, kernels_per_block);
+  } else {
+    // Split-kernel fallback: wrap the Cin·k² weight rows across vertically
+    // adjacent crossbars without kernel alignment.
+    m.split_kernel = true;
+    m.kernels_per_row_block = 0;
+    m.row_blocks = ceil_div(cin * k2, shape.rows);
+  }
+  return m;
+}
+
+double utilization_eq4(std::int64_t cin, std::int64_t k, std::int64_t cout,
+                       std::int64_t r, std::int64_t c) {
+  AUTOHET_CHECK(cin > 0 && k > 0 && cout > 0 && r > 0 && c > 0,
+                "Eq.4 arguments must be positive");
+  const std::int64_t k2 = k * k;
+  AUTOHET_CHECK(r >= k2, "Eq.4 requires r >= k^2 (kernel-aligned mapping)");
+  const std::int64_t per_block = r / k2;
+  const std::int64_t denom =
+      r * ceil_div(cin, per_block) * c * ceil_div(cout, c);
+  return static_cast<double>(cin * k2 * cout) / static_cast<double>(denom);
+}
+
+}  // namespace autohet::mapping

@@ -1,0 +1,116 @@
+#include "mapping/multi_model.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace autohet::mapping {
+
+std::int64_t MultiModelResult::occupied_tiles() const {
+  std::int64_t n = 0;
+  for (const auto& t : tiles) n += t.released ? 0 : 1;
+  return n;
+}
+
+std::int64_t MultiModelResult::released_tiles() const {
+  return static_cast<std::int64_t>(tiles.size()) - occupied_tiles();
+}
+
+std::int64_t MultiModelResult::useful_cells() const {
+  std::int64_t n = 0;
+  for (const auto& m : models) {
+    for (const auto& l : m.layers) n += l.mapping.useful_cells;
+  }
+  return n;
+}
+
+std::int64_t MultiModelResult::allocated_cells() const {
+  std::int64_t n = 0;
+  for (const auto& t : tiles) {
+    if (!t.released) n += xbs_per_tile * t.shape.cells();
+  }
+  return n;
+}
+
+double MultiModelResult::system_utilization() const {
+  const std::int64_t cells = allocated_cells();
+  return cells > 0 ? static_cast<double>(useful_cells()) /
+                         static_cast<double>(cells)
+                   : 0.0;
+}
+
+MultiModelAllocator::MultiModelAllocator(std::int64_t xbs_per_tile,
+                                         SharingScope scope)
+    : xbs_per_tile_(xbs_per_tile), scope_(scope) {
+  AUTOHET_CHECK(xbs_per_tile > 0, "xbs_per_tile must be positive");
+}
+
+MultiModelResult MultiModelAllocator::allocate(
+    const std::vector<ResidentModel>& models) const {
+  AUTOHET_CHECK(!models.empty(), "at least one resident model required");
+  MultiModelResult result;
+  result.xbs_per_tile = xbs_per_tile_;
+
+  // Phase 1: tile-based allocation of every model into the global list.
+  std::int64_t next_tile_id = 0;
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
+    const auto& model = models[mi];
+    AUTOHET_CHECK(model.layers.size() == model.shapes.size(),
+                  "layers and shapes must be the same length for model " +
+                      model.name);
+    AUTOHET_CHECK(static_cast<std::int64_t>(model.layers.size()) <
+                      kModelStride,
+                  "model too large for layer-id encoding");
+    MultiModelResult::PerModel per;
+    per.name = model.name;
+    for (std::size_t li = 0; li < model.layers.size(); ++li) {
+      LayerAllocation alloc;
+      alloc.layer_id = static_cast<std::int64_t>(mi) * kModelStride +
+                       static_cast<std::int64_t>(li);
+      alloc.mapping = map_layer(model.layers[li], model.shapes[li]);
+      const std::int64_t needed = alloc.mapping.logical_crossbars();
+      alloc.tiles_allocated = (needed + xbs_per_tile_ - 1) / xbs_per_tile_;
+      std::int64_t remaining = needed;
+      for (std::int64_t t = 0; t < alloc.tiles_allocated; ++t) {
+        Tile tile;
+        tile.id = next_tile_id++;
+        tile.shape = model.shapes[li];
+        const std::int64_t used = std::min(remaining, xbs_per_tile_);
+        tile.empty_xbs = xbs_per_tile_ - used;
+        tile.layer_ids.push_back(alloc.layer_id);
+        tile.layer_xbs.push_back(used);
+        remaining -= used;
+        result.tiles.push_back(std::move(tile));
+      }
+      per.tiles_before_sharing += alloc.tiles_allocated;
+      per.layers.push_back(std::move(alloc));
+    }
+    result.models.push_back(std::move(per));
+  }
+
+  if (scope_ == SharingScope::kNone) return result;
+
+  // Phase 2: Algorithm 1 per shape group. Grouping keys additionally carry
+  // the model index when sharing is per-model only.
+  std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t>,
+           std::vector<Tile*>>
+      groups;
+  for (auto& tile : result.tiles) {
+    const std::int64_t model_key =
+        (scope_ == SharingScope::kPerModel)
+            ? tile.layer_ids.front() / kModelStride
+            : 0;
+    groups[{tile.shape.rows, tile.shape.cols, model_key}].push_back(&tile);
+  }
+  for (auto& [key, group] : groups) {
+    CombMap comb = tile_shared_remap(group, xbs_per_tile_);
+    for (auto& [receiver, drained] : comb) {
+      auto& entry = result.remap[receiver];
+      entry.insert(entry.end(), drained.begin(), drained.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace autohet::mapping

@@ -1,0 +1,65 @@
+// Multi-model co-residency: several DNNs resident on one accelerator.
+//
+// §3.4 motivates tile sharing with "Tiles 2 and 3 become available for other
+// layers in the DNN model or other models". This module realizes that: each
+// network is allocated tiles for its own per-layer crossbar configuration,
+// and the tile-shared pass (Algorithm 1) can then run either per model or
+// across the union of all resident models' tiles (cross-model sharing),
+// grouped by crossbar shape as always.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapping/tile_allocator.hpp"
+
+namespace autohet::mapping {
+
+struct ResidentModel {
+  std::string name;
+  std::vector<nn::LayerSpec> layers;       ///< mappable layers only
+  std::vector<CrossbarShape> shapes;       ///< one per layer
+};
+
+enum class SharingScope {
+  kNone,       ///< plain tile-based allocation
+  kPerModel,   ///< Algorithm 1 within each model separately
+  kCrossModel  ///< Algorithm 1 across all resident models
+};
+
+struct MultiModelResult {
+  /// Per-model allocation (tiles reference the global tile list below).
+  struct PerModel {
+    std::string name;
+    std::vector<LayerAllocation> layers;
+    std::int64_t tiles_before_sharing = 0;
+  };
+  std::vector<PerModel> models;
+  std::vector<Tile> tiles;  ///< global tile list across all models
+  CombMap remap;
+  std::int64_t xbs_per_tile = 0;
+
+  std::int64_t occupied_tiles() const;
+  std::int64_t released_tiles() const;
+  double system_utilization() const;
+  std::int64_t useful_cells() const;
+  std::int64_t allocated_cells() const;
+};
+
+class MultiModelAllocator {
+ public:
+  MultiModelAllocator(std::int64_t xbs_per_tile, SharingScope scope);
+
+  /// Allocates every model's layers; layer_ids in the global tile list are
+  /// encoded as model_index * kModelStride + layer_index.
+  MultiModelResult allocate(const std::vector<ResidentModel>& models) const;
+
+  static constexpr std::int64_t kModelStride = 1'000'000;
+
+ private:
+  std::int64_t xbs_per_tile_;
+  SharingScope scope_;
+};
+
+}  // namespace autohet::mapping

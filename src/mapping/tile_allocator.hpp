@@ -1,0 +1,93 @@
+// Tile-level crossbar allocation: the conventional tile-based scheme and the
+// paper's tile-shared scheme (§3.4, Algorithm 1).
+//
+// Terminology: a *logical crossbar* is one PE's worth of storage — a group
+// of eight 1-bit physical crossbars holding the eight bit planes of an 8-bit
+// weight (paper §4.1). A tile integrates `xbs_per_tile` logical crossbars
+// (the paper's default is 4 PEs/tile) and is the minimum allocation unit.
+//
+// Tile-based: each layer receives ceil(needed / xbs_per_tile) exclusive
+// tiles; surplus crossbars in the last tile are wasted.
+//
+// Tile-shared: after tile-based allocation, tiles are grouped by crossbar
+// shape (layers sharing a tile must use the same crossbar size) and
+// Algorithm 1's two-pointer pass drains nearly-empty tiles into the empty
+// slots of nearly-full ones, releasing the drained tiles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mapping/layer_mapping.hpp"
+#include "nn/layer.hpp"
+
+namespace autohet::mapping {
+
+struct Tile {
+  std::int64_t id = 0;
+  CrossbarShape shape;
+  std::int64_t empty_xbs = 0;           ///< free logical crossbars
+  std::vector<std::int64_t> layer_ids;  ///< layers with data in this tile
+  /// Logical crossbars each occupant layer holds in this tile; parallel to
+  /// layer_ids when populated by the allocator (Algorithm 1 merges both).
+  std::vector<std::int64_t> layer_xbs;
+  bool released = false;                ///< drained by tile sharing
+};
+
+struct LayerAllocation {
+  std::int64_t layer_id = 0;  ///< index among the network's mappable layers
+  LayerMapping mapping;
+  std::int64_t tiles_allocated = 0;  ///< exclusive tiles before sharing
+};
+
+/// combMap from Algorithm 1: receiving tile id -> drained tile ids.
+using CombMap = std::map<std::int64_t, std::vector<std::int64_t>>;
+
+struct AllocationResult {
+  std::vector<LayerAllocation> layers;
+  std::vector<Tile> tiles;
+  CombMap remap;  ///< empty when tile sharing is disabled
+  std::int64_t xbs_per_tile = 0;
+
+  /// Tiles still holding data after (optional) sharing.
+  std::int64_t occupied_tiles() const;
+  /// Logical crossbars inside occupied tiles.
+  std::int64_t total_logical_crossbars() const;
+  /// Free logical crossbars inside occupied tiles.
+  std::int64_t empty_crossbars() const;
+  /// Sum of Cin·k²·Cout over all layers.
+  std::int64_t useful_cells() const;
+  /// All cells inside occupied tiles (per bit plane).
+  std::int64_t allocated_cells() const;
+  /// System-level utilization in [0, 1]: useful cells over cells in occupied
+  /// tiles — empty crossbars inside an allocated tile count as waste.
+  double system_utilization() const;
+};
+
+/// Algorithm 1 (two-pointer tile-shared remapping) applied to one
+/// same-shape tile group. Mutates empty counts / layer lists / released
+/// flags of `tiles` and returns the combMap. `xb_num` is the number of
+/// logical crossbars per tile.
+CombMap tile_shared_remap(std::vector<Tile*>& tiles, std::int64_t xb_num);
+
+class TileAllocator {
+ public:
+  /// `xbs_per_tile`: logical crossbars (PEs) per tile; `tile_shared`:
+  /// enable the §3.4 remapping pass.
+  TileAllocator(std::int64_t xbs_per_tile, bool tile_shared);
+
+  /// Allocates tiles for `layers[i]` mapped with `shapes[i]`. The two spans
+  /// must be the same length and contain only mappable layers.
+  AllocationResult allocate(const std::vector<nn::LayerSpec>& layers,
+                            const std::vector<CrossbarShape>& shapes) const;
+
+  std::int64_t xbs_per_tile() const noexcept { return xbs_per_tile_; }
+  bool tile_shared() const noexcept { return tile_shared_; }
+
+ private:
+  std::int64_t xbs_per_tile_;
+  bool tile_shared_;
+};
+
+}  // namespace autohet::mapping

@@ -1,0 +1,47 @@
+#include "nn/describe.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace autohet::nn {
+
+void describe(const NetworkSpec& net, std::ostream& os) {
+  os << net.name << " (" << net.layers.size() << " layers, "
+     << net.mappable_layers().size() << " mappable, "
+     << (net.sequential_runnable ? "sequential" : "non-sequential")
+     << ")\n";
+  os << std::left << std::setw(5) << "#" << std::setw(30) << "layer"
+     << std::setw(16) << "output" << std::setw(14) << "weights"
+     << std::setw(10) << "MVMs" << '\n';
+  os << std::string(75, '-') << '\n';
+  std::int64_t total_weights = 0;
+  std::int64_t total_mvms = 0;
+  int mappable_index = 0;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const LayerSpec& layer = net.layers[i];
+    std::ostringstream out_shape;
+    out_shape << layer.out_channels << 'x' << layer.out_height() << 'x'
+              << layer.out_width();
+    const bool mappable = is_mappable(layer.type);
+    std::ostringstream idx;
+    if (mappable) {
+      idx << 'L' << ++mappable_index;
+    } else {
+      idx << '-';
+    }
+    os << std::left << std::setw(5) << idx.str() << std::setw(30)
+       << layer.to_string() << std::setw(16) << out_shape.str()
+       << std::setw(14) << (mappable ? layer.weight_count() : 0)
+       << std::setw(10) << (mappable ? layer.mvm_count() : 0) << '\n';
+    if (mappable) {
+      total_weights += layer.weight_count();
+      total_mvms += layer.mvm_count();
+    }
+  }
+  os << std::string(75, '-') << '\n';
+  os << "total weights: " << total_weights
+     << "   total MVMs per inference: " << total_mvms << '\n';
+}
+
+}  // namespace autohet::nn

@@ -1,0 +1,14 @@
+// Human-readable network summaries (torchsummary-style).
+#pragma once
+
+#include <iosfwd>
+
+#include "nn/layer.hpp"
+
+namespace autohet::nn {
+
+/// Prints a per-layer table: index, layer, output shape, weights, MVMs per
+/// inference, followed by totals.
+void describe(const NetworkSpec& net, std::ostream& os);
+
+}  // namespace autohet::nn

@@ -1,0 +1,124 @@
+#include "nn/layer.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace autohet::nn {
+
+std::string LayerSpec::to_string() const {
+  std::ostringstream oss;
+  switch (type) {
+    case LayerType::kConv:
+      oss << "Conv" << kernel << 'x' << kernel << ' ' << in_channels << "->"
+          << out_channels << " s" << stride << " @" << in_height << 'x'
+          << in_width;
+      break;
+    case LayerType::kFullyConnected:
+      oss << "FC " << in_channels << "->" << out_channels;
+      break;
+    case LayerType::kMaxPool:
+      oss << "MaxPool" << kernel << 'x' << kernel << " s" << stride << " @"
+          << in_height << 'x' << in_width;
+      break;
+    case LayerType::kAvgPool:
+      oss << "AvgPool" << kernel << 'x' << kernel << " s" << stride << " @"
+          << in_height << 'x' << in_width;
+      break;
+  }
+  return oss.str();
+}
+
+std::vector<std::size_t> NetworkSpec::mappable_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (is_mappable(layers[i].type)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<LayerSpec> NetworkSpec::mappable_layers() const {
+  std::vector<LayerSpec> out;
+  for (const auto& layer : layers) {
+    if (is_mappable(layer.type)) out.push_back(layer);
+  }
+  return out;
+}
+
+std::int64_t NetworkSpec::total_weights() const {
+  std::int64_t total = 0;
+  for (const auto& layer : layers) {
+    if (is_mappable(layer.type)) total += layer.weight_count();
+  }
+  return total;
+}
+
+LayerSpec make_conv(std::int64_t in_c, std::int64_t out_c, std::int64_t k,
+                    std::int64_t stride, std::int64_t pad, std::int64_t in_h,
+                    std::int64_t in_w, bool relu) {
+  AUTOHET_CHECK(in_c > 0 && out_c > 0 && k > 0 && stride > 0 && pad >= 0 &&
+                    in_h > 0 && in_w > 0,
+                "invalid conv spec");
+  LayerSpec s;
+  s.type = LayerType::kConv;
+  s.in_channels = in_c;
+  s.out_channels = out_c;
+  s.kernel = k;
+  s.stride = stride;
+  s.pad = pad;
+  s.in_height = in_h;
+  s.in_width = in_w;
+  s.relu_after = relu;
+  AUTOHET_CHECK(s.out_height() > 0 && s.out_width() > 0,
+                "conv output collapses to zero");
+  return s;
+}
+
+LayerSpec make_fc(std::int64_t in_n, std::int64_t out_n, bool relu) {
+  AUTOHET_CHECK(in_n > 0 && out_n > 0, "invalid fc spec");
+  LayerSpec s;
+  s.type = LayerType::kFullyConnected;
+  s.in_channels = in_n;
+  s.out_channels = out_n;
+  s.kernel = 1;
+  s.stride = 1;
+  s.pad = 0;
+  s.in_height = 1;
+  s.in_width = 1;
+  s.relu_after = relu;
+  return s;
+}
+
+namespace {
+LayerSpec make_pool(LayerType type, std::int64_t channels, std::int64_t window,
+                    std::int64_t stride, std::int64_t in_h, std::int64_t in_w) {
+  AUTOHET_CHECK(channels > 0 && window > 0 && stride > 0 && in_h >= window &&
+                    in_w >= window,
+                "invalid pool spec");
+  LayerSpec s;
+  s.type = type;
+  s.in_channels = channels;
+  s.out_channels = channels;
+  s.kernel = window;
+  s.stride = stride;
+  s.pad = 0;
+  s.in_height = in_h;
+  s.in_width = in_w;
+  s.relu_after = false;
+  return s;
+}
+}  // namespace
+
+LayerSpec make_maxpool(std::int64_t channels, std::int64_t window,
+                       std::int64_t stride, std::int64_t in_h,
+                       std::int64_t in_w) {
+  return make_pool(LayerType::kMaxPool, channels, window, stride, in_h, in_w);
+}
+
+LayerSpec make_avgpool(std::int64_t channels, std::int64_t window,
+                       std::int64_t stride, std::int64_t in_h,
+                       std::int64_t in_w) {
+  return make_pool(LayerType::kAvgPool, channels, window, stride, in_h, in_w);
+}
+
+}  // namespace autohet::nn

@@ -1,0 +1,100 @@
+// DNN layer and network descriptors.
+//
+// A LayerSpec carries everything both consumers need:
+//   * the mapping/energy models (src/mapping, src/reram) use the *shape*
+//     (kernel size, channels, stride, input feature-map size) — this is the
+//     state the paper's RL agent observes (Table 1);
+//   * the functional inference path (src/nn/model) additionally uses the
+//     geometry to run the layer forward.
+//
+// FC layers are treated as 1x1 convolutions over a 1x1 feature map with
+// in/out channels equal to the neuron counts, exactly as the paper does
+// (§3.2: "we consider the FC layer as a special kind of CONV layer").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace autohet::nn {
+
+enum class LayerType { kConv, kFullyConnected, kMaxPool, kAvgPool };
+
+/// True for layers whose weights occupy crossbars (CONV and FC).
+constexpr bool is_mappable(LayerType t) noexcept {
+  return t == LayerType::kConv || t == LayerType::kFullyConnected;
+}
+
+struct LayerSpec {
+  LayerType type = LayerType::kConv;
+  std::int64_t in_channels = 0;   ///< Cin (FC: input neurons)
+  std::int64_t out_channels = 0;  ///< Cout (FC: output neurons)
+  std::int64_t kernel = 1;        ///< k for k×k kernels; pool window for pools
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+  std::int64_t in_height = 1;  ///< input feature-map height
+  std::int64_t in_width = 1;   ///< input feature-map width
+  bool relu_after = true;      ///< apply ReLU after this layer (conv/fc only)
+
+  std::int64_t out_height() const noexcept {
+    return (in_height + 2 * pad - kernel) / stride + 1;
+  }
+  std::int64_t out_width() const noexcept {
+    return (in_width + 2 * pad - kernel) / stride + 1;
+  }
+
+  /// Rows of the unfolded weight matrix: Cin * k^2 (paper Fig. 7).
+  std::int64_t weight_rows() const noexcept {
+    return in_channels * kernel * kernel;
+  }
+  /// Columns of the unfolded weight matrix: Cout.
+  std::int64_t weight_cols() const noexcept { return out_channels; }
+  /// Total weights in the layer (paper state feature `w`).
+  std::int64_t weight_count() const noexcept {
+    return weight_rows() * weight_cols();
+  }
+  /// Input feature-map size (paper state feature `ins`).
+  std::int64_t input_size() const noexcept {
+    return in_channels * in_height * in_width;
+  }
+  /// Number of MVM invocations needed for one inference pass: one per output
+  /// spatial position (FC layers: exactly one).
+  std::int64_t mvm_count() const noexcept {
+    return out_height() * out_width();
+  }
+
+  std::string to_string() const;
+};
+
+/// A whole network: ordered layers, plus metadata.
+struct NetworkSpec {
+  std::string name;
+  std::vector<LayerSpec> layers;
+  /// True when the layer list is a faithful sequential dataflow that the
+  /// functional Model can execute end-to-end (LeNet/AlexNet/VGG16). ResNet152
+  /// carries residual adds we model for mapping/energy only.
+  bool sequential_runnable = true;
+
+  /// Indices (into `layers`) of the mappable (CONV/FC) layers, in order.
+  std::vector<std::size_t> mappable_indices() const;
+  /// The mappable layers themselves, in order.
+  std::vector<LayerSpec> mappable_layers() const;
+  /// Total weights across mappable layers.
+  std::int64_t total_weights() const;
+};
+
+/// Builders for a CONV layer / FC layer / pooling layer with the feature-map
+/// geometry filled in. FC layers follow the paper's convention (k=1, s=1,
+/// 1×1 feature map).
+LayerSpec make_conv(std::int64_t in_c, std::int64_t out_c, std::int64_t k,
+                    std::int64_t stride, std::int64_t pad, std::int64_t in_h,
+                    std::int64_t in_w, bool relu = true);
+LayerSpec make_fc(std::int64_t in_n, std::int64_t out_n, bool relu = true);
+LayerSpec make_maxpool(std::int64_t channels, std::int64_t window,
+                       std::int64_t stride, std::int64_t in_h,
+                       std::int64_t in_w);
+LayerSpec make_avgpool(std::int64_t channels, std::int64_t window,
+                       std::int64_t stride, std::int64_t in_h,
+                       std::int64_t in_w);
+
+}  // namespace autohet::nn

@@ -1,0 +1,81 @@
+#include "nn/model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace autohet::nn {
+
+Model::Model(NetworkSpec spec, common::Rng& rng) : spec_(std::move(spec)) {
+  weight_of_layer_.assign(spec_.layers.size(), -1);
+  for (std::size_t i = 0; i < spec_.layers.size(); ++i) {
+    const LayerSpec& layer = spec_.layers[i];
+    if (!is_mappable(layer.type)) continue;
+    weight_of_layer_[i] = static_cast<std::int64_t>(weights_.size());
+    tensor::Tensor w =
+        (layer.type == LayerType::kConv)
+            ? tensor::Tensor({layer.out_channels, layer.in_channels,
+                              layer.kernel, layer.kernel})
+            : tensor::Tensor({layer.out_channels, layer.in_channels});
+    // He initialization keeps activations in a sane range through ReLU
+    // stacks so 8-bit quantization retains signal.
+    const float fan_in = static_cast<float>(layer.weight_rows());
+    w.fill_normal(rng, 0.0f, std::sqrt(2.0f / fan_in));
+    weights_.push_back(std::move(w));
+  }
+}
+
+const tensor::Tensor& Model::weight(std::size_t mappable_index) const {
+  AUTOHET_CHECK(mappable_index < weights_.size(), "weight index out of range");
+  return weights_[mappable_index];
+}
+
+tensor::Tensor& Model::weight(std::size_t mappable_index) {
+  AUTOHET_CHECK(mappable_index < weights_.size(), "weight index out of range");
+  return weights_[mappable_index];
+}
+
+tensor::Tensor Model::forward_layer(std::size_t layer_index,
+                                    const tensor::Tensor& input) const {
+  AUTOHET_CHECK(layer_index < spec_.layers.size(), "layer index out of range");
+  const LayerSpec& layer = spec_.layers[layer_index];
+  switch (layer.type) {
+    case LayerType::kConv: {
+      const auto& w = weights_[static_cast<std::size_t>(
+          weight_of_layer_[layer_index])];
+      return tensor::conv2d(input, w, layer.stride, layer.pad);
+    }
+    case LayerType::kFullyConnected: {
+      const auto& w = weights_[static_cast<std::size_t>(
+          weight_of_layer_[layer_index])];
+      return tensor::fully_connected(input, w);
+    }
+    case LayerType::kMaxPool:
+      return tensor::maxpool2d(input, layer.kernel, layer.stride);
+    case LayerType::kAvgPool:
+      return tensor::avgpool2d(input, layer.kernel, layer.stride);
+  }
+  AUTOHET_CHECK(false, "unhandled layer type");
+  return {};  // unreachable
+}
+
+tensor::Tensor Model::forward(const tensor::Tensor& input) const {
+  AUTOHET_CHECK(spec_.sequential_runnable,
+                "network is not sequentially runnable (" + spec_.name + ")");
+  tensor::Tensor x = input;
+  for (std::size_t i = 0; i < spec_.layers.size(); ++i) {
+    x = forward_layer(i, x);
+    if (spec_.layers[i].relu_after) tensor::relu_inplace(x);
+  }
+  return x;
+}
+
+tensor::Tensor synthetic_image(common::Rng& rng, std::int64_t channels,
+                               std::int64_t height, std::int64_t width) {
+  tensor::Tensor img({channels, height, width});
+  img.fill_uniform(rng, 0.0f, 1.0f);
+  return img;
+}
+
+}  // namespace autohet::nn

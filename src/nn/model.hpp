@@ -1,0 +1,51 @@
+// Functional model: a NetworkSpec plus concrete weights, with float forward
+// inference. Used as the numerical reference the simulated crossbar datapath
+// is validated against, and by the end-to-end inference examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace autohet::nn {
+
+class Model {
+ public:
+  /// Builds the model with He-style random weights drawn from `rng`
+  /// (deterministic for a given seed). Weight tensors are only materialized
+  /// for mappable layers.
+  Model(NetworkSpec spec, common::Rng& rng);
+
+  const NetworkSpec& spec() const noexcept { return spec_; }
+
+  /// Weight tensor of the `i`-th *mappable* layer
+  /// ([Cout,Cin,k,k] for CONV, [out,in] for FC).
+  const tensor::Tensor& weight(std::size_t mappable_index) const;
+  tensor::Tensor& weight(std::size_t mappable_index);
+  std::size_t mappable_count() const noexcept { return weights_.size(); }
+
+  /// Float forward pass over the whole network (CHW input). Requires
+  /// spec().sequential_runnable.
+  tensor::Tensor forward(const tensor::Tensor& input) const;
+
+  /// Float forward pass of a single layer (by position in spec().layers),
+  /// without the trailing ReLU. Pools are executed directly; CONV/FC use the
+  /// stored weights.
+  tensor::Tensor forward_layer(std::size_t layer_index,
+                               const tensor::Tensor& input) const;
+
+ private:
+  NetworkSpec spec_;
+  std::vector<tensor::Tensor> weights_;       // one per mappable layer
+  std::vector<std::int64_t> weight_of_layer_; // layer idx -> mappable idx or -1
+};
+
+/// Deterministic synthetic input image (CHW, values in [0, 1)); substitutes
+/// for the MNIST/CIFAR/ImageNet samples the paper uses (see DESIGN.md §1).
+tensor::Tensor synthetic_image(common::Rng& rng, std::int64_t channels,
+                               std::int64_t height, std::int64_t width);
+
+}  // namespace autohet::nn

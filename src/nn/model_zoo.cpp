@@ -1,0 +1,141 @@
+#include "nn/model_zoo.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace autohet::nn {
+
+NetworkSpec lenet5() {
+  NetworkSpec net;
+  net.name = "LeNet5";
+  std::int64_t h = 32, w = 32;
+  net.layers.push_back(make_conv(1, 6, 5, 1, 0, h, w));
+  h = 28;
+  w = 28;
+  net.layers.push_back(make_maxpool(6, 2, 2, h, w));
+  h = 14;
+  w = 14;
+  net.layers.push_back(make_conv(6, 16, 5, 1, 0, h, w));
+  h = 10;
+  w = 10;
+  net.layers.push_back(make_maxpool(16, 2, 2, h, w));
+  net.layers.push_back(make_fc(16 * 5 * 5, 120));
+  net.layers.push_back(make_fc(120, 84));
+  net.layers.push_back(make_fc(84, 10, /*relu=*/false));
+  return net;
+}
+
+NetworkSpec alexnet() {
+  NetworkSpec net;
+  net.name = "AlexNet";
+  // MNIST-shaped input: 1x28x28 (§4.1: "AlexNet on MNIST").
+  net.layers.push_back(make_conv(1, 64, 3, 1, 1, 28, 28));
+  net.layers.push_back(make_maxpool(64, 2, 2, 28, 28));
+  net.layers.push_back(make_conv(64, 192, 3, 1, 1, 14, 14));
+  net.layers.push_back(make_maxpool(192, 2, 2, 14, 14));
+  net.layers.push_back(make_conv(192, 384, 3, 1, 1, 7, 7));
+  net.layers.push_back(make_conv(384, 256, 3, 1, 1, 7, 7));
+  net.layers.push_back(make_conv(256, 256, 3, 1, 1, 7, 7));
+  net.layers.push_back(make_maxpool(256, 2, 2, 7, 7));
+  net.layers.push_back(make_fc(256 * 3 * 3, 4096));
+  net.layers.push_back(make_fc(4096, 4096));
+  net.layers.push_back(make_fc(4096, 10, /*relu=*/false));
+  return net;
+}
+
+NetworkSpec vgg16() {
+  NetworkSpec net;
+  net.name = "VGG16";
+  // CIFAR-10-shaped input: 3x32x32 (§4.1: "VGG16 on CIFAR-10").
+  struct Block {
+    int convs;
+    std::int64_t out_c;
+  };
+  static constexpr Block kBlocks[] = {{2, 64}, {2, 128}, {3, 256}, {3, 512},
+                                      {3, 512}};
+  std::int64_t c = 3, h = 32, w = 32;
+  for (const auto& block : kBlocks) {
+    for (int i = 0; i < block.convs; ++i) {
+      net.layers.push_back(make_conv(c, block.out_c, 3, 1, 1, h, w));
+      c = block.out_c;
+    }
+    net.layers.push_back(make_maxpool(c, 2, 2, h, w));
+    h /= 2;
+    w /= 2;
+  }
+  net.layers.push_back(make_fc(512, 4096));
+  net.layers.push_back(make_fc(4096, 1000));
+  net.layers.push_back(make_fc(1000, 10, /*relu=*/false));
+  return net;
+}
+
+namespace {
+
+/// Appends one bottleneck stage of ResNet152. Each block is C1 (reduce),
+/// C3 (spatial, carries the stage's downsampling stride in its first block),
+/// C1 (expand); the first block also carries a C1 projection shortcut.
+void append_bottleneck_stage(NetworkSpec& net, std::int64_t& in_c,
+                             std::int64_t& h, std::int64_t& w,
+                             std::int64_t width, int blocks,
+                             std::int64_t first_stride) {
+  const std::int64_t out_c = 4 * width;
+  for (int b = 0; b < blocks; ++b) {
+    const std::int64_t stride = (b == 0) ? first_stride : 1;
+    net.layers.push_back(make_conv(in_c, width, 1, 1, 0, h, w));
+    net.layers.push_back(make_conv(width, width, 3, stride, 1, h, w));
+    const std::int64_t oh = (h + 2 - 3) / stride + 1;
+    const std::int64_t ow = (w + 2 - 3) / stride + 1;
+    net.layers.push_back(make_conv(width, out_c, 1, 1, 0, oh, ow));
+    if (b == 0) {
+      // Projection shortcut for the dimension change.
+      net.layers.push_back(make_conv(in_c, out_c, 1, stride, 0, h, w));
+    }
+    h = oh;
+    w = ow;
+    in_c = out_c;
+  }
+}
+
+}  // namespace
+
+NetworkSpec resnet152() {
+  NetworkSpec net;
+  net.name = "ResNet152";
+  net.sequential_runnable = false;  // residual adds are not sequential
+  // ImageNet-shaped input: 3x224x224 (§4.1: "ResNet152 on ImageNet").
+  std::int64_t c = 3, h = 224, w = 224;
+  net.layers.push_back(make_conv(c, 64, 7, 2, 3, h, w));
+  c = 64;
+  h = 112;
+  w = 112;
+  net.layers.push_back(make_maxpool(c, 2, 2, h, w));
+  h = 56;
+  w = 56;
+  append_bottleneck_stage(net, c, h, w, /*width=*/64, /*blocks=*/3, 1);
+  append_bottleneck_stage(net, c, h, w, /*width=*/128, /*blocks=*/8, 2);
+  append_bottleneck_stage(net, c, h, w, /*width=*/256, /*blocks=*/36, 2);
+  append_bottleneck_stage(net, c, h, w, /*width=*/512, /*blocks=*/3, 2);
+  net.layers.push_back(make_avgpool(c, 7, 7, h, w));
+  net.layers.push_back(make_fc(2048, 1000, /*relu=*/false));
+  return net;
+}
+
+NetworkSpec network_by_name(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char ch) { return std::tolower(ch); });
+  if (lower == "lenet5" || lower == "lenet") return lenet5();
+  if (lower == "alexnet") return alexnet();
+  if (lower == "vgg16" || lower == "vgg") return vgg16();
+  if (lower == "resnet152" || lower == "resnet") return resnet152();
+  AUTOHET_CHECK(false, "unknown network: " + lower);
+  return {};  // unreachable
+}
+
+std::vector<NetworkSpec> paper_workloads() {
+  return {alexnet(), vgg16(), resnet152()};
+}
+
+}  // namespace autohet::nn

@@ -1,0 +1,48 @@
+// The workload networks from the paper (Table 2) plus LeNet-5 for the
+// functional-inference examples.
+//
+// AlexNet is paired with MNIST-shaped inputs (28x28x1), VGG16 with
+// CIFAR-10-shaped inputs (32x32x3), and ResNet152 with ImageNet-shaped
+// inputs (224x224x3), exactly as in §4.1 of the paper. Pooling layers are
+// interleaved to propagate realistic feature-map sizes; they occupy no
+// crossbars (handled by the tile's pooling module) but feed the `ins` state
+// feature.
+//
+// ResNet152 is reconstructed from the paper's Table 2 inventory, which
+// matches the genuine bottleneck architecture including the four downsample
+// shortcuts (e.g. "40 C1-256" = 3 stage-2 expansions + 1 shortcut + 36
+// stage-4 reductions). Layer counts per (kernel, Cout) bucket reproduce the
+// table exactly: 155 CONV + 1 FC.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace autohet::nn {
+
+/// LeNet-5 on 32x32x1 inputs (2 CONV + 3 FC). Small enough to run the
+/// functional crossbar datapath end-to-end in tests and examples.
+NetworkSpec lenet5();
+
+/// AlexNet per Table 2 on MNIST-shaped 28x28x1 inputs:
+/// C3-64, C3-192, C3-384, 2xC3-256, F4096, F4096, F10.
+NetworkSpec alexnet();
+
+/// VGG16 per Table 2 on CIFAR-10-shaped 32x32x3 inputs:
+/// 2C3-64, 2C3-128, 3C3-256, 6C3-512, F4096, F1000, F10 (16 weight layers).
+NetworkSpec vgg16();
+
+/// ResNet152 per Table 2 on ImageNet-shaped 224x224x3 inputs (155 CONV +
+/// F1000, including bottleneck shortcuts). Not sequentially runnable.
+NetworkSpec resnet152();
+
+/// Looks a network up by case-insensitive name ("lenet5", "alexnet",
+/// "vgg16", "resnet152"); throws std::invalid_argument for unknown names.
+NetworkSpec network_by_name(std::string_view name);
+
+/// All three paper workloads, in the order the paper reports them.
+std::vector<NetworkSpec> paper_workloads();
+
+}  // namespace autohet::nn

@@ -1,0 +1,73 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace autohet::nn {
+
+QuantizedWeights quantize_weights(const tensor::Tensor& t, int bits) {
+  AUTOHET_CHECK(bits >= 2 && bits <= 8, "weight bits must be in [2, 8]");
+  QuantizedWeights q;
+  q.shape = t.shape();
+  q.bits = bits;
+  const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+  const float abs_max = t.abs_max();
+  q.scale = (abs_max > 0.0f) ? abs_max / qmax : 1.0f;
+  q.values.resize(static_cast<std::size_t>(t.numel()));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const float scaled = t[i] / q.scale;
+    const float clamped = std::clamp(std::round(scaled), -qmax, qmax);
+    q.values[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(clamped);
+  }
+  return q;
+}
+
+QuantizedActivations quantize_activations(const tensor::Tensor& t, int bits) {
+  AUTOHET_CHECK(bits >= 2 && bits <= 8, "activation bits must be in [2, 8]");
+  QuantizedActivations q;
+  q.shape = t.shape();
+  q.bits = bits;
+  const float qmax = static_cast<float>((1 << bits) - 1);
+  float vmax = 0.0f;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    AUTOHET_CHECK(t[i] >= 0.0f, "activation quantization expects x >= 0");
+    vmax = std::max(vmax, t[i]);
+  }
+  q.scale = (vmax > 0.0f) ? vmax / qmax : 1.0f;
+  q.values.resize(static_cast<std::size_t>(t.numel()));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const float clamped = std::clamp(std::round(t[i] / q.scale), 0.0f, qmax);
+    q.values[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(clamped);
+  }
+  return q;
+}
+
+tensor::Tensor dequantize(const QuantizedWeights& q) {
+  tensor::Tensor t(q.shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(q.values[static_cast<std::size_t>(i)]) * q.scale;
+  }
+  return t;
+}
+
+tensor::Tensor dequantize(const QuantizedActivations& q) {
+  tensor::Tensor t(q.shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(q.values[static_cast<std::size_t>(i)]) * q.scale;
+  }
+  return t;
+}
+
+std::vector<std::uint8_t> activation_bit_plane(const QuantizedActivations& q,
+                                               int bit) {
+  AUTOHET_CHECK(bit >= 0 && bit < q.bits, "bit plane out of range");
+  std::vector<std::uint8_t> plane(q.values.size());
+  for (std::size_t i = 0; i < q.values.size(); ++i) {
+    plane[i] = static_cast<std::uint8_t>((q.values[i] >> bit) & 1u);
+  }
+  return plane;
+}
+
+}  // namespace autohet::nn

@@ -1,0 +1,56 @@
+// Symmetric fixed-point quantization.
+//
+// The paper quantizes DNN weights to 8 bits (§4.1) and represents each
+// weight with a group of eight 1-bit ReRAM cells (one bit plane per physical
+// crossbar in a PE). Inputs are likewise quantized to 8 bits and fed to the
+// 1-bit DACs one bit per cycle. These helpers provide the weight-side
+// (signed symmetric) and activation-side (unsigned) schemes plus the exact
+// integer reference the crossbar datapath is checked against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace autohet::nn {
+
+/// Signed symmetric per-tensor quantization: q = clamp(round(x/scale)) with
+/// scale = abs_max / (2^(bits-1) - 1). Dequantize as q * scale.
+struct QuantizedWeights {
+  std::vector<std::int8_t> values;
+  std::vector<std::int64_t> shape;
+  float scale = 1.0f;
+  int bits = 8;
+
+  std::int64_t numel() const noexcept {
+    return static_cast<std::int64_t>(values.size());
+  }
+};
+
+/// Unsigned per-tensor quantization for non-negative activations:
+/// q = clamp(round(x/scale), 0, 2^bits - 1) with scale = max / (2^bits - 1).
+struct QuantizedActivations {
+  std::vector<std::uint8_t> values;
+  std::vector<std::int64_t> shape;
+  float scale = 1.0f;
+  int bits = 8;
+
+  std::int64_t numel() const noexcept {
+    return static_cast<std::int64_t>(values.size());
+  }
+};
+
+QuantizedWeights quantize_weights(const tensor::Tensor& t, int bits = 8);
+QuantizedActivations quantize_activations(const tensor::Tensor& t,
+                                          int bits = 8);
+
+tensor::Tensor dequantize(const QuantizedWeights& q);
+tensor::Tensor dequantize(const QuantizedActivations& q);
+
+/// Extracts bit plane `bit` (0 = LSB) of an unsigned activation vector;
+/// used to drive the 1-bit DAC cycles of the functional crossbar model.
+std::vector<std::uint8_t> activation_bit_plane(const QuantizedActivations& q,
+                                               int bit);
+
+}  // namespace autohet::nn

@@ -1,0 +1,197 @@
+#include "nn/train.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "tensor/grad.hpp"
+#include "tensor/ops.hpp"
+
+namespace autohet::nn {
+
+SyntheticDataset sample_from_prototypes(
+    common::Rng& rng, std::int64_t count,
+    const std::vector<tensor::Tensor>& prototypes, float noise) {
+  AUTOHET_CHECK(count > 0, "dataset needs samples");
+  AUTOHET_CHECK(prototypes.size() > 1, "need at least two class prototypes");
+  AUTOHET_CHECK(noise >= 0.0f && noise <= 1.0f, "noise must be in [0, 1]");
+  SyntheticDataset data;
+  data.prototypes = prototypes;
+  data.images.reserve(static_cast<std::size_t>(count));
+  data.labels.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto label =
+        static_cast<std::int64_t>(rng.uniform_u64(prototypes.size()));
+    tensor::Tensor img = prototypes[static_cast<std::size_t>(label)];
+    for (std::int64_t p = 0; p < img.numel(); ++p) {
+      img[p] = std::clamp(
+          img[p] + static_cast<float>(rng.uniform(-noise, noise)), 0.0f,
+          1.0f);
+    }
+    data.images.push_back(std::move(img));
+    data.labels.push_back(label);
+  }
+  return data;
+}
+
+SyntheticDataset make_synthetic_dataset(common::Rng& rng, std::int64_t count,
+                                        std::int64_t classes,
+                                        std::int64_t channels,
+                                        std::int64_t height,
+                                        std::int64_t width, float noise) {
+  AUTOHET_CHECK(classes > 1, "dataset needs at least two classes");
+  // Class prototypes: random patterns, one per class.
+  std::vector<tensor::Tensor> prototypes;
+  prototypes.reserve(static_cast<std::size_t>(classes));
+  for (std::int64_t c = 0; c < classes; ++c) {
+    tensor::Tensor proto({channels, height, width});
+    proto.fill_uniform(rng, 0.0f, 1.0f);
+    prototypes.push_back(std::move(proto));
+  }
+  return sample_from_prototypes(rng, count, prototypes, noise);
+}
+
+float backprop_sample(const Model& model, const tensor::Tensor& image,
+                      std::int64_t label,
+                      std::vector<tensor::Tensor>& grads) {
+  const NetworkSpec& spec = model.spec();
+  AUTOHET_CHECK(spec.sequential_runnable,
+                "training requires a sequentially runnable network");
+  AUTOHET_CHECK(grads.size() == model.mappable_count(),
+                "one gradient tensor per mappable layer required");
+
+  // Forward pass with cached post-activation outputs.
+  std::vector<tensor::Tensor> acts;
+  acts.reserve(spec.layers.size() + 1);
+  acts.push_back(image);
+  for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+    tensor::Tensor out = model.forward_layer(i, acts.back());
+    if (spec.layers[i].relu_after) tensor::relu_inplace(out);
+    acts.push_back(std::move(out));
+  }
+
+  auto [loss, grad] = tensor::softmax_cross_entropy(acts.back(), label);
+
+  // Backward pass.
+  std::int64_t mappable_idx = static_cast<std::int64_t>(model.mappable_count());
+  for (std::size_t i = spec.layers.size(); i-- > 0;) {
+    const LayerSpec& layer = spec.layers[i];
+    const tensor::Tensor& input = acts[i];
+    if (layer.relu_after) {
+      tensor::relu_backward_inplace(acts[i + 1], grad);
+    }
+    switch (layer.type) {
+      case LayerType::kConv: {
+        --mappable_idx;
+        const auto& w = model.weight(static_cast<std::size_t>(mappable_idx));
+        auto conv_grads = tensor::conv2d_backward(
+            input, w,
+            grad.reshaped({layer.out_channels, layer.out_height(),
+                           layer.out_width()}),
+            layer.stride, layer.pad);
+        tensor::add_inplace(grads[static_cast<std::size_t>(mappable_idx)],
+                            conv_grads.grad_weight);
+        grad = std::move(conv_grads.grad_input);
+        break;
+      }
+      case LayerType::kFullyConnected: {
+        --mappable_idx;
+        const auto& w = model.weight(static_cast<std::size_t>(mappable_idx));
+        auto fc_grads = tensor::fully_connected_backward(input, w, grad);
+        tensor::add_inplace(grads[static_cast<std::size_t>(mappable_idx)],
+                            fc_grads.grad_weight);
+        grad = fc_grads.grad_input.reshaped(input.shape());
+        break;
+      }
+      case LayerType::kMaxPool:
+        grad = tensor::maxpool2d_backward(
+            input,
+            grad.reshaped({layer.out_channels, layer.out_height(),
+                           layer.out_width()}),
+            layer.kernel, layer.stride);
+        break;
+      case LayerType::kAvgPool:
+        grad = tensor::avgpool2d_backward(
+            input,
+            grad.reshaped({layer.out_channels, layer.out_height(),
+                           layer.out_width()}),
+            layer.kernel, layer.stride);
+        break;
+    }
+  }
+  return loss;
+}
+
+TrainStats train(Model& model, const SyntheticDataset& data,
+                 const TrainConfig& config, common::Rng& rng) {
+  AUTOHET_CHECK(!data.images.empty(), "empty training set");
+  AUTOHET_CHECK(config.epochs > 0 && config.learning_rate > 0.0f,
+                "invalid training config");
+
+  std::vector<tensor::Tensor> grads;
+  std::vector<tensor::Tensor> velocity;
+  for (std::size_t m = 0; m < model.mappable_count(); ++m) {
+    grads.emplace_back(model.weight(m).shape());
+    velocity.emplace_back(model.weight(m).shape());
+  }
+
+  TrainStats stats;
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // Fisher-Yates shuffle with the caller's generator.
+    for (std::size_t i = order.size(); i-- > 1;) {
+      std::swap(order[i], order[rng.uniform_u64(i + 1)]);
+    }
+    double loss_sum = 0.0;
+    std::int64_t correct = 0;
+    for (const std::size_t s : order) {
+      for (auto& g : grads) g.fill(0.0f);
+      loss_sum += backprop_sample(model, data.images[s], data.labels[s],
+                                  grads);
+      if (tensor::argmax(model.forward(data.images[s])) == data.labels[s]) {
+        ++correct;
+      }
+      // Optional per-sample gradient clipping (global L2 norm).
+      if (config.grad_clip > 0.0f) {
+        double norm_sq = 0.0;
+        for (const auto& g : grads) {
+          for (std::int64_t p = 0; p < g.numel(); ++p) {
+            norm_sq += static_cast<double>(g[p]) * g[p];
+          }
+        }
+        const double norm = std::sqrt(norm_sq);
+        if (norm > config.grad_clip) {
+          const float scale = config.grad_clip / static_cast<float>(norm);
+          for (auto& g : grads) {
+            for (std::int64_t p = 0; p < g.numel(); ++p) g[p] *= scale;
+          }
+        }
+      }
+      for (std::size_t m = 0; m < grads.size(); ++m) {
+        tensor::Tensor& w = model.weight(m);
+        tensor::Tensor& v = velocity[m];
+        for (std::int64_t p = 0; p < w.numel(); ++p) {
+          v[p] = config.momentum * v[p] - config.learning_rate * grads[m][p];
+          w[p] += v[p];
+        }
+      }
+    }
+    stats.epoch_loss.push_back(
+        static_cast<float>(loss_sum / static_cast<double>(data.size())));
+    stats.epoch_accuracy.push_back(static_cast<float>(correct) /
+                                   static_cast<float>(data.size()));
+  }
+  return stats;
+}
+
+double evaluate_accuracy(const Model& model, const SyntheticDataset& data) {
+  return evaluate_accuracy_with(
+      [&model](const tensor::Tensor& img) {
+        return tensor::argmax(model.forward(img));
+      },
+      data);
+}
+
+}  // namespace autohet::nn

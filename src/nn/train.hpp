@@ -1,0 +1,92 @@
+// Training support for the reference models.
+//
+// The paper deploys pre-trained networks; since the original datasets and
+// checkpoints are unavailable offline, we substitute a synthetic labeled
+// classification task (class-conditional prototype patterns plus noise) and
+// train the model on it with SGD + momentum. Deployment examples then
+// measure real accuracy — float vs the quantized simulated fabric — instead
+// of comparing logits of random weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+
+namespace autohet::nn {
+
+/// A labeled synthetic classification dataset: per-class prototype patterns
+/// with additive noise, linearly separable enough for small CNNs to learn
+/// quickly and deterministically.
+struct SyntheticDataset {
+  std::vector<tensor::Tensor> images;  ///< CHW, values clamped to [0, 1]
+  std::vector<std::int64_t> labels;
+  /// The class prototypes the samples were drawn from; pass them to
+  /// sample_from_prototypes to draw a held-out set of the same task.
+  std::vector<tensor::Tensor> prototypes;
+
+  std::size_t size() const noexcept { return images.size(); }
+};
+
+/// Generates `count` samples over `classes` fresh class prototypes of shape
+/// c×h×w. `noise` is the per-pixel uniform noise amplitude (0.25 keeps the
+/// task easy, 0.5 makes it genuinely hard).
+SyntheticDataset make_synthetic_dataset(common::Rng& rng,
+                                        std::int64_t count,
+                                        std::int64_t classes,
+                                        std::int64_t channels,
+                                        std::int64_t height,
+                                        std::int64_t width,
+                                        float noise = 0.25f);
+
+/// Draws `count` fresh samples from existing prototypes — a held-out set
+/// of the same classification task.
+SyntheticDataset sample_from_prototypes(
+    common::Rng& rng, std::int64_t count,
+    const std::vector<tensor::Tensor>& prototypes, float noise = 0.25f);
+
+struct TrainConfig {
+  int epochs = 3;
+  float learning_rate = 0.01f;
+  float momentum = 0.9f;
+  /// Gradient-norm clip per sample (0 disables). Keeps fresh He-initialized
+  /// nets from diverging on the first noisy samples.
+  float grad_clip = 5.0f;
+};
+
+struct TrainStats {
+  std::vector<float> epoch_loss;      ///< mean per-sample loss per epoch
+  std::vector<float> epoch_accuracy;  ///< train accuracy per epoch
+};
+
+/// One forward+backward pass for a single sample; returns the loss and
+/// accumulates parameter gradients into `grads` (same shapes as the model's
+/// weights). Exposed for the gradient-check tests.
+float backprop_sample(const Model& model, const tensor::Tensor& image,
+                      std::int64_t label,
+                      std::vector<tensor::Tensor>& grads);
+
+/// Plain SGD(+momentum) training over the dataset (sample at a time; the
+/// models and datasets here are small). Mutates the model's weights.
+TrainStats train(Model& model, const SyntheticDataset& data,
+                 const TrainConfig& config, common::Rng& rng);
+
+/// Top-1 accuracy of `model` on the dataset.
+double evaluate_accuracy(const Model& model, const SyntheticDataset& data);
+
+/// Top-1 accuracy of an arbitrary classifier functor (e.g. the simulated
+/// fabric) on the dataset.
+template <typename ForwardFn>
+double evaluate_accuracy_with(ForwardFn&& forward,
+                              const SyntheticDataset& data) {
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (forward(data.images[i]) == data.labels[i]) ++correct;
+  }
+  return data.size() ? static_cast<double>(correct) /
+                           static_cast<double>(data.size())
+                     : 0.0;
+}
+
+}  // namespace autohet::nn

@@ -1,0 +1,56 @@
+#include "report/serialize.hpp"
+
+#include <ostream>
+
+#include "report/table.hpp"
+
+namespace autohet::report {
+
+void write_network_report_csv(std::ostream& os,
+                              const reram::NetworkReport& report) {
+  Table table({"layer", "shape", "logical_crossbars", "adc_instances",
+               "tiles", "mvms", "utilization", "adc_nj", "dac_nj", "cell_nj",
+               "shift_add_nj", "buffer_nj", "total_nj", "latency_ns"});
+  for (std::size_t k = 0; k < report.layers.size(); ++k) {
+    const auto& lr = report.layers[k];
+    table.add_row({std::to_string(k + 1), lr.shape.name(),
+                   std::to_string(lr.logical_crossbars),
+                   std::to_string(lr.adc_instances),
+                   std::to_string(lr.tiles),
+                   std::to_string(lr.mvm_invocations),
+                   format_fixed(lr.utilization, 6),
+                   format_sci(lr.energy.adc_nj, 6),
+                   format_sci(lr.energy.dac_nj, 6),
+                   format_sci(lr.energy.cell_nj, 6),
+                   format_sci(lr.energy.shift_add_nj, 6),
+                   format_sci(lr.energy.buffer_nj, 6),
+                   format_sci(lr.energy.total_nj(), 6),
+                   format_sci(lr.latency_ns, 6)});
+  }
+  table.add_row({"TOTAL", "", "", "", std::to_string(report.occupied_tiles),
+                 "", format_fixed(report.utilization, 6),
+                 format_sci(report.energy.adc_nj, 6),
+                 format_sci(report.energy.dac_nj, 6),
+                 format_sci(report.energy.cell_nj, 6),
+                 format_sci(report.energy.shift_add_nj, 6),
+                 format_sci(report.energy.buffer_nj, 6),
+                 format_sci(report.energy.total_nj(), 6),
+                 format_sci(report.latency_ns, 6)});
+  table.print_csv(os);
+}
+
+void write_summary_csv(std::ostream& os, const std::string& name,
+                       const reram::NetworkReport& report, bool with_header) {
+  if (with_header) {
+    os << "name,utilization,energy_nj,rue,area_um2,latency_ns,"
+          "occupied_tiles,empty_crossbars\n";
+  }
+  os << name << ',' << format_fixed(report.utilization, 6) << ','
+     << format_sci(report.energy.total_nj(), 6) << ','
+     << format_sci(report.rue(), 6) << ','
+     << format_sci(report.area.total_um2(), 6) << ','
+     << format_sci(report.latency_ns, 6) << ',' << report.occupied_tiles
+     << ',' << report.empty_crossbars << '\n';
+}
+
+}  // namespace autohet::report

@@ -1,0 +1,23 @@
+// CSV serialization of evaluation artifacts, for plotting/regression
+// tooling outside the repo (each bench prints human tables; these emitters
+// give machine-readable equivalents).
+#pragma once
+
+#include <iosfwd>
+
+#include "reram/stats.hpp"
+
+namespace autohet::report {
+
+/// Per-layer CSV: layer, shape, crossbars, adc_instances, tiles, mvms,
+/// utilization, energy components, latency; followed by a TOTAL row.
+void write_network_report_csv(std::ostream& os,
+                              const reram::NetworkReport& report);
+
+/// Single summary line (plus header): utilization, energy, rue, area,
+/// latency, occupied_tiles, empty_crossbars.
+void write_summary_csv(std::ostream& os, const std::string& name,
+                       const reram::NetworkReport& report,
+                       bool with_header = true);
+
+}  // namespace autohet::report

@@ -1,0 +1,37 @@
+// Aligned console tables and CSV emitters shared by the benches and
+// examples, so every reproduced figure/table prints in a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace autohet::report {
+
+/// Formats a double in compact scientific notation (e.g. "2.29e+10").
+std::string format_sci(double value, int precision = 2);
+/// Formats a double in fixed notation.
+std::string format_fixed(double value, int precision = 2);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Prints with aligned columns to `os`.
+  void print(std::ostream& os) const;
+
+  /// Emits RFC-4180-ish CSV (fields with commas/quotes get quoted).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace autohet::report

@@ -1,0 +1,132 @@
+#include "reram/bank.hpp"
+
+#include <cmath>
+
+namespace autohet::reram {
+
+namespace {
+
+/// Hilbert curve index -> (x, y) on a 2^order x 2^order grid (classic
+/// iterative d2xy).
+std::pair<std::int64_t, std::int64_t> hilbert_d2xy(std::int64_t side,
+                                                   std::int64_t d) {
+  std::int64_t rx = 0, ry = 0, x = 0, y = 0;
+  std::int64_t t = d;
+  for (std::int64_t s = 1; s < side; s *= 2) {
+    rx = 1 & (t / 2);
+    ry = 1 & (t ^ rx);
+    if (ry == 0) {  // rotate quadrant
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  return {x, y};
+}
+
+std::int64_t next_pow2(std::int64_t n) {
+  std::int64_t p = 1;
+  while (p < n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+std::pair<std::int64_t, std::int64_t> slot_position(const BankSpec& bank,
+                                                    PlacementPolicy policy,
+                                                    std::int64_t index) {
+  bank.validate();
+  AUTOHET_CHECK(index >= 0 && index < bank.tiles(), "slot index out of range");
+  switch (policy) {
+    case PlacementPolicy::kRowMajor:
+      return {index / bank.tile_cols, index % bank.tile_cols};
+    case PlacementPolicy::kSnake: {
+      const std::int64_t row = index / bank.tile_cols;
+      const std::int64_t col = index % bank.tile_cols;
+      return {row, (row % 2 == 0) ? col : bank.tile_cols - 1 - col};
+    }
+    case PlacementPolicy::kHilbert: {
+      // Walk the Hilbert curve over the enclosing power-of-two square and
+      // skip points outside the actual grid, so `index` maps to the
+      // index-th in-grid curve point.
+      const std::int64_t side =
+          next_pow2(std::max(bank.tile_rows, bank.tile_cols));
+      std::int64_t seen = -1;
+      for (std::int64_t d = 0; d < side * side; ++d) {
+        const auto [x, y] = hilbert_d2xy(side, d);
+        if (x >= bank.tile_rows || y >= bank.tile_cols) continue;
+        if (++seen == index) return {x, y};
+      }
+      AUTOHET_CHECK(false, "hilbert enumeration exhausted (internal error)");
+    }
+  }
+  return {0, 0};  // unreachable
+}
+
+PlacementResult place_tiles(const std::vector<mapping::Tile>& tiles,
+                            const ChipSpec& chip, PlacementPolicy policy) {
+  chip.validate();
+  PlacementResult result;
+  std::int64_t cursor = 0;  // global tile slot index across banks
+  const std::int64_t per_bank = chip.bank.tiles();
+
+  // Hilbert slot positions are O(side^2) to enumerate; precompute the
+  // in-bank order once and reuse it for every bank.
+  std::vector<std::pair<std::int64_t, std::int64_t>> order;
+  if (policy == PlacementPolicy::kHilbert) {
+    const std::int64_t side =
+        next_pow2(std::max(chip.bank.tile_rows, chip.bank.tile_cols));
+    order.reserve(static_cast<std::size_t>(per_bank));
+    for (std::int64_t d = 0;
+         d < side * side &&
+         static_cast<std::int64_t>(order.size()) < per_bank;
+         ++d) {
+      const auto [x, y] = hilbert_d2xy(side, d);
+      if (x < chip.bank.tile_rows && y < chip.bank.tile_cols) {
+        order.emplace_back(x, y);
+      }
+    }
+  }
+
+  for (const auto& tile : tiles) {
+    if (tile.released) continue;
+    AUTOHET_CHECK(cursor < chip.capacity_tiles(),
+                  "chip capacity exhausted: needs more than " +
+                      std::to_string(chip.capacity_tiles()) + " tiles");
+    TilePlacement p;
+    p.tile_id = tile.id;
+    p.bank = cursor / per_bank;
+    const std::int64_t in_bank = cursor % per_bank;
+    if (policy == PlacementPolicy::kHilbert) {
+      p.row = order[static_cast<std::size_t>(in_bank)].first;
+      p.col = order[static_cast<std::size_t>(in_bank)].second;
+    } else {
+      const auto [row, col] = slot_position(chip.bank, policy, in_bank);
+      p.row = row;
+      p.col = col;
+    }
+    result.placements.push_back(p);
+    ++cursor;
+  }
+  result.tiles_placed = cursor;
+  result.banks_used = cursor == 0 ? 0 : (cursor - 1) / per_bank + 1;
+  result.chip_occupancy =
+      static_cast<double>(cursor) / static_cast<double>(chip.capacity_tiles());
+  result.free_tiles = chip.capacity_tiles() - cursor;
+  return result;
+}
+
+std::int64_t tile_distance(const TilePlacement& a, const TilePlacement& b,
+                           std::int64_t inter_bank_penalty) {
+  const std::int64_t hops =
+      std::llabs(a.row - b.row) + std::llabs(a.col - b.col);
+  if (a.bank == b.bank) return hops;
+  return hops + inter_bank_penalty * std::llabs(a.bank - b.bank);
+}
+
+}  // namespace autohet::reram

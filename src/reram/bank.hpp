@@ -1,0 +1,88 @@
+// Bank and chip capacity model.
+//
+// §4.1: "Each bank contains 256x256 tiles while each tile contains four PEs
+// by default." This module places the occupied tiles of an allocation onto
+// the physical bank grid (row-major, bank by bank), checks capacity, and
+// reports occupancy — the substrate behind the multi-model residency
+// experiments and the Global Controller's tile addressing.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mapping/tile_allocator.hpp"
+
+namespace autohet::reram {
+
+struct BankSpec {
+  std::int64_t tile_rows = 256;
+  std::int64_t tile_cols = 256;
+
+  std::int64_t tiles() const noexcept { return tile_rows * tile_cols; }
+  void validate() const {
+    AUTOHET_CHECK(tile_rows > 0 && tile_cols > 0, "bank grid must be positive");
+  }
+};
+
+struct ChipSpec {
+  std::int64_t banks = 4;
+  BankSpec bank;
+
+  std::int64_t capacity_tiles() const noexcept {
+    return banks * bank.tiles();
+  }
+  void validate() const {
+    AUTOHET_CHECK(banks > 0, "chip needs at least one bank");
+    bank.validate();
+  }
+};
+
+/// Physical coordinates of one logical tile.
+struct TilePlacement {
+  std::int64_t tile_id = 0;
+  std::int64_t bank = 0;
+  std::int64_t row = 0;
+  std::int64_t col = 0;
+};
+
+struct PlacementResult {
+  std::vector<TilePlacement> placements;
+  std::int64_t banks_used = 0;
+  std::int64_t tiles_placed = 0;
+  /// Fraction of the chip's tile capacity in use.
+  double chip_occupancy = 0.0;
+  /// Tiles still free on the chip after placement.
+  std::int64_t free_tiles = 0;
+};
+
+/// Order in which tile slots are filled within a bank. Tile ids are
+/// allocated in layer order, so slot ordering directly controls how close
+/// consecutive layers land — the lever the NoC model measures.
+enum class PlacementPolicy {
+  kRowMajor,  ///< scanline order; adjacent except at row wrap
+  kSnake,     ///< boustrophedon: every consecutive slot is grid-adjacent
+  kHilbert    ///< Hilbert space-filling curve: strong 2-D locality
+};
+
+/// Places the non-released tiles of `tiles` onto the chip, filling each
+/// bank's slots in the given policy order. Throws std::invalid_argument
+/// when the chip lacks capacity.
+PlacementResult place_tiles(const std::vector<mapping::Tile>& tiles,
+                            const ChipSpec& chip,
+                            PlacementPolicy policy = PlacementPolicy::kRowMajor);
+
+/// The (row, col) of slot `index` within a bank under the policy. Exposed
+/// for tests; `index` must be < bank.tiles().
+std::pair<std::int64_t, std::int64_t> slot_position(const BankSpec& bank,
+                                                    PlacementPolicy policy,
+                                                    std::int64_t index);
+
+/// Manhattan distance between two placements, in tile hops — the cost unit
+/// for the interconnect traffic model. Tiles in different banks pay a fixed
+/// inter-bank penalty on top of the intra-bank hops.
+std::int64_t tile_distance(const TilePlacement& a, const TilePlacement& b,
+                           std::int64_t inter_bank_penalty = 64);
+
+}  // namespace autohet::reram

@@ -1,0 +1,139 @@
+#include "reram/components.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace autohet::reram {
+
+namespace {
+// Linear/quadratic technology scaling relative to the 32 nm reference node.
+double scale1(double feature_nm) { return feature_nm / 32.0; }
+double scale2(double feature_nm) {
+  return (feature_nm / 32.0) * (feature_nm / 32.0);
+}
+}  // namespace
+
+AdcModel::AdcModel(int resolution_bits, double feature_nm)
+    : bits_(resolution_bits), feature_nm_(feature_nm) {
+  AUTOHET_CHECK(resolution_bits >= 1 && resolution_bits <= 16,
+                "ADC resolution must be in [1, 16]");
+  AUTOHET_CHECK(feature_nm > 0.0, "feature size must be positive");
+}
+
+double AdcModel::energy_pj() const noexcept {
+  // Capacitive-DAC switching energy doubles per resolution bit; calibrated
+  // to 3.1 pJ at 10 bits / 32 nm (the DeviceParams default).
+  return 0.00302734375 * std::pow(2.0, bits_) * scale1(feature_nm_);
+}
+
+double AdcModel::area_um2() const noexcept {
+  // Capacitor array dominates: ~2^bits unit caps plus fixed comparator/SAR
+  // logic; 1500 um^2 at 10 bits / 32 nm.
+  return (40.0 * std::pow(2.0, bits_ - 5) + 220.0) * scale2(feature_nm_);
+}
+
+double AdcModel::latency_ns() const noexcept {
+  // One comparator decision per bit at ~1 GHz.
+  return 1.0 * static_cast<double>(bits_);
+}
+
+DacModel::DacModel(int resolution_bits, double feature_nm)
+    : bits_(resolution_bits), feature_nm_(feature_nm) {
+  AUTOHET_CHECK(resolution_bits >= 1 && resolution_bits <= 8,
+                "DAC resolution must be in [1, 8]");
+  AUTOHET_CHECK(feature_nm > 0.0, "feature size must be positive");
+}
+
+double DacModel::energy_pj() const noexcept {
+  // 0.002 pJ for the paper's 1-bit wordline driver.
+  return 0.002 * std::pow(2.0, bits_ - 1) * scale1(feature_nm_);
+}
+
+double DacModel::area_um2() const noexcept {
+  return 0.17 * static_cast<double>(bits_) * scale2(feature_nm_);
+}
+
+CrossbarModel::CrossbarModel(mapping::CrossbarShape shape, double feature_nm)
+    : shape_(shape), feature_nm_(feature_nm) {
+  AUTOHET_CHECK(shape.rows > 0 && shape.cols > 0, "invalid crossbar shape");
+  AUTOHET_CHECK(feature_nm > 0.0, "feature size must be positive");
+}
+
+double CrossbarModel::cell_area_um2() const noexcept {
+  // 4F^2-class memristor footprint; 0.0025 um^2 at 32 nm.
+  return 0.0025 * scale2(feature_nm_);
+}
+
+double CrossbarModel::cell_read_energy_pj() const noexcept {
+  return 0.0002 * scale1(feature_nm_);
+}
+
+double CrossbarModel::read_cycle_ns() const noexcept {
+  // Charge/settle plus wordline RC that grows with the number of rows the
+  // driver sees.
+  return 100.0 +
+         0.05 * scale1(feature_nm_) * static_cast<double>(shape_.rows);
+}
+
+double CrossbarModel::array_area_um2() const noexcept {
+  return cell_area_um2() * static_cast<double>(shape_.cells());
+}
+
+SramBufferModel::SramBufferModel(std::int64_t capacity_bytes,
+                                 double feature_nm)
+    : capacity_(capacity_bytes), feature_nm_(feature_nm) {
+  AUTOHET_CHECK(capacity_bytes > 0, "buffer capacity must be positive");
+  AUTOHET_CHECK(feature_nm > 0.0, "feature size must be positive");
+}
+
+double SramBufferModel::access_energy_pj_per_byte() const noexcept {
+  return 0.02 * scale1(feature_nm_);
+}
+
+double SramBufferModel::area_um2() const noexcept {
+  // 0.55 um^2/byte cell array plus fixed decode/sense overhead; 5000 um^2
+  // for the default 8 KiB tile buffer at 32 nm.
+  return (0.55 * static_cast<double>(capacity_) + 494.4) * scale2(feature_nm_);
+}
+
+DeviceParams derive_device_params(const ComponentConfig& config) {
+  const AdcModel adc(config.adc_resolution_bits, config.feature_nm);
+  const DacModel dac(config.dac_bits, config.feature_nm);
+  // The per-row wire coefficient is shape-independent; evaluate the RC
+  // model at two row counts to extract it.
+  const CrossbarModel xb_small({32, 32}, config.feature_nm);
+  const CrossbarModel xb_large({544, 32}, config.feature_nm);
+  const double wire_per_row =
+      (xb_large.read_cycle_ns() - xb_small.read_cycle_ns()) / (544.0 - 32.0);
+  const double base_cycle =
+      xb_small.read_cycle_ns() - wire_per_row * 32.0;
+  const SramBufferModel buffer(config.tile_buffer_bytes, config.feature_nm);
+
+  DeviceParams params;
+  params.weight_bits = config.weight_bits;
+  params.input_bits = config.input_bits;
+  params.cell_bits = config.cell_bits;
+  params.dac_bits = config.dac_bits;
+  params.adc_resolution_bits = config.adc_resolution_bits;
+
+  params.adc_energy_pj = adc.energy_pj();
+  params.dac_energy_pj = dac.energy_pj();
+  params.cell_read_energy_pj = xb_small.cell_read_energy_pj();
+  params.buffer_rw_energy_pj = buffer.access_energy_pj_per_byte();
+
+  params.adc_area_um2 = adc.area_um2();
+  params.dac_area_um2 = dac.area_um2();
+  params.cell_area_um2 = xb_small.cell_area_um2();
+  // Tile overhead: input + output buffers plus fixed control/pooling logic.
+  params.tile_overhead_area_um2 = 2.0 * buffer.area_um2() + 5000.0;
+
+  params.base_cycle_ns = base_cycle;
+  params.wire_delay_ns_per_row = wire_per_row;
+  params.adc_latency_ns = adc.latency_ns();
+
+  params.validate();
+  return params;
+}
+
+}  // namespace autohet::reram

@@ -1,0 +1,113 @@
+// Circuit-level component models (MNSIM-style).
+//
+// DeviceParams carries flat calibrated constants; this module derives them
+// from parametric component models so that resolution / technology sweeps
+// are principled rather than hand-edited:
+//
+//   * AdcModel      — SAR ADC: conversion energy grows ~2^bits (capacitive
+//                     DAC array), area likewise, latency ~bits comparator
+//                     cycles.
+//   * DacModel      — per-wordline driver.
+//   * CrossbarModel — read-cycle latency from a lumped RC wire model, cell
+//                     read energy and cell area at a technology node.
+//   * SramBufferModel — tile input/output buffers: per-byte access energy
+//                     and per-byte area.
+//
+// derive_device_params() assembles a DeviceParams from these models; at the
+// default operating point (10-bit ADC, 1-bit DAC/cells, 32 nm) it agrees
+// with DeviceParams' built-in constants (asserted in tests), so the two
+// paths are interchangeable.
+#pragma once
+
+#include <cstdint>
+
+#include "mapping/crossbar_shape.hpp"
+#include "reram/device_params.hpp"
+
+namespace autohet::reram {
+
+/// Successive-approximation ADC.
+class AdcModel {
+ public:
+  explicit AdcModel(int resolution_bits, double feature_nm = 32.0);
+
+  int resolution_bits() const noexcept { return bits_; }
+  /// Energy per conversion (pJ): capacitor-array switching ~2^bits.
+  double energy_pj() const noexcept;
+  /// Layout area (µm²).
+  double area_um2() const noexcept;
+  /// Conversion latency (ns): one comparator decision per bit.
+  double latency_ns() const noexcept;
+
+ private:
+  int bits_;
+  double feature_nm_;
+};
+
+/// Wordline driver DAC.
+class DacModel {
+ public:
+  explicit DacModel(int resolution_bits, double feature_nm = 32.0);
+
+  int resolution_bits() const noexcept { return bits_; }
+  double energy_pj() const noexcept;  ///< per driven wordline per cycle
+  double area_um2() const noexcept;
+
+ private:
+  int bits_;
+  double feature_nm_;
+};
+
+/// The memristor array itself.
+class CrossbarModel {
+ public:
+  explicit CrossbarModel(mapping::CrossbarShape shape,
+                         double feature_nm = 32.0);
+
+  const mapping::CrossbarShape& shape() const noexcept { return shape_; }
+  /// Cell footprint (µm²): 4F² memristor.
+  double cell_area_um2() const noexcept;
+  /// Read energy per active cell per cycle (pJ).
+  double cell_read_energy_pj() const noexcept;
+  /// Read-cycle latency (ns): charge/settle plus wordline RC growth.
+  double read_cycle_ns() const noexcept;
+  /// Whole-array area (µm²).
+  double array_area_um2() const noexcept;
+
+ private:
+  mapping::CrossbarShape shape_;
+  double feature_nm_;
+};
+
+/// Tile input/output SRAM buffer.
+class SramBufferModel {
+ public:
+  explicit SramBufferModel(std::int64_t capacity_bytes,
+                           double feature_nm = 32.0);
+
+  std::int64_t capacity_bytes() const noexcept { return capacity_; }
+  double access_energy_pj_per_byte() const noexcept;
+  double area_um2() const noexcept;
+
+ private:
+  std::int64_t capacity_;
+  double feature_nm_;
+};
+
+/// Operating point for deriving a DeviceParams from the component models.
+struct ComponentConfig {
+  int adc_resolution_bits = 10;  ///< paper §4.1
+  int dac_bits = 1;
+  int cell_bits = 1;
+  int weight_bits = 8;
+  int input_bits = 8;
+  double feature_nm = 32.0;
+  std::int64_t tile_buffer_bytes = 8192;
+};
+
+/// Assembles a DeviceParams whose per-component constants come from the
+/// models above. Latency wire terms use the largest candidate's geometry
+/// scaling (per-row coefficient), matching DeviceParams' conventions.
+DeviceParams derive_device_params(const ComponentConfig& config);
+
+}  // namespace autohet::reram

@@ -1,0 +1,156 @@
+#include "reram/controller.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace autohet::reram {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kConfigureTile:
+      return "CONFIGURE_TILE";
+    case Opcode::kProgramWeights:
+      return "PROGRAM_WEIGHTS";
+    case Opcode::kLoadInput:
+      return "LOAD_INPUT";
+    case Opcode::kExecuteLayer:
+      return "EXECUTE_LAYER";
+    case Opcode::kMergeOutputs:
+      return "MERGE_OUTPUTS";
+    case Opcode::kStoreOutput:
+      return "STORE_OUTPUT";
+    case Opcode::kBarrier:
+      return "BARRIER";
+  }
+  return "UNKNOWN";
+}
+
+std::string Instruction::to_string() const {
+  std::ostringstream oss;
+  oss << opcode_name(op) << ' ' << a << ' ' << b << ' ' << c;
+  return oss.str();
+}
+
+std::vector<Instruction> compile_program(
+    const std::vector<nn::LayerSpec>& layers,
+    const mapping::AllocationResult& allocation) {
+  AUTOHET_CHECK(layers.size() == allocation.layers.size(),
+                "layer list does not match allocation");
+  std::vector<Instruction> program;
+
+  // Tiles hosting each layer, discovered from occupant bookkeeping.
+  std::map<std::int64_t, std::vector<std::int64_t>> tiles_of_layer;
+
+  // Phase 1: configure occupied tiles and program every occupant layer.
+  for (const auto& tile : allocation.tiles) {
+    if (tile.released) continue;
+    program.push_back({Opcode::kConfigureTile, tile.id, tile.shape.rows,
+                       tile.shape.cols});
+    AUTOHET_CHECK(tile.layer_ids.size() == tile.layer_xbs.size(),
+                  "tile occupant bookkeeping is inconsistent");
+    for (std::size_t i = 0; i < tile.layer_ids.size(); ++i) {
+      program.push_back({Opcode::kProgramWeights, tile.id, tile.layer_ids[i],
+                         tile.layer_xbs[i]});
+      tiles_of_layer[tile.layer_ids[i]].push_back(tile.id);
+    }
+  }
+  program.push_back({Opcode::kBarrier, 0, 0, 0});
+
+  // Phase 2: layer-ordered inference schedule.
+  for (std::size_t k = 0; k < layers.size(); ++k) {
+    const auto layer_id = static_cast<std::int64_t>(k);
+    const auto host_tiles = tiles_of_layer.find(layer_id);
+    AUTOHET_CHECK(host_tiles != tiles_of_layer.end(),
+                  "layer " + std::to_string(k) + " has no hosting tile");
+    program.push_back(
+        {Opcode::kLoadInput, layer_id, layers[k].weight_rows(), 0});
+    for (std::int64_t tile : host_tiles->second) {
+      program.push_back(
+          {Opcode::kExecuteLayer, tile, layer_id, layers[k].mvm_count()});
+    }
+    program.push_back(
+        {Opcode::kMergeOutputs, layer_id,
+         static_cast<std::int64_t>(host_tiles->second.size()), 0});
+    program.push_back(
+        {Opcode::kStoreOutput, layer_id, layers[k].out_channels, 0});
+    program.push_back({Opcode::kBarrier, 0, 0, 0});
+  }
+  return program;
+}
+
+ExecutionStats execute_program(const std::vector<Instruction>& program) {
+  ExecutionStats stats;
+  std::map<std::int64_t, std::pair<std::int64_t, std::int64_t>> configured;
+  std::set<std::pair<std::int64_t, std::int64_t>> programmed;  // (tile,layer)
+  std::set<std::int64_t> loaded;
+  std::map<std::int64_t, std::int64_t> executed_on;  // layer -> tile count
+  std::set<std::int64_t> merged;
+
+  for (const auto& inst : program) {
+    ++stats.instructions;
+    switch (inst.op) {
+      case Opcode::kConfigureTile:
+        AUTOHET_CHECK(!configured.contains(inst.a),
+                      "tile " + std::to_string(inst.a) +
+                          " configured twice");
+        AUTOHET_CHECK(inst.b > 0 && inst.c > 0,
+                      "tile geometry must be positive");
+        configured[inst.a] = {inst.b, inst.c};
+        ++stats.tiles_configured;
+        break;
+      case Opcode::kProgramWeights:
+        AUTOHET_CHECK(configured.contains(inst.a),
+                      "programming unconfigured tile " +
+                          std::to_string(inst.a));
+        AUTOHET_CHECK(programmed.insert({inst.a, inst.b}).second,
+                      "layer " + std::to_string(inst.b) +
+                          " programmed twice on tile " +
+                          std::to_string(inst.a));
+        break;
+      case Opcode::kLoadInput:
+        loaded.insert(inst.a);
+        stats.input_bytes += inst.b;
+        break;
+      case Opcode::kExecuteLayer:
+        AUTOHET_CHECK(configured.contains(inst.a),
+                      "executing on unconfigured tile " +
+                          std::to_string(inst.a));
+        AUTOHET_CHECK(programmed.contains({inst.a, inst.b}),
+                      "executing unprogrammed layer " +
+                          std::to_string(inst.b) + " on tile " +
+                          std::to_string(inst.a));
+        AUTOHET_CHECK(loaded.contains(inst.b),
+                      "executing layer " + std::to_string(inst.b) +
+                          " before its input is loaded");
+        ++executed_on[inst.b];
+        stats.mvms_issued += inst.c;
+        break;
+      case Opcode::kMergeOutputs:
+        AUTOHET_CHECK(executed_on[inst.a] >= 1,
+                      "merging layer " + std::to_string(inst.a) +
+                          " before execution");
+        AUTOHET_CHECK(executed_on[inst.a] == inst.b,
+                      "merge fan-in mismatch for layer " +
+                          std::to_string(inst.a));
+        merged.insert(inst.a);
+        ++stats.merges;
+        break;
+      case Opcode::kStoreOutput:
+        AUTOHET_CHECK(merged.contains(inst.a),
+                      "storing layer " + std::to_string(inst.a) +
+                          " before merge");
+        stats.output_bytes += inst.b;
+        break;
+      case Opcode::kBarrier:
+        ++stats.barriers;
+        break;
+    }
+  }
+  stats.layers_executed = static_cast<std::int64_t>(merged.size());
+  return stats;
+}
+
+}  // namespace autohet::reram

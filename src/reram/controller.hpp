@@ -1,0 +1,68 @@
+// The Global Controller (GC): "We use a global controller to decode CPU
+// instructions and control the heterogeneous DNN mapping and inference. The
+// GC receives instructions and signals the input/output buffer and tiles
+// through the bus." (§3.1)
+//
+// compile_program() lowers a per-layer crossbar configuration plus its tile
+// allocation into a linear instruction stream; execute_program() is the
+// decoder — a checked state machine that validates instruction legality
+// (tiles configured before programmed, layers programmed before executed,
+// merges only after execution, ...) and accumulates bus/buffer statistics.
+// It drives the bookkeeping of an inference pass; the numeric datapath
+// itself lives in reram/functional.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapping/tile_allocator.hpp"
+#include "nn/layer.hpp"
+
+namespace autohet::reram {
+
+enum class Opcode : std::uint8_t {
+  kConfigureTile,   ///< [tile, rows, cols] set a tile's crossbar geometry
+  kProgramWeights,  ///< [tile, layer, crossbars] load a layer's weights
+  kLoadInput,       ///< [layer, bytes] stream inputs into the input buffer
+  kExecuteLayer,    ///< [tile, layer, mvms] run the layer's MVMs on a tile
+  kMergeOutputs,    ///< [layer, tiles] adder-tree merge across tiles
+  kStoreOutput,     ///< [layer, bytes] drain outputs to the output buffer
+  kBarrier          ///< [] all preceding work completes
+};
+
+const char* opcode_name(Opcode op);
+
+struct Instruction {
+  Opcode op = Opcode::kBarrier;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+
+  std::string to_string() const;
+};
+
+struct ExecutionStats {
+  std::int64_t instructions = 0;
+  std::int64_t tiles_configured = 0;
+  std::int64_t layers_executed = 0;
+  std::int64_t input_bytes = 0;
+  std::int64_t output_bytes = 0;
+  std::int64_t mvms_issued = 0;
+  std::int64_t merges = 0;
+  std::int64_t barriers = 0;
+};
+
+/// Lowers one network configuration into a GC program:
+/// configure + program every occupied tile, then per layer (in order)
+/// load-input, execute on each of its tiles, merge, store-output, barrier.
+std::vector<Instruction> compile_program(
+    const std::vector<nn::LayerSpec>& layers,
+    const mapping::AllocationResult& allocation);
+
+/// Decodes and validates a program. Throws std::invalid_argument on any
+/// protocol violation (use of an unconfigured tile, executing an
+/// unprogrammed layer, merging before execution, double configuration, ...).
+ExecutionStats execute_program(const std::vector<Instruction>& program);
+
+}  // namespace autohet::reram

@@ -1,0 +1,139 @@
+#include "reram/crossbar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace autohet::reram {
+
+LogicalCrossbar::LogicalCrossbar(mapping::CrossbarShape shape)
+    : shape_(shape),
+      cells_(static_cast<std::size_t>(shape.cells()), 0) {
+  AUTOHET_CHECK(shape.rows > 0 && shape.cols > 0, "invalid crossbar shape");
+}
+
+void LogicalCrossbar::program(std::span<const std::int8_t> weights,
+                              std::int64_t rows, std::int64_t cols) {
+  AUTOHET_CHECK(rows >= 0 && rows <= shape_.rows, "rows exceed crossbar");
+  AUTOHET_CHECK(cols >= 0 && cols <= shape_.cols, "cols exceed crossbar");
+  AUTOHET_CHECK(static_cast<std::int64_t>(weights.size()) == rows * cols,
+                "weight block size mismatch");
+  std::fill(cells_.begin(), cells_.end(), static_cast<std::int8_t>(0));
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      cells_[static_cast<std::size_t>(i * shape_.cols + j)] =
+          weights[static_cast<std::size_t>(i * cols + j)];
+    }
+  }
+  rows_used_ = rows;
+  cols_used_ = cols;
+}
+
+void LogicalCrossbar::program_cell(std::int64_t row, std::int64_t col,
+                                   std::int8_t value) {
+  AUTOHET_CHECK(row >= 0 && row < shape_.rows && col >= 0 && col < shape_.cols,
+                "cell index out of range");
+  cells_[static_cast<std::size_t>(row * shape_.cols + col)] = value;
+  rows_used_ = std::max(rows_used_, row + 1);
+  cols_used_ = std::max(cols_used_, col + 1);
+}
+
+std::vector<std::int32_t> LogicalCrossbar::mvm_bit_serial(
+    std::span<const std::uint8_t> input) const {
+  AUTOHET_CHECK(static_cast<std::int64_t>(input.size()) == rows_used_,
+                "input length must equal rows_used");
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(cols_used_), 0);
+  // For every input bit cycle (1-bit DAC) and every weight bit plane
+  // (1-bit cells), form the binary bitline sums and shift-add them in.
+  for (int xb = 0; xb < 8; ++xb) {
+    for (int wb = 0; wb < 8; ++wb) {
+      // Weight bit 7 is the two's-complement sign plane: value -2^7.
+      const std::int64_t scale =
+          (wb == 7) ? -(std::int64_t{1} << (xb + wb))
+                    : (std::int64_t{1} << (xb + wb));
+      for (std::int64_t j = 0; j < cols_used_; ++j) {
+        std::int32_t bitline_sum = 0;  // current summation on the bitline
+        for (std::int64_t i = 0; i < rows_used_; ++i) {
+          const unsigned xbit = (input[static_cast<std::size_t>(i)] >> xb) & 1u;
+          if (!xbit) continue;
+          const auto cell = static_cast<std::uint8_t>(
+              cells_[static_cast<std::size_t>(i * shape_.cols + j)]);
+          bitline_sum += static_cast<std::int32_t>((cell >> wb) & 1u);
+        }
+        acc[static_cast<std::size_t>(j)] +=
+            static_cast<std::int32_t>(scale * bitline_sum);
+      }
+    }
+  }
+  return acc;
+}
+
+std::vector<std::int32_t> LogicalCrossbar::mvm_multilevel(
+    std::span<const std::uint8_t> input, int cell_bits) const {
+  AUTOHET_CHECK(cell_bits > 0 && cell_bits <= 8 && 8 % cell_bits == 0,
+                "cell_bits must divide 8");
+  AUTOHET_CHECK(static_cast<std::int64_t>(input.size()) == rows_used_,
+                "input length must equal rows_used");
+  const int planes = 8 / cell_bits;
+  const unsigned cell_mask = (1u << cell_bits) - 1u;
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(cols_used_), 0);
+  // Reference column: 128 · Σx, subtracted once at the end to undo the
+  // offset-binary encoding (w + 128 stored as unsigned conductances).
+  std::int64_t ref = 0;
+  for (std::int64_t i = 0; i < rows_used_; ++i) {
+    ref += 128 * static_cast<std::int64_t>(input[static_cast<std::size_t>(i)]);
+  }
+  for (int xb = 0; xb < 8; ++xb) {
+    for (int p = 0; p < planes; ++p) {
+      const std::int64_t scale = std::int64_t{1} << (xb + p * cell_bits);
+      for (std::int64_t j = 0; j < cols_used_; ++j) {
+        std::int64_t bitline_sum = 0;
+        for (std::int64_t i = 0; i < rows_used_; ++i) {
+          const unsigned xbit = (input[static_cast<std::size_t>(i)] >> xb) & 1u;
+          if (!xbit) continue;
+          const auto offset = static_cast<unsigned>(
+              static_cast<int>(
+                  cells_[static_cast<std::size_t>(i * shape_.cols + j)]) +
+              128);
+          bitline_sum += static_cast<std::int64_t>(
+              (offset >> (p * cell_bits)) & cell_mask);
+        }
+        acc[static_cast<std::size_t>(j)] +=
+            static_cast<std::int32_t>(scale * bitline_sum);
+      }
+    }
+  }
+  for (auto& v : acc) v -= static_cast<std::int32_t>(ref);
+  return acc;
+}
+
+void LogicalCrossbar::apply_variation(common::Rng& rng, double sigma) {
+  AUTOHET_CHECK(sigma >= 0.0, "variation sigma must be non-negative");
+  if (sigma == 0.0) return;
+  for (auto& cell : cells_) {
+    if (cell == 0) continue;  // unprogrammed (high-resistance) cells stay off
+    const double noisy =
+        static_cast<double>(cell) + rng.normal(0.0, sigma * 127.0);
+    const double clamped = std::clamp(noisy, -128.0, 127.0);
+    cell = static_cast<std::int8_t>(std::lround(clamped));
+  }
+}
+
+std::vector<std::int32_t> LogicalCrossbar::mvm_reference(
+    std::span<const std::uint8_t> input) const {
+  AUTOHET_CHECK(static_cast<std::int64_t>(input.size()) == rows_used_,
+                "input length must equal rows_used");
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(cols_used_), 0);
+  for (std::int64_t i = 0; i < rows_used_; ++i) {
+    const std::int32_t x = input[static_cast<std::size_t>(i)];
+    if (x == 0) continue;
+    const std::int8_t* row = cells_.data() + i * shape_.cols;
+    for (std::int64_t j = 0; j < cols_used_; ++j) {
+      acc[static_cast<std::size_t>(j)] += x * static_cast<std::int32_t>(row[j]);
+    }
+  }
+  return acc;
+}
+
+}  // namespace autohet::reram

@@ -1,0 +1,74 @@
+// Functional model of one logical crossbar (a PE): eight 1-bit physical
+// crossbar planes storing the bit planes of 8-bit signed weights, driven
+// bit-serially by 1-bit DACs.
+//
+// Two datapaths are provided:
+//   * mvm_bit_serial — the faithful hardware datapath: for every input bit
+//     and every weight bit plane, a binary matrix-vector product is formed
+//     on the bitlines (Ohm's law + current summation), converted by the
+//     ADCs, and shift-added into the accumulator. Weight plane 7 carries the
+//     two's-complement sign (contributes with weight -2^7).
+//   * mvm_reference — plain int32 GEMV over the programmed weights.
+// The two are bit-exact by construction; tests assert it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mapping/crossbar_shape.hpp"
+
+namespace autohet::reram {
+
+class LogicalCrossbar {
+ public:
+  explicit LogicalCrossbar(mapping::CrossbarShape shape);
+
+  const mapping::CrossbarShape& shape() const noexcept { return shape_; }
+  std::int64_t rows_used() const noexcept { return rows_used_; }
+  std::int64_t cols_used() const noexcept { return cols_used_; }
+
+  /// Programs a rows_used × cols_used weight block (row-major) into the
+  /// top-left corner of the array; the rest of the cells stay zero
+  /// (the wasted cells of Fig. 2 / Fig. 7).
+  void program(std::span<const std::int8_t> weights, std::int64_t rows,
+               std::int64_t cols);
+
+  /// Places a weight at an explicit (row, col) cell; used by the
+  /// kernel-aligned mapper which leaves gaps inside a row block.
+  void program_cell(std::int64_t row, std::int64_t col, std::int8_t value);
+
+  /// Bit-serial MVM over the used region. `input` must have rows_used()
+  /// entries. Returns one int32 accumulation per used column.
+  std::vector<std::int32_t> mvm_bit_serial(
+      std::span<const std::uint8_t> input) const;
+
+  /// Direct integer reference MVM (identical results, no bit slicing).
+  std::vector<std::int32_t> mvm_reference(
+      std::span<const std::uint8_t> input) const;
+
+  /// Multi-level-cell bit-serial MVM: weights are stored offset-binary
+  /// (w + 128) across 8/cell_bits planes of cell_bits-bit cells, and the
+  /// signed result is recovered by subtracting 128·Σx via a reference
+  /// column — the standard ReRAM technique for signed weights on unsigned
+  /// conductances. cell_bits must divide 8. Bit-exact to mvm_reference for
+  /// every cell precision.
+  std::vector<std::int32_t> mvm_multilevel(
+      std::span<const std::uint8_t> input, int cell_bits) const;
+
+  /// Applies ReRAM conductance variation: every programmed cell is
+  /// perturbed by round(N(0, sigma·2^(weight_bits-1)-1 ... )) — concretely
+  /// w' = clamp(w + round(N(0, sigma·127)), -128, 127). sigma = 0 leaves
+  /// the array untouched. Models device non-ideality for the accuracy
+  /// studies; see reram/variation.hpp helpers.
+  void apply_variation(common::Rng& rng, double sigma);
+
+ private:
+  mapping::CrossbarShape shape_;
+  std::int64_t rows_used_ = 0;
+  std::int64_t cols_used_ = 0;
+  std::vector<std::int8_t> cells_;  // full r×c array, row-major
+};
+
+}  // namespace autohet::reram

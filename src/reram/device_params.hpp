@@ -1,0 +1,74 @@
+// Device- and circuit-level parameters of the behavioral ReRAM model.
+//
+// Values are MNSIM/ISAAC-class per-component constants (32 nm, 10-bit SAR
+// ADC, 1-bit DAC, 1-bit cells). The reproduction does not aim to match the
+// paper's absolute joules/µm² — the paper's own numbers come from MNSIM's
+// internal tables — but the *ratios* between configurations are governed by
+// component counts (ADCs dominate energy and area), which this model
+// computes exactly. See DESIGN.md §4 and EXPERIMENTS.md.
+//
+// Conventions used throughout the reram module:
+//   * a *logical crossbar* = one PE = `bit_planes()` physical 1-bit crossbars
+//     holding the bit planes of 8-bit weights (paper §4.1);
+//   * ADCs/DACs are instantiated per logical crossbar (one ADC per bitline,
+//     one DAC per wordline — Fig. 5 counts ADCs this way) and time-shared by
+//     the bit planes, so *energy* counts one conversion per plane per input
+//     cycle while *area* counts one instance per bitline.
+#pragma once
+
+#include "common/error.hpp"
+
+namespace autohet::reram {
+
+struct DeviceParams {
+  // ---- precision (paper §4.1) ----
+  int weight_bits = 8;        ///< DNN weights quantized to 8 bits
+  int input_bits = 8;         ///< activation precision fed to DACs
+  int cell_bits = 1;          ///< memristor cell precision
+  int dac_bits = 1;           ///< DAC precision
+  int adc_resolution_bits = 10;  ///< supports all heterogeneous sizes
+  /// Bitlines multiplexed into one ADC instance (MNSIM's column-sharing
+  /// knob). 1 = one ADC per bitline (the paper's Fig. 5 accounting).
+  /// Sharing divides ADC instances (area) by this factor and serializes
+  /// conversions, stretching the conversion phase of each read cycle.
+  int adc_share = 1;
+
+  // ---- energy per operation (picojoules) ----
+  double adc_energy_pj = 3.1;          ///< per 10-bit conversion
+  double dac_energy_pj = 0.002;        ///< per driven wordline per cycle
+  double cell_read_energy_pj = 0.0002; ///< per active cell per cycle
+  double shift_add_energy_pj = 0.05;   ///< per partial-sum merge op
+  double buffer_rw_energy_pj = 0.02;   ///< per byte through tile buffers
+
+  // ---- area (square micrometres) ----
+  double adc_area_um2 = 1500.0;
+  double dac_area_um2 = 0.17;
+  double cell_area_um2 = 0.0025;
+  double shift_add_area_um2 = 60.0;
+  double tile_overhead_area_um2 = 15000.0;  ///< buffers, control, pooling
+
+  // ---- latency (nanoseconds) ----
+  double base_cycle_ns = 100.0;       ///< crossbar read (charge + settle)
+  double wire_delay_ns_per_row = 0.05;///< RC growth with wordline count
+  double adc_latency_ns = 10.0;       ///< pipelined conversion drain
+  double merge_latency_ns = 5.0;      ///< per adder-tree level
+  double bus_latency_ns = 10.0;       ///< per inter-tile merge level
+
+  /// Physical 1-bit crossbars per logical crossbar (8 by default).
+  int bit_planes() const noexcept { return weight_bits / cell_bits; }
+  /// Bit-serial input cycles per MVM (8 by default).
+  int input_cycles() const noexcept { return input_bits / dac_bits; }
+
+  void validate() const {
+    AUTOHET_CHECK(weight_bits > 0 && cell_bits > 0 &&
+                      weight_bits % cell_bits == 0,
+                  "weight_bits must be a positive multiple of cell_bits");
+    AUTOHET_CHECK(input_bits > 0 && dac_bits > 0 &&
+                      input_bits % dac_bits == 0,
+                  "input_bits must be a positive multiple of dac_bits");
+    AUTOHET_CHECK(adc_resolution_bits > 0, "ADC resolution must be positive");
+    AUTOHET_CHECK(adc_share >= 1, "adc_share must be >= 1");
+  }
+};
+
+}  // namespace autohet::reram

@@ -1,0 +1,206 @@
+#include "reram/functional.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace autohet::reram {
+
+MappedLayer::MappedLayer(const nn::LayerSpec& spec,
+                         const tensor::Tensor& weight,
+                         const mapping::CrossbarShape& shape)
+    : spec_(spec), mapping_(mapping::map_layer(spec, shape)) {
+  const std::int64_t k2 = spec.kernel * spec.kernel;
+  const std::int64_t wrows = spec.weight_rows();
+  const std::int64_t wcols = spec.weight_cols();
+  AUTOHET_CHECK(weight.numel() == wrows * wcols, "weight shape mismatch");
+
+  // Quantize the whole layer once (per-tensor symmetric 8-bit); the unfolded
+  // row order (channel-major, then kernel position) matches tensor::im2col.
+  const nn::QuantizedWeights qw = nn::quantize_weights(
+      weight.reshaped({wcols, wrows}), /*bits=*/8);
+  weight_scale_ = qw.scale;
+  const auto wq = [&](std::int64_t row, std::int64_t col) {
+    // qw is laid out [Cout, Cin*k*k]; we address it transposed.
+    return qw.values[static_cast<std::size_t>(col * wrows + row)];
+  };
+
+  const std::int64_t rb_count = mapping_.row_blocks;
+  const std::int64_t cb_count = mapping_.col_blocks;
+  crossbars_.reserve(static_cast<std::size_t>(rb_count * cb_count));
+  row_ranges_.reserve(static_cast<std::size_t>(rb_count));
+
+  if (!mapping_.split_kernel) {
+    const std::int64_t kpb = mapping_.kernels_per_row_block;
+    for (std::int64_t rb = 0; rb < rb_count; ++rb) {
+      const std::int64_t ch0 = rb * kpb;
+      const std::int64_t ch1 = std::min(spec.in_channels, ch0 + kpb);
+      row_ranges_.emplace_back(ch0 * k2, ch1 * k2);
+    }
+    for (std::int64_t rb = 0; rb < rb_count; ++rb) {
+      const auto [r0, r1] = row_ranges_[static_cast<std::size_t>(rb)];
+      for (std::int64_t cb = 0; cb < cb_count; ++cb) {
+        const std::int64_t c0 = cb * shape.cols;
+        const std::int64_t c1 = std::min(wcols, c0 + shape.cols);
+        LogicalCrossbar xb(shape);
+        for (std::int64_t r = r0; r < r1; ++r) {
+          for (std::int64_t c = c0; c < c1; ++c) {
+            xb.program_cell(r - r0, c - c0, wq(r, c));
+          }
+        }
+        crossbars_.push_back(std::move(xb));
+      }
+    }
+  } else {
+    // Split-kernel fallback: plain row-wise partition of the weight matrix.
+    for (std::int64_t rb = 0; rb < rb_count; ++rb) {
+      const std::int64_t r0 = rb * shape.rows;
+      const std::int64_t r1 = std::min(wrows, r0 + shape.rows);
+      row_ranges_.emplace_back(r0, r1);
+      // (crossbars appended below, after all ranges, to keep rb-major order)
+    }
+    for (std::int64_t rb = 0; rb < rb_count; ++rb) {
+      const auto [r0, r1] = row_ranges_[static_cast<std::size_t>(rb)];
+      for (std::int64_t cb = 0; cb < cb_count; ++cb) {
+        const std::int64_t c0 = cb * shape.cols;
+        const std::int64_t c1 = std::min(wcols, c0 + shape.cols);
+        LogicalCrossbar xb(shape);
+        for (std::int64_t r = r0; r < r1; ++r) {
+          for (std::int64_t c = c0; c < c1; ++c) {
+            xb.program_cell(r - r0, c - c0, wq(r, c));
+          }
+        }
+        crossbars_.push_back(std::move(xb));
+      }
+    }
+  }
+}
+
+std::vector<std::int32_t> MappedLayer::mvm(
+    std::span<const std::uint8_t> input_column, DatapathMode mode) const {
+  AUTOHET_CHECK(
+      static_cast<std::int64_t>(input_column.size()) == spec_.weight_rows(),
+      "input column length mismatch");
+  std::vector<std::int32_t> out(
+      static_cast<std::size_t>(spec_.weight_cols()), 0);
+  const std::int64_t cb_count = mapping_.col_blocks;
+  for (std::int64_t rb = 0; rb < mapping_.row_blocks; ++rb) {
+    const auto [r0, r1] = row_ranges_[static_cast<std::size_t>(rb)];
+    const std::span<const std::uint8_t> slice =
+        input_column.subspan(static_cast<std::size_t>(r0),
+                             static_cast<std::size_t>(r1 - r0));
+    for (std::int64_t cb = 0; cb < cb_count; ++cb) {
+      const auto& xb = crossbars_[static_cast<std::size_t>(rb * cb_count + cb)];
+      const std::vector<std::int32_t> partial =
+          (mode == DatapathMode::kBitSerial) ? xb.mvm_bit_serial(slice)
+                                             : xb.mvm_reference(slice);
+      const std::int64_t c0 = cb * mapping_.shape.cols;
+      for (std::size_t j = 0; j < partial.size(); ++j) {
+        // Adder tree: merge row-block partial sums per output channel.
+        out[static_cast<std::size_t>(c0) + j] += partial[j];
+      }
+    }
+  }
+  return out;
+}
+
+void MappedLayer::apply_variation(common::Rng& rng, double sigma) {
+  for (auto& xb : crossbars_) xb.apply_variation(rng, sigma);
+}
+
+void SimulatedModel::apply_variation(common::Rng& rng, double sigma) {
+  for (auto& layer : layers_) layer.apply_variation(rng, sigma);
+}
+
+SimulatedModel::SimulatedModel(
+    const nn::Model& model,
+    const std::vector<mapping::CrossbarShape>& shapes, DatapathMode mode)
+    : model_(&model), mode_(mode) {
+  const auto mappable = model.spec().mappable_layers();
+  AUTOHET_CHECK(shapes.size() == mappable.size(),
+                "one crossbar shape per mappable layer required");
+  layers_.reserve(mappable.size());
+  for (std::size_t i = 0; i < mappable.size(); ++i) {
+    layers_.emplace_back(mappable[i], model.weight(i), shapes[i]);
+  }
+}
+
+tensor::Tensor SimulatedModel::run_mappable(const MappedLayer& layer,
+                                            const tensor::Tensor& input) const {
+  const nn::LayerSpec& spec = layer.spec();
+  // Quantize the whole activation tensor once (8-bit, unsigned: inputs are
+  // post-ReLU or raw non-negative pixels).
+  const nn::QuantizedActivations qa = nn::quantize_activations(
+      spec.type == nn::LayerType::kConv
+          ? input
+          : input.reshaped({input.numel()}),
+      /*bits=*/8);
+  const float out_scale = layer.weight_scale() * qa.scale;
+
+  if (spec.type == nn::LayerType::kFullyConnected) {
+    const std::vector<std::int32_t> acc =
+        layer.mvm(std::span<const std::uint8_t>(qa.values), mode_);
+    tensor::Tensor out({spec.out_channels});
+    for (std::int64_t j = 0; j < spec.out_channels; ++j) {
+      out[j] = static_cast<float>(acc[static_cast<std::size_t>(j)]) * out_scale;
+    }
+    return out;
+  }
+
+  // CONV: integer im2col over the quantized activations, one MVM per output
+  // position (spec.mvm_count() invocations, as the hardware model charges).
+  const std::int64_t k = spec.kernel;
+  const std::int64_t oh = spec.out_height();
+  const std::int64_t ow = spec.out_width();
+  const std::int64_t h = spec.in_height;
+  const std::int64_t w = spec.in_width;
+  tensor::Tensor out({spec.out_channels, oh, ow});
+  std::vector<std::uint8_t> column(
+      static_cast<std::size_t>(spec.weight_rows()));
+  for (std::int64_t oi = 0; oi < oh; ++oi) {
+    for (std::int64_t oj = 0; oj < ow; ++oj) {
+      std::size_t idx = 0;
+      for (std::int64_t ch = 0; ch < spec.in_channels; ++ch) {
+        for (std::int64_t ki = 0; ki < k; ++ki) {
+          for (std::int64_t kj = 0; kj < k; ++kj, ++idx) {
+            const std::int64_t ii = oi * spec.stride + ki - spec.pad;
+            const std::int64_t jj = oj * spec.stride + kj - spec.pad;
+            std::uint8_t v = 0;
+            if (ii >= 0 && ii < h && jj >= 0 && jj < w) {
+              v = qa.values[static_cast<std::size_t>((ch * h + ii) * w + jj)];
+            }
+            column[idx] = v;
+          }
+        }
+      }
+      const std::vector<std::int32_t> acc = layer.mvm(column, mode_);
+      for (std::int64_t co = 0; co < spec.out_channels; ++co) {
+        out.at(co, oi, oj) =
+            static_cast<float>(acc[static_cast<std::size_t>(co)]) * out_scale;
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Tensor SimulatedModel::forward(const tensor::Tensor& input) const {
+  const nn::NetworkSpec& spec = model_->spec();
+  AUTOHET_CHECK(spec.sequential_runnable,
+                "network is not sequentially runnable (" + spec.name + ")");
+  tensor::Tensor x = input;
+  std::size_t mappable_idx = 0;
+  for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+    const nn::LayerSpec& layer = spec.layers[i];
+    if (nn::is_mappable(layer.type)) {
+      x = run_mappable(layers_[mappable_idx++], x);
+    } else {
+      x = model_->forward_layer(i, x);
+    }
+    if (layer.relu_after) tensor::relu_inplace(x);
+  }
+  return x;
+}
+
+}  // namespace autohet::reram

@@ -1,0 +1,93 @@
+// Functional execution of a DNN on the simulated crossbar fabric.
+//
+// MappedLayer programs a layer's quantized weights into a grid of logical
+// crossbars following the paper's kernel-aligned mapping (Fig. 7): row block
+// `rb` holds floor(r/k²) whole kernels per column, column block `cb` holds a
+// c-wide slice of the output channels. SimulatedModel then runs a whole
+// network forward pass where every CONV/FC MVM goes through the crossbars
+// (bit-serial or integer datapath — bit-exact to each other), with
+// activations quantized to 8 bits per layer, exactly the datapath the
+// accelerator implements. Pooling layers run on the tile's pooling module
+// (plain float here).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mapping/layer_mapping.hpp"
+#include "nn/model.hpp"
+#include "nn/quantize.hpp"
+#include "reram/crossbar.hpp"
+#include "tensor/tensor.hpp"
+
+namespace autohet::reram {
+
+enum class DatapathMode {
+  kBitSerial,  ///< faithful 1-bit-DAC / 1-bit-cell shift-add datapath
+  kInteger     ///< int32 GEMV shortcut (bit-exact to kBitSerial)
+};
+
+class MappedLayer {
+ public:
+  /// Quantizes `weight` ([Cout,Cin,k,k] or [out,in]) to 8 bits and programs
+  /// it across crossbars of the given shape.
+  MappedLayer(const nn::LayerSpec& spec, const tensor::Tensor& weight,
+              const mapping::CrossbarShape& shape);
+
+  const mapping::LayerMapping& mapping() const noexcept { return mapping_; }
+  float weight_scale() const noexcept { return weight_scale_; }
+  const nn::LayerSpec& spec() const noexcept { return spec_; }
+
+  /// Integer MVM of one unfolded input column (length Cin·k², 8-bit).
+  /// Returns one int32 accumulation per output channel: partial sums from
+  /// the row blocks are merged by the adder tree.
+  std::vector<std::int32_t> mvm(std::span<const std::uint8_t> input_column,
+                                DatapathMode mode) const;
+
+  /// Perturbs every programmed cell with conductance variation of relative
+  /// magnitude `sigma` (see LogicalCrossbar::apply_variation).
+  void apply_variation(common::Rng& rng, double sigma);
+
+ private:
+  nn::LayerSpec spec_;
+  mapping::LayerMapping mapping_;
+  float weight_scale_ = 1.0f;
+  // Crossbar grid, row-major: crossbars_[rb * col_blocks + cb].
+  std::vector<LogicalCrossbar> crossbars_;
+  // Channel range [start, end) of each row block (kernel-aligned path) or
+  // row range (split path).
+  std::vector<std::pair<std::int64_t, std::int64_t>> row_ranges_;
+};
+
+/// Whole-network functional simulation on the heterogeneous fabric.
+class SimulatedModel {
+ public:
+  /// `shapes` assigns a crossbar shape to each mappable layer (same order
+  /// as NetworkSpec::mappable_layers()).
+  SimulatedModel(const nn::Model& model,
+                 const std::vector<mapping::CrossbarShape>& shapes,
+                 DatapathMode mode = DatapathMode::kInteger);
+
+  /// Forward pass (CHW input). Requires a sequentially runnable network.
+  tensor::Tensor forward(const tensor::Tensor& input) const;
+
+  const std::vector<MappedLayer>& mapped_layers() const noexcept {
+    return layers_;
+  }
+
+  /// Applies conductance variation to every mapped layer — the device
+  /// non-ideality study of the variation example/bench. Irreversible on
+  /// this instance; construct a fresh SimulatedModel for a clean fabric.
+  void apply_variation(common::Rng& rng, double sigma);
+
+ private:
+  tensor::Tensor run_mappable(const MappedLayer& layer,
+                              const tensor::Tensor& input) const;
+
+  const nn::Model* model_;
+  DatapathMode mode_;
+  std::vector<MappedLayer> layers_;  // one per mappable layer
+};
+
+}  // namespace autohet::reram

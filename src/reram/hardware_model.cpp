@@ -1,0 +1,143 @@
+#include "reram/hardware_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace autohet::reram {
+
+namespace {
+
+double ceil_log2(std::int64_t n) noexcept {
+  if (n <= 1) return 0.0;
+  return std::ceil(std::log2(static_cast<double>(n)));
+}
+
+constexpr double kPjToNj = 1e-3;
+
+}  // namespace
+
+LayerReport evaluate_layer(const nn::LayerSpec& layer,
+                           const mapping::LayerMapping& m,
+                           std::int64_t tiles_spanned,
+                           const DeviceParams& params) {
+  AUTOHET_CHECK(nn::is_mappable(layer.type), "layer does not occupy crossbars");
+  LayerReport report;
+  report.shape = m.shape;
+  report.logical_crossbars = m.logical_crossbars();
+  report.adc_instances = m.adc_count();
+  report.tiles = tiles_spanned;
+  report.mvm_invocations = layer.mvm_count();
+  report.utilization = m.utilization();
+
+  const double planes = params.bit_planes();
+  const double cycles = params.input_cycles();
+  const double rows = static_cast<double>(m.shape.rows);
+  const double mvms = static_cast<double>(layer.mvm_count());
+
+  // ---- energy (nJ) ----
+  // Unused bitlines/wordlines are gated: only the layer's output columns
+  // are converted (once per row block, whose partial sums merge in the
+  // adder tree) and only the occupied wordlines are driven (once per column
+  // block, which each hold a copy of the input).
+  const double adc_conversions =
+      planes * static_cast<double>(m.row_blocks) *
+      static_cast<double>(layer.weight_cols());                 // per cycle
+  const double dac_drives =
+      planes * static_cast<double>(m.col_blocks) *
+      static_cast<double>(layer.weight_rows());                 // per cycle
+  const double cell_reads =
+      planes * static_cast<double>(m.useful_cells);             // per cycle
+  const double sa_ops = adc_conversions;                        // per cycle
+  // Buffer traffic per MVM: the unfolded input vector in, outputs out.
+  const double buffer_bytes = static_cast<double>(layer.weight_rows()) +
+                              static_cast<double>(layer.out_channels);
+
+  report.energy.adc_nj =
+      mvms * cycles * adc_conversions * params.adc_energy_pj * kPjToNj;
+  report.energy.dac_nj =
+      mvms * cycles * dac_drives * params.dac_energy_pj * kPjToNj;
+  report.energy.cell_nj =
+      mvms * cycles * cell_reads * params.cell_read_energy_pj * kPjToNj;
+  report.energy.shift_add_nj =
+      mvms * cycles * sa_ops * params.shift_add_energy_pj * kPjToNj;
+  report.energy.buffer_nj =
+      mvms * buffer_bytes * params.buffer_rw_energy_pj * kPjToNj;
+
+  // ---- latency (ns) ----
+  const double read_cycle_ns =
+      params.base_cycle_ns + params.wire_delay_ns_per_row * rows;
+  const double merge_levels =
+      ceil_log2(m.row_blocks) + ceil_log2(params.bit_planes());
+  // ADC sharing serializes the conversions of the muxed bitlines.
+  const double per_mvm_ns =
+      cycles * read_cycle_ns +
+      params.adc_latency_ns * static_cast<double>(params.adc_share) +
+      params.merge_latency_ns * merge_levels +
+      params.bus_latency_ns * ceil_log2(tiles_spanned);
+  report.latency_ns = mvms * per_mvm_ns;
+  return report;
+}
+
+NetworkReport evaluate_network(
+    const std::vector<nn::LayerSpec>& layers,
+    const std::vector<mapping::CrossbarShape>& shapes,
+    const AcceleratorConfig& config) {
+  config.validate();
+  AUTOHET_CHECK(layers.size() == shapes.size(),
+                "layers and shapes must be the same length");
+
+  const mapping::TileAllocator allocator(config.pes_per_tile,
+                                         config.tile_shared);
+  const mapping::AllocationResult alloc = allocator.allocate(layers, shapes);
+
+  NetworkReport report;
+  report.layers.reserve(layers.size());
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const auto& layer_alloc = alloc.layers[i];
+    LayerReport lr = evaluate_layer(layers[i], layer_alloc.mapping,
+                                    layer_alloc.tiles_allocated,
+                                    config.device);
+    report.energy += lr.energy;
+    report.latency_ns += lr.latency_ns;
+    report.layers.push_back(std::move(lr));
+  }
+
+  // ---- area (µm²): tile-provisioned ----
+  // Hardware is provisioned per occupied tile: every tile carries
+  // pes_per_tile logical crossbars of its shape with full peripheral
+  // circuits, whether or not a layer fills them. This is what lets higher
+  // utilization, rectangle shapes, and tile sharing shrink the chip
+  // (Table 5 discussion).
+  const double planes = config.device.bit_planes();
+  const double pes = static_cast<double>(config.pes_per_tile);
+  for (const auto& tile : alloc.tiles) {
+    if (tile.released) continue;
+    const double rows = static_cast<double>(tile.shape.rows);
+    const double cols = static_cast<double>(tile.shape.cols);
+    // ADC instances per crossbar shrink with column sharing.
+    const double adcs_per_xb = std::ceil(
+        cols / static_cast<double>(config.device.adc_share));
+    report.area.crossbar_um2 +=
+        pes * planes * rows * cols * config.device.cell_area_um2;
+    report.area.adc_um2 += pes * adcs_per_xb * config.device.adc_area_um2;
+    report.area.dac_um2 += pes * rows * config.device.dac_area_um2;
+    report.area.shift_add_um2 +=
+        pes * cols * config.device.shift_add_area_um2;
+    report.area.tile_overhead_um2 += config.device.tile_overhead_area_um2;
+  }
+  report.occupied_tiles = alloc.occupied_tiles();
+  report.empty_crossbars = alloc.empty_crossbars();
+
+  report.utilization = alloc.system_utilization();
+  return report;
+}
+
+NetworkReport evaluate_homogeneous(const std::vector<nn::LayerSpec>& layers,
+                                   const mapping::CrossbarShape& shape,
+                                   const AcceleratorConfig& config) {
+  const std::vector<mapping::CrossbarShape> shapes(layers.size(), shape);
+  return evaluate_network(layers, shapes, config);
+}
+
+}  // namespace autohet::reram

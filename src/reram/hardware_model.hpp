@@ -1,0 +1,65 @@
+// The behavioral hardware model: energy / area / latency / utilization of a
+// DNN mapped onto the (possibly heterogeneous) crossbar fabric.
+//
+// This is the C++ counterpart of the role MNSIM 2.0 plays in the paper: the
+// "direct hardware feedback" (step 6 in Fig. 6) that the RL reward consumes.
+//
+// Model summary (constants in DeviceParams; derivations in DESIGN.md §4):
+//   energy(layer) = MVMs × [ input_cycles × ( ADC + DAC + cell + S&A ) +
+//                            buffer traffic ]
+//     where per input cycle (unused bitlines/wordlines are gated):
+//       ADC conversions = bit_planes × row_blocks × Cout
+//       DAC drives      = bit_planes × col_blocks × (Cin·k²)
+//       cell reads      = bit_planes × useful cells
+//       S&A ops         = ADC conversions
+//   area(network)  = Σ_layers [ cells + ADC/DAC/S&A instances ] +
+//                    occupied_tiles × tile_overhead
+//   latency(layer) = MVMs × [ input_cycles × (base + wire·rows) + ADC drain +
+//                    merge·(log2 row_blocks + log2 bit_planes) +
+//                    bus·log2 tiles ]
+#pragma once
+
+#include <vector>
+
+#include "mapping/tile_allocator.hpp"
+#include "nn/layer.hpp"
+#include "reram/device_params.hpp"
+#include "reram/stats.hpp"
+
+namespace autohet::reram {
+
+/// Configuration of the accelerator fabric used by evaluations.
+struct AcceleratorConfig {
+  DeviceParams device;
+  std::int64_t pes_per_tile = 4;  ///< logical crossbars per tile (paper §4.1)
+  bool tile_shared = false;       ///< enable §3.4 allocation
+
+  void validate() const {
+    device.validate();
+    AUTOHET_CHECK(pes_per_tile > 0, "pes_per_tile must be positive");
+  }
+};
+
+/// Evaluates one layer mapped with the given geometry. `tiles_spanned` is
+/// the number of tiles the layer occupies (affects the inter-tile merge
+/// latency term).
+LayerReport evaluate_layer(const nn::LayerSpec& layer,
+                           const mapping::LayerMapping& m,
+                           std::int64_t tiles_spanned,
+                           const DeviceParams& params);
+
+/// Evaluates a whole network: maps each mappable layer with its assigned
+/// shape, runs the tile allocator (tile-based or tile-shared per `config`),
+/// and aggregates energy/area/latency plus the system-level utilization.
+/// `layers` and `shapes` must have equal length and contain only mappable
+/// layers (use NetworkSpec::mappable_layers()).
+NetworkReport evaluate_network(const std::vector<nn::LayerSpec>& layers,
+                               const std::vector<mapping::CrossbarShape>& shapes,
+                               const AcceleratorConfig& config);
+
+/// Convenience: homogeneous evaluation — every layer uses `shape`.
+NetworkReport evaluate_homogeneous(const std::vector<nn::LayerSpec>& layers,
+                                   const mapping::CrossbarShape& shape,
+                                   const AcceleratorConfig& config);
+
+}  // namespace autohet::reram

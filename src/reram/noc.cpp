@@ -1,0 +1,70 @@
+#include "reram/noc.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace autohet::reram {
+
+NocReport evaluate_noc(const std::vector<nn::LayerSpec>& layers,
+                       const mapping::AllocationResult& allocation,
+                       const PlacementResult& placement,
+                       const NocParams& params) {
+  AUTOHET_CHECK(layers.size() == allocation.layers.size(),
+                "layer list does not match allocation");
+  // Index placements by tile id.
+  std::map<std::int64_t, const TilePlacement*> where;
+  for (const auto& p : placement.placements) where[p.tile_id] = &p;
+
+  // Tiles hosting each layer (post-sharing).
+  std::map<std::int64_t, std::vector<const TilePlacement*>> tiles_of_layer;
+  for (const auto& tile : allocation.tiles) {
+    if (tile.released) continue;
+    const auto it = where.find(tile.id);
+    AUTOHET_CHECK(it != where.end(),
+                  "occupied tile " + std::to_string(tile.id) +
+                      " missing from placement");
+    for (std::int64_t layer_id : tile.layer_ids) {
+      tiles_of_layer[layer_id].push_back(it->second);
+    }
+  }
+
+  NocReport report;
+  double weighted_hops = 0.0;
+  for (std::size_t k = 0; k + 1 < layers.size(); ++k) {
+    const auto& producers = tiles_of_layer[static_cast<std::int64_t>(k)];
+    const auto& consumers = tiles_of_layer[static_cast<std::int64_t>(k + 1)];
+    AUTOHET_CHECK(!producers.empty() && !consumers.empty(),
+                  "layer without hosting tiles");
+    double hop_sum = 0.0;
+    for (const auto* p : producers) {
+      for (const auto* c : consumers) {
+        hop_sum += static_cast<double>(
+            tile_distance(*p, *c, params.inter_bank_penalty_hops));
+      }
+    }
+    const double mean_hops =
+        hop_sum /
+        static_cast<double>(producers.size() * consumers.size());
+    LinkReport link;
+    link.producer_layer = static_cast<std::int64_t>(k);
+    link.consumer_layer = static_cast<std::int64_t>(k + 1);
+    // 8-bit activations: one byte per output element per inference.
+    link.bytes = layers[k].out_channels * layers[k].out_height() *
+                 layers[k].out_width();
+    link.mean_hops = mean_hops;
+    link.energy_nj = static_cast<double>(link.bytes) * mean_hops *
+                     params.energy_pj_per_byte_hop * 1e-3;
+    report.total_bytes += link.bytes;
+    report.total_energy_nj += link.energy_nj;
+    weighted_hops += mean_hops * static_cast<double>(link.bytes);
+    report.links.push_back(std::move(link));
+  }
+  if (report.total_bytes > 0) {
+    report.mean_hops =
+        weighted_hops / static_cast<double>(report.total_bytes);
+  }
+  return report;
+}
+
+}  // namespace autohet::reram

@@ -1,0 +1,52 @@
+// Inter-tile interconnect (bus/NoC) traffic model.
+//
+// The GC "signals the input/output buffer and tiles through the bus"
+// (§3.1): every layer's output feature map crosses the interconnect from
+// its producing tiles to the consumer layer's tiles. This model computes,
+// for a placed allocation, the bytes moved per inference, the average hop
+// distance of each producer->consumer transfer, and the resulting
+// interconnect energy — an additive refinement on top of the core
+// energy model (benched as an ablation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/tile_allocator.hpp"
+#include "nn/layer.hpp"
+#include "reram/bank.hpp"
+
+namespace autohet::reram {
+
+struct NocParams {
+  double energy_pj_per_byte_hop = 0.05;
+  std::int64_t inter_bank_penalty_hops = 64;
+};
+
+struct LinkReport {
+  std::int64_t producer_layer = 0;
+  std::int64_t consumer_layer = 0;
+  std::int64_t bytes = 0;         ///< per inference
+  double mean_hops = 0.0;
+  double energy_nj = 0.0;
+};
+
+struct NocReport {
+  std::vector<LinkReport> links;
+  std::int64_t total_bytes = 0;
+  double total_energy_nj = 0.0;
+  double mean_hops = 0.0;  ///< traffic-weighted
+};
+
+/// Evaluates interconnect traffic for a chain of layers placed on a chip.
+/// `layers`/`allocation` as produced by the tile allocator; placement from
+/// place_tiles(). Layer k feeds layer k+1 (the sequential dataflow the
+/// paper's accelerators use); each transfer carries the producer's output
+/// feature map (out_channels × out_h × out_w bytes at 8-bit activations)
+/// over the mean distance between the two layers' tiles.
+NocReport evaluate_noc(const std::vector<nn::LayerSpec>& layers,
+                       const mapping::AllocationResult& allocation,
+                       const PlacementResult& placement,
+                       const NocParams& params = {});
+
+}  // namespace autohet::reram

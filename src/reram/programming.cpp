@@ -1,0 +1,45 @@
+#include "reram/programming.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace autohet::reram {
+
+ProgrammingReport evaluate_programming(
+    const mapping::AllocationResult& allocation, const DeviceParams& device,
+    const ProgrammingParams& params) {
+  device.validate();
+  AUTOHET_CHECK(params.write_energy_pj_per_cell > 0.0 &&
+                    params.write_latency_ns > 0.0 &&
+                    params.verify_pulses >= 1.0,
+                "invalid programming parameters");
+  ProgrammingReport report;
+  const double planes = device.bit_planes();
+  for (const auto& layer : allocation.layers) {
+    const auto& m = layer.mapping;
+    // Physical cells: every useful cell exists once per bit plane.
+    const std::int64_t cells = static_cast<std::int64_t>(
+        planes * static_cast<double>(m.useful_cells));
+    report.cells_programmed += cells;
+    report.energy_nj += static_cast<double>(cells) * params.verify_pulses *
+                        params.write_energy_pj_per_cell * 1e-3;
+    // Crossbars (and their bit planes) program in parallel; rows within a
+    // crossbar serially. The busiest crossbar of this layer writes all its
+    // occupied rows: at most one full row block's worth of the unfolded
+    // weight-matrix height.
+    const std::int64_t serial_rows = std::clamp<std::int64_t>(
+        (m.weight_rows + m.row_blocks - 1) / m.row_blocks, 1, m.shape.rows);
+    const double layer_latency =
+        params.row_parallel
+            ? static_cast<double>(serial_rows) * params.verify_pulses *
+                  params.write_latency_ns
+            : static_cast<double>(serial_rows) *
+                  static_cast<double>(m.shape.cols) * params.verify_pulses *
+                  params.write_latency_ns;
+    report.latency_ns = std::max(report.latency_ns, layer_latency);
+  }
+  return report;
+}
+
+}  // namespace autohet::reram

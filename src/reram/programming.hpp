@@ -1,0 +1,43 @@
+// Crossbar programming (weight-write) cost model.
+//
+// Inference-time metrics dominate the paper's evaluation, but deploying or
+// swapping a model costs real time and energy: every occupied cell must be
+// SET/RESET-programmed, typically with several verify pulses. This model
+// prices the Global Controller's PROGRAM_WEIGHTS phase — per-network
+// deployment energy/latency — and the reconfiguration delta when a resident
+// model is replaced (relevant to the multi-model residency extension; tiles
+// freed by the tile-shared scheme avoid reprogramming entirely).
+#pragma once
+
+#include <cstdint>
+
+#include "mapping/tile_allocator.hpp"
+#include "reram/device_params.hpp"
+
+namespace autohet::reram {
+
+struct ProgrammingParams {
+  double write_energy_pj_per_cell = 10.0;  ///< per pulse (SET/RESET avg)
+  double write_latency_ns = 50.0;          ///< per pulse
+  double verify_pulses = 3.0;              ///< mean program-and-verify count
+  /// Cells programmed concurrently (one row of one crossbar per step is
+  /// typical; parallelism across crossbars is free — they have independent
+  /// drivers).
+  bool row_parallel = true;
+};
+
+struct ProgrammingReport {
+  std::int64_t cells_programmed = 0;  ///< physical cells incl. bit planes
+  double energy_nj = 0.0;
+  /// Wall-clock to program the whole network; crossbars program in
+  /// parallel, rows within a crossbar serially.
+  double latency_ns = 0.0;
+};
+
+/// Cost of programming every layer of an allocation onto its crossbars
+/// (the initial deployment; the GC's phase-1 PROGRAM_WEIGHTS stream).
+ProgrammingReport evaluate_programming(
+    const mapping::AllocationResult& allocation, const DeviceParams& device,
+    const ProgrammingParams& params = {});
+
+}  // namespace autohet::reram

@@ -1,0 +1,84 @@
+#include "reram/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "mapping/layer_mapping.hpp"
+
+namespace autohet::reram {
+
+ScheduleReport schedule_batch(
+    const std::vector<nn::LayerSpec>& layers,
+    const std::vector<mapping::CrossbarShape>& shapes,
+    const AcceleratorConfig& config, std::int64_t batch,
+    const std::vector<std::int64_t>& replication) {
+  config.validate();
+  AUTOHET_CHECK(layers.size() == shapes.size(),
+                "layers and shapes must be the same length");
+  AUTOHET_CHECK(batch > 0, "batch must be positive");
+  AUTOHET_CHECK(replication.empty() || replication.size() == layers.size(),
+                "replication must be empty or one entry per layer");
+
+  const auto n = static_cast<std::int64_t>(layers.size());
+  std::vector<double> interval(static_cast<std::size_t>(n));
+  for (std::int64_t k = 0; k < n; ++k) {
+    const auto m = mapping::map_layer(layers[static_cast<std::size_t>(k)],
+                                      shapes[static_cast<std::size_t>(k)]);
+    const std::int64_t tiles = (m.logical_crossbars() + config.pes_per_tile -
+                                1) /
+                               config.pes_per_tile;
+    const auto lr = evaluate_layer(layers[static_cast<std::size_t>(k)], m,
+                                   tiles, config.device);
+    const std::int64_t rep =
+        replication.empty() ? 1 : replication[static_cast<std::size_t>(k)];
+    AUTOHET_CHECK(rep >= 1, "replication factors must be >= 1");
+    interval[static_cast<std::size_t>(k)] =
+        lr.latency_ns / static_cast<double>(rep);
+  }
+
+  ScheduleReport report;
+  report.tasks.resize(static_cast<std::size_t>(batch * n));
+  std::vector<double> stage_busy(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t i = 0; i < batch; ++i) {
+    for (std::int64_t k = 0; k < n; ++k) {
+      double start = 0.0;
+      if (k > 0) {
+        start = std::max(
+            start,
+            report.task(i, k - 1, n).finish_ns);  // dataflow dependency
+      }
+      if (i > 0) {
+        start = std::max(start, report.task(i - 1, k, n).start_ns +
+                                    interval[static_cast<std::size_t>(k)]);
+      }
+      TaskTiming& t =
+          report.tasks[static_cast<std::size_t>(i * n + k)];
+      t.image = i;
+      t.layer = k;
+      t.start_ns = start;
+      t.finish_ns = start + interval[static_cast<std::size_t>(k)];
+      stage_busy[static_cast<std::size_t>(k)] +=
+          interval[static_cast<std::size_t>(k)];
+      report.makespan_ns = std::max(report.makespan_ns, t.finish_ns);
+    }
+  }
+  if (batch > 1) {
+    const double first_start = report.task(0, n - 1, n).start_ns;
+    const double last_start = report.task(batch - 1, n - 1, n).start_ns;
+    const double gap = (last_start - first_start) /
+                       static_cast<double>(batch - 1);
+    if (gap > 0.0) {
+      report.steady_throughput_inferences_per_s = 1e9 / gap;
+    }
+  }
+  report.stage_busy_fraction.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t k = 0; k < n; ++k) {
+    report.stage_busy_fraction.push_back(
+        report.makespan_ns > 0.0
+            ? stage_busy[static_cast<std::size_t>(k)] / report.makespan_ns
+            : 0.0);
+  }
+  return report;
+}
+
+}  // namespace autohet::reram

@@ -1,0 +1,58 @@
+// Event-level schedule of a pipelined inference batch.
+//
+// evaluate_pipeline() (reram/pipeline.hpp) gives steady-state throughput;
+// this module produces the actual timeline: for a batch of images streamed
+// through the layer pipeline, when each (image, layer) task starts and
+// finishes under the dependency rules
+//
+//   start(i, k) >= finish(i, k-1)            (dataflow: needs layer k-1's
+//                                             output for image i)
+//   start(i, k) >= start(i-1, k) + II(k)     (stage occupancy: a stage
+//                                             admits one image per
+//                                             initiation interval)
+//
+// with II(k) = serial layer latency / replication(k). From the timeline it
+// derives makespan, steady-state throughput (which must agree with the
+// analytic model), and per-stage busy fractions — the usual way to see
+// where an unbalanced pipeline stalls.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/crossbar_shape.hpp"
+#include "nn/layer.hpp"
+#include "reram/hardware_model.hpp"
+
+namespace autohet::reram {
+
+struct TaskTiming {
+  std::int64_t image = 0;
+  std::int64_t layer = 0;
+  double start_ns = 0.0;
+  double finish_ns = 0.0;
+};
+
+struct ScheduleReport {
+  std::vector<TaskTiming> tasks;  ///< image-major, then layer
+  double makespan_ns = 0.0;
+  /// (batch-1) / (last start gap): converges to the analytic throughput.
+  double steady_throughput_inferences_per_s = 0.0;
+  /// Busy time of each stage divided by the makespan.
+  std::vector<double> stage_busy_fraction;
+
+  const TaskTiming& task(std::int64_t image, std::int64_t layer,
+                         std::int64_t num_layers) const {
+    return tasks[static_cast<std::size_t>(image * num_layers + layer)];
+  }
+};
+
+/// Schedules `batch` images through the layer pipeline. `replication` as in
+/// evaluate_pipeline (empty = all ones).
+ScheduleReport schedule_batch(
+    const std::vector<nn::LayerSpec>& layers,
+    const std::vector<mapping::CrossbarShape>& shapes,
+    const AcceleratorConfig& config, std::int64_t batch,
+    const std::vector<std::int64_t>& replication = {});
+
+}  // namespace autohet::reram

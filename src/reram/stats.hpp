@@ -1,0 +1,84 @@
+// Hardware accounting structures produced by the behavioral model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/crossbar_shape.hpp"
+
+namespace autohet::reram {
+
+/// Energy per component class, in nanojoules.
+struct EnergyBreakdown {
+  double adc_nj = 0.0;
+  double dac_nj = 0.0;
+  double cell_nj = 0.0;
+  double shift_add_nj = 0.0;
+  double buffer_nj = 0.0;
+
+  double total_nj() const noexcept {
+    return adc_nj + dac_nj + cell_nj + shift_add_nj + buffer_nj;
+  }
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o) noexcept {
+    adc_nj += o.adc_nj;
+    dac_nj += o.dac_nj;
+    cell_nj += o.cell_nj;
+    shift_add_nj += o.shift_add_nj;
+    buffer_nj += o.buffer_nj;
+    return *this;
+  }
+};
+
+/// Area per component class, in square micrometres.
+struct AreaBreakdown {
+  double crossbar_um2 = 0.0;
+  double adc_um2 = 0.0;
+  double dac_um2 = 0.0;
+  double shift_add_um2 = 0.0;
+  double tile_overhead_um2 = 0.0;
+
+  double total_um2() const noexcept {
+    return crossbar_um2 + adc_um2 + dac_um2 + shift_add_um2 +
+           tile_overhead_um2;
+  }
+  AreaBreakdown& operator+=(const AreaBreakdown& o) noexcept {
+    crossbar_um2 += o.crossbar_um2;
+    adc_um2 += o.adc_um2;
+    dac_um2 += o.dac_um2;
+    shift_add_um2 += o.shift_add_um2;
+    tile_overhead_um2 += o.tile_overhead_um2;
+    return *this;
+  }
+};
+
+/// Per-layer hardware report for one inference pass.
+struct LayerReport {
+  mapping::CrossbarShape shape;       ///< crossbar type chosen for the layer
+  std::int64_t logical_crossbars = 0;
+  std::int64_t adc_instances = 0;     ///< logical ADC count (Fig. 5 metric)
+  std::int64_t tiles = 0;             ///< exclusive tiles before sharing
+  std::int64_t mvm_invocations = 0;
+  double utilization = 0.0;           ///< Eq. 4, in [0, 1]
+  EnergyBreakdown energy;
+  double latency_ns = 0.0;
+};
+
+/// Whole-network hardware report for one inference pass.
+struct NetworkReport {
+  std::vector<LayerReport> layers;
+  EnergyBreakdown energy;
+  AreaBreakdown area;
+  double latency_ns = 0.0;            ///< sum of layer latencies
+  double utilization = 0.0;           ///< system-level (tile-granular), [0,1]
+  std::int64_t occupied_tiles = 0;
+  std::int64_t empty_crossbars = 0;
+
+  /// Paper §2.2 RUE metric: utilization (percent, as plotted in the paper's
+  /// figures) over energy (nanojoules).
+  double rue() const noexcept {
+    const double e = energy.total_nj();
+    return e > 0.0 ? (utilization * 100.0) / e : 0.0;
+  }
+};
+
+}  // namespace autohet::reram

@@ -1,0 +1,38 @@
+#include "rl/adam.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace autohet::rl {
+
+Adam::Adam(std::size_t param_count, double lr, double beta1, double beta2,
+           double epsilon)
+    : lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      m_(param_count, 0.0),
+      v_(param_count, 0.0) {
+  AUTOHET_CHECK(lr > 0.0, "learning rate must be positive");
+  AUTOHET_CHECK(beta1 >= 0.0 && beta1 < 1.0 && beta2 >= 0.0 && beta2 < 1.0,
+                "betas must be in [0, 1)");
+}
+
+void Adam::step(std::span<double> params, std::span<const double> grads) {
+  AUTOHET_CHECK(params.size() == m_.size() && grads.size() == m_.size(),
+                "Adam size mismatch");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    const double g = grads[i];
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * g;
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * g * g;
+    const double m_hat = m_[i] / bc1;
+    const double v_hat = v_[i] / bc2;
+    params[i] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+  }
+}
+
+}  // namespace autohet::rl

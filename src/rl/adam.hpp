@@ -1,0 +1,34 @@
+// Adam optimizer over a flat parameter array.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace autohet::rl {
+
+class Adam {
+ public:
+  explicit Adam(std::size_t param_count, double lr = 1e-3,
+                double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+
+  /// Applies one update: params -= lr * m_hat / (sqrt(v_hat) + eps).
+  /// `params` and `grads` must both have the configured size.
+  void step(std::span<double> params, std::span<const double> grads);
+
+  double learning_rate() const noexcept { return lr_; }
+  void set_learning_rate(double lr) noexcept { lr_ = lr; }
+  long long steps_taken() const noexcept { return t_; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  long long t_ = 0;
+  std::vector<double> m_;
+  std::vector<double> v_;
+};
+
+}  // namespace autohet::rl

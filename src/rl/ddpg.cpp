@@ -1,0 +1,181 @@
+#include "rl/ddpg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace autohet::rl {
+
+std::vector<int> DdpgAgent::layer_sizes(int in, const std::vector<int>& hidden,
+                                        int out) {
+  std::vector<int> sizes;
+  sizes.push_back(in);
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(out);
+  return sizes;
+}
+
+namespace {
+std::vector<Activation> hidden_relu_then(Activation last, std::size_t hidden) {
+  std::vector<Activation> acts(hidden, Activation::kRelu);
+  acts.push_back(last);
+  return acts;
+}
+}  // namespace
+
+DdpgAgent::DdpgAgent(DdpgConfig config, common::Rng rng)
+    : config_(config),
+      rng_(rng),
+      actor_(layer_sizes(config.state_dim, config.actor_hidden, 1),
+             hidden_relu_then(Activation::kSigmoid,
+                              config.actor_hidden.size()),
+             rng_),
+      critic_(layer_sizes(config.state_dim + 1, config.critic_hidden, 1),
+              hidden_relu_then(Activation::kLinear,
+                               config.critic_hidden.size()),
+              rng_),
+      actor_target_(layer_sizes(config.state_dim, config.actor_hidden, 1),
+                    hidden_relu_then(Activation::kSigmoid,
+                                     config.actor_hidden.size()),
+                    rng_),
+      critic_target_(layer_sizes(config.state_dim + 1, config.critic_hidden, 1),
+                     hidden_relu_then(Activation::kLinear,
+                                      config.critic_hidden.size()),
+                     rng_),
+      actor_opt_(actor_.param_count(), config.actor_lr),
+      critic_opt_(critic_.param_count(), config.critic_lr),
+      replay_(config.replay_capacity),
+      prioritized_replay_(config.replay_capacity, config.per_alpha,
+                          config.per_epsilon),
+      ou_noise_(config.ou_theta, config.ou_sigma) {
+  AUTOHET_CHECK(config.state_dim > 0, "state_dim must be positive");
+  AUTOHET_CHECK(config.batch_size > 0, "batch_size must be positive");
+  AUTOHET_CHECK(config.gamma >= 0.0 && config.gamma <= 1.0,
+                "gamma must be in [0, 1]");
+  AUTOHET_CHECK(config.tau > 0.0 && config.tau <= 1.0, "tau must be in (0, 1]");
+  actor_target_.copy_params_from(actor_);
+  critic_target_.copy_params_from(critic_);
+}
+
+double DdpgAgent::act(std::span<const double> state) const {
+  return actor_.forward(state)[0];
+}
+
+double DdpgAgent::act_with_noise(std::span<const double> state) {
+  const double noise = (config_.noise_kind == NoiseKind::kOrnsteinUhlenbeck)
+                           ? ou_noise_.sample(rng_)
+                           : noise_.sample(rng_);
+  return std::clamp(act(state) + noise, 0.0, 1.0);
+}
+
+void DdpgAgent::decay_noise() {
+  if (config_.noise_kind == NoiseKind::kOrnsteinUhlenbeck) {
+    ou_noise_.reset();
+  } else {
+    noise_.decay();
+  }
+}
+
+double DdpgAgent::noise_sigma() const noexcept {
+  return (config_.noise_kind == NoiseKind::kOrnsteinUhlenbeck)
+             ? config_.ou_sigma
+             : noise_.sigma();
+}
+
+double DdpgAgent::q_value(std::span<const double> state, double action) const {
+  std::vector<double> sa(state.begin(), state.end());
+  sa.push_back(action);
+  return critic_.forward(sa)[0];
+}
+
+void DdpgAgent::remember(Transition t) {
+  if (config_.prioritized_replay) {
+    prioritized_replay_.add(std::move(t));
+  } else {
+    replay_.add(std::move(t));
+  }
+}
+
+std::size_t DdpgAgent::replay_size() const noexcept {
+  return config_.prioritized_replay ? prioritized_replay_.size()
+                                    : replay_.size();
+}
+
+double DdpgAgent::update() {
+  if (replay_size() < config_.batch_size) return 0.0;
+
+  // Assemble the minibatch: uniform pool, or prioritized pool with
+  // importance-sampling weights and fresh-TD-error priority updates.
+  std::vector<const Transition*> batch;
+  std::vector<double> weights;
+  std::vector<std::size_t> indices;
+  if (config_.prioritized_replay) {
+    const auto samples =
+        prioritized_replay_.sample(rng_, config_.batch_size,
+                                   config_.per_beta);
+    for (const auto& s : samples) {
+      batch.push_back(s.transition);
+      weights.push_back(s.weight);
+      indices.push_back(s.index);
+    }
+  } else {
+    batch = replay_.sample(rng_, config_.batch_size);
+    weights.assign(batch.size(), 1.0);
+  }
+  const double inv_batch = 1.0 / static_cast<double>(batch.size());
+
+  // ---- critic: minimize MSE(Q(s,a), r + gamma * Q'(s', mu'(s'))) ----
+  critic_.zero_grads();
+  double critic_loss = 0.0;
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    const Transition* t = batch[b];
+    double target = t->reward;
+    if (!t->terminal) {
+      const double next_a = actor_target_.forward(t->next_state)[0];
+      std::vector<double> sa(t->next_state);
+      sa.push_back(next_a);
+      target += config_.gamma * critic_target_.forward(sa)[0];
+    }
+    std::vector<double> sa(t->state);
+    sa.push_back(t->action);
+    Mlp::Cache cache;
+    const double q = critic_.forward(sa, cache)[0];
+    const double err = q - target;
+    if (config_.prioritized_replay) {
+      prioritized_replay_.update_priority(indices[b], std::fabs(err));
+    }
+    critic_loss += weights[b] * err * err * inv_batch;
+    const double grad = 2.0 * weights[b] * err * inv_batch;
+    critic_.backward(cache, std::span<const double>(&grad, 1));
+  }
+  critic_opt_.step(critic_.params(), critic_.grads());
+
+  // ---- actor: ascend dQ(s, mu(s))/d(theta_mu) ----
+  actor_.zero_grads();
+  critic_.zero_grads();  // scratch use below; cleared again next update
+  for (const Transition* t : batch) {
+    Mlp::Cache actor_cache;
+    const double a = actor_.forward(t->state, actor_cache)[0];
+    std::vector<double> sa(t->state);
+    sa.push_back(a);
+    Mlp::Cache critic_cache;
+    critic_.forward(sa, critic_cache);
+    const double one = 1.0;
+    const std::vector<double> dq_dsa =
+        critic_.backward(critic_cache, std::span<const double>(&one, 1));
+    const double dq_da = dq_dsa.back();
+    // Minimize -Q  =>  dL/da = -dQ/da.
+    const double grad = -dq_da * inv_batch;
+    actor_.backward(actor_cache, std::span<const double>(&grad, 1));
+  }
+  actor_opt_.step(actor_.params(), actor_.grads());
+  critic_.zero_grads();
+
+  // ---- target soft updates ----
+  actor_target_.soft_update_from(actor_, config_.tau);
+  critic_target_.soft_update_from(critic_, config_.tau);
+  return critic_loss;
+}
+
+}  // namespace autohet::rl

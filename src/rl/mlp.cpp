@@ -1,0 +1,150 @@
+#include "rl/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace autohet::rl {
+
+double apply_activation(Activation a, double x) noexcept {
+  switch (a) {
+    case Activation::kLinear:
+      return x;
+    case Activation::kRelu:
+      return x > 0.0 ? x : 0.0;
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+  }
+  return x;
+}
+
+double activation_grad_from_output(Activation a, double y) noexcept {
+  switch (a) {
+    case Activation::kLinear:
+      return 1.0;
+    case Activation::kRelu:
+      return y > 0.0 ? 1.0 : 0.0;
+    case Activation::kTanh:
+      return 1.0 - y * y;
+    case Activation::kSigmoid:
+      return y * (1.0 - y);
+  }
+  return 1.0;
+}
+
+Mlp::Mlp(std::vector<int> sizes, std::vector<Activation> activations,
+         common::Rng& rng)
+    : sizes_(std::move(sizes)), activations_(std::move(activations)) {
+  AUTOHET_CHECK(sizes_.size() >= 2, "MLP needs at least input and output");
+  AUTOHET_CHECK(activations_.size() == sizes_.size() - 1,
+                "one activation per affine layer required");
+  for (int s : sizes_) AUTOHET_CHECK(s > 0, "layer sizes must be positive");
+
+  std::size_t total = 0;
+  offsets_.reserve(sizes_.size() - 1);
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    offsets_.push_back(total);
+    total += static_cast<std::size_t>(sizes_[l + 1]) *
+                 static_cast<std::size_t>(sizes_[l]) +
+             static_cast<std::size_t>(sizes_[l + 1]);
+  }
+  params_.resize(total);
+  grads_.assign(total, 0.0);
+
+  // Xavier/Glorot uniform initialization; biases start at zero.
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    const double limit =
+        std::sqrt(6.0 / static_cast<double>(sizes_[l] + sizes_[l + 1]));
+    double* w = params_.data() + weight_offset(l);
+    const std::size_t n = static_cast<std::size_t>(sizes_[l + 1] * sizes_[l]);
+    for (std::size_t i = 0; i < n; ++i) w[i] = rng.uniform(-limit, limit);
+    double* b = params_.data() + bias_offset(l);
+    std::fill(b, b + sizes_[l + 1], 0.0);
+  }
+}
+
+std::vector<double> Mlp::forward(std::span<const double> input) const {
+  Cache cache;
+  return forward(input, cache);
+}
+
+std::vector<double> Mlp::forward(std::span<const double> input,
+                                 Cache& cache) const {
+  AUTOHET_CHECK(static_cast<int>(input.size()) == sizes_.front(),
+                "MLP input size mismatch");
+  cache.post.clear();
+  cache.post.emplace_back(input.begin(), input.end());
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    const std::vector<double>& x = cache.post.back();
+    const int in = sizes_[l];
+    const int out = sizes_[l + 1];
+    std::vector<double> y(static_cast<std::size_t>(out));
+    const double* w = params_.data() + weight_offset(l);
+    const double* b = params_.data() + bias_offset(l);
+    for (int o = 0; o < out; ++o) {
+      double acc = b[o];
+      const double* wrow = w + static_cast<std::size_t>(o) * in;
+      for (int i = 0; i < in; ++i) acc += wrow[i] * x[static_cast<std::size_t>(i)];
+      y[static_cast<std::size_t>(o)] = apply_activation(activations_[l], acc);
+    }
+    cache.post.push_back(std::move(y));
+  }
+  return cache.post.back();
+}
+
+std::vector<double> Mlp::backward(const Cache& cache,
+                                  std::span<const double> grad_output) {
+  AUTOHET_CHECK(cache.post.size() == sizes_.size(),
+                "cache does not match network depth");
+  AUTOHET_CHECK(static_cast<int>(grad_output.size()) == sizes_.back(),
+                "grad_output size mismatch");
+  std::vector<double> delta(grad_output.begin(), grad_output.end());
+  for (std::size_t l = sizes_.size() - 1; l-- > 0;) {
+    const int in = sizes_[l];
+    const int out = sizes_[l + 1];
+    const std::vector<double>& y = cache.post[l + 1];
+    const std::vector<double>& x = cache.post[l];
+    // Through the activation: delta ← delta ⊙ f'(y).
+    for (int o = 0; o < out; ++o) {
+      delta[static_cast<std::size_t>(o)] *= activation_grad_from_output(
+          activations_[l], y[static_cast<std::size_t>(o)]);
+    }
+    double* gw = grads_.data() + weight_offset(l);
+    double* gb = grads_.data() + bias_offset(l);
+    const double* w = params_.data() + weight_offset(l);
+    std::vector<double> next_delta(static_cast<std::size_t>(in), 0.0);
+    for (int o = 0; o < out; ++o) {
+      const double d = delta[static_cast<std::size_t>(o)];
+      gb[o] += d;
+      double* gwrow = gw + static_cast<std::size_t>(o) * in;
+      const double* wrow = w + static_cast<std::size_t>(o) * in;
+      for (int i = 0; i < in; ++i) {
+        gwrow[i] += d * x[static_cast<std::size_t>(i)];
+        next_delta[static_cast<std::size_t>(i)] += d * wrow[i];
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  return delta;
+}
+
+void Mlp::zero_grads() { std::fill(grads_.begin(), grads_.end(), 0.0); }
+
+void Mlp::soft_update_from(const Mlp& src, double tau) {
+  AUTOHET_CHECK(src.params_.size() == params_.size(),
+                "soft update requires identical architectures");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    params_[i] = tau * src.params_[i] + (1.0 - tau) * params_[i];
+  }
+}
+
+void Mlp::copy_params_from(const Mlp& src) {
+  AUTOHET_CHECK(src.params_.size() == params_.size(),
+                "copy requires identical architectures");
+  params_ = src.params_;
+}
+
+}  // namespace autohet::rl

@@ -1,0 +1,163 @@
+#include "tensor/grad.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace autohet::tensor {
+
+ConvGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                          const Tensor& grad_output, std::int64_t stride,
+                          std::int64_t pad) {
+  AUTOHET_CHECK(input.rank() == 3 && weight.rank() == 4 &&
+                    grad_output.rank() == 3,
+                "conv2d_backward shape ranks");
+  const std::int64_t cin = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const std::int64_t cout = weight.dim(0), kh = weight.dim(2),
+                     kw = weight.dim(3);
+  AUTOHET_CHECK(weight.dim(1) == cin, "conv2d_backward channel mismatch");
+  const std::int64_t oh = grad_output.dim(1), ow = grad_output.dim(2);
+  AUTOHET_CHECK(grad_output.dim(0) == cout &&
+                    oh == (h + 2 * pad - kh) / stride + 1 &&
+                    ow == (w + 2 * pad - kw) / stride + 1,
+                "conv2d_backward grad_output geometry mismatch");
+
+  ConvGrads grads;
+  grads.grad_input = Tensor({cin, h, w});
+  grads.grad_weight = Tensor({cout, cin, kh, kw});
+  for (std::int64_t co = 0; co < cout; ++co) {
+    for (std::int64_t oi = 0; oi < oh; ++oi) {
+      for (std::int64_t oj = 0; oj < ow; ++oj) {
+        const float go = grad_output.at(co, oi, oj);
+        if (go == 0.0f) continue;
+        for (std::int64_t ci = 0; ci < cin; ++ci) {
+          for (std::int64_t ki = 0; ki < kh; ++ki) {
+            const std::int64_t ii = oi * stride + ki - pad;
+            if (ii < 0 || ii >= h) continue;
+            for (std::int64_t kj = 0; kj < kw; ++kj) {
+              const std::int64_t jj = oj * stride + kj - pad;
+              if (jj < 0 || jj >= w) continue;
+              grads.grad_weight.at(co, ci, ki, kj) +=
+                  go * input.at(ci, ii, jj);
+              grads.grad_input.at(ci, ii, jj) +=
+                  go * weight.at(co, ci, ki, kj);
+            }
+          }
+        }
+      }
+    }
+  }
+  return grads;
+}
+
+FcGrads fully_connected_backward(const Tensor& input, const Tensor& weight,
+                                 const Tensor& grad_output) {
+  AUTOHET_CHECK(weight.rank() == 2, "fc_backward expects rank-2 weight");
+  const std::int64_t out = weight.dim(0), in = weight.dim(1);
+  AUTOHET_CHECK(input.numel() == in, "fc_backward input size mismatch");
+  AUTOHET_CHECK(grad_output.numel() == out,
+                "fc_backward grad_output size mismatch");
+  FcGrads grads;
+  grads.grad_input = Tensor({in});
+  grads.grad_weight = Tensor({out, in});
+  for (std::int64_t o = 0; o < out; ++o) {
+    const float go = grad_output[o];
+    if (go == 0.0f) continue;
+    for (std::int64_t i = 0; i < in; ++i) {
+      grads.grad_weight.at(o, i) = go * input[i];
+      grads.grad_input[i] += go * weight.at(o, i);
+    }
+  }
+  return grads;
+}
+
+Tensor maxpool2d_backward(const Tensor& input, const Tensor& grad_output,
+                          std::int64_t window, std::int64_t stride) {
+  AUTOHET_CHECK(input.rank() == 3 && grad_output.rank() == 3,
+                "maxpool_backward expects CHW tensors");
+  const std::int64_t c = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const std::int64_t oh = grad_output.dim(1), ow = grad_output.dim(2);
+  AUTOHET_CHECK(grad_output.dim(0) == c && oh == (h - window) / stride + 1 &&
+                    ow == (w - window) / stride + 1,
+                "maxpool_backward geometry mismatch");
+  Tensor grad({c, h, w});
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t oi = 0; oi < oh; ++oi) {
+      for (std::int64_t oj = 0; oj < ow; ++oj) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::int64_t bi = 0, bj = 0;
+        for (std::int64_t ki = 0; ki < window; ++ki) {
+          for (std::int64_t kj = 0; kj < window; ++kj) {
+            const float v =
+                input.at(ch, oi * stride + ki, oj * stride + kj);
+            if (v > best) {
+              best = v;
+              bi = oi * stride + ki;
+              bj = oj * stride + kj;
+            }
+          }
+        }
+        grad.at(ch, bi, bj) += grad_output.at(ch, oi, oj);
+      }
+    }
+  }
+  return grad;
+}
+
+Tensor avgpool2d_backward(const Tensor& input, const Tensor& grad_output,
+                          std::int64_t window, std::int64_t stride) {
+  AUTOHET_CHECK(input.rank() == 3 && grad_output.rank() == 3,
+                "avgpool_backward expects CHW tensors");
+  const std::int64_t c = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const std::int64_t oh = grad_output.dim(1), ow = grad_output.dim(2);
+  AUTOHET_CHECK(grad_output.dim(0) == c && oh == (h - window) / stride + 1 &&
+                    ow == (w - window) / stride + 1,
+                "avgpool_backward geometry mismatch");
+  Tensor grad({c, h, w});
+  const float scale = 1.0f / static_cast<float>(window * window);
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t oi = 0; oi < oh; ++oi) {
+      for (std::int64_t oj = 0; oj < ow; ++oj) {
+        const float g = grad_output.at(ch, oi, oj) * scale;
+        for (std::int64_t ki = 0; ki < window; ++ki) {
+          for (std::int64_t kj = 0; kj < window; ++kj) {
+            grad.at(ch, oi * stride + ki, oj * stride + kj) += g;
+          }
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+void relu_backward_inplace(const Tensor& post_activation, Tensor& grad) {
+  AUTOHET_CHECK(post_activation.shape() == grad.shape(),
+                "relu_backward shape mismatch");
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    if (post_activation[i] <= 0.0f) grad[i] = 0.0f;
+  }
+}
+
+std::pair<float, Tensor> softmax_cross_entropy(const Tensor& logits,
+                                               std::int64_t label) {
+  AUTOHET_CHECK(label >= 0 && label < logits.numel(),
+                "label out of range");
+  // Numerically stable softmax.
+  const float max_logit = logits.max();
+  double denom = 0.0;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    denom += std::exp(static_cast<double>(logits[i] - max_logit));
+  }
+  Tensor grad(logits.shape());
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const double p =
+        std::exp(static_cast<double>(logits[i] - max_logit)) / denom;
+    grad[i] = static_cast<float>(p) - (i == label ? 1.0f : 0.0f);
+  }
+  const double log_p_label =
+      static_cast<double>(logits[label] - max_logit) - std::log(denom);
+  return {static_cast<float>(-log_p_label), std::move(grad)};
+}
+
+}  // namespace autohet::tensor

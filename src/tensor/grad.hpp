@@ -1,0 +1,56 @@
+// Backward (gradient) counterparts of the forward ops in tensor/ops.hpp,
+// plus softmax cross-entropy. Used by nn::Trainer to train the reference
+// models on synthetic data, so that deployment examples exercise the fabric
+// with *trained* weights instead of random ones (DESIGN.md §1).
+//
+// All functions use the same layout conventions as ops.hpp (CHW
+// activations, [Cout,Cin,kh,kw] conv weights, [out,in] fc weights) and are
+// validated against finite differences in tests/test_grad.cpp.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "tensor/tensor.hpp"
+
+namespace autohet::tensor {
+
+struct ConvGrads {
+  Tensor grad_input;   ///< same shape as the forward input
+  Tensor grad_weight;  ///< same shape as the weight
+};
+
+/// Gradients of conv2d(input, weight, stride, pad) given dL/d(output).
+ConvGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                          const Tensor& grad_output, std::int64_t stride,
+                          std::int64_t pad);
+
+struct FcGrads {
+  Tensor grad_input;   ///< flattened input shape [in]
+  Tensor grad_weight;  ///< [out, in]
+};
+
+/// Gradients of fully_connected(input, weight) given dL/d(output).
+FcGrads fully_connected_backward(const Tensor& input, const Tensor& weight,
+                                 const Tensor& grad_output);
+
+/// Gradient of maxpool2d: routes each output gradient to the argmax cell of
+/// its window (ties: the first maximum in scan order, matching the forward
+/// implementation's comparison order).
+Tensor maxpool2d_backward(const Tensor& input, const Tensor& grad_output,
+                          std::int64_t window, std::int64_t stride);
+
+/// Gradient of avgpool2d: spreads each output gradient uniformly.
+Tensor avgpool2d_backward(const Tensor& input, const Tensor& grad_output,
+                          std::int64_t window, std::int64_t stride);
+
+/// In-place ReLU gradient through the *post-activation* values y:
+/// grad_i <- grad_i * (y_i > 0).
+void relu_backward_inplace(const Tensor& post_activation, Tensor& grad);
+
+/// Softmax cross-entropy against an integer label. Returns the scalar loss
+/// and dL/d(logits).
+std::pair<float, Tensor> softmax_cross_entropy(const Tensor& logits,
+                                               std::int64_t label);
+
+}  // namespace autohet::tensor

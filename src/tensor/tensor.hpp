@@ -1,0 +1,79 @@
+// Minimal dense tensor for the DNN reference path and functional simulation.
+//
+// Row-major float storage with explicit shapes. This is deliberately a small
+// subset of a real tensor library: the reproduction only needs forward
+// inference (GEMM, im2col convolution, pooling, elementwise) to validate that
+// the simulated crossbar datapath computes the same results as a float
+// reference.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace autohet::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape. All dims must be positive.
+  explicit Tensor(std::vector<std::int64_t> shape);
+  Tensor(std::initializer_list<std::int64_t> shape)
+      : Tensor(std::vector<std::int64_t>(shape)) {}
+
+  const std::vector<std::int64_t>& shape() const noexcept { return shape_; }
+  std::int64_t dim(std::size_t axis) const;
+  std::size_t rank() const noexcept { return shape_.size(); }
+  std::int64_t numel() const noexcept {
+    return static_cast<std::int64_t>(data_.size());
+  }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  std::vector<float>& storage() noexcept { return data_; }
+  const std::vector<float>& storage() const noexcept { return data_; }
+
+  float& operator[](std::int64_t flat) { return data_[static_cast<std::size_t>(flat)]; }
+  float operator[](std::int64_t flat) const {
+    return data_[static_cast<std::size_t>(flat)];
+  }
+
+  /// Bounds-checked element access for rank-2 .. rank-4 tensors.
+  float& at(std::int64_t i, std::int64_t j);
+  float at(std::int64_t i, std::int64_t j) const;
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k);
+  float at(std::int64_t i, std::int64_t j, std::int64_t k) const;
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l);
+  float at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) const;
+
+  /// Reinterprets the shape; the element count must match.
+  Tensor reshaped(std::vector<std::int64_t> shape) const;
+
+  void fill(float value);
+  /// Fills with uniform values in [lo, hi) from the provided generator.
+  void fill_uniform(common::Rng& rng, float lo, float hi);
+  /// Fills with N(mean, stddev) values.
+  void fill_normal(common::Rng& rng, float mean, float stddev);
+
+  float min() const;
+  float max() const;
+  /// Largest absolute value; 0 for an empty tensor.
+  float abs_max() const;
+
+  std::string shape_string() const;
+
+ private:
+  std::int64_t flat_index(std::int64_t i, std::int64_t j) const;
+  std::int64_t flat_index(std::int64_t i, std::int64_t j, std::int64_t k) const;
+  std::int64_t flat_index(std::int64_t i, std::int64_t j, std::int64_t k,
+                          std::int64_t l) const;
+
+  std::vector<std::int64_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace autohet::tensor

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rl/adam.hpp"
+
+namespace autohet {
+namespace {
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(x) = sum (x_i - t_i)^2; Adam should converge to t.
+  const std::vector<double> target = {1.0, -2.0, 0.5, 3.0};
+  std::vector<double> x(4, 0.0);
+  rl::Adam opt(4, /*lr=*/0.05);
+  std::vector<double> grads(4);
+  for (int step = 0; step < 2000; ++step) {
+    for (std::size_t i = 0; i < 4; ++i) grads[i] = 2.0 * (x[i] - target[i]);
+    opt.step(x, grads);
+  }
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x[i], target[i], 1e-3) << i;
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  // With bias correction, the very first Adam step has magnitude ~lr.
+  std::vector<double> x = {0.0};
+  rl::Adam opt(1, 0.01);
+  std::vector<double> g = {123.0};
+  opt.step(x, g);
+  EXPECT_NEAR(std::fabs(x[0]), 0.01, 1e-4);
+}
+
+TEST(Adam, ZeroGradientLeavesParamsUnchanged) {
+  std::vector<double> x = {5.0, -1.0};
+  rl::Adam opt(2, 0.1);
+  std::vector<double> g = {0.0, 0.0};
+  opt.step(x, g);
+  EXPECT_EQ(x[0], 5.0);
+  EXPECT_EQ(x[1], -1.0);
+}
+
+TEST(Adam, TracksStepCount) {
+  std::vector<double> x = {0.0};
+  rl::Adam opt(1);
+  std::vector<double> g = {1.0};
+  EXPECT_EQ(opt.steps_taken(), 0);
+  opt.step(x, g);
+  opt.step(x, g);
+  EXPECT_EQ(opt.steps_taken(), 2);
+}
+
+TEST(Adam, ValidatesConfiguration) {
+  EXPECT_THROW(rl::Adam(4, 0.0), std::invalid_argument);
+  EXPECT_THROW(rl::Adam(4, 0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(rl::Adam(4, 0.1, 0.9, 1.5), std::invalid_argument);
+}
+
+TEST(Adam, RejectsSizeMismatch) {
+  rl::Adam opt(3);
+  std::vector<double> x(2), g(3);
+  EXPECT_THROW(opt.step(x, g), std::invalid_argument);
+}
+
+TEST(Adam, LearningRateIsAdjustable) {
+  rl::Adam opt(1, 0.01);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.01);
+  opt.set_learning_rate(0.5);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.5);
+}
+
+TEST(Adam, HandlesIllConditionedScales) {
+  // One steep and one shallow direction; Adam's per-parameter scaling should
+  // reach both targets.
+  std::vector<double> x = {0.0, 0.0};
+  rl::Adam opt(2, 0.05);
+  std::vector<double> g(2);
+  for (int step = 0; step < 4000; ++step) {
+    g[0] = 2.0 * 1000.0 * (x[0] - 1.0);  // steep
+    g[1] = 2.0 * 0.001 * (x[1] - 1.0);   // shallow
+    opt.step(x, g);
+  }
+  EXPECT_NEAR(x[0], 1.0, 1e-2);
+  EXPECT_NEAR(x[1], 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace autohet

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "common/cli.hpp"
+
+namespace autohet {
+namespace {
+
+using common::ArgParser;
+
+ArgParser make_parser() {
+  ArgParser args("tool", "a test tool");
+  args.add_positional("command", "what to do");
+  args.add_option("episodes", "300", "episode count");
+  args.add_option("rate", "0.5", "a rate");
+  args.add_option("name", "", "a name");
+  args.add_flag("verbose", "extra output");
+  return args;
+}
+
+TEST(ArgParser, DefaultsApplyWhenUnset) {
+  auto args = make_parser();
+  const char* argv[] = {"tool", "run"};
+  std::string error;
+  ASSERT_TRUE(args.parse(2, argv, &error)) << error;
+  EXPECT_EQ(args.positional("command"), "run");
+  EXPECT_EQ(args.option_int("episodes"), 300);
+  EXPECT_DOUBLE_EQ(args.option_double("rate"), 0.5);
+  EXPECT_FALSE(args.flag("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  auto args = make_parser();
+  const char* argv[] = {"tool", "run", "--episodes", "42", "--verbose"};
+  std::string error;
+  ASSERT_TRUE(args.parse(5, argv, &error)) << error;
+  EXPECT_EQ(args.option_int("episodes"), 42);
+  EXPECT_TRUE(args.flag("verbose"));
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  auto args = make_parser();
+  const char* argv[] = {"tool", "run", "--episodes=7", "--name=abc"};
+  std::string error;
+  ASSERT_TRUE(args.parse(4, argv, &error)) << error;
+  EXPECT_EQ(args.option_int("episodes"), 7);
+  EXPECT_EQ(args.option("name"), "abc");
+}
+
+TEST(ArgParser, RejectsUnknownOption) {
+  auto args = make_parser();
+  const char* argv[] = {"tool", "run", "--bogus", "1"};
+  std::string error;
+  EXPECT_FALSE(args.parse(4, argv, &error));
+  EXPECT_NE(error.find("unknown option"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsMissingValue) {
+  auto args = make_parser();
+  const char* argv[] = {"tool", "run", "--episodes"};
+  std::string error;
+  EXPECT_FALSE(args.parse(3, argv, &error));
+  EXPECT_NE(error.find("needs a value"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsFlagWithValue) {
+  auto args = make_parser();
+  const char* argv[] = {"tool", "run", "--verbose=yes"};
+  std::string error;
+  EXPECT_FALSE(args.parse(3, argv, &error));
+  EXPECT_NE(error.find("takes no value"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsMissingPositional) {
+  auto args = make_parser();
+  const char* argv[] = {"tool"};
+  std::string error;
+  EXPECT_FALSE(args.parse(1, argv, &error));
+  EXPECT_NE(error.find("missing argument"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsExtraPositional) {
+  auto args = make_parser();
+  const char* argv[] = {"tool", "run", "again"};
+  std::string error;
+  EXPECT_FALSE(args.parse(3, argv, &error));
+  EXPECT_NE(error.find("unexpected argument"), std::string::npos);
+}
+
+TEST(ArgParser, HelpRequested) {
+  auto args = make_parser();
+  const char* argv[] = {"tool", "--help"};
+  std::string error;
+  EXPECT_FALSE(args.parse(2, argv, &error));
+  EXPECT_NE(error.find("usage: tool"), std::string::npos);
+  EXPECT_NE(error.find("--episodes"), std::string::npos);
+  EXPECT_NE(error.find("episode count"), std::string::npos);
+}
+
+TEST(ArgParser, NonNumericValueThrowsOnTypedAccess) {
+  auto args = make_parser();
+  const char* argv[] = {"tool", "run", "--episodes", "abc"};
+  std::string error;
+  ASSERT_TRUE(args.parse(4, argv, &error));
+  EXPECT_THROW(args.option_int("episodes"), std::invalid_argument);
+  const char* argv2[] = {"tool", "run", "--rate", "1.5x"};
+  auto args2 = make_parser();
+  ASSERT_TRUE(args2.parse(4, argv2, &error));
+  EXPECT_THROW(args2.option_double("rate"), std::invalid_argument);
+}
+
+TEST(ArgParser, TypedAccessValidatesKind) {
+  auto args = make_parser();
+  const char* argv[] = {"tool", "run"};
+  std::string error;
+  ASSERT_TRUE(args.parse(2, argv, &error));
+  EXPECT_THROW(args.flag("episodes"), std::invalid_argument);
+  EXPECT_THROW(args.option("verbose"), std::invalid_argument);
+  EXPECT_THROW(args.positional("nope"), std::invalid_argument);
+}
+
+TEST(ArgParser, DuplicateRegistrationRejected) {
+  ArgParser args("t", "d");
+  args.add_flag("x", "h");
+  EXPECT_THROW(args.add_option("x", "1", "h"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autohet

@@ -1,0 +1,119 @@
+// Circuit component models and the derivation of DeviceParams from them.
+#include <gtest/gtest.h>
+
+#include "reram/components.hpp"
+
+namespace autohet {
+namespace {
+
+using reram::AdcModel;
+using reram::ComponentConfig;
+using reram::CrossbarModel;
+using reram::DacModel;
+using reram::derive_device_params;
+using reram::SramBufferModel;
+
+TEST(AdcModel, EnergyDoublesPerBit) {
+  for (int bits = 4; bits < 12; ++bits) {
+    const AdcModel lo(bits), hi(bits + 1);
+    EXPECT_NEAR(hi.energy_pj() / lo.energy_pj(), 2.0, 1e-9) << bits;
+  }
+}
+
+TEST(AdcModel, CalibratedAtPaperOperatingPoint) {
+  // 10-bit ADC at 32 nm must match the DeviceParams defaults (§4.1 sets
+  // 10-bit resolution).
+  const AdcModel adc(10);
+  const reram::DeviceParams defaults;
+  EXPECT_NEAR(adc.energy_pj(), defaults.adc_energy_pj, 1e-6);
+  EXPECT_NEAR(adc.area_um2(), defaults.adc_area_um2, 1e-6);
+  EXPECT_NEAR(adc.latency_ns(), defaults.adc_latency_ns, 1e-9);
+}
+
+TEST(AdcModel, TechnologyScaling) {
+  const AdcModel at32(10, 32.0), at16(10, 16.0);
+  EXPECT_NEAR(at16.energy_pj() / at32.energy_pj(), 0.5, 1e-9);
+  EXPECT_NEAR(at16.area_um2() / at32.area_um2(), 0.25, 1e-9);
+}
+
+TEST(AdcModel, Validates) {
+  EXPECT_THROW(AdcModel(0), std::invalid_argument);
+  EXPECT_THROW(AdcModel(17), std::invalid_argument);
+  EXPECT_THROW(AdcModel(10, -1.0), std::invalid_argument);
+}
+
+TEST(DacModel, CalibratedAtOneBit) {
+  const DacModel dac(1);
+  const reram::DeviceParams defaults;
+  EXPECT_NEAR(dac.energy_pj(), defaults.dac_energy_pj, 1e-9);
+  EXPECT_NEAR(dac.area_um2(), defaults.dac_area_um2, 1e-9);
+  EXPECT_THROW(DacModel(9), std::invalid_argument);
+}
+
+TEST(CrossbarModel, ReadCycleGrowsWithRows) {
+  const CrossbarModel small({32, 32});
+  const CrossbarModel tall({576, 512});
+  EXPECT_GT(tall.read_cycle_ns(), small.read_cycle_ns());
+  // Linear in rows: slope matches the DeviceParams wire coefficient.
+  const reram::DeviceParams defaults;
+  const double slope = (tall.read_cycle_ns() - small.read_cycle_ns()) /
+                       (576.0 - 32.0);
+  EXPECT_NEAR(slope, defaults.wire_delay_ns_per_row, 1e-9);
+}
+
+TEST(CrossbarModel, AreaIsCellsTimesCellArea) {
+  const CrossbarModel xb({128, 128});
+  EXPECT_NEAR(xb.array_area_um2(), 128.0 * 128.0 * xb.cell_area_um2(),
+              1e-9);
+}
+
+TEST(SramBufferModel, AreaGrowsWithCapacity) {
+  const SramBufferModel small(1024), large(16384);
+  EXPECT_GT(large.area_um2(), small.area_um2());
+  EXPECT_EQ(small.access_energy_pj_per_byte(),
+            large.access_energy_pj_per_byte());
+  EXPECT_THROW(SramBufferModel(0), std::invalid_argument);
+}
+
+TEST(DeriveDeviceParams, MatchesDefaultsAtPaperOperatingPoint) {
+  const reram::DeviceParams derived = derive_device_params(ComponentConfig{});
+  const reram::DeviceParams defaults;
+  EXPECT_NEAR(derived.adc_energy_pj, defaults.adc_energy_pj, 1e-6);
+  EXPECT_NEAR(derived.dac_energy_pj, defaults.dac_energy_pj, 1e-9);
+  EXPECT_NEAR(derived.cell_read_energy_pj, defaults.cell_read_energy_pj,
+              1e-9);
+  EXPECT_NEAR(derived.buffer_rw_energy_pj, defaults.buffer_rw_energy_pj,
+              1e-9);
+  EXPECT_NEAR(derived.adc_area_um2, defaults.adc_area_um2, 1e-6);
+  EXPECT_NEAR(derived.dac_area_um2, defaults.dac_area_um2, 1e-9);
+  EXPECT_NEAR(derived.cell_area_um2, defaults.cell_area_um2, 1e-9);
+  EXPECT_NEAR(derived.tile_overhead_area_um2,
+              defaults.tile_overhead_area_um2, 1e-6);
+  EXPECT_NEAR(derived.base_cycle_ns, defaults.base_cycle_ns, 1e-9);
+  EXPECT_NEAR(derived.wire_delay_ns_per_row,
+              defaults.wire_delay_ns_per_row, 1e-9);
+  EXPECT_NEAR(derived.adc_latency_ns, defaults.adc_latency_ns, 1e-9);
+}
+
+TEST(DeriveDeviceParams, CarriesPrecisionSettings) {
+  ComponentConfig cfg;
+  cfg.adc_resolution_bits = 8;
+  cfg.cell_bits = 2;
+  const auto params = derive_device_params(cfg);
+  EXPECT_EQ(params.adc_resolution_bits, 8);
+  EXPECT_EQ(params.cell_bits, 2);
+  EXPECT_EQ(params.bit_planes(), 4);
+  // Lower ADC resolution => cheaper conversions.
+  const auto at10 = derive_device_params(ComponentConfig{});
+  EXPECT_LT(params.adc_energy_pj, at10.adc_energy_pj);
+}
+
+TEST(DeriveDeviceParams, ValidatedOutput) {
+  ComponentConfig cfg;
+  cfg.weight_bits = 8;
+  cfg.cell_bits = 3;  // 8 % 3 != 0 -> invalid DeviceParams
+  EXPECT_THROW(derive_device_params(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autohet

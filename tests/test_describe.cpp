@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/describe.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace autohet {
+namespace {
+
+TEST(Describe, LeNetSummaryContents) {
+  std::ostringstream oss;
+  nn::describe(nn::lenet5(), oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("LeNet5"), std::string::npos);
+  EXPECT_NE(out.find("5 mappable"), std::string::npos);
+  EXPECT_NE(out.find("sequential"), std::string::npos);
+  EXPECT_NE(out.find("Conv5x5 1->6"), std::string::npos);
+  EXPECT_NE(out.find("FC 400->120"), std::string::npos);
+  // Totals line.
+  const auto net = nn::lenet5();
+  EXPECT_NE(out.find("total weights: " +
+                     std::to_string(net.total_weights())),
+            std::string::npos);
+}
+
+TEST(Describe, MappableLayersAreNumberedPoolsAreNot) {
+  std::ostringstream oss;
+  nn::describe(nn::lenet5(), oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("L1"), std::string::npos);
+  EXPECT_NE(out.find("L5"), std::string::npos);
+  EXPECT_EQ(out.find("L6"), std::string::npos);
+}
+
+TEST(Describe, NonSequentialNetworksAreFlagged) {
+  std::ostringstream oss;
+  nn::describe(nn::resnet152(), oss);
+  EXPECT_NE(oss.str().find("non-sequential"), std::string::npos);
+  EXPECT_NE(oss.str().find("L156"), std::string::npos);
+}
+
+TEST(Describe, OutputShapesArePropagated) {
+  std::ostringstream oss;
+  nn::describe(nn::vgg16(), oss);
+  const std::string out = oss.str();
+  // First conv output: 64x32x32; final FC output: 10x1x1.
+  EXPECT_NE(out.find("64x32x32"), std::string::npos);
+  EXPECT_NE(out.find("10x1x1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autohet

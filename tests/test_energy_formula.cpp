@@ -1,0 +1,110 @@
+// Pins the closed-form energy/latency accounting of the hardware model so
+// future refactors cannot silently change the cost model the experiments
+// rest on (formulas documented in reram/hardware_model.hpp).
+#include <gtest/gtest.h>
+
+#include "mapping/layer_mapping.hpp"
+#include "nn/layer.hpp"
+#include "reram/hardware_model.hpp"
+
+namespace autohet {
+namespace {
+
+TEST(EnergyFormula, AdcTermExact) {
+  // Layer: k=3, Cin=12, Cout=128 on 64x64 -> rb=2, 16x16 output (256 MVMs
+  // with stride 1 pad 1).
+  const auto layer = nn::make_conv(12, 128, 3, 1, 1, 16, 16);
+  const auto m = mapping::map_layer(layer, {64, 64});
+  const reram::DeviceParams p;
+  const auto r = reram::evaluate_layer(layer, m, 1, p);
+  const double mvms = 256.0;
+  const double conversions_per_cycle = 8.0 /*planes*/ * 2.0 /*rb*/ * 128.0;
+  const double expected =
+      mvms * 8.0 /*cycles*/ * conversions_per_cycle * p.adc_energy_pj * 1e-3;
+  EXPECT_NEAR(r.energy.adc_nj, expected, expected * 1e-12);
+}
+
+TEST(EnergyFormula, DacTermExact) {
+  const auto layer = nn::make_conv(12, 128, 3, 1, 1, 16, 16);
+  const auto m = mapping::map_layer(layer, {64, 64});
+  const reram::DeviceParams p;
+  const auto r = reram::evaluate_layer(layer, m, 1, p);
+  // cb = 2 column blocks, used rows = Cin*k^2 = 108.
+  const double expected =
+      256.0 * 8.0 * (8.0 * 2.0 * 108.0) * p.dac_energy_pj * 1e-3;
+  EXPECT_NEAR(r.energy.dac_nj, expected, expected * 1e-12);
+}
+
+TEST(EnergyFormula, CellTermUsesUsefulCellsOnly) {
+  const auto layer = nn::make_conv(12, 128, 3, 1, 1, 16, 16);
+  const auto m = mapping::map_layer(layer, {64, 64});
+  const reram::DeviceParams p;
+  const auto r = reram::evaluate_layer(layer, m, 1, p);
+  const double useful = 12.0 * 9.0 * 128.0;
+  const double expected =
+      256.0 * 8.0 * (8.0 * useful) * p.cell_read_energy_pj * 1e-3;
+  EXPECT_NEAR(r.energy.cell_nj, expected, expected * 1e-12);
+}
+
+TEST(EnergyFormula, ShiftAddTracksAdcConversions) {
+  const auto layer = nn::make_conv(12, 128, 3, 1, 1, 16, 16);
+  const auto m = mapping::map_layer(layer, {64, 64});
+  const reram::DeviceParams p;
+  const auto r = reram::evaluate_layer(layer, m, 1, p);
+  EXPECT_NEAR(r.energy.shift_add_nj / r.energy.adc_nj,
+              p.shift_add_energy_pj / p.adc_energy_pj, 1e-12);
+}
+
+TEST(EnergyFormula, BufferTermExact) {
+  const auto layer = nn::make_fc(512, 4096);
+  const auto m = mapping::map_layer(layer, {512, 512});
+  const reram::DeviceParams p;
+  const auto r = reram::evaluate_layer(layer, m, 1, p);
+  // 1 MVM; bytes = rows(512) + out(4096).
+  const double expected = 1.0 * (512.0 + 4096.0) * p.buffer_rw_energy_pj *
+                          1e-3;
+  EXPECT_NEAR(r.energy.buffer_nj, expected, expected * 1e-12);
+}
+
+TEST(LatencyFormula, PerMvmTermsExact) {
+  const auto layer = nn::make_fc(512, 4096);  // 1 MVM, rb=1, cb=8
+  const auto m = mapping::map_layer(layer, {512, 512});
+  reram::DeviceParams p;
+  const auto r = reram::evaluate_layer(layer, m, /*tiles_spanned=*/2, p);
+  const double cycle = p.base_cycle_ns + p.wire_delay_ns_per_row * 512.0;
+  // merge levels: ceil_log2(rb=1)=0 plus ceil_log2(planes=8)=3; bus:
+  // ceil_log2(tiles=2)=1.
+  const double expected = 8.0 * cycle + p.adc_latency_ns * p.adc_share +
+                          p.merge_latency_ns * 3.0 + p.bus_latency_ns * 1.0;
+  EXPECT_NEAR(r.latency_ns, expected, expected * 1e-12);
+}
+
+TEST(LatencyFormula, AdcShareStretchesConversionPhase) {
+  const auto layer = nn::make_fc(512, 4096);
+  const auto m = mapping::map_layer(layer, {512, 512});
+  reram::DeviceParams p1;
+  reram::DeviceParams p8 = p1;
+  p8.adc_share = 8;
+  const auto r1 = reram::evaluate_layer(layer, m, 1, p1);
+  const auto r8 = reram::evaluate_layer(layer, m, 1, p8);
+  EXPECT_NEAR(r8.latency_ns - r1.latency_ns, 7.0 * p1.adc_latency_ns, 1e-9);
+  // Energy is unchanged by sharing.
+  EXPECT_NEAR(r8.energy.total_nj(), r1.energy.total_nj(), 1e-12);
+}
+
+TEST(EnergyFormula, SplitKernelFallbackUsesWeightRows) {
+  // 7x7 kernel on 32 rows: split path; DAC drives cover Cin*k^2 rows.
+  const auto layer = nn::make_conv(3, 64, 7, 2, 3, 28, 28);
+  const auto m = mapping::map_layer(layer, {32, 32});
+  ASSERT_TRUE(m.split_kernel);
+  const reram::DeviceParams p;
+  const auto r = reram::evaluate_layer(layer, m, 1, p);
+  const double mvms = static_cast<double>(layer.mvm_count());
+  const double expected_dac =
+      mvms * 8.0 * (8.0 * static_cast<double>(m.col_blocks) * 147.0) *
+      p.dac_energy_pj * 1e-3;
+  EXPECT_NEAR(r.energy.dac_nj, expected_dac, expected_dac * 1e-12);
+}
+
+}  // namespace
+}  // namespace autohet

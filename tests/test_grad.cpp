@@ -1,0 +1,203 @@
+// Finite-difference validation of every backward op in tensor/grad.hpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/grad.hpp"
+#include "tensor/ops.hpp"
+
+namespace autohet {
+namespace {
+
+using tensor::Tensor;
+
+constexpr float kEps = 1e-3f;
+constexpr float kTol = 2e-2f;  // float finite differences are noisy
+
+float sum_of_squares(const Tensor& t) {
+  float s = 0.0f;
+  for (std::int64_t i = 0; i < t.numel(); ++i) s += t[i] * t[i];
+  return s;
+}
+
+// L = sum(conv(x, w)^2); analytic gradient via conv2d_backward with
+// dL/dy = 2y must match finite differences in both x and w.
+TEST(ConvBackward, MatchesFiniteDifferences) {
+  common::Rng rng(1);
+  Tensor x({2, 5, 5});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  Tensor w({3, 2, 3, 3});
+  w.fill_uniform(rng, -0.5f, 0.5f);
+  const std::int64_t stride = 1, pad = 1;
+
+  Tensor y = tensor::conv2d(x, w, stride, pad);
+  Tensor dy(y.shape());
+  for (std::int64_t i = 0; i < y.numel(); ++i) dy[i] = 2.0f * y[i];
+  const auto grads = tensor::conv2d_backward(x, w, dy, stride, pad);
+
+  for (std::int64_t p = 0; p < w.numel(); p += 5) {
+    const float orig = w[p];
+    w[p] = orig + kEps;
+    const float lp = sum_of_squares(tensor::conv2d(x, w, stride, pad));
+    w[p] = orig - kEps;
+    const float lm = sum_of_squares(tensor::conv2d(x, w, stride, pad));
+    w[p] = orig;
+    const float fd = (lp - lm) / (2 * kEps);
+    EXPECT_NEAR(grads.grad_weight[p], fd,
+                kTol * std::max(1.0f, std::fabs(fd)))
+        << "w[" << p << "]";
+  }
+  for (std::int64_t p = 0; p < x.numel(); p += 7) {
+    const float orig = x[p];
+    x[p] = orig + kEps;
+    const float lp = sum_of_squares(tensor::conv2d(x, w, stride, pad));
+    x[p] = orig - kEps;
+    const float lm = sum_of_squares(tensor::conv2d(x, w, stride, pad));
+    x[p] = orig;
+    const float fd = (lp - lm) / (2 * kEps);
+    EXPECT_NEAR(grads.grad_input[p], fd,
+                kTol * std::max(1.0f, std::fabs(fd)))
+        << "x[" << p << "]";
+  }
+}
+
+TEST(ConvBackward, StridedGeometry) {
+  common::Rng rng(2);
+  Tensor x({1, 6, 6});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  Tensor w({2, 1, 3, 3});
+  w.fill_uniform(rng, -0.5f, 0.5f);
+  Tensor y = tensor::conv2d(x, w, 2, 1);
+  Tensor dy(y.shape());
+  dy.fill(1.0f);
+  const auto grads = tensor::conv2d_backward(x, w, dy, 2, 1);
+  EXPECT_EQ(grads.grad_input.shape(), x.shape());
+  EXPECT_EQ(grads.grad_weight.shape(), w.shape());
+
+  for (std::int64_t p = 0; p < w.numel(); p += 3) {
+    const float orig = w[p];
+    const auto loss = [&] {
+      const Tensor out = tensor::conv2d(x, w, 2, 1);
+      float s = 0.0f;
+      for (std::int64_t i = 0; i < out.numel(); ++i) s += out[i];
+      return s;
+    };
+    w[p] = orig + kEps;
+    const float lp = loss();
+    w[p] = orig - kEps;
+    const float lm = loss();
+    w[p] = orig;
+    EXPECT_NEAR(grads.grad_weight[p], (lp - lm) / (2 * kEps), kTol);
+  }
+}
+
+TEST(FcBackward, MatchesFiniteDifferences) {
+  common::Rng rng(3);
+  Tensor x({10});
+  x.fill_uniform(rng, -1.0f, 1.0f);
+  Tensor w({4, 10});
+  w.fill_uniform(rng, -0.5f, 0.5f);
+  Tensor y = tensor::fully_connected(x, w);
+  Tensor dy(y.shape());
+  for (std::int64_t i = 0; i < y.numel(); ++i) dy[i] = 2.0f * y[i];
+  const auto grads = tensor::fully_connected_backward(x, w, dy);
+  for (std::int64_t p = 0; p < w.numel(); ++p) {
+    const float orig = w[p];
+    w[p] = orig + kEps;
+    const float lp = sum_of_squares(tensor::fully_connected(x, w));
+    w[p] = orig - kEps;
+    const float lm = sum_of_squares(tensor::fully_connected(x, w));
+    w[p] = orig;
+    EXPECT_NEAR(grads.grad_weight[p], (lp - lm) / (2 * kEps), kTol) << p;
+  }
+  for (std::int64_t p = 0; p < x.numel(); ++p) {
+    const float orig = x[p];
+    x[p] = orig + kEps;
+    const float lp = sum_of_squares(tensor::fully_connected(x, w));
+    x[p] = orig - kEps;
+    const float lm = sum_of_squares(tensor::fully_connected(x, w));
+    x[p] = orig;
+    EXPECT_NEAR(grads.grad_input[p], (lp - lm) / (2 * kEps), kTol) << p;
+  }
+}
+
+TEST(MaxPoolBackward, RoutesToArgmax) {
+  Tensor x({1, 2, 2});
+  x[0] = 1.0f;
+  x[1] = 4.0f;
+  x[2] = 2.0f;
+  x[3] = 3.0f;
+  Tensor dy({1, 1, 1});
+  dy[0] = 5.0f;
+  const Tensor dx = tensor::maxpool2d_backward(x, dy, 2, 2);
+  EXPECT_EQ(dx[0], 0.0f);
+  EXPECT_EQ(dx[1], 5.0f);  // argmax cell
+  EXPECT_EQ(dx[2], 0.0f);
+  EXPECT_EQ(dx[3], 0.0f);
+}
+
+TEST(AvgPoolBackward, SpreadsUniformly) {
+  Tensor x({1, 2, 2});
+  Tensor dy({1, 1, 1});
+  dy[0] = 8.0f;
+  const Tensor dx = tensor::avgpool2d_backward(x, dy, 2, 2);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(dx[i], 2.0f);
+}
+
+TEST(ReluBackward, MasksByPostActivation) {
+  Tensor y({4});
+  y[0] = 0.0f;
+  y[1] = 2.0f;
+  y[2] = 0.0f;
+  y[3] = 0.1f;
+  Tensor g({4});
+  g.fill(7.0f);
+  tensor::relu_backward_inplace(y, g);
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 7.0f);
+  EXPECT_EQ(g[2], 0.0f);
+  EXPECT_EQ(g[3], 7.0f);
+}
+
+TEST(SoftmaxCrossEntropy, LossAndGradient) {
+  Tensor logits({3});
+  logits[0] = 1.0f;
+  logits[1] = 2.0f;
+  logits[2] = 3.0f;
+  const auto [loss, grad] = tensor::softmax_cross_entropy(logits, 2);
+  // p = softmax(1,2,3) = (0.0900, 0.2447, 0.6652); loss = -ln(0.6652).
+  EXPECT_NEAR(loss, 0.4076f, 1e-3f);
+  EXPECT_NEAR(grad[0], 0.0900f, 1e-3f);
+  EXPECT_NEAR(grad[1], 0.2447f, 1e-3f);
+  EXPECT_NEAR(grad[2], 0.6652f - 1.0f, 1e-3f);
+  // Gradient sums to zero.
+  EXPECT_NEAR(grad[0] + grad[1] + grad[2], 0.0f, 1e-6f);
+}
+
+TEST(SoftmaxCrossEntropy, StableForLargeLogits) {
+  Tensor logits({2});
+  logits[0] = 1000.0f;
+  logits[1] = 998.0f;
+  const auto [loss, grad] = tensor::softmax_cross_entropy(logits, 0);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, std::log(1.0f + std::exp(-2.0f)), 1e-4f);
+  EXPECT_TRUE(std::isfinite(grad[0]));
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabel) {
+  Tensor logits({3});
+  EXPECT_THROW(tensor::softmax_cross_entropy(logits, 3),
+               std::invalid_argument);
+  EXPECT_THROW(tensor::softmax_cross_entropy(logits, -1),
+               std::invalid_argument);
+}
+
+TEST(ConvBackward, ValidatesShapes) {
+  Tensor x({2, 5, 5}), w({3, 2, 3, 3}), bad_dy({3, 9, 9});
+  EXPECT_THROW(tensor::conv2d_backward(x, w, bad_dy, 1, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autohet

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "nn/layer.hpp"
+
+namespace autohet {
+namespace {
+
+TEST(LayerSpec, ConvDerivedQuantities) {
+  const auto l = nn::make_conv(3, 64, 3, 1, 1, 32, 32);
+  EXPECT_EQ(l.out_height(), 32);
+  EXPECT_EQ(l.out_width(), 32);
+  EXPECT_EQ(l.weight_rows(), 27);      // 3 * 3^2
+  EXPECT_EQ(l.weight_cols(), 64);
+  EXPECT_EQ(l.weight_count(), 1728);
+  EXPECT_EQ(l.input_size(), 3 * 32 * 32);
+  EXPECT_EQ(l.mvm_count(), 1024);
+}
+
+TEST(LayerSpec, StridedConvGeometry) {
+  const auto l = nn::make_conv(3, 64, 7, 2, 3, 224, 224);
+  EXPECT_EQ(l.out_height(), 112);
+  EXPECT_EQ(l.out_width(), 112);
+  EXPECT_EQ(l.mvm_count(), 112 * 112);
+}
+
+TEST(LayerSpec, FcFollowsPaperConvention) {
+  // §3.2: FC as CONV with ks = s = 1, channels = neuron counts.
+  const auto l = nn::make_fc(4096, 1000);
+  EXPECT_EQ(l.type, nn::LayerType::kFullyConnected);
+  EXPECT_EQ(l.kernel, 1);
+  EXPECT_EQ(l.stride, 1);
+  EXPECT_EQ(l.in_channels, 4096);
+  EXPECT_EQ(l.out_channels, 1000);
+  EXPECT_EQ(l.weight_rows(), 4096);
+  EXPECT_EQ(l.mvm_count(), 1);
+}
+
+TEST(LayerSpec, MappableClassification) {
+  EXPECT_TRUE(nn::is_mappable(nn::LayerType::kConv));
+  EXPECT_TRUE(nn::is_mappable(nn::LayerType::kFullyConnected));
+  EXPECT_FALSE(nn::is_mappable(nn::LayerType::kMaxPool));
+  EXPECT_FALSE(nn::is_mappable(nn::LayerType::kAvgPool));
+}
+
+TEST(LayerSpec, BuildersValidate) {
+  EXPECT_THROW(nn::make_conv(0, 1, 3, 1, 1, 8, 8), std::invalid_argument);
+  EXPECT_THROW(nn::make_conv(1, 1, 3, 0, 1, 8, 8), std::invalid_argument);
+  EXPECT_THROW(nn::make_conv(1, 1, 9, 1, 0, 4, 4), std::invalid_argument);
+  EXPECT_THROW(nn::make_fc(0, 10), std::invalid_argument);
+  EXPECT_THROW(nn::make_maxpool(1, 3, 1, 2, 2), std::invalid_argument);
+}
+
+TEST(LayerSpec, ToStringIsReadable) {
+  EXPECT_EQ(nn::make_conv(3, 64, 3, 1, 1, 32, 32).to_string(),
+            "Conv3x3 3->64 s1 @32x32");
+  EXPECT_EQ(nn::make_fc(10, 5).to_string(), "FC 10->5");
+  EXPECT_EQ(nn::make_maxpool(8, 2, 2, 16, 16).to_string(),
+            "MaxPool2x2 s2 @16x16");
+}
+
+TEST(NetworkSpec, MappableFiltering) {
+  nn::NetworkSpec net;
+  net.name = "toy";
+  net.layers.push_back(nn::make_conv(1, 4, 3, 1, 1, 8, 8));
+  net.layers.push_back(nn::make_maxpool(4, 2, 2, 8, 8));
+  net.layers.push_back(nn::make_fc(64, 10));
+  EXPECT_EQ(net.mappable_indices(), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(net.mappable_layers().size(), 2u);
+  EXPECT_EQ(net.total_weights(), 1 * 9 * 4 + 64 * 10);
+}
+
+TEST(LayerSpec, PoolOutputGeometry) {
+  const auto p = nn::make_maxpool(16, 2, 2, 10, 10);
+  EXPECT_EQ(p.out_height(), 5);
+  EXPECT_EQ(p.out_width(), 5);
+  EXPECT_FALSE(p.relu_after);
+}
+
+}  // namespace
+}  // namespace autohet

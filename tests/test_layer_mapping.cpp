@@ -1,0 +1,209 @@
+// Tests for the kernel-to-crossbar mapping geometry and Eq. 4, anchored on
+// every worked example the paper gives.
+#include <gtest/gtest.h>
+
+#include "mapping/layer_mapping.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace autohet {
+namespace {
+
+using mapping::CrossbarShape;
+using mapping::LayerMapping;
+using mapping::map_layer;
+using mapping::utilization_eq4;
+
+nn::LayerSpec conv(std::int64_t cin, std::int64_t cout, std::int64_t k) {
+  return nn::make_conv(cin, cout, k, 1, k / 2, 32, 32);
+}
+
+// ---- Fig. 2: the paper's motivating example on a 32x32 crossbar ----
+
+TEST(LayerMapping, Fig2Layer1Utilization) {
+  // Layer 1: k=3, Cin=3, Cout=4 -> 10.5% on 32x32.
+  const auto m = map_layer(conv(3, 4, 3), {32, 32});
+  EXPECT_EQ(m.row_blocks, 1);
+  EXPECT_EQ(m.col_blocks, 1);
+  EXPECT_EQ(m.kernels_per_row_block, 3);  // floor(32/9)
+  EXPECT_NEAR(m.utilization(), 108.0 / 1024.0, 1e-12);
+  EXPECT_NEAR(m.utilization(), 0.105, 0.001);
+}
+
+TEST(LayerMapping, Fig2Layer2Utilization) {
+  // Layer 2: k=1, Cin=32, Cout=20 -> 62.5% on 32x32.
+  const auto m = map_layer(conv(32, 20, 1), {32, 32});
+  EXPECT_EQ(m.logical_crossbars(), 1);
+  EXPECT_NEAR(m.utilization(), 0.625, 1e-12);
+}
+
+// ---- Fig. 5: 128 kernels of 3x3x12 on 64x64 vs 128x128 ----
+
+TEST(LayerMapping, Fig5SmallCrossbarSide) {
+  const auto m = map_layer(conv(12, 128, 3), {64, 64});
+  EXPECT_EQ(m.kernels_per_row_block, 7);  // floor(64/9)
+  EXPECT_EQ(m.row_blocks, 2);             // ceil(12/7)
+  EXPECT_EQ(m.col_blocks, 2);             // ceil(128/64)
+  EXPECT_EQ(m.logical_crossbars(), 4);
+  EXPECT_EQ(m.adc_count(), 256);          // paper: 256 activated ADCs
+  EXPECT_NEAR(m.utilization(), 27.0 / 32.0, 1e-12);
+}
+
+TEST(LayerMapping, Fig5LargeCrossbarSide) {
+  const auto m = map_layer(conv(12, 128, 3), {128, 128});
+  EXPECT_EQ(m.kernels_per_row_block, 14);  // floor(128/9)
+  EXPECT_EQ(m.row_blocks, 1);
+  EXPECT_EQ(m.col_blocks, 1);
+  EXPECT_EQ(m.adc_count(), 128);           // paper: 128 activated ADCs
+  // Eq.4 (crossbar-internal) utilization equals the 64x64 case: the paper's
+  // 27/128 figure for XB128 is tile-level — see the tile allocator test
+  // TileLevel.Fig5Utilization.
+  EXPECT_NEAR(m.utilization(), 27.0 / 32.0, 1e-12);
+}
+
+// ---- §3.3: VGG16 layer 4 on square vs rectangle crossbars ----
+
+TEST(LayerMapping, Vgg16Layer4SquareVsRectangle) {
+  const auto layer = conv(128, 128, 3);
+  const auto square = map_layer(layer, {32, 32});
+  EXPECT_NEAR(square.utilization(), 0.837, 0.001);  // paper: 83.7%
+  const auto rect = map_layer(layer, {36, 32});
+  EXPECT_DOUBLE_EQ(rect.utilization(), 1.0);        // paper: 100%
+}
+
+// ---- Eq. 4 direct evaluation ----
+
+TEST(UtilizationEq4, MatchesMappingPath) {
+  const auto layer = conv(37, 211, 3);
+  for (const auto& shape : mapping::all_candidates()) {
+    const auto m = map_layer(layer, shape);
+    EXPECT_DOUBLE_EQ(
+        m.utilization(),
+        utilization_eq4(37, 3, 211, shape.rows, shape.cols))
+        << shape.name();
+  }
+}
+
+TEST(UtilizationEq4, FullyConnectedConvention) {
+  // FC layers use k=1 and neuron counts as channels (paper §3.2/§3.3).
+  const auto fc = nn::make_fc(4096, 1000);
+  const auto m = map_layer(fc, {512, 512});
+  EXPECT_DOUBLE_EQ(m.utilization(),
+                   utilization_eq4(4096, 1, 1000, 512, 512));
+  EXPECT_EQ(m.row_blocks, 8);   // ceil(4096/512)
+  EXPECT_EQ(m.col_blocks, 2);   // ceil(1000/512)
+}
+
+TEST(UtilizationEq4, RejectsSplitKernelCase) {
+  EXPECT_THROW(utilization_eq4(3, 7, 64, 32, 32), std::invalid_argument);
+}
+
+TEST(UtilizationEq4, PerfectFitIsOne) {
+  // 4 kernels of 3x3 per row block, 32 cols: Cin=8, Cout=32 fits exactly
+  // on 36x32.
+  EXPECT_DOUBLE_EQ(utilization_eq4(8, 3, 32, 36, 32), 1.0);
+}
+
+// ---- split-kernel fallback ----
+
+TEST(LayerMapping, SplitKernelFallbackWhenRowsTooShort) {
+  // 7x7 kernel (49 rows per kernel) does not fit 32 rows.
+  const auto layer = nn::make_conv(3, 64, 7, 2, 3, 224, 224);
+  const auto m = map_layer(layer, {32, 32});
+  EXPECT_TRUE(m.split_kernel);
+  EXPECT_EQ(m.row_blocks, (3 * 49 + 31) / 32);
+  EXPECT_EQ(m.col_blocks, 2);
+  EXPECT_GT(m.utilization(), 0.0);
+  EXPECT_LE(m.utilization(), 1.0);
+}
+
+TEST(LayerMapping, KernelAlignedWhenRowsSufficient) {
+  const auto layer = nn::make_conv(3, 64, 7, 2, 3, 224, 224);
+  const auto m = map_layer(layer, {64, 64});
+  EXPECT_FALSE(m.split_kernel);
+  EXPECT_EQ(m.kernels_per_row_block, 1);  // floor(64/49)
+  EXPECT_EQ(m.row_blocks, 3);
+}
+
+// ---- properties over the candidate grid ----
+
+struct MappingCase {
+  std::int64_t cin, cout, k;
+};
+
+class MappingProperty
+    : public ::testing::TestWithParam<std::tuple<MappingCase, int>> {};
+
+TEST_P(MappingProperty, InvariantsHold) {
+  const auto [c, shape_idx] = GetParam();
+  const auto shapes = mapping::all_candidates();
+  const auto shape = shapes[static_cast<std::size_t>(shape_idx)];
+  const auto layer = nn::make_conv(c.cin, c.cout, c.k, 1, c.k / 2, 16, 16);
+  const auto m = map_layer(layer, shape);
+
+  // Utilization is a true fraction.
+  EXPECT_GT(m.utilization(), 0.0);
+  EXPECT_LE(m.utilization(), 1.0);
+  // Allocated cells cover the weights.
+  EXPECT_GE(m.total_cells(), m.useful_cells);
+  // Useful cells match the layer.
+  EXPECT_EQ(m.useful_cells, c.cin * c.k * c.k * c.cout);
+  // Capacity check: the blocks can actually hold the kernels.
+  if (!m.split_kernel) {
+    EXPECT_GE(m.kernels_per_row_block * m.row_blocks, c.cin);
+    EXPECT_GE(m.kernels_per_row_block * shape.rows / shape.rows, 0);
+  } else {
+    EXPECT_GE(m.row_blocks * shape.rows, c.cin * c.k * c.k);
+  }
+  EXPECT_GE(m.col_blocks * shape.cols, c.cout);
+  // ADC count is one per bitline of each logical crossbar.
+  EXPECT_EQ(m.adc_count(), m.logical_crossbars() * shape.cols);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MappingProperty,
+    ::testing::Combine(
+        ::testing::Values(MappingCase{1, 1, 1}, MappingCase{3, 64, 3},
+                          MappingCase{64, 64, 3}, MappingCase{128, 128, 3},
+                          MappingCase{512, 512, 3}, MappingCase{32, 20, 1},
+                          MappingCase{2048, 1000, 1}, MappingCase{12, 128, 3},
+                          MappingCase{100, 100, 5}, MappingCase{3, 64, 7},
+                          MappingCase{7, 9, 2}, MappingCase{511, 513, 3}),
+        ::testing::Range(0, 10)));
+
+// Rectangle crossbars beat their square siblings on 3x3 layers whenever the
+// layer's input channels fill whole row blocks (the regime §3.3 designs the
+// multiples-of-9 heights for). With very small Cin the taller rectangle can
+// strand more rows than the square, so the property is conditioned on
+// cin % floor(rect_rows/9) == 0.
+TEST(LayerMapping, RectangleBeatsSquareFor3x3Kernels) {
+  const auto squares = mapping::square_candidates();
+  const auto rects = mapping::rectangle_candidates();
+  int checked = 0;
+  for (std::int64_t cin : {16, 64, 128, 256, 512}) {
+    for (std::int64_t cout : {64, 128, 256, 512}) {
+      const auto layer = conv(cin, cout, 3);
+      for (std::size_t i = 0; i < squares.size(); ++i) {
+        const std::int64_t kpb_rect = rects[i].rows / 9;
+        if (cin % kpb_rect != 0) continue;
+        const double us = map_layer(layer, squares[i]).utilization();
+        const double ur = map_layer(layer, rects[i]).utilization();
+        EXPECT_GE(ur, us) << squares[i].name() << " vs " << rects[i].name()
+                          << " cin=" << cin << " cout=" << cout;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 20);  // the condition must not vacuously pass
+  // And in the full-row-block regime the rectangle fill is exact: the §3.3
+  // example generalizes.
+  EXPECT_DOUBLE_EQ(map_layer(conv(128, 128, 3), {36, 32}).utilization(), 1.0);
+  EXPECT_DOUBLE_EQ(map_layer(conv(512, 512, 3), {72, 64}).utilization(), 1.0);
+}
+
+TEST(LayerMapping, RejectsPoolingLayers) {
+  const auto pool = nn::make_maxpool(8, 2, 2, 16, 16);
+  EXPECT_THROW(map_layer(pool, {32, 32}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autohet

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace autohet {
+namespace {
+
+// Captures stderr around a callable.
+template <typename Fn>
+std::string capture_stderr(Fn&& fn) {
+  std::ostringstream oss;
+  std::streambuf* old = std::cerr.rdbuf(oss.rdbuf());
+  fn();
+  std::cerr.rdbuf(old);
+  return oss.str();
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = common::log_level(); }
+  void TearDown() override { common::log_level() = saved_; }
+  common::LogLevel saved_ = common::LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, InfoEmitsAtInfoLevel) {
+  common::log_level() = common::LogLevel::kInfo;
+  const std::string out =
+      capture_stderr([] { common::log_info("hello ", 42); });
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+  EXPECT_NE(out.find("hello 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DebugSuppressedAtInfoLevel) {
+  common::log_level() = common::LogLevel::kInfo;
+  const std::string out =
+      capture_stderr([] { common::log_debug("secret"); });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LoggingTest, DebugEmitsAtDebugLevel) {
+  common::log_level() = common::LogLevel::kDebug;
+  const std::string out =
+      capture_stderr([] { common::log_debug("verbose"); });
+  EXPECT_NE(out.find("DEBUG"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  common::log_level() = common::LogLevel::kOff;
+  const std::string out = capture_stderr([] {
+    common::log_debug("a");
+    common::log_info("b");
+    common::log_warn("c");
+    common::log_error("d");
+  });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LoggingTest, WarnAndErrorCarryLevels) {
+  common::log_level() = common::LogLevel::kDebug;
+  const std::string warn =
+      capture_stderr([] { common::log_warn("careful"); });
+  EXPECT_NE(warn.find("WARN"), std::string::npos);
+  const std::string error =
+      capture_stderr([] { common::log_error("broken"); });
+  EXPECT_NE(error.find("ERROR"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessagesAreNewlineTerminated) {
+  common::log_level() = common::LogLevel::kInfo;
+  const std::string out = capture_stderr([] { common::log_info("line"); });
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), '\n');
+}
+
+}  // namespace
+}  // namespace autohet

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+#include "nn/model_zoo.hpp"
+#include "tensor/ops.hpp"
+
+namespace autohet {
+namespace {
+
+TEST(Model, LeNetForwardProducesLogits) {
+  common::Rng rng(1);
+  const nn::Model model(nn::lenet5(), rng);
+  common::Rng img_rng(2);
+  const auto input = nn::synthetic_image(img_rng, 1, 32, 32);
+  const auto out = model.forward(input);
+  EXPECT_EQ(out.numel(), 10);
+}
+
+TEST(Model, ForwardIsDeterministicForSeed) {
+  common::Rng rng1(5), rng2(5);
+  const nn::Model m1(nn::lenet5(), rng1);
+  const nn::Model m2(nn::lenet5(), rng2);
+  common::Rng img_rng(3);
+  const auto input = nn::synthetic_image(img_rng, 1, 32, 32);
+  const auto o1 = m1.forward(input);
+  const auto o2 = m2.forward(input);
+  EXPECT_EQ(tensor::max_abs_diff(o1, o2), 0.0f);
+}
+
+TEST(Model, DifferentSeedsGiveDifferentWeights) {
+  common::Rng rng1(1), rng2(2);
+  const nn::Model m1(nn::lenet5(), rng1);
+  const nn::Model m2(nn::lenet5(), rng2);
+  EXPECT_GT(tensor::max_abs_diff(m1.weight(0), m2.weight(0)), 0.0f);
+}
+
+TEST(Model, WeightShapes) {
+  common::Rng rng(1);
+  const nn::Model model(nn::lenet5(), rng);
+  ASSERT_EQ(model.mappable_count(), 5u);
+  // Conv1: [6, 1, 5, 5].
+  EXPECT_EQ(model.weight(0).shape(),
+            (std::vector<std::int64_t>{6, 1, 5, 5}));
+  // FC1: [120, 400].
+  EXPECT_EQ(model.weight(2).shape(), (std::vector<std::int64_t>{120, 400}));
+  EXPECT_THROW(model.weight(5), std::invalid_argument);
+}
+
+TEST(Model, ForwardLayerMatchesOps) {
+  common::Rng rng(7);
+  const nn::Model model(nn::lenet5(), rng);
+  common::Rng img_rng(8);
+  const auto input = nn::synthetic_image(img_rng, 1, 32, 32);
+  const auto direct =
+      tensor::conv2d(input, model.weight(0), /*stride=*/1, /*pad=*/0);
+  const auto via_model = model.forward_layer(0, input);
+  EXPECT_EQ(tensor::max_abs_diff(direct, via_model), 0.0f);
+}
+
+TEST(Model, RejectsNonRunnableNetworks) {
+  common::Rng rng(1);
+  const nn::Model model(nn::resnet152(), rng);
+  common::Rng img_rng(2);
+  const auto input = nn::synthetic_image(img_rng, 3, 224, 224);
+  EXPECT_THROW(model.forward(input), std::invalid_argument);
+  // But per-layer execution still works for the stem.
+  const auto stem = model.forward_layer(0, input);
+  EXPECT_EQ(stem.dim(0), 64);
+  EXPECT_EQ(stem.dim(1), 112);
+}
+
+TEST(Model, ReluAppliedBetweenLayersButNotAtEnd) {
+  // The last FC has relu_after = false, so logits may be negative.
+  common::Rng rng(11);
+  const nn::Model model(nn::lenet5(), rng);
+  common::Rng img_rng(12);
+  bool saw_negative = false;
+  for (int trial = 0; trial < 5 && !saw_negative; ++trial) {
+    const auto out =
+        model.forward(nn::synthetic_image(img_rng, 1, 32, 32));
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      if (out[i] < 0.0f) saw_negative = true;
+    }
+  }
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(SyntheticImage, ShapeAndRange) {
+  common::Rng rng(13);
+  const auto img = nn::synthetic_image(rng, 3, 8, 9);
+  EXPECT_EQ(img.shape(), (std::vector<std::int64_t>{3, 8, 9}));
+  EXPECT_GE(img.min(), 0.0f);
+  EXPECT_LT(img.max(), 1.0f);
+}
+
+}  // namespace
+}  // namespace autohet

@@ -1,0 +1,159 @@
+// Structural checks of the model zoo against the paper's Table 2.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "nn/model_zoo.hpp"
+
+namespace autohet {
+namespace {
+
+// Counts mappable layers bucketed by (kernel, out_channels) as Table 2 does.
+std::map<std::pair<std::int64_t, std::int64_t>, int> conv_buckets(
+    const nn::NetworkSpec& net) {
+  std::map<std::pair<std::int64_t, std::int64_t>, int> buckets;
+  for (const auto& l : net.mappable_layers()) {
+    if (l.type == nn::LayerType::kConv) {
+      ++buckets[{l.kernel, l.out_channels}];
+    }
+  }
+  return buckets;
+}
+
+TEST(ModelZoo, AlexNetMatchesTable2) {
+  const auto net = nn::alexnet();
+  const auto mappable = net.mappable_layers();
+  ASSERT_EQ(mappable.size(), 8u);  // 5 CONV + 3 FC
+  const auto buckets = conv_buckets(net);
+  EXPECT_EQ(buckets.at({3, 64}), 1);
+  EXPECT_EQ(buckets.at({3, 192}), 1);
+  EXPECT_EQ(buckets.at({3, 384}), 1);
+  EXPECT_EQ(buckets.at({3, 256}), 2);
+  // FC tail: F4096, F4096, F10.
+  EXPECT_EQ(mappable[5].out_channels, 4096);
+  EXPECT_EQ(mappable[6].out_channels, 4096);
+  EXPECT_EQ(mappable[7].out_channels, 10);
+  EXPECT_TRUE(net.sequential_runnable);
+}
+
+TEST(ModelZoo, Vgg16MatchesTable2) {
+  const auto net = nn::vgg16();
+  const auto mappable = net.mappable_layers();
+  ASSERT_EQ(mappable.size(), 16u);  // 13 CONV + 3 FC
+  const auto buckets = conv_buckets(net);
+  EXPECT_EQ(buckets.at({3, 64}), 2);
+  EXPECT_EQ(buckets.at({3, 128}), 2);
+  EXPECT_EQ(buckets.at({3, 256}), 3);
+  EXPECT_EQ(buckets.at({3, 512}), 6);
+  EXPECT_EQ(mappable[13].out_channels, 4096);
+  EXPECT_EQ(mappable[14].out_channels, 1000);
+  EXPECT_EQ(mappable[15].out_channels, 10);
+}
+
+TEST(ModelZoo, Vgg16ChannelChaining) {
+  const auto mappable = nn::vgg16().mappable_layers();
+  // Every CONV layer's Cin equals the previous CONV's Cout (first is 3).
+  EXPECT_EQ(mappable[0].in_channels, 3);
+  for (std::size_t i = 1; i < 13; ++i) {
+    EXPECT_EQ(mappable[i].in_channels, mappable[i - 1].out_channels) << i;
+  }
+  // FC head consumes the 1x1x512 feature map.
+  EXPECT_EQ(mappable[13].in_channels, 512);
+}
+
+TEST(ModelZoo, ResNet152MatchesTable2Buckets) {
+  const auto net = nn::resnet152();
+  const auto buckets = conv_buckets(net);
+  // Table 2: C7-64, 3 C1-64, 8 C1-128, 40 C1-256, 12 C1-512, 37 C1-1024,
+  // 4 C1-2048, 3 C3-64, 8 C3-128, 36 C3-256, 3 C3-512, F1000.
+  EXPECT_EQ(buckets.at({7, 64}), 1);
+  EXPECT_EQ(buckets.at({1, 64}), 3);
+  EXPECT_EQ(buckets.at({1, 128}), 8);
+  EXPECT_EQ(buckets.at({1, 256}), 40);
+  EXPECT_EQ(buckets.at({1, 512}), 12);
+  EXPECT_EQ(buckets.at({1, 1024}), 37);
+  EXPECT_EQ(buckets.at({1, 2048}), 4);
+  EXPECT_EQ(buckets.at({3, 64}), 3);
+  EXPECT_EQ(buckets.at({3, 128}), 8);
+  EXPECT_EQ(buckets.at({3, 256}), 36);
+  EXPECT_EQ(buckets.at({3, 512}), 3);
+  // 155 CONV + 1 FC.
+  EXPECT_EQ(net.mappable_layers().size(), 156u);
+  const auto last = net.mappable_layers().back();
+  EXPECT_EQ(last.type, nn::LayerType::kFullyConnected);
+  EXPECT_EQ(last.in_channels, 2048);
+  EXPECT_EQ(last.out_channels, 1000);
+  EXPECT_FALSE(net.sequential_runnable);
+}
+
+TEST(ModelZoo, ResNet152SpatialPyramid) {
+  // Feature maps shrink 224 -> 112 -> 56 -> 28 -> 14 -> 7.
+  const auto net = nn::resnet152();
+  EXPECT_EQ(net.layers.front().in_height, 224);
+  std::int64_t min_h = 224;
+  for (const auto& l : net.layers) min_h = std::min(min_h, l.in_height);
+  EXPECT_EQ(min_h, 1);  // FC operates on the pooled 1x1 map
+}
+
+TEST(ModelZoo, LeNetShape) {
+  const auto net = nn::lenet5();
+  EXPECT_EQ(net.mappable_layers().size(), 5u);
+  EXPECT_TRUE(net.sequential_runnable);
+  EXPECT_EQ(net.mappable_layers()[2].in_channels, 400);
+}
+
+TEST(ModelZoo, InputGeometryPerDataset) {
+  // §4.1 pairing: AlexNet/MNIST 28x28x1, VGG16/CIFAR 32x32x3,
+  // ResNet152/ImageNet 224x224x3.
+  EXPECT_EQ(nn::alexnet().layers[0].in_channels, 1);
+  EXPECT_EQ(nn::alexnet().layers[0].in_height, 28);
+  EXPECT_EQ(nn::vgg16().layers[0].in_channels, 3);
+  EXPECT_EQ(nn::vgg16().layers[0].in_height, 32);
+  EXPECT_EQ(nn::resnet152().layers[0].in_channels, 3);
+  EXPECT_EQ(nn::resnet152().layers[0].in_height, 224);
+}
+
+TEST(ModelZoo, LookupByName) {
+  EXPECT_EQ(nn::network_by_name("VGG16").name, "VGG16");
+  EXPECT_EQ(nn::network_by_name("vgg").name, "VGG16");
+  EXPECT_EQ(nn::network_by_name("AlexNet").name, "AlexNet");
+  EXPECT_EQ(nn::network_by_name("resnet152").name, "ResNet152");
+  EXPECT_EQ(nn::network_by_name("LeNet").name, "LeNet5");
+  EXPECT_THROW(nn::network_by_name("mobilenet"), std::invalid_argument);
+}
+
+TEST(ModelZoo, PaperWorkloadsOrder) {
+  const auto workloads = nn::paper_workloads();
+  ASSERT_EQ(workloads.size(), 3u);
+  EXPECT_EQ(workloads[0].name, "AlexNet");
+  EXPECT_EQ(workloads[1].name, "VGG16");
+  EXPECT_EQ(workloads[2].name, "ResNet152");
+}
+
+TEST(ModelZoo, FeatureMapChainingIsConsistent) {
+  // For the sequential nets, each layer's input geometry must match the
+  // previous layer's output geometry.
+  for (const auto& net : {nn::lenet5(), nn::alexnet(), nn::vgg16()}) {
+    std::int64_t c = net.layers[0].in_channels;
+    std::int64_t h = net.layers[0].in_height;
+    std::int64_t w = net.layers[0].in_width;
+    for (const auto& l : net.layers) {
+      if (l.type == nn::LayerType::kFullyConnected) {
+        EXPECT_EQ(l.in_channels, c * h * w) << net.name;
+        c = l.out_channels;
+        h = 1;
+        w = 1;
+        continue;
+      }
+      EXPECT_EQ(l.in_channels, c) << net.name << ": " << l.to_string();
+      EXPECT_EQ(l.in_height, h) << net.name << ": " << l.to_string();
+      EXPECT_EQ(l.in_width, w) << net.name << ": " << l.to_string();
+      c = l.out_channels;
+      h = l.out_height();
+      w = l.out_width();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autohet

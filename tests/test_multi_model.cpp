@@ -1,0 +1,153 @@
+// Multi-model co-residency: several DNNs on one accelerator with per-model
+// or cross-model tile sharing (the "other models" benefit of §3.4).
+#include <gtest/gtest.h>
+
+#include "mapping/multi_model.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace autohet {
+namespace {
+
+using mapping::CrossbarShape;
+using mapping::MultiModelAllocator;
+using mapping::ResidentModel;
+using mapping::SharingScope;
+
+ResidentModel resident(const nn::NetworkSpec& net, CrossbarShape shape) {
+  ResidentModel m;
+  m.name = net.name;
+  m.layers = net.mappable_layers();
+  m.shapes.assign(m.layers.size(), shape);
+  return m;
+}
+
+TEST(MultiModel, SingleModelMatchesTileAllocator) {
+  const auto net = nn::alexnet();
+  const std::vector<ResidentModel> models = {resident(net, {128, 128})};
+  const auto multi =
+      MultiModelAllocator(4, SharingScope::kPerModel).allocate(models);
+
+  const mapping::TileAllocator single(4, /*tile_shared=*/true);
+  const std::vector<CrossbarShape> shapes(net.mappable_layers().size(),
+                                          CrossbarShape{128, 128});
+  const auto ref = single.allocate(net.mappable_layers(), shapes);
+  EXPECT_EQ(multi.occupied_tiles(), ref.occupied_tiles());
+  EXPECT_DOUBLE_EQ(multi.system_utilization(), ref.system_utilization());
+}
+
+TEST(MultiModel, CrossModelSharingNeverWorseThanPerModel) {
+  const std::vector<ResidentModel> models = {
+      resident(nn::alexnet(), {128, 128}),
+      resident(nn::lenet5(), {128, 128}),
+      resident(nn::vgg16(), {128, 128}),
+  };
+  const auto none =
+      MultiModelAllocator(4, SharingScope::kNone).allocate(models);
+  const auto per =
+      MultiModelAllocator(4, SharingScope::kPerModel).allocate(models);
+  const auto cross =
+      MultiModelAllocator(4, SharingScope::kCrossModel).allocate(models);
+  EXPECT_LE(per.occupied_tiles(), none.occupied_tiles());
+  EXPECT_LE(cross.occupied_tiles(), per.occupied_tiles());
+  EXPECT_GE(cross.system_utilization(), per.system_utilization());
+  // Useful cells are invariant under sharing.
+  EXPECT_EQ(none.useful_cells(), cross.useful_cells());
+}
+
+TEST(MultiModel, CrossModelSharingMergesAcrossModels) {
+  // Two tiny models, each leaving most of a tile empty, on the same shape:
+  // cross-model sharing should co-locate them in one tile.
+  nn::NetworkSpec a;
+  a.name = "a";
+  a.layers.push_back(nn::make_conv(3, 4, 3, 1, 1, 8, 8));  // 1 crossbar
+  nn::NetworkSpec b;
+  b.name = "b";
+  b.layers.push_back(nn::make_conv(3, 4, 3, 1, 1, 8, 8));  // 1 crossbar
+  const std::vector<ResidentModel> models = {resident(a, {32, 32}),
+                                             resident(b, {32, 32})};
+  const auto per =
+      MultiModelAllocator(4, SharingScope::kPerModel).allocate(models);
+  EXPECT_EQ(per.occupied_tiles(), 2);  // no intra-model partner to merge with
+  const auto cross =
+      MultiModelAllocator(4, SharingScope::kCrossModel).allocate(models);
+  EXPECT_EQ(cross.occupied_tiles(), 1);
+  EXPECT_EQ(cross.released_tiles(), 1);
+  // The surviving tile hosts layers of both models (ids in different
+  // strides).
+  const mapping::Tile* survivor = nullptr;
+  for (const auto& t : cross.tiles) {
+    if (!t.released) survivor = &t;
+  }
+  ASSERT_NE(survivor, nullptr);
+  ASSERT_EQ(survivor->layer_ids.size(), 2u);
+  EXPECT_NE(survivor->layer_ids[0] / MultiModelAllocator::kModelStride,
+            survivor->layer_ids[1] / MultiModelAllocator::kModelStride);
+}
+
+TEST(MultiModel, DifferentShapesNeverShareAcrossModels) {
+  nn::NetworkSpec a;
+  a.name = "a";
+  a.layers.push_back(nn::make_conv(3, 4, 3, 1, 1, 8, 8));
+  nn::NetworkSpec b;
+  b.name = "b";
+  b.layers.push_back(nn::make_conv(3, 4, 3, 1, 1, 8, 8));
+  const std::vector<ResidentModel> models = {resident(a, {32, 32}),
+                                             resident(b, {64, 64})};
+  const auto cross =
+      MultiModelAllocator(4, SharingScope::kCrossModel).allocate(models);
+  EXPECT_EQ(cross.occupied_tiles(), 2);
+  EXPECT_TRUE(cross.remap.empty());
+}
+
+TEST(MultiModel, OccupiedCrossbarsConservedAcrossScopes) {
+  const std::vector<ResidentModel> models = {
+      resident(nn::alexnet(), {64, 64}),
+      resident(nn::lenet5(), {64, 64}),
+  };
+  for (const SharingScope scope :
+       {SharingScope::kNone, SharingScope::kPerModel,
+        SharingScope::kCrossModel}) {
+    const auto result = MultiModelAllocator(8, scope).allocate(models);
+    std::int64_t needed = 0;
+    for (const auto& m : result.models) {
+      for (const auto& l : m.layers) {
+        needed += l.mapping.logical_crossbars();
+      }
+    }
+    std::int64_t held = 0;
+    for (const auto& t : result.tiles) {
+      if (!t.released) held += 8 - t.empty_xbs;
+    }
+    EXPECT_EQ(held, needed) << static_cast<int>(scope);
+  }
+}
+
+TEST(MultiModel, PerModelStatsTrackTileCounts) {
+  const std::vector<ResidentModel> models = {
+      resident(nn::alexnet(), {256, 256}),
+      resident(nn::vgg16(), {256, 256}),
+  };
+  const auto result =
+      MultiModelAllocator(4, SharingScope::kNone).allocate(models);
+  ASSERT_EQ(result.models.size(), 2u);
+  EXPECT_EQ(result.models[0].name, "AlexNet");
+  EXPECT_EQ(result.models[1].name, "VGG16");
+  std::int64_t sum = 0;
+  for (const auto& m : result.models) sum += m.tiles_before_sharing;
+  EXPECT_EQ(sum, static_cast<std::int64_t>(result.tiles.size()));
+}
+
+TEST(MultiModel, ValidatesInput) {
+  EXPECT_THROW(MultiModelAllocator(0, SharingScope::kNone),
+               std::invalid_argument);
+  const MultiModelAllocator alloc(4, SharingScope::kNone);
+  EXPECT_THROW(alloc.allocate({}), std::invalid_argument);
+  ResidentModel broken;
+  broken.name = "broken";
+  broken.layers.push_back(nn::make_conv(3, 4, 3, 1, 1, 8, 8));
+  // shapes missing
+  EXPECT_THROW(alloc.allocate({broken}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autohet

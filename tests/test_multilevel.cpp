@@ -1,0 +1,159 @@
+// Multi-level cells and conductance variation on the functional crossbar.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/model_zoo.hpp"
+#include "reram/crossbar.hpp"
+#include "reram/functional.hpp"
+#include "tensor/ops.hpp"
+
+namespace autohet {
+namespace {
+
+using reram::LogicalCrossbar;
+
+std::vector<std::int8_t> random_weights(common::Rng& rng, std::int64_t n) {
+  std::vector<std::int8_t> w(static_cast<std::size_t>(n));
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  return w;
+}
+
+std::vector<std::uint8_t> random_inputs(common::Rng& rng, std::int64_t n) {
+  std::vector<std::uint8_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.uniform_u64(256));
+  return x;
+}
+
+class MultilevelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultilevelEquivalence, MatchesIntegerReference) {
+  const int cell_bits = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(cell_bits) * 101);
+  LogicalCrossbar xb({36, 32});
+  xb.program(random_weights(rng, 30 * 20), 30, 20);
+  const auto x = random_inputs(rng, 30);
+  EXPECT_EQ(xb.mvm_multilevel(x, cell_bits), xb.mvm_reference(x))
+      << "cell_bits=" << cell_bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(CellPrecisions, MultilevelEquivalence,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Multilevel, ExtremeWeightsAllPrecisions) {
+  LogicalCrossbar xb({2, 2});
+  const std::vector<std::int8_t> w = {-128, 127, 1, -1};
+  xb.program(w, 2, 2);
+  const std::vector<std::uint8_t> x = {255, 255};
+  const auto want = xb.mvm_reference(x);
+  for (int bits : {1, 2, 4, 8}) {
+    EXPECT_EQ(xb.mvm_multilevel(x, bits), want) << bits;
+  }
+}
+
+TEST(Multilevel, RejectsInvalidCellBits) {
+  LogicalCrossbar xb({4, 4});
+  const std::vector<std::int8_t> w(4, 1);
+  xb.program(w, 2, 2);
+  const std::vector<std::uint8_t> x = {1, 1};
+  EXPECT_THROW(xb.mvm_multilevel(x, 0), std::invalid_argument);
+  EXPECT_THROW(xb.mvm_multilevel(x, 3), std::invalid_argument);
+  EXPECT_THROW(xb.mvm_multilevel(x, 16), std::invalid_argument);
+}
+
+TEST(Multilevel, OneBitCellsAgreeWithTwoComplementDatapath) {
+  // The offset-binary+reference path and the two's-complement plane path
+  // are different circuits computing the same arithmetic.
+  common::Rng rng(7);
+  LogicalCrossbar xb({64, 64});
+  xb.program(random_weights(rng, 64 * 64), 64, 64);
+  const auto x = random_inputs(rng, 64);
+  EXPECT_EQ(xb.mvm_multilevel(x, 1), xb.mvm_bit_serial(x));
+}
+
+TEST(Variation, ZeroSigmaIsExact) {
+  common::Rng rng(8);
+  LogicalCrossbar xb({16, 16});
+  xb.program(random_weights(rng, 256), 16, 16);
+  const auto x = random_inputs(rng, 16);
+  const auto before = xb.mvm_reference(x);
+  common::Rng noise_rng(9);
+  xb.apply_variation(noise_rng, 0.0);
+  EXPECT_EQ(xb.mvm_reference(x), before);
+}
+
+TEST(Variation, PerturbsProgrammedCellsOnly) {
+  LogicalCrossbar xb({8, 8});
+  std::vector<std::int8_t> w(16, 0);
+  w[0] = 100;
+  xb.program(w, 4, 4);
+  common::Rng rng(10);
+  xb.apply_variation(rng, 0.5);
+  const std::vector<std::uint8_t> x = {1, 0, 0, 0};
+  const auto out = xb.mvm_reference(x);
+  // Zero (unprogrammed/high-resistance) cells stay exactly zero.
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[2], 0);
+  // The programmed cell moved but stayed in int8 range.
+  EXPECT_NE(out[0], 0);
+  EXPECT_LE(out[0], 127);
+  EXPECT_GE(out[0], -128);
+}
+
+TEST(Variation, ErrorGrowsWithSigma) {
+  common::Rng rng(11);
+  const std::vector<std::int8_t> w = random_weights(rng, 32 * 32);
+  const auto x = random_inputs(rng, 32);
+  const auto error_at = [&](double sigma) {
+    LogicalCrossbar xb({32, 32});
+    xb.program(w, 32, 32);
+    const auto clean = xb.mvm_reference(x);
+    common::Rng noise(12);
+    xb.apply_variation(noise, sigma);
+    const auto noisy = xb.mvm_reference(x);
+    double err = 0.0;
+    for (std::size_t j = 0; j < clean.size(); ++j) {
+      err += std::abs(static_cast<double>(noisy[j]) - clean[j]);
+    }
+    return err;
+  };
+  const double small = error_at(0.01);
+  const double large = error_at(0.3);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+}
+
+TEST(Variation, RejectsNegativeSigma) {
+  LogicalCrossbar xb({4, 4});
+  common::Rng rng(13);
+  EXPECT_THROW(xb.apply_variation(rng, -0.1), std::invalid_argument);
+}
+
+TEST(Variation, ModelLevelAccuracyDegradesGracefully) {
+  // LeNet on the simulated fabric: small variation keeps most argmax
+  // agreement; huge variation destroys it.
+  common::Rng rng(14);
+  const nn::Model model(nn::lenet5(), rng);
+  const std::vector<mapping::CrossbarShape> shapes(5, {128, 128});
+
+  const auto agreement_at = [&](double sigma) {
+    reram::SimulatedModel sim(model, shapes);
+    common::Rng noise(15);
+    sim.apply_variation(noise, sigma);
+    common::Rng imgs(16);
+    int agree = 0;
+    for (int t = 0; t < 10; ++t) {
+      const auto img = nn::synthetic_image(imgs, 1, 32, 32);
+      if (tensor::argmax(model.forward(img)) ==
+          tensor::argmax(sim.forward(img))) {
+        ++agree;
+      }
+    }
+    return agree;
+  };
+  EXPECT_GE(agreement_at(0.0), 9);
+  EXPECT_GE(agreement_at(0.002), 7);
+  EXPECT_LE(agreement_at(1.0), agreement_at(0.002));
+}
+
+}  // namespace
+}  // namespace autohet

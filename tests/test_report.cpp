@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/table.hpp"
+
+namespace autohet {
+namespace {
+
+using report::Table;
+
+TEST(Format, Scientific) {
+  EXPECT_EQ(report::format_sci(22900000000.0, 2), "2.29e+10");
+  EXPECT_EQ(report::format_sci(0.000031, 1), "3.1e-05");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(report::format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(report::format_fixed(100.0, 0), "100");
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"Name", "Value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| Name        | Value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+  EXPECT_NE(out.find("|-------------|-------|"), std::string::npos);
+}
+
+TEST(Table, RowWidthIsValidated) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"A", "B", "C"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvPlainFields) {
+  Table t({"A", "B"});
+  t.add_row({"x", "y"});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(), "A,B\nx,y\n");
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t({"A"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(), "A\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+}  // namespace
+}  // namespace autohet

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/model_zoo.hpp"
+#include "reram/hardware_model.hpp"
+#include "report/serialize.hpp"
+
+namespace autohet {
+namespace {
+
+reram::NetworkReport sample_report() {
+  const auto layers = nn::lenet5().mappable_layers();
+  reram::AcceleratorConfig config;
+  return reram::evaluate_homogeneous(layers, {64, 64}, config);
+}
+
+TEST(SerializeNetworkReport, HasHeaderLayersAndTotal) {
+  const auto report = sample_report();
+  std::ostringstream oss;
+  report::write_network_report_csv(oss, report);
+  const std::string csv = oss.str();
+  // Header + 5 layers + TOTAL = 7 lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);
+  EXPECT_EQ(csv.rfind("layer,shape,", 0), 0u);
+  EXPECT_NE(csv.find("\nTOTAL,"), std::string::npos);
+  EXPECT_NE(csv.find("64x64"), std::string::npos);
+}
+
+TEST(SerializeNetworkReport, LayerRowsCarryPerLayerNumbers) {
+  const auto report = sample_report();
+  std::ostringstream oss;
+  report::write_network_report_csv(oss, report);
+  std::istringstream iss(oss.str());
+  std::string line;
+  std::getline(iss, line);  // header
+  std::getline(iss, line);  // layer 1
+  EXPECT_EQ(line.rfind("1,64x64,", 0), 0u);
+}
+
+TEST(SerializeSummary, SingleLineWithHeader) {
+  const auto report = sample_report();
+  std::ostringstream oss;
+  report::write_summary_csv(oss, "lenet-64", report);
+  const std::string csv = oss.str();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+  EXPECT_EQ(csv.rfind("name,utilization,", 0), 0u);
+  EXPECT_NE(csv.find("lenet-64,"), std::string::npos);
+}
+
+TEST(SerializeSummary, HeaderSuppression) {
+  const auto report = sample_report();
+  std::ostringstream oss;
+  report::write_summary_csv(oss, "a", report, /*with_header=*/true);
+  report::write_summary_csv(oss, "b", report, /*with_header=*/false);
+  const std::string csv = oss.str();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  // Only one header.
+  EXPECT_EQ(csv.find("name,"), csv.rfind("name,"));
+}
+
+}  // namespace
+}  // namespace autohet

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "autohet/strategy.hpp"
+
+namespace autohet {
+namespace {
+
+using core::Strategy;
+using core::strategy_from_actions;
+using mapping::CrossbarShape;
+
+TEST(Strategy, RoundTripsThroughText) {
+  Strategy s;
+  s.network = "VGG16";
+  s.shapes = {{288, 256}, {576, 512}, {32, 32}};
+  const std::string text = s.to_text();
+  const Strategy parsed = Strategy::from_text(text);
+  EXPECT_EQ(parsed, s);
+}
+
+TEST(Strategy, TextFormatMatchesFig6) {
+  Strategy s;
+  s.network = "AlexNet";
+  s.shapes = {{32, 32}, {36, 32}};
+  EXPECT_EQ(s.to_text(), "network: AlexNet\nL1: 32x32\nL2: 36x32\n");
+}
+
+TEST(Strategy, ParsesCommentsAndWhitespace) {
+  const std::string text =
+      "# produced by the RL search\n"
+      "network:  LeNet5 \n"
+      "\n"
+      "L1:  36x32\n"
+      "  L2: 128x128 \n";
+  const Strategy parsed = Strategy::from_text(text);
+  EXPECT_EQ(parsed.network, "LeNet5");
+  ASSERT_EQ(parsed.shapes.size(), 2u);
+  EXPECT_EQ(parsed.shapes[0], (CrossbarShape{36, 32}));
+  EXPECT_EQ(parsed.shapes[1], (CrossbarShape{128, 128}));
+}
+
+TEST(Strategy, RejectsMalformedInput) {
+  EXPECT_THROW(Strategy::from_text(""), std::invalid_argument);
+  EXPECT_THROW(Strategy::from_text("L1: 32x32\n"), std::invalid_argument);
+  EXPECT_THROW(Strategy::from_text("network: X\n"), std::invalid_argument);
+  EXPECT_THROW(Strategy::from_text("network: X\nL2: 32x32\n"),
+               std::invalid_argument);  // out-of-order layer id
+  EXPECT_THROW(Strategy::from_text("network: X\nL1: 32y32\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Strategy::from_text("network: X\nL1: -4x32\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Strategy::from_text("network: X\nL1: 32x\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Strategy::from_text("network: X\nL1 32x32\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Strategy::from_text("network: X\nL1: 32x32extra\n"),
+               std::invalid_argument);
+}
+
+TEST(Strategy, FromActionsResolvesCandidates) {
+  const std::vector<CrossbarShape> candidates = {
+      {32, 32}, {36, 32}, {576, 512}};
+  const Strategy s =
+      strategy_from_actions("toy", candidates, {2, 0, 1, 2});
+  ASSERT_EQ(s.shapes.size(), 4u);
+  EXPECT_EQ(s.shapes[0], (CrossbarShape{576, 512}));
+  EXPECT_EQ(s.shapes[1], (CrossbarShape{32, 32}));
+  EXPECT_THROW(strategy_from_actions("toy", candidates, {3}),
+               std::invalid_argument);
+}
+
+TEST(Strategy, LongStrategyRoundTrip) {
+  Strategy s;
+  s.network = "ResNet152";
+  for (int i = 0; i < 156; ++i) {
+    s.shapes.push_back(i % 2 ? CrossbarShape{288, 256}
+                             : CrossbarShape{72, 64});
+  }
+  EXPECT_EQ(Strategy::from_text(s.to_text()), s);
+}
+
+}  // namespace
+}  // namespace autohet

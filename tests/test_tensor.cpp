@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace autohet {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Tensor, ConstructsZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, RejectsInvalidShapes) {
+  EXPECT_THROW(Tensor({}), std::invalid_argument);
+  EXPECT_THROW(Tensor({0}), std::invalid_argument);
+  EXPECT_THROW(Tensor({3, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, At2DRowMajorLayout) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 5.0f;
+  EXPECT_EQ(t[5], 5.0f);
+  t.at(0, 1) = 3.0f;
+  EXPECT_EQ(t[1], 3.0f);
+}
+
+TEST(Tensor, At3DAnd4D) {
+  Tensor a({2, 3, 4});
+  a.at(1, 2, 3) = 9.0f;
+  EXPECT_EQ(a[(1 * 3 + 2) * 4 + 3], 9.0f);
+  Tensor b({2, 2, 2, 2});
+  b.at(1, 0, 1, 0) = 7.0f;
+  EXPECT_EQ(b[((1 * 2 + 0) * 2 + 1) * 2 + 0], 7.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at(2, 0), std::invalid_argument);
+  EXPECT_THROW(t.at(0, 3), std::invalid_argument);
+  EXPECT_THROW(t.at(-1, 0), std::invalid_argument);
+  Tensor u({2, 3, 4});
+  EXPECT_THROW(u.at(0, 0), std::invalid_argument);  // rank mismatch
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksCount) {
+  Tensor t({2, 6});
+  for (std::int64_t i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+  const Tensor r = t.reshaped({3, 4});
+  for (std::int64_t i = 0; i < 12; ++i) EXPECT_EQ(r[i], static_cast<float>(i));
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_THROW(t.reshaped({5, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, FillAndExtremes) {
+  Tensor t({4});
+  t.fill(2.5f);
+  EXPECT_EQ(t.min(), 2.5f);
+  EXPECT_EQ(t.max(), 2.5f);
+  t[2] = -7.0f;
+  EXPECT_EQ(t.min(), -7.0f);
+  EXPECT_EQ(t.abs_max(), 7.0f);
+}
+
+TEST(Tensor, FillUniformWithinRange) {
+  common::Rng rng(1);
+  Tensor t({1000});
+  t.fill_uniform(rng, -2.0f, 3.0f);
+  EXPECT_GE(t.min(), -2.0f);
+  EXPECT_LT(t.max(), 3.0f);
+  // Deterministic for equal seed.
+  common::Rng rng2(1);
+  Tensor u({1000});
+  u.fill_uniform(rng2, -2.0f, 3.0f);
+  for (std::int64_t i = 0; i < 1000; ++i) EXPECT_EQ(t[i], u[i]);
+}
+
+TEST(Tensor, FillNormalHasRequestedMoments) {
+  common::Rng rng(2);
+  Tensor t({20000});
+  t.fill_normal(rng, 1.0f, 2.0f);
+  double sum = 0.0, sumsq = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+    sumsq += static_cast<double>(t[i]) * t[i];
+  }
+  const double mean = sum / static_cast<double>(t.numel());
+  const double var = sumsq / static_cast<double>(t.numel()) - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3, 4}).shape_string(), "[2, 3, 4]");
+  EXPECT_EQ(Tensor({7}).shape_string(), "[7]");
+}
+
+}  // namespace
+}  // namespace autohet

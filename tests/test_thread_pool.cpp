@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace autohet {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  common::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturns) {
+  common::ThreadPool pool(2);
+  pool.wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  common::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  common::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { counter.fetch_add(1); });
+  pool.parallel_for(7, 3, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForNonZeroBegin) {
+  common::ThreadPool pool(2);
+  std::vector<int> data(20, 0);
+  pool.parallel_for(5, 15, [&](std::size_t i) { data[i] = 1; });
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i], (i >= 5 && i < 15) ? 1 : 0) << i;
+  }
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes) {
+  common::ThreadPool pool(1);
+  std::atomic<long> sum{0};
+  pool.parallel_for(0, 1000, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  common::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.parallel_for(0, 50, [&](std::size_t) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 250);
+}
+
+TEST(ThreadPool, SizeReportsWorkerCount) {
+  common::ThreadPool pool(6);
+  EXPECT_EQ(pool.size(), 6u);
+  common::ThreadPool defaulted(0);
+  EXPECT_GE(defaulted.size(), 1u);
+}
+
+TEST(ThreadPool, DestructorJoinsWithPendingWork) {
+  std::atomic<int> counter{0};
+  {
+    common::ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // Destructor must drain the queue (stop only fires after queue empty).
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+}  // namespace
+}  // namespace autohet

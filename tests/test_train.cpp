@@ -1,0 +1,164 @@
+// Training on synthetic data: whole-model gradient check, learning
+// progress, and accuracy above chance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/model_zoo.hpp"
+#include "nn/train.hpp"
+#include "tensor/grad.hpp"
+#include "tensor/ops.hpp"
+
+namespace autohet {
+namespace {
+
+// A tiny CNN keeps the tests fast.
+nn::NetworkSpec tiny_cnn(std::int64_t classes = 4) {
+  nn::NetworkSpec net;
+  net.name = "tiny-cnn";
+  net.layers.push_back(nn::make_conv(1, 4, 3, 1, 1, 8, 8));
+  net.layers.push_back(nn::make_maxpool(4, 2, 2, 8, 8));
+  net.layers.push_back(nn::make_fc(4 * 4 * 4, 16));
+  net.layers.push_back(nn::make_fc(16, classes, /*relu=*/false));
+  return net;
+}
+
+TEST(SyntheticDataset, ShapesLabelsAndDeterminism) {
+  common::Rng rng(1);
+  const auto data = nn::make_synthetic_dataset(rng, 50, 4, 1, 8, 8);
+  ASSERT_EQ(data.size(), 50u);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data.images[i].shape(), (std::vector<std::int64_t>{1, 8, 8}));
+    EXPECT_GE(data.labels[i], 0);
+    EXPECT_LT(data.labels[i], 4);
+    EXPECT_GE(data.images[i].min(), 0.0f);
+    EXPECT_LE(data.images[i].max(), 1.0f);
+  }
+  common::Rng rng2(1);
+  const auto again = nn::make_synthetic_dataset(rng2, 50, 4, 1, 8, 8);
+  EXPECT_EQ(tensor::max_abs_diff(data.images[7], again.images[7]), 0.0f);
+  EXPECT_EQ(data.labels, again.labels);
+}
+
+TEST(SyntheticDataset, CoversAllClasses) {
+  common::Rng rng(2);
+  const auto data = nn::make_synthetic_dataset(rng, 200, 5, 1, 4, 4);
+  std::vector<int> counts(5, 0);
+  for (auto label : data.labels) ++counts[static_cast<std::size_t>(label)];
+  for (int c : counts) EXPECT_GT(c, 10);
+}
+
+TEST(BackpropSample, WholeModelGradientCheck) {
+  common::Rng rng(3);
+  nn::Model model(tiny_cnn(), rng);
+  common::Rng data_rng(4);
+  const auto data = nn::make_synthetic_dataset(data_rng, 1, 4, 1, 8, 8);
+  const auto& image = data.images[0];
+  const auto label = data.labels[0];
+
+  std::vector<tensor::Tensor> grads;
+  for (std::size_t m = 0; m < model.mappable_count(); ++m) {
+    grads.emplace_back(model.weight(m).shape());
+  }
+  nn::backprop_sample(model, image, label, grads);
+
+  const auto loss_of = [&] {
+    return tensor::softmax_cross_entropy(model.forward(image), label).first;
+  };
+  const float eps = 1e-3f;
+  for (std::size_t m = 0; m < model.mappable_count(); ++m) {
+    tensor::Tensor& w = model.weight(m);
+    for (std::int64_t p = 0; p < w.numel(); p += std::max<std::int64_t>(
+                                               1, w.numel() / 16)) {
+      const float orig = w[p];
+      w[p] = orig + eps;
+      const float lp = loss_of();
+      w[p] = orig - eps;
+      const float lm = loss_of();
+      w[p] = orig;
+      const float fd = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(grads[m][p], fd, 2e-2f * std::max(1.0f, std::fabs(fd)))
+          << "layer " << m << " param " << p;
+    }
+  }
+}
+
+TEST(Train, LossDecreasesAndAccuracyBeatsChance) {
+  common::Rng rng(5);
+  nn::Model model(tiny_cnn(), rng);
+  common::Rng data_rng(6);
+  const auto data = nn::make_synthetic_dataset(data_rng, 120, 4, 1, 8, 8);
+  nn::TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.learning_rate = 0.02f;
+  common::Rng train_rng(7);
+  const auto stats = nn::train(model, data, cfg, train_rng);
+  ASSERT_EQ(stats.epoch_loss.size(), 4u);
+  EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+  EXPECT_GT(stats.epoch_accuracy.back(), 0.7f);  // chance = 0.25
+  // Held-out evaluation: fresh samples from the same prototypes.
+  common::Rng test_rng(8);
+  const auto test =
+      nn::sample_from_prototypes(test_rng, 60, data.prototypes);
+  EXPECT_GT(nn::evaluate_accuracy(model, test), 0.7);
+}
+
+TEST(SyntheticDataset, PrototypeReuseKeepsTheTask) {
+  common::Rng rng(20);
+  const auto train_set = nn::make_synthetic_dataset(rng, 10, 3, 1, 4, 4);
+  common::Rng rng2(21);
+  const auto held_out =
+      nn::sample_from_prototypes(rng2, 10, train_set.prototypes);
+  ASSERT_EQ(held_out.prototypes.size(), 3u);
+  EXPECT_EQ(tensor::max_abs_diff(held_out.prototypes[0],
+                                 train_set.prototypes[0]),
+            0.0f);
+  EXPECT_THROW(nn::sample_from_prototypes(rng2, 0, train_set.prototypes),
+               std::invalid_argument);
+  EXPECT_THROW(nn::sample_from_prototypes(rng2, 5, {}),
+               std::invalid_argument);
+}
+
+TEST(Train, DeterministicForSeeds) {
+  const auto run = [] {
+    common::Rng rng(9);
+    nn::Model model(tiny_cnn(), rng);
+    common::Rng data_rng(10);
+    const auto data = nn::make_synthetic_dataset(data_rng, 40, 4, 1, 8, 8);
+    nn::TrainConfig cfg;
+    cfg.epochs = 2;
+    common::Rng train_rng(11);
+    nn::train(model, data, cfg, train_rng);
+    return model.weight(0)[0];
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Train, ValidatesInput) {
+  common::Rng rng(12);
+  nn::Model model(tiny_cnn(), rng);
+  nn::SyntheticDataset empty;
+  nn::TrainConfig cfg;
+  common::Rng train_rng(13);
+  EXPECT_THROW(nn::train(model, empty, cfg, train_rng),
+               std::invalid_argument);
+  common::Rng data_rng(14);
+  const auto data = nn::make_synthetic_dataset(data_rng, 4, 4, 1, 8, 8);
+  cfg.epochs = 0;
+  EXPECT_THROW(nn::train(model, data, cfg, train_rng),
+               std::invalid_argument);
+}
+
+TEST(Train, EvaluateAccuracyWithCustomClassifier) {
+  common::Rng data_rng(15);
+  const auto data = nn::make_synthetic_dataset(data_rng, 20, 4, 1, 8, 8);
+  // A classifier that always answers 0 scores the base rate of class 0.
+  const double acc = nn::evaluate_accuracy_with(
+      [](const tensor::Tensor&) { return std::int64_t{0}; }, data);
+  int zeros = 0;
+  for (auto l : data.labels) zeros += (l == 0);
+  EXPECT_DOUBLE_EQ(acc, static_cast<double>(zeros) / 20.0);
+}
+
+}  // namespace
+}  // namespace autohet
