@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adc_resolution.dir/ablation_adc_resolution.cpp.o"
+  "CMakeFiles/ablation_adc_resolution.dir/ablation_adc_resolution.cpp.o.d"
+  "ablation_adc_resolution"
+  "ablation_adc_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adc_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cell_precision.dir/ablation_cell_precision.cpp.o"
+  "CMakeFiles/ablation_cell_precision.dir/ablation_cell_precision.cpp.o.d"
+  "ablation_cell_precision"
+  "ablation_cell_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cell_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

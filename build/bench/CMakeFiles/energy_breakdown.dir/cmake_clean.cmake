@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_breakdown.dir/energy_breakdown.cpp.o"
+  "CMakeFiles/energy_breakdown.dir/energy_breakdown.cpp.o.d"
+  "energy_breakdown"
+  "energy_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

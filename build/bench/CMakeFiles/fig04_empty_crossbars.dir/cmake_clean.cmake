@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_empty_crossbars.dir/fig04_empty_crossbars.cpp.o"
+  "CMakeFiles/fig04_empty_crossbars.dir/fig04_empty_crossbars.cpp.o.d"
+  "fig04_empty_crossbars"
+  "fig04_empty_crossbars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_empty_crossbars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

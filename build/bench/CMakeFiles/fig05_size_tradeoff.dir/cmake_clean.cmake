@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_size_tradeoff.dir/fig05_size_tradeoff.cpp.o"
+  "CMakeFiles/fig05_size_tradeoff.dir/fig05_size_tradeoff.cpp.o.d"
+  "fig05_size_tradeoff"
+  "fig05_size_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_size_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

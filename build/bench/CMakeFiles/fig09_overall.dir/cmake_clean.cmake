@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_overall.dir/fig09_overall.cpp.o"
+  "CMakeFiles/fig09_overall.dir/fig09_overall.cpp.o.d"
+  "fig09_overall"
+  "fig09_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

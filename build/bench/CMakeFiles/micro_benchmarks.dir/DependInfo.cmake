@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_benchmarks.cpp" "bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autohet/CMakeFiles/autohet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reram/CMakeFiles/autohet_reram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/autohet_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autohet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/autohet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/autohet_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/autohet_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autohet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

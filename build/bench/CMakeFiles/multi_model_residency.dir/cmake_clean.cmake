@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_model_residency.dir/multi_model_residency.cpp.o"
+  "CMakeFiles/multi_model_residency.dir/multi_model_residency.cpp.o.d"
+  "multi_model_residency"
+  "multi_model_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_model_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_convergence.dir/search_convergence.cpp.o"
+  "CMakeFiles/search_convergence.dir/search_convergence.cpp.o.d"
+  "search_convergence"
+  "search_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

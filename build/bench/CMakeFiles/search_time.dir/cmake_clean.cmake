@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_time.dir/search_time.cpp.o"
+  "CMakeFiles/search_time.dir/search_time.cpp.o.d"
+  "search_time"
+  "search_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_layer_sizes.dir/table3_layer_sizes.cpp.o"
+  "CMakeFiles/table3_layer_sizes.dir/table3_layer_sizes.cpp.o.d"
+  "table3_layer_sizes"
+  "table3_layer_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_layer_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_layer_sizes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_tiles.dir/table4_tiles.cpp.o"
+  "CMakeFiles/table4_tiles.dir/table4_tiles.cpp.o.d"
+  "table4_tiles"
+  "table4_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_area_latency.dir/table5_area_latency.cpp.o"
+  "CMakeFiles/table5_area_latency.dir/table5_area_latency.cpp.o.d"
+  "table5_area_latency"
+  "table5_area_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_area_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

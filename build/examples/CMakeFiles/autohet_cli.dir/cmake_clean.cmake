@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autohet_cli.dir/autohet_cli.cpp.o"
+  "CMakeFiles/autohet_cli.dir/autohet_cli.cpp.o.d"
+  "autohet_cli"
+  "autohet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autohet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

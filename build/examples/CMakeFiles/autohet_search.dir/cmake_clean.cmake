@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autohet_search.dir/autohet_search.cpp.o"
+  "CMakeFiles/autohet_search.dir/autohet_search.cpp.o.d"
+  "autohet_search"
+  "autohet_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autohet_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for autohet_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossbar_visualizer.dir/crossbar_visualizer.cpp.o"
+  "CMakeFiles/crossbar_visualizer.dir/crossbar_visualizer.cpp.o.d"
+  "crossbar_visualizer"
+  "crossbar_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossbar_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_strategy.dir/deploy_strategy.cpp.o"
+  "CMakeFiles/deploy_strategy.dir/deploy_strategy.cpp.o.d"
+  "deploy_strategy"
+  "deploy_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_inference.dir/functional_inference.cpp.o"
+  "CMakeFiles/functional_inference.dir/functional_inference.cpp.o.d"
+  "functional_inference"
+  "functional_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tile_sharing.dir/tile_sharing.cpp.o"
+  "CMakeFiles/tile_sharing.dir/tile_sharing.cpp.o.d"
+  "tile_sharing"
+  "tile_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tile_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

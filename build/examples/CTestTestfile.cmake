@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_tile_sharing]=] "/root/repo/build/examples/tile_sharing")
+set_tests_properties([=[example_tile_sharing]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_functional_inference]=] "/root/repo/build/examples/functional_inference")
+set_tests_properties([=[example_functional_inference]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_deploy_strategy]=] "/root/repo/build/examples/deploy_strategy")
+set_tests_properties([=[example_deploy_strategy]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_variation_study]=] "/root/repo/build/examples/variation_study")
+set_tests_properties([=[example_variation_study]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_train_and_deploy]=] "/root/repo/build/examples/train_and_deploy")
+set_tests_properties([=[example_train_and_deploy]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_crossbar_visualizer]=] "/root/repo/build/examples/crossbar_visualizer")
+set_tests_properties([=[example_crossbar_visualizer]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cli_describe]=] "/root/repo/build/examples/autohet_cli" "describe" "--model" "lenet5")
+set_tests_properties([=[example_cli_describe]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cli_baselines]=] "/root/repo/build/examples/autohet_cli" "baselines" "--model" "lenet5")
+set_tests_properties([=[example_cli_baselines]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cli_search]=] "/root/repo/build/examples/autohet_cli" "search" "--model" "lenet5" "--episodes" "20" "--out" "/root/repo/build/examples/smoke_strategy.txt")
+set_tests_properties([=[example_cli_search]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_cli_evaluate]=] "/root/repo/build/examples/autohet_cli" "evaluate" "--strategy" "/root/repo/build/examples/smoke_strategy.txt")
+set_tests_properties([=[example_cli_evaluate]=] PROPERTIES  DEPENDS "example_cli_search" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_autohet_search]=] "/root/repo/build/examples/autohet_search" "30" "2")
+set_tests_properties([=[example_autohet_search]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")

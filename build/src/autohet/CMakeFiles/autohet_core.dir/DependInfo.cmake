@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autohet/baselines.cpp" "src/autohet/CMakeFiles/autohet_core.dir/baselines.cpp.o" "gcc" "src/autohet/CMakeFiles/autohet_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/autohet/env.cpp" "src/autohet/CMakeFiles/autohet_core.dir/env.cpp.o" "gcc" "src/autohet/CMakeFiles/autohet_core.dir/env.cpp.o.d"
+  "/root/repo/src/autohet/search.cpp" "src/autohet/CMakeFiles/autohet_core.dir/search.cpp.o" "gcc" "src/autohet/CMakeFiles/autohet_core.dir/search.cpp.o.d"
+  "/root/repo/src/autohet/strategy.cpp" "src/autohet/CMakeFiles/autohet_core.dir/strategy.cpp.o" "gcc" "src/autohet/CMakeFiles/autohet_core.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reram/CMakeFiles/autohet_reram.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/autohet_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/autohet_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autohet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/autohet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autohet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

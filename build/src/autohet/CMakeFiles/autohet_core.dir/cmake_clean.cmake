@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autohet_core.dir/baselines.cpp.o"
+  "CMakeFiles/autohet_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/autohet_core.dir/env.cpp.o"
+  "CMakeFiles/autohet_core.dir/env.cpp.o.d"
+  "CMakeFiles/autohet_core.dir/search.cpp.o"
+  "CMakeFiles/autohet_core.dir/search.cpp.o.d"
+  "CMakeFiles/autohet_core.dir/strategy.cpp.o"
+  "CMakeFiles/autohet_core.dir/strategy.cpp.o.d"
+  "libautohet_core.a"
+  "libautohet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autohet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

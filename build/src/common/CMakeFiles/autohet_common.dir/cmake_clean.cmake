@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autohet_common.dir/cli.cpp.o"
+  "CMakeFiles/autohet_common.dir/cli.cpp.o.d"
+  "CMakeFiles/autohet_common.dir/logging.cpp.o"
+  "CMakeFiles/autohet_common.dir/logging.cpp.o.d"
+  "CMakeFiles/autohet_common.dir/rng.cpp.o"
+  "CMakeFiles/autohet_common.dir/rng.cpp.o.d"
+  "CMakeFiles/autohet_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/autohet_common.dir/thread_pool.cpp.o.d"
+  "libautohet_common.a"
+  "libautohet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autohet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/crossbar_shape.cpp" "src/mapping/CMakeFiles/autohet_mapping.dir/crossbar_shape.cpp.o" "gcc" "src/mapping/CMakeFiles/autohet_mapping.dir/crossbar_shape.cpp.o.d"
+  "/root/repo/src/mapping/layer_mapping.cpp" "src/mapping/CMakeFiles/autohet_mapping.dir/layer_mapping.cpp.o" "gcc" "src/mapping/CMakeFiles/autohet_mapping.dir/layer_mapping.cpp.o.d"
+  "/root/repo/src/mapping/multi_model.cpp" "src/mapping/CMakeFiles/autohet_mapping.dir/multi_model.cpp.o" "gcc" "src/mapping/CMakeFiles/autohet_mapping.dir/multi_model.cpp.o.d"
+  "/root/repo/src/mapping/tile_allocator.cpp" "src/mapping/CMakeFiles/autohet_mapping.dir/tile_allocator.cpp.o" "gcc" "src/mapping/CMakeFiles/autohet_mapping.dir/tile_allocator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/autohet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/autohet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autohet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autohet_mapping.dir/crossbar_shape.cpp.o"
+  "CMakeFiles/autohet_mapping.dir/crossbar_shape.cpp.o.d"
+  "CMakeFiles/autohet_mapping.dir/layer_mapping.cpp.o"
+  "CMakeFiles/autohet_mapping.dir/layer_mapping.cpp.o.d"
+  "CMakeFiles/autohet_mapping.dir/multi_model.cpp.o"
+  "CMakeFiles/autohet_mapping.dir/multi_model.cpp.o.d"
+  "CMakeFiles/autohet_mapping.dir/tile_allocator.cpp.o"
+  "CMakeFiles/autohet_mapping.dir/tile_allocator.cpp.o.d"
+  "libautohet_mapping.a"
+  "libautohet_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autohet_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

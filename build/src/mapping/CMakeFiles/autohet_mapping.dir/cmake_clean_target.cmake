@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautohet_mapping.a"
+)

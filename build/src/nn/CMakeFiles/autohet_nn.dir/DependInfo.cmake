@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/describe.cpp" "src/nn/CMakeFiles/autohet_nn.dir/describe.cpp.o" "gcc" "src/nn/CMakeFiles/autohet_nn.dir/describe.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/autohet_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/autohet_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/autohet_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/autohet_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/autohet_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/autohet_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/autohet_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/autohet_nn.dir/quantize.cpp.o.d"
+  "/root/repo/src/nn/train.cpp" "src/nn/CMakeFiles/autohet_nn.dir/train.cpp.o" "gcc" "src/nn/CMakeFiles/autohet_nn.dir/train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/autohet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autohet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

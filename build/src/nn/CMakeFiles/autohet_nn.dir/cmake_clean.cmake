@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autohet_nn.dir/describe.cpp.o"
+  "CMakeFiles/autohet_nn.dir/describe.cpp.o.d"
+  "CMakeFiles/autohet_nn.dir/layer.cpp.o"
+  "CMakeFiles/autohet_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/autohet_nn.dir/model.cpp.o"
+  "CMakeFiles/autohet_nn.dir/model.cpp.o.d"
+  "CMakeFiles/autohet_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/autohet_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/autohet_nn.dir/quantize.cpp.o"
+  "CMakeFiles/autohet_nn.dir/quantize.cpp.o.d"
+  "CMakeFiles/autohet_nn.dir/train.cpp.o"
+  "CMakeFiles/autohet_nn.dir/train.cpp.o.d"
+  "libautohet_nn.a"
+  "libautohet_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autohet_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

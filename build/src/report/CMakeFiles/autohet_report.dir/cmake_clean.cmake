@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autohet_report.dir/serialize.cpp.o"
+  "CMakeFiles/autohet_report.dir/serialize.cpp.o.d"
+  "CMakeFiles/autohet_report.dir/table.cpp.o"
+  "CMakeFiles/autohet_report.dir/table.cpp.o.d"
+  "libautohet_report.a"
+  "libautohet_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autohet_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

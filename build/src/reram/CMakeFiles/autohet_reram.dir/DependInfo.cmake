@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reram/bank.cpp" "src/reram/CMakeFiles/autohet_reram.dir/bank.cpp.o" "gcc" "src/reram/CMakeFiles/autohet_reram.dir/bank.cpp.o.d"
+  "/root/repo/src/reram/components.cpp" "src/reram/CMakeFiles/autohet_reram.dir/components.cpp.o" "gcc" "src/reram/CMakeFiles/autohet_reram.dir/components.cpp.o.d"
+  "/root/repo/src/reram/controller.cpp" "src/reram/CMakeFiles/autohet_reram.dir/controller.cpp.o" "gcc" "src/reram/CMakeFiles/autohet_reram.dir/controller.cpp.o.d"
+  "/root/repo/src/reram/crossbar.cpp" "src/reram/CMakeFiles/autohet_reram.dir/crossbar.cpp.o" "gcc" "src/reram/CMakeFiles/autohet_reram.dir/crossbar.cpp.o.d"
+  "/root/repo/src/reram/functional.cpp" "src/reram/CMakeFiles/autohet_reram.dir/functional.cpp.o" "gcc" "src/reram/CMakeFiles/autohet_reram.dir/functional.cpp.o.d"
+  "/root/repo/src/reram/hardware_model.cpp" "src/reram/CMakeFiles/autohet_reram.dir/hardware_model.cpp.o" "gcc" "src/reram/CMakeFiles/autohet_reram.dir/hardware_model.cpp.o.d"
+  "/root/repo/src/reram/noc.cpp" "src/reram/CMakeFiles/autohet_reram.dir/noc.cpp.o" "gcc" "src/reram/CMakeFiles/autohet_reram.dir/noc.cpp.o.d"
+  "/root/repo/src/reram/pipeline.cpp" "src/reram/CMakeFiles/autohet_reram.dir/pipeline.cpp.o" "gcc" "src/reram/CMakeFiles/autohet_reram.dir/pipeline.cpp.o.d"
+  "/root/repo/src/reram/programming.cpp" "src/reram/CMakeFiles/autohet_reram.dir/programming.cpp.o" "gcc" "src/reram/CMakeFiles/autohet_reram.dir/programming.cpp.o.d"
+  "/root/repo/src/reram/scheduler.cpp" "src/reram/CMakeFiles/autohet_reram.dir/scheduler.cpp.o" "gcc" "src/reram/CMakeFiles/autohet_reram.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapping/CMakeFiles/autohet_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autohet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/autohet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autohet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autohet_reram.dir/bank.cpp.o"
+  "CMakeFiles/autohet_reram.dir/bank.cpp.o.d"
+  "CMakeFiles/autohet_reram.dir/components.cpp.o"
+  "CMakeFiles/autohet_reram.dir/components.cpp.o.d"
+  "CMakeFiles/autohet_reram.dir/controller.cpp.o"
+  "CMakeFiles/autohet_reram.dir/controller.cpp.o.d"
+  "CMakeFiles/autohet_reram.dir/crossbar.cpp.o"
+  "CMakeFiles/autohet_reram.dir/crossbar.cpp.o.d"
+  "CMakeFiles/autohet_reram.dir/functional.cpp.o"
+  "CMakeFiles/autohet_reram.dir/functional.cpp.o.d"
+  "CMakeFiles/autohet_reram.dir/hardware_model.cpp.o"
+  "CMakeFiles/autohet_reram.dir/hardware_model.cpp.o.d"
+  "CMakeFiles/autohet_reram.dir/noc.cpp.o"
+  "CMakeFiles/autohet_reram.dir/noc.cpp.o.d"
+  "CMakeFiles/autohet_reram.dir/pipeline.cpp.o"
+  "CMakeFiles/autohet_reram.dir/pipeline.cpp.o.d"
+  "CMakeFiles/autohet_reram.dir/programming.cpp.o"
+  "CMakeFiles/autohet_reram.dir/programming.cpp.o.d"
+  "CMakeFiles/autohet_reram.dir/scheduler.cpp.o"
+  "CMakeFiles/autohet_reram.dir/scheduler.cpp.o.d"
+  "libautohet_reram.a"
+  "libautohet_reram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autohet_reram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

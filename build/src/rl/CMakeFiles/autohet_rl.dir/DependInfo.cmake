@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/adam.cpp" "src/rl/CMakeFiles/autohet_rl.dir/adam.cpp.o" "gcc" "src/rl/CMakeFiles/autohet_rl.dir/adam.cpp.o.d"
+  "/root/repo/src/rl/ddpg.cpp" "src/rl/CMakeFiles/autohet_rl.dir/ddpg.cpp.o" "gcc" "src/rl/CMakeFiles/autohet_rl.dir/ddpg.cpp.o.d"
+  "/root/repo/src/rl/mlp.cpp" "src/rl/CMakeFiles/autohet_rl.dir/mlp.cpp.o" "gcc" "src/rl/CMakeFiles/autohet_rl.dir/mlp.cpp.o.d"
+  "/root/repo/src/rl/prioritized_replay.cpp" "src/rl/CMakeFiles/autohet_rl.dir/prioritized_replay.cpp.o" "gcc" "src/rl/CMakeFiles/autohet_rl.dir/prioritized_replay.cpp.o.d"
+  "/root/repo/src/rl/replay_buffer.cpp" "src/rl/CMakeFiles/autohet_rl.dir/replay_buffer.cpp.o" "gcc" "src/rl/CMakeFiles/autohet_rl.dir/replay_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autohet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

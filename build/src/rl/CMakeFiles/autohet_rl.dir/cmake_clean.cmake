@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autohet_rl.dir/adam.cpp.o"
+  "CMakeFiles/autohet_rl.dir/adam.cpp.o.d"
+  "CMakeFiles/autohet_rl.dir/ddpg.cpp.o"
+  "CMakeFiles/autohet_rl.dir/ddpg.cpp.o.d"
+  "CMakeFiles/autohet_rl.dir/mlp.cpp.o"
+  "CMakeFiles/autohet_rl.dir/mlp.cpp.o.d"
+  "CMakeFiles/autohet_rl.dir/prioritized_replay.cpp.o"
+  "CMakeFiles/autohet_rl.dir/prioritized_replay.cpp.o.d"
+  "CMakeFiles/autohet_rl.dir/replay_buffer.cpp.o"
+  "CMakeFiles/autohet_rl.dir/replay_buffer.cpp.o.d"
+  "libautohet_rl.a"
+  "libautohet_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autohet_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

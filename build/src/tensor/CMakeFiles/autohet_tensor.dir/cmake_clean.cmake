@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autohet_tensor.dir/grad.cpp.o"
+  "CMakeFiles/autohet_tensor.dir/grad.cpp.o.d"
+  "CMakeFiles/autohet_tensor.dir/ops.cpp.o"
+  "CMakeFiles/autohet_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/autohet_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/autohet_tensor.dir/tensor.cpp.o.d"
+  "libautohet_tensor.a"
+  "libautohet_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autohet_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_formula.dir/test_energy_formula.cpp.o"
+  "CMakeFiles/test_energy_formula.dir/test_energy_formula.cpp.o.d"
+  "test_energy_formula"
+  "test_energy_formula.pdb"
+  "test_energy_formula[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grad.dir/test_grad.cpp.o"
+  "CMakeFiles/test_grad.dir/test_grad.cpp.o.d"
+  "test_grad"
+  "test_grad.pdb"
+  "test_grad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

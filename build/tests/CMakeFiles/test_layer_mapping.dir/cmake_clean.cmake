@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layer_mapping.dir/test_layer_mapping.cpp.o"
+  "CMakeFiles/test_layer_mapping.dir/test_layer_mapping.cpp.o.d"
+  "test_layer_mapping"
+  "test_layer_mapping.pdb"
+  "test_layer_mapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layer_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_model.dir/test_multi_model.cpp.o"
+  "CMakeFiles/test_multi_model.dir/test_multi_model.cpp.o.d"
+  "test_multi_model"
+  "test_multi_model.pdb"
+  "test_multi_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_variants.dir/test_search_variants.cpp.o"
+  "CMakeFiles/test_search_variants.dir/test_search_variants.cpp.o.d"
+  "test_search_variants"
+  "test_search_variants.pdb"
+  "test_search_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_allocator.dir/test_tile_allocator.cpp.o"
+  "CMakeFiles/test_tile_allocator.dir/test_tile_allocator.cpp.o.d"
+  "test_tile_allocator"
+  "test_tile_allocator.pdb"
+  "test_tile_allocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
