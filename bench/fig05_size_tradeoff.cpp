@@ -1,9 +1,11 @@
 // Reproduces Fig. 5: the same DNN layer (128 kernels of 3x3x12) mapped onto
 // 64x64 vs 128x128 crossbars — utilization and activated ADCs. Exact-match
 // anchor: utilization 27/32 vs 27/128 (tile level), ADCs 256 vs 128.
+//
+// Reads both rows straight from the EvaluationEngine's precomputed L×C
+// layer-report table — the same table the RL search consumes.
 #include "bench_common.hpp"
-#include "mapping/layer_mapping.hpp"
-#include "reram/hardware_model.hpp"
+#include "reram/eval_engine.hpp"
 
 using namespace autohet;
 
@@ -12,19 +14,19 @@ int main() {
                       "vs 128x128 crossbars");
   const auto layer = nn::make_conv(12, 128, 3, 1, 1, 16, 16);
   reram::AcceleratorConfig config;  // 4 PEs/tile as in the paper figure
+  const std::vector<mapping::CrossbarShape> shapes{{64, 64}, {128, 128}};
+  const reram::EvaluationEngine engine({layer}, shapes, config);
 
   report::Table table({"Crossbar", "Logical XBs", "Activated ADCs",
                        "Utilization (tile)", "Utilization (Eq.4)",
                        "ADC energy (nJ)"});
-  for (const mapping::CrossbarShape shape :
-       {mapping::CrossbarShape{64, 64}, mapping::CrossbarShape{128, 128}}) {
-    const auto m = mapping::map_layer(layer, shape);
-    const auto lr = reram::evaluate_layer(layer, m, 1, config.device);
-    const auto net = reram::evaluate_homogeneous({layer}, shape, config);
-    table.add_row({shape.name(), std::to_string(m.logical_crossbars()),
-                   std::to_string(m.adc_count()),
+  for (std::size_t c = 0; c < shapes.size(); ++c) {
+    const auto& lr = engine.layer_report(0, c);
+    const auto net = engine.evaluate({c});
+    table.add_row({shapes[c].name(), std::to_string(lr.logical_crossbars),
+                   std::to_string(lr.adc_instances),
                    report::format_fixed(net.utilization, 4),
-                   report::format_fixed(m.utilization(), 4),
+                   report::format_fixed(lr.utilization, 4),
                    report::format_fixed(lr.energy.adc_nj, 1)});
   }
   table.print(std::cout);

@@ -51,6 +51,11 @@ int main(int argc, char** argv) {
     std::cout << "AutoHet RUE vs best homogeneous: "
               << report::format_fixed(best.rue() / best_homo_rue, 2)
               << "x (paper: 1.3x AlexNet / 2.2x VGG16 / 1.4x ResNet152)\n";
+    const auto cache = auto_env.engine().cache_stats();
+    std::cout << "Eval-engine cache: "
+              << report::format_fixed(100.0 * cache.hit_rate(), 1) << "% hits ("
+              << cache.hits << "/" << cache.hits + cache.misses
+              << " evaluations)\n";
   }
   return 0;
 }

@@ -5,13 +5,37 @@
 // reproducible quantity is the *split*, plus a demonstration that episode
 // evaluation parallelizes across a thread pool.
 //
+// Also emits BENCH_search_time.json with episodes/sec, the stage split, and
+// the evaluation-engine cache hit rate, alongside the pre-engine baseline
+// measured on the same host (see kBaseline below) so the speedup from the
+// memoized evaluation engine + batched DDPG kernels is tracked in-repo.
+//
 // Usage: search_time [episodes]   (default 300, the paper's setting)
 #include <chrono>
+#include <fstream>
 
 #include "bench_common.hpp"
 #include "common/thread_pool.hpp"
 
 using namespace autohet;
+
+namespace {
+
+/// Pre-engine reference numbers: the binary built from the commit before the
+/// evaluation engine landed (per-episode re-evaluation, per-sample DDPG
+/// update), run on the same host with `search_time 500`. Only comparable to
+/// runs with the same episode count.
+struct Baseline {
+  int episodes;
+  double total_seconds;
+  double decision_seconds;
+  double simulator_seconds;
+  double learning_seconds;
+  double serial_evals_per_second;
+};
+constexpr Baseline kBaseline = {500, 16.732, 0.028, 0.023, 16.669, 3541.0};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const int episodes = bench::episodes_from_args(argc, argv, 300);
@@ -25,6 +49,7 @@ int main(int argc, char** argv) {
   const double total =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  const auto search_cache = env.engine().cache_stats();
 
   report::Table table({"Stage", "Seconds", "Share %"});
   const auto add = [&](const std::string& name, double s) {
@@ -37,6 +62,11 @@ int main(int argc, char** argv) {
   add("total wall-clock", total);
   table.print(std::cout);
   std::cout << "Best reward found: " << result.best_reward << "\n";
+  std::cout << "Episodes/sec: " << report::format_fixed(episodes / total, 1)
+            << ", eval-engine hit rate: "
+            << report::format_fixed(100.0 * search_cache.hit_rate(), 1)
+            << "% (" << search_cache.hits << " hits / "
+            << search_cache.misses << " misses)\n";
 
   // Throughput of raw simulator evaluations, serial vs thread pool — the
   // component the paper attributes 97% of its search time to.
@@ -66,5 +96,48 @@ int main(int argc, char** argv) {
             << report::format_fixed(kEvals / serial, 0) << "/s serial, "
             << report::format_fixed(kEvals / parallel, 0) << "/s across "
             << pool.size() << " threads\n";
+
+  // ---- machine-readable summary ----
+  std::ofstream json("BENCH_search_time.json");
+  json << "{\n"
+       << "  \"benchmark\": \"search_time\",\n"
+       << "  \"model\": \"vgg16\",\n"
+       << "  \"episodes\": " << episodes << ",\n"
+       << "  \"after\": {\n"
+       << "    \"total_seconds\": " << total << ",\n"
+       << "    \"episodes_per_second\": " << episodes / total << ",\n"
+       << "    \"decision_seconds\": " << result.decision_seconds << ",\n"
+       << "    \"simulator_seconds\": " << result.simulator_seconds << ",\n"
+       << "    \"learning_seconds\": " << result.learning_seconds << ",\n"
+       << "    \"best_reward\": " << result.best_reward << ",\n"
+       << "    \"cache_hits\": " << search_cache.hits << ",\n"
+       << "    \"cache_misses\": " << search_cache.misses << ",\n"
+       << "    \"cache_hit_rate\": " << search_cache.hit_rate() << ",\n"
+       << "    \"serial_evals_per_second\": " << kEvals / serial << ",\n"
+       << "    \"pooled_evals_per_second\": " << kEvals / parallel << "\n"
+       << "  },\n"
+       << "  \"before\": {\n"
+       << "    \"note\": \"pre-engine binary (per-episode re-evaluation, "
+          "per-sample DDPG update) on the same host\",\n"
+       << "    \"episodes\": " << kBaseline.episodes << ",\n"
+       << "    \"total_seconds\": " << kBaseline.total_seconds << ",\n"
+       << "    \"decision_seconds\": " << kBaseline.decision_seconds << ",\n"
+       << "    \"simulator_seconds\": " << kBaseline.simulator_seconds
+       << ",\n"
+       << "    \"learning_seconds\": " << kBaseline.learning_seconds << ",\n"
+       << "    \"serial_evals_per_second\": "
+       << kBaseline.serial_evals_per_second << "\n"
+       << "  }";
+  if (episodes == kBaseline.episodes && total > 0.0) {
+    json << ",\n  \"speedup_total\": " << kBaseline.total_seconds / total
+         << ",\n  \"speedup_learning\": "
+         << kBaseline.learning_seconds / result.learning_seconds
+         << ",\n  \"speedup_serial_eval\": "
+         << (kEvals / serial) / kBaseline.serial_evals_per_second << "\n";
+  } else {
+    json << "\n";
+  }
+  json << "}\n";
+  std::cout << "\nWrote BENCH_search_time.json\n";
   return 0;
 }

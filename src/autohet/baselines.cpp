@@ -4,8 +4,6 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "mapping/layer_mapping.hpp"
-#include "reram/hardware_model.hpp"
 
 namespace autohet::core {
 
@@ -19,6 +17,11 @@ StrategyResult finish(const CrossbarEnv& env, std::string name,
   r.actions = std::move(actions);
   return r;
 }
+
+/// Evaluation chunk for the enumerating searchers: big enough to amortize
+/// thread-pool dispatch, small enough to keep peak memory flat on the
+/// exhaustive C^N space.
+constexpr std::size_t kSweepChunk = 1024;
 }  // namespace
 
 StrategyResult evaluate_homogeneous_strategy(const CrossbarEnv& env,
@@ -31,10 +34,23 @@ StrategyResult evaluate_homogeneous_strategy(const CrossbarEnv& env,
 }
 
 std::vector<StrategyResult> homogeneous_sweep(const CrossbarEnv& env) {
+  // One batch through the engine: the C configurations are independent, so
+  // cache misses evaluate in parallel when the env has eval threads.
+  std::vector<std::vector<std::size_t>> batch;
+  batch.reserve(env.num_actions());
+  for (std::size_t c = 0; c < env.num_actions(); ++c) {
+    batch.emplace_back(env.num_layers(), c);
+  }
+  const auto reports = env.evaluate_batch(batch);
   std::vector<StrategyResult> out;
   out.reserve(env.num_actions());
   for (std::size_t c = 0; c < env.num_actions(); ++c) {
-    out.push_back(evaluate_homogeneous_strategy(env, c));
+    StrategyResult r;
+    r.name = env.candidates()[c].name();
+    r.report = reports[c];
+    r.reward = env.reward(r.report);
+    r.actions = std::move(batch[c]);
+    out.push_back(std::move(r));
   }
   return out;
 }
@@ -71,13 +87,9 @@ StrategyResult greedy_search(const CrossbarEnv& env) {
     double best_score = -1.0;
     std::size_t best_c = 0;
     for (std::size_t c = 0; c < env.num_actions(); ++c) {
-      // Layer-local utilization / energy proxy using the single-layer report.
-      const auto m = mapping::map_layer(env.layers()[k], env.candidates()[c]);
-      const auto lr = reram::evaluate_layer(
-          env.layers()[k], m, /*tiles_spanned=*/
-          (m.logical_crossbars() + env.accel().pes_per_tile - 1) /
-              env.accel().pes_per_tile,
-          env.accel().device);
+      // Layer-local utilization / energy proxy from the engine's
+      // precomputed L×C table (identical to a fresh evaluate_layer).
+      const reram::LayerReport& lr = env.engine().layer_report(k, c);
       const double e = lr.energy.total_nj();
       const double score = e > 0.0 ? lr.utilization / e : 0.0;
       if (score > best_score) {
@@ -97,15 +109,28 @@ StrategyResult random_search(const CrossbarEnv& env, int evaluations,
   StrategyResult best;
   best.name = "Random";
   best.reward = -1.0;
-  for (int e = 0; e < evaluations; ++e) {
-    std::vector<std::size_t> actions(env.num_layers());
-    for (auto& a : actions) a = rng.uniform_u64(env.num_actions());
-    const auto report = env.evaluate(actions);
-    const double reward = env.reward(report);
-    if (reward > best.reward) {
-      best.reward = reward;
-      best.report = report;
-      best.actions = std::move(actions);
+  // Draw every configuration up front (the RNG stream is untouched by
+  // evaluation, so the sampled sequence matches the old interleaved loop),
+  // then sweep in embarrassingly-parallel chunks through the engine.
+  std::vector<std::vector<std::size_t>> chunk;
+  chunk.reserve(kSweepChunk);
+  int drawn = 0;
+  while (drawn < evaluations) {
+    chunk.clear();
+    while (drawn < evaluations && chunk.size() < kSweepChunk) {
+      std::vector<std::size_t> actions(env.num_layers());
+      for (auto& a : actions) a = rng.uniform_u64(env.num_actions());
+      chunk.push_back(std::move(actions));
+      ++drawn;
+    }
+    const auto reports = env.evaluate_batch(chunk);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      const double reward = env.reward(reports[i]);
+      if (reward > best.reward) {  // first maximum wins, as before
+        best.reward = reward;
+        best.report = reports[i];
+        best.actions = chunk[i];
+      }
     }
   }
   return best;
@@ -127,22 +152,33 @@ StrategyResult exhaustive_search(const CrossbarEnv& env,
   best.name = "Exhaustive";
   best.reward = -1.0;
   std::vector<std::size_t> actions(n, 0);
-  for (;;) {
-    const auto report = env.evaluate(actions);
-    const double reward = env.reward(report);
-    if (reward > best.reward) {
-      best.reward = reward;
-      best.report = report;
-      best.actions = actions;
+  std::vector<std::vector<std::size_t>> chunk;
+  chunk.reserve(kSweepChunk);
+  bool done = false;
+  while (!done) {
+    // Enumerate the next odometer chunk of the C^N space...
+    chunk.clear();
+    while (!done && chunk.size() < kSweepChunk) {
+      chunk.push_back(actions);
+      std::size_t pos = 0;
+      while (pos < n) {
+        if (++actions[pos] < c) break;
+        actions[pos] = 0;
+        ++pos;
+      }
+      done = (pos == n);
     }
-    // Odometer increment over the C^N space.
-    std::size_t pos = 0;
-    while (pos < n) {
-      if (++actions[pos] < c) break;
-      actions[pos] = 0;
-      ++pos;
+    // ...and fan it out; scanning in enumeration order keeps the returned
+    // optimum identical to the serial loop (first maximum wins).
+    const auto reports = env.evaluate_batch(chunk);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      const double reward = env.reward(reports[i]);
+      if (reward > best.reward) {
+        best.reward = reward;
+        best.report = reports[i];
+        best.actions = chunk[i];
+      }
     }
-    if (pos == n) break;
   }
   return best;
 }

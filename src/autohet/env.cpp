@@ -26,14 +26,22 @@ CrossbarEnv::CrossbarEnv(std::vector<nn::LayerSpec> mappable_layers,
         std::max(max_weights_, static_cast<double>(layer.weight_count()));
     max_ins_ = std::max(max_ins_, static_cast<double>(layer.input_size()));
   }
+  reram::EvalEngineConfig engine_cfg;
+  engine_cfg.memo_capacity = config_.eval_memo_capacity;
+  engine_cfg.threads = config_.eval_threads;
+  engine_ = std::make_shared<reram::EvaluationEngine>(
+      layers_, config_.candidates, config_.accel, engine_cfg);
   if (config_.energy_scale_nj <= 0.0 || config_.area_scale_um2 <= 0.0 ||
       config_.latency_scale_ns <= 0.0) {
     // Auto-calibrate against the largest candidate used homogeneously; any
-    // fixed positive constant preserves the reward ordering.
-    const mapping::CrossbarShape largest = *std::max_element(
-        config_.candidates.begin(), config_.candidates.end());
-    const reram::NetworkReport ref =
-        reram::evaluate_homogeneous(layers_, largest, config_.accel);
+    // fixed positive constant preserves the reward ordering. Routed through
+    // the engine, which also warms the memo for the homogeneous sweeps.
+    const auto largest_it = std::max_element(config_.candidates.begin(),
+                                             config_.candidates.end());
+    const auto largest_idx = static_cast<std::size_t>(
+        largest_it - config_.candidates.begin());
+    const reram::NetworkReport ref = engine_->evaluate(
+        std::vector<std::size_t>(layers_.size(), largest_idx));
     if (config_.energy_scale_nj <= 0.0) {
       config_.energy_scale_nj = std::max(ref.energy.total_nj(), 1.0);
     }
@@ -87,15 +95,12 @@ double CrossbarEnv::layer_utilization(std::size_t k,
 
 reram::NetworkReport CrossbarEnv::evaluate(
     const std::vector<std::size_t>& action_indices) const {
-  AUTOHET_CHECK(action_indices.size() == layers_.size(),
-                "one action per layer required");
-  std::vector<mapping::CrossbarShape> shapes;
-  shapes.reserve(action_indices.size());
-  for (std::size_t idx : action_indices) {
-    AUTOHET_CHECK(idx < num_actions(), "action index out of range");
-    shapes.push_back(config_.candidates[idx]);
-  }
-  return reram::evaluate_network(layers_, shapes, config_.accel);
+  return engine_->evaluate(action_indices);
+}
+
+std::vector<reram::NetworkReport> CrossbarEnv::evaluate_batch(
+    const std::vector<std::vector<std::size_t>>& batch) const {
+  return engine_->evaluate_batch(batch);
 }
 
 double CrossbarEnv::reward(const reram::NetworkReport& report) const {

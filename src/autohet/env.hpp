@@ -18,10 +18,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mapping/crossbar_shape.hpp"
 #include "nn/layer.hpp"
+#include "reram/eval_engine.hpp"
 #include "reram/hardware_model.hpp"
 
 namespace autohet::core {
@@ -45,6 +47,11 @@ struct EnvConfig {
   double energy_scale_nj = 0.0;
   double area_scale_um2 = 0.0;
   double latency_scale_ns = 0.0;
+  /// Hardware-evaluation engine knobs (see reram/eval_engine.hpp): LRU
+  /// bound on memoized NetworkReports and worker threads for
+  /// evaluate_batch (0 = serial).
+  std::size_t eval_memo_capacity = 4096;
+  std::size_t eval_threads = 0;
 };
 
 inline constexpr int kStateDim = 10;  // paper Table 1
@@ -83,8 +90,18 @@ class CrossbarEnv {
   double layer_utilization(std::size_t k, std::size_t action_index) const;
 
   /// Full hardware evaluation of a per-layer candidate assignment.
+  /// Memoized: repeated configurations return the cached NetworkReport,
+  /// bit-identical to the uncached path.
   reram::NetworkReport evaluate(
       const std::vector<std::size_t>& action_indices) const;
+
+  /// Evaluates many independent assignments through the engine, fanning
+  /// cache misses out over its thread pool when one is configured.
+  std::vector<reram::NetworkReport> evaluate_batch(
+      const std::vector<std::vector<std::size_t>>& batch) const;
+
+  /// The shared evaluation engine (L×C layer-report table + report memo).
+  const reram::EvaluationEngine& engine() const noexcept { return *engine_; }
 
   /// Eq. 2 reward from a hardware report (utilization over scaled energy).
   double reward(const reram::NetworkReport& report) const;
@@ -92,6 +109,8 @@ class CrossbarEnv {
  private:
   std::vector<nn::LayerSpec> layers_;
   EnvConfig config_;
+  /// Shared so copies of the environment share one table + memo.
+  std::shared_ptr<reram::EvaluationEngine> engine_;
   // Per-network normalization maxima for the state features.
   double max_inc_ = 1.0;
   double max_outc_ = 1.0;

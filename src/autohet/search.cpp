@@ -62,13 +62,13 @@ EpisodeRecord AutoHetSearch::run_episode(
 
   // ---- hardware feedback (the "simulator" of §4.5) ----
   const auto sim_start = Clock::now();
-  const reram::NetworkReport report = env_.evaluate(record.actions);
+  record.report = env_.evaluate(record.actions);
   result.simulator_seconds += seconds_since(sim_start);
 
-  record.reward = env_.reward(report);
-  record.utilization = report.utilization;
-  record.energy_nj = report.energy.total_nj();
-  record.rue = report.rue();
+  record.reward = env_.reward(record.report);
+  record.utilization = record.report.utilization;
+  record.energy_nj = record.report.energy.total_nj();
+  record.rue = record.report.rue();
 
   // ---- learning stage: fill the experience pool, update the pair network --
   const auto learn_start = Clock::now();
@@ -116,7 +116,7 @@ SearchResult AutoHetSearch::run() {
     if (result.history.empty() || record.reward > result.best_reward) {
       result.best_reward = record.reward;
       result.best_actions = record.actions;
-      result.best_report = env_.evaluate(record.actions);
+      result.best_report = record.report;  // already evaluated this episode
     }
     if ((ep + 1) % 50 == 0) {
       common::log_debug("episode ", ep + 1, "/", config_.episodes,

@@ -34,6 +34,9 @@ struct SearchConfig {
 
 struct EpisodeRecord {
   std::vector<std::size_t> actions;
+  /// The hardware feedback computed for this episode's actions — kept so
+  /// the driver never re-evaluates a configuration it already scored.
+  reram::NetworkReport report;
   double reward = 0.0;
   double utilization = 0.0;
   double energy_nj = 0.0;

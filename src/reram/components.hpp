@@ -19,12 +19,26 @@
 // paths are interchangeable.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 #include "mapping/crossbar_shape.hpp"
 #include "reram/device_params.hpp"
 
 namespace autohet::reram {
+
+// ---- pure arithmetic helpers shared by the analytical models ----
+// Kept header-inline so call sites (hardware model, evaluation engine,
+// NoC/merge-tree accounting) agree bit-for-bit on the same expression.
+
+/// Adder-tree depth: ceil(log2(n)) merge levels for n inputs; 0 for n <= 1.
+inline double ceil_log2(std::int64_t n) noexcept {
+  if (n <= 1) return 0.0;
+  return std::ceil(std::log2(static_cast<double>(n)));
+}
+
+/// Picojoule -> nanojoule conversion used by all energy accounting.
+inline constexpr double kPjToNj = 1e-3;
 
 /// Successive-approximation ADC.
 class AdcModel {

@@ -1,0 +1,295 @@
+#include "reram/eval_engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "mapping/layer_mapping.hpp"
+
+namespace autohet::reram {
+
+EvaluationEngine::EvaluationEngine(
+    std::vector<nn::LayerSpec> layers,
+    std::vector<mapping::CrossbarShape> candidates, AcceleratorConfig accel,
+    EvalEngineConfig config)
+    : layers_(std::move(layers)),
+      candidates_(std::move(candidates)),
+      accel_(accel),
+      config_(config) {
+  accel_.validate();
+  AUTOHET_CHECK(!candidates_.empty(),
+                "evaluation engine needs at least one candidate");
+  for (const auto& layer : layers_) {
+    AUTOHET_CHECK(nn::is_mappable(layer.type),
+                  "evaluation engine layers must be CONV/FC");
+  }
+
+  const std::int64_t xpt = accel_.pes_per_tile;
+  cand_info_.reserve(candidates_.size());
+  for (const auto& shape : candidates_) {
+    CandidateInfo info;
+    info.shape = shape;
+    info.tile_area = tile_area_contribution(shape, accel_.device, xpt);
+    info.cells_per_tile = xpt * shape.cells();
+    cand_info_.push_back(info);
+  }
+
+  // The L×C table: per-layer reports are action-independent because the
+  // allocator assigns each layer ceil(needed / pes_per_tile) exclusive
+  // tiles regardless of what the other layers chose (tile sharing later
+  // releases tiles but LayerReport::tiles is defined pre-sharing).
+  table_.reserve(layers_.size() * candidates_.size());
+  for (const auto& layer : layers_) {
+    for (const auto& shape : candidates_) {
+      LayerCandidate lc;
+      const mapping::LayerMapping m = mapping::map_layer(layer, shape);
+      const std::int64_t needed = m.logical_crossbars();
+      lc.tiles = (needed + xpt - 1) / xpt;
+      lc.last_tile_empty = lc.tiles * xpt - needed;
+      lc.useful_cells = m.useful_cells;
+      lc.report = evaluate_layer(layer, m, lc.tiles, accel_.device);
+      table_.push_back(std::move(lc));
+    }
+  }
+}
+
+const LayerReport& EvaluationEngine::layer_report(std::size_t layer,
+                                                  std::size_t candidate) const {
+  AUTOHET_CHECK(layer < layers_.size(), "layer index out of range");
+  AUTOHET_CHECK(candidate < candidates_.size(),
+                "candidate index out of range");
+  return cell(layer, candidate).report;
+}
+
+NetworkReport EvaluationEngine::compute(
+    const std::vector<std::size_t>& actions) const {
+  const std::size_t n = layers_.size();
+  const std::int64_t xpt = accel_.pes_per_tile;
+
+  NetworkReport report;
+  report.layers.reserve(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    const LayerCandidate& e = cell(l, actions[l]);
+    report.energy += e.report.energy;
+    report.latency_ns += e.report.latency_ns;
+    report.layers.push_back(e.report);
+  }
+
+  // ---- tile accounting on the compact per-layer summary ----
+  // Only a layer's last tile can hold empty PEs, so Algorithm 1's
+  // two-pointer drain (which requires head.empty + tail.empty >= PEs/tile,
+  // impossible when either side is full) operates on at most one tile per
+  // layer. Tile ids are assigned consecutively per layer, exactly as the
+  // allocator numbers them.
+  struct Partial {
+    std::int64_t id;
+    std::int64_t empty;
+    std::size_t layer;
+    bool released = false;
+  };
+  std::int64_t total_tiles = 0;
+  std::vector<Partial> partials;
+  partials.reserve(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    const LayerCandidate& e = cell(l, actions[l]);
+    if (e.last_tile_empty > 0) {
+      partials.push_back({total_tiles + e.tiles - 1, e.last_tile_empty, l,
+                          false});
+    }
+    total_tiles += e.tiles;
+  }
+
+  std::vector<bool> last_tile_released(n, false);
+  std::int64_t released_tiles = 0;
+  std::int64_t empty_xbs = 0;
+  if (accel_.tile_shared && !partials.empty()) {
+    // Group by crossbar shape (layers may only share same-size tiles, §3.4)
+    // and run the two-pointer pass per group, mirroring tile_shared_remap's
+    // (empty asc, id asc) order.
+    std::map<std::pair<std::int64_t, std::int64_t>, std::vector<Partial*>>
+        groups;
+    for (auto& p : partials) {
+      const auto& shape = cand_info_[actions[p.layer]].shape;
+      groups[{shape.rows, shape.cols}].push_back(&p);
+    }
+    for (auto& [shape_key, group] : groups) {
+      std::sort(group.begin(), group.end(),
+                [](const Partial* a, const Partial* b) {
+                  if (a->empty != b->empty) return a->empty < b->empty;
+                  return a->id < b->id;
+                });
+      std::size_t head = 0;
+      std::size_t tail = group.size() - 1;
+      while (head < tail) {
+        Partial* h = group[head];
+        Partial* t = group[tail];
+        if (h->empty + t->empty >= xpt) {
+          h->empty = h->empty + t->empty - xpt;
+          t->empty = 0;
+          t->released = true;
+          --tail;
+        } else {
+          ++head;
+        }
+      }
+    }
+  }
+  for (const auto& p : partials) {
+    if (p.released) {
+      last_tile_released[p.layer] = true;
+      ++released_tiles;
+    } else {
+      empty_xbs += p.empty;
+    }
+  }
+
+  // ---- area: same per-tile contributions, same tile-id order ----
+  std::int64_t useful_cells = 0;
+  std::int64_t allocated_cells = 0;
+  for (std::size_t l = 0; l < n; ++l) {
+    const LayerCandidate& e = cell(l, actions[l]);
+    const CandidateInfo& info = cand_info_[actions[l]];
+    const std::int64_t survivors =
+        e.tiles - (last_tile_released[l] ? 1 : 0);
+    useful_cells += e.useful_cells;
+    allocated_cells += survivors * info.cells_per_tile;
+    for (std::int64_t t = 0; t < survivors; ++t) {
+      report.area.crossbar_um2 += info.tile_area.crossbar_um2;
+      report.area.adc_um2 += info.tile_area.adc_um2;
+      report.area.dac_um2 += info.tile_area.dac_um2;
+      report.area.shift_add_um2 += info.tile_area.shift_add_um2;
+      report.area.tile_overhead_um2 += info.tile_area.tile_overhead_um2;
+    }
+  }
+  report.occupied_tiles = total_tiles - released_tiles;
+  report.empty_crossbars = empty_xbs;
+  report.utilization =
+      allocated_cells > 0 ? static_cast<double>(useful_cells) /
+                                static_cast<double>(allocated_cells)
+                          : 0.0;
+  return report;
+}
+
+const NetworkReport* EvaluationEngine::lookup_locked(
+    const std::vector<std::size_t>& actions) const {
+  const auto it = memo_.find(actions);
+  if (it == memo_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  return &it->second->report;
+}
+
+void EvaluationEngine::insert_locked(const std::vector<std::size_t>& actions,
+                                     const NetworkReport& report) const {
+  if (config_.memo_capacity == 0) return;
+  if (memo_.find(actions) != memo_.end()) return;  // raced insert: keep first
+  lru_.push_front(MemoEntry{actions, report});
+  memo_.emplace(actions, lru_.begin());
+  while (memo_.size() > config_.memo_capacity) {
+    memo_.erase(lru_.back().actions);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+NetworkReport EvaluationEngine::evaluate(
+    const std::vector<std::size_t>& actions) const {
+  AUTOHET_CHECK(actions.size() == layers_.size(),
+                "one action per layer required");
+  for (std::size_t a : actions) {
+    AUTOHET_CHECK(a < candidates_.size(), "action index out of range");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const NetworkReport* hit = lookup_locked(actions)) {
+      ++stats_.hits;
+      return *hit;
+    }
+    ++stats_.misses;
+  }
+  NetworkReport report = compute(actions);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    insert_locked(actions, report);
+  }
+  return report;
+}
+
+std::vector<NetworkReport> EvaluationEngine::evaluate_batch(
+    const std::vector<std::vector<std::size_t>>& batch) const {
+  std::vector<NetworkReport> results(batch.size());
+  for (const auto& actions : batch) {
+    AUTOHET_CHECK(actions.size() == layers_.size(),
+                  "one action per layer required");
+    for (std::size_t a : actions) {
+      AUTOHET_CHECK(a < candidates_.size(), "action index out of range");
+    }
+  }
+
+  // Phase 1 (locked): satisfy hits, dedup misses in first-seen order.
+  std::unordered_map<std::vector<std::size_t>, std::size_t, KeyHash> slots;
+  std::vector<std::size_t> first_position;  // unique miss -> position
+  std::vector<std::vector<std::size_t>> positions;  // unique miss -> all
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (const NetworkReport* hit = lookup_locked(batch[i])) {
+        ++stats_.hits;
+        results[i] = *hit;
+        continue;
+      }
+      const auto [it, inserted] =
+          slots.emplace(batch[i], first_position.size());
+      if (inserted) {
+        ++stats_.misses;  // misses == number of compute() calls
+        first_position.push_back(i);
+        positions.emplace_back();
+      } else {
+        ++stats_.hits;  // duplicate within the batch: served by the dedup
+      }
+      positions[it->second].push_back(i);
+    }
+    if (!first_position.empty() && config_.threads > 0 && !pool_) {
+      pool_ = std::make_unique<common::ThreadPool>(config_.threads);
+    }
+  }
+
+  // Phase 2 (lock-free): compute unique misses, in parallel when a pool is
+  // configured. compute() is pure, so results do not depend on scheduling.
+  std::vector<NetworkReport> computed(first_position.size());
+  if (pool_ && config_.threads > 0 && first_position.size() > 1) {
+    pool_->parallel_for(0, first_position.size(), [&](std::size_t u) {
+      computed[u] = compute(batch[first_position[u]]);
+    });
+  } else {
+    for (std::size_t u = 0; u < first_position.size(); ++u) {
+      computed[u] = compute(batch[first_position[u]]);
+    }
+  }
+
+  // Phase 3 (locked): memoize in first-seen order and scatter to positions.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t u = 0; u < computed.size(); ++u) {
+      insert_locked(batch[first_position[u]], computed[u]);
+    }
+  }
+  for (std::size_t u = 0; u < computed.size(); ++u) {
+    for (std::size_t pos : positions[u]) results[pos] = computed[u];
+  }
+  return results;
+}
+
+EvaluationEngine::CacheStats EvaluationEngine::cache_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void EvaluationEngine::clear_cache() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  memo_.clear();
+  lru_.clear();
+  stats_ = CacheStats{};
+}
+
+}  // namespace autohet::reram

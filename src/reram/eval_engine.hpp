@@ -1,0 +1,161 @@
+// Memoized, thread-parallel hardware evaluation engine.
+//
+// Every DDPG episode, every baseline sweep, and every figure benchmark
+// funnels through one question: "what does configuration (a_1..a_L) cost?"
+// Across thousands of episodes there are only L×C distinct per-layer
+// evaluations (layer energy/latency/utilization depend only on the layer,
+// the candidate shape, and the device parameters — not on the rest of the
+// action vector), and full configurations repeat heavily once a search
+// converges. The engine exploits both:
+//
+//   1. An L×C table of `LayerReport`s is precomputed once at construction
+//      (the allocator's per-layer tile count is action-independent: it is
+//      ceil(logical_crossbars / pes_per_tile) before sharing).
+//   2. Network-level aggregation (area of surviving tiles, tile-shared
+//      draining, system utilization) runs on a compact per-layer summary —
+//      only each layer's one partially-filled tile can be drained by
+//      Algorithm 1, so the two-pointer pass touches at most L tiles
+//      instead of materializing every `Tile`.
+//   3. Full `NetworkReport`s are memoized in an LRU keyed by the action
+//      vector, and `evaluate_batch()` fans independent configurations out
+//      over a `common::ThreadPool`.
+//
+// Determinism contract: results are bit-identical to the uncached
+// `evaluate_network` path. The per-layer reports come from the same
+// `evaluate_layer` with the same arguments; the area sums add the same
+// `tile_area_contribution` values in the same tile-id order; utilization
+// divides the same exact integer sums. Tested field-by-field in
+// tests/test_eval_engine.cpp.
+//
+// Thread-safety contract: after construction the L×C table and all derived
+// per-candidate constants are immutable; the only mutable state is the LRU
+// memo (+ its hit/miss/eviction counters), guarded by an internal mutex.
+// `evaluate()` and `evaluate_batch()` are safe to call concurrently from
+// any thread; uncached computation itself runs lock-free.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "mapping/crossbar_shape.hpp"
+#include "nn/layer.hpp"
+#include "reram/hardware_model.hpp"
+
+namespace autohet::reram {
+
+struct EvalEngineConfig {
+  /// Maximum memoized `NetworkReport`s (LRU-evicted). 0 disables the memo
+  /// (the L×C table still accelerates every evaluation).
+  std::size_t memo_capacity = 4096;
+  /// Worker threads for `evaluate_batch`. 0 = evaluate serially on the
+  /// calling thread; N > 0 = lazily create an internal ThreadPool(N).
+  std::size_t threads = 0;
+};
+
+class EvaluationEngine {
+ public:
+  /// Precomputes the L×C `LayerReport` table. `layers` must contain only
+  /// mappable layers; `candidates` is the action space.
+  EvaluationEngine(std::vector<nn::LayerSpec> layers,
+                   std::vector<mapping::CrossbarShape> candidates,
+                   AcceleratorConfig accel, EvalEngineConfig config = {});
+
+  std::size_t num_layers() const noexcept { return layers_.size(); }
+  std::size_t num_candidates() const noexcept { return candidates_.size(); }
+  const AcceleratorConfig& accel() const noexcept { return accel_; }
+
+  /// The precomputed per-layer report for (layer, candidate) — exactly what
+  /// `evaluate_layer` returns for that pair (used by the greedy baseline
+  /// and the Fig. 5 bench).
+  const LayerReport& layer_report(std::size_t layer,
+                                  std::size_t candidate) const;
+
+  /// Full-network evaluation of one action vector; bit-identical to
+  /// `evaluate_network` on the same inputs. Memoized.
+  NetworkReport evaluate(const std::vector<std::size_t>& actions) const;
+
+  /// Evaluates many independent action vectors, deduplicating repeats and
+  /// fanning cache misses out over the thread pool (serial when
+  /// `config.threads == 0`). Results are positionally aligned with `batch`
+  /// and independent of thread scheduling.
+  std::vector<NetworkReport> evaluate_batch(
+      const std::vector<std::vector<std::size_t>>& batch) const;
+
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    double hit_rate() const noexcept {
+      const double total = static_cast<double>(hits + misses);
+      return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+    }
+  };
+  CacheStats cache_stats() const;
+  void clear_cache() const;
+
+ private:
+  // Per-(layer, candidate) action-independent precompute.
+  struct LayerCandidate {
+    LayerReport report;             ///< evaluate_layer output, verbatim
+    std::int64_t useful_cells = 0;  ///< Cin·k²·Cout
+    std::int64_t tiles = 0;         ///< ceil(logical_xbs / pes_per_tile)
+    std::int64_t last_tile_empty = 0;  ///< free PEs in the layer's last tile
+  };
+  // Per-candidate constants.
+  struct CandidateInfo {
+    mapping::CrossbarShape shape;
+    TileAreaContribution tile_area;
+    std::int64_t cells_per_tile = 0;  ///< pes_per_tile × rows × cols
+  };
+
+  const LayerCandidate& cell(std::size_t layer, std::size_t cand) const {
+    return table_[layer * candidates_.size() + cand];
+  }
+
+  /// The uncached compute path (pure; lock-free).
+  NetworkReport compute(const std::vector<std::size_t>& actions) const;
+
+  std::vector<nn::LayerSpec> layers_;
+  std::vector<mapping::CrossbarShape> candidates_;
+  AcceleratorConfig accel_;
+  EvalEngineConfig config_;
+  std::vector<LayerCandidate> table_;   ///< L×C, row-major by layer
+  std::vector<CandidateInfo> cand_info_;
+
+  // ---- LRU memo (guarded by mutex_) ----
+  struct MemoEntry {
+    std::vector<std::size_t> actions;
+    NetworkReport report;
+  };
+  struct KeyHash {
+    std::size_t operator()(const std::vector<std::size_t>& v) const noexcept {
+      std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+      for (std::size_t x : v) {
+        h ^= static_cast<std::uint64_t>(x);
+        h *= 1099511628211ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  using LruList = std::list<MemoEntry>;
+  mutable std::mutex mutex_;
+  mutable LruList lru_;  ///< front = most recently used
+  mutable std::unordered_map<std::vector<std::size_t>, LruList::iterator,
+                             KeyHash>
+      memo_;
+  mutable CacheStats stats_;
+  mutable std::unique_ptr<common::ThreadPool> pool_;  ///< lazy, when threads>0
+
+  // Unsynchronized memo helpers (callers hold mutex_).
+  const NetworkReport* lookup_locked(
+      const std::vector<std::size_t>& actions) const;
+  void insert_locked(const std::vector<std::size_t>& actions,
+                     const NetworkReport& report) const;
+};
+
+}  // namespace autohet::reram

@@ -3,19 +3,9 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "reram/components.hpp"
 
 namespace autohet::reram {
-
-namespace {
-
-double ceil_log2(std::int64_t n) noexcept {
-  if (n <= 1) return 0.0;
-  return std::ceil(std::log2(static_cast<double>(n)));
-}
-
-constexpr double kPjToNj = 1e-3;
-
-}  // namespace
 
 LayerReport evaluate_layer(const nn::LayerSpec& layer,
                            const mapping::LayerMapping& m,
@@ -104,27 +94,17 @@ NetworkReport evaluate_network(
   }
 
   // ---- area (µm²): tile-provisioned ----
-  // Hardware is provisioned per occupied tile: every tile carries
-  // pes_per_tile logical crossbars of its shape with full peripheral
-  // circuits, whether or not a layer fills them. This is what lets higher
-  // utilization, rectangle shapes, and tile sharing shrink the chip
-  // (Table 5 discussion).
-  const double planes = config.device.bit_planes();
-  const double pes = static_cast<double>(config.pes_per_tile);
+  // Higher utilization, rectangle shapes, and tile sharing shrink the chip
+  // (Table 5 discussion) because released tiles contribute nothing.
   for (const auto& tile : alloc.tiles) {
     if (tile.released) continue;
-    const double rows = static_cast<double>(tile.shape.rows);
-    const double cols = static_cast<double>(tile.shape.cols);
-    // ADC instances per crossbar shrink with column sharing.
-    const double adcs_per_xb = std::ceil(
-        cols / static_cast<double>(config.device.adc_share));
-    report.area.crossbar_um2 +=
-        pes * planes * rows * cols * config.device.cell_area_um2;
-    report.area.adc_um2 += pes * adcs_per_xb * config.device.adc_area_um2;
-    report.area.dac_um2 += pes * rows * config.device.dac_area_um2;
-    report.area.shift_add_um2 +=
-        pes * cols * config.device.shift_add_area_um2;
-    report.area.tile_overhead_um2 += config.device.tile_overhead_area_um2;
+    const TileAreaContribution a = tile_area_contribution(
+        tile.shape, config.device, config.pes_per_tile);
+    report.area.crossbar_um2 += a.crossbar_um2;
+    report.area.adc_um2 += a.adc_um2;
+    report.area.dac_um2 += a.dac_um2;
+    report.area.shift_add_um2 += a.shift_add_um2;
+    report.area.tile_overhead_um2 += a.tile_overhead_um2;
   }
   report.occupied_tiles = alloc.occupied_tiles();
   report.empty_crossbars = alloc.empty_crossbars();

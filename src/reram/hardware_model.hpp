@@ -19,6 +19,7 @@
 //                    bus·log2 tiles ]
 #pragma once
 
+#include <cmath>
 #include <vector>
 
 #include "mapping/tile_allocator.hpp"
@@ -39,6 +40,39 @@ struct AcceleratorConfig {
     AUTOHET_CHECK(pes_per_tile > 0, "pes_per_tile must be positive");
   }
 };
+
+/// Area contribution of one occupied tile (µm² per component class).
+/// Hardware is provisioned per occupied tile: every tile carries
+/// `pes_per_tile` logical crossbars of its shape with full peripheral
+/// circuits, whether or not a layer fills them. Shared by
+/// `evaluate_network` and the `EvaluationEngine` fast path so both
+/// aggregate from the exact same per-tile values.
+struct TileAreaContribution {
+  double crossbar_um2 = 0.0;
+  double adc_um2 = 0.0;
+  double dac_um2 = 0.0;
+  double shift_add_um2 = 0.0;
+  double tile_overhead_um2 = 0.0;
+};
+
+inline TileAreaContribution tile_area_contribution(
+    const mapping::CrossbarShape& shape, const DeviceParams& device,
+    std::int64_t pes_per_tile) noexcept {
+  const double planes = device.bit_planes();
+  const double pes = static_cast<double>(pes_per_tile);
+  const double rows = static_cast<double>(shape.rows);
+  const double cols = static_cast<double>(shape.cols);
+  // ADC instances per crossbar shrink with column sharing.
+  const double adcs_per_xb =
+      std::ceil(cols / static_cast<double>(device.adc_share));
+  TileAreaContribution a;
+  a.crossbar_um2 = pes * planes * rows * cols * device.cell_area_um2;
+  a.adc_um2 = pes * adcs_per_xb * device.adc_area_um2;
+  a.dac_um2 = pes * rows * device.dac_area_um2;
+  a.shift_add_um2 = pes * cols * device.shift_add_area_um2;
+  a.tile_overhead_um2 = device.tile_overhead_area_um2;
+  return a;
+}
 
 /// Evaluates one layer mapped with the given geometry. `tiles_spanned` is
 /// the number of tiles the layer occupies (affects the inter-tile merge

@@ -123,54 +123,78 @@ double DdpgAgent::update() {
     batch = replay_.sample(rng_, config_.batch_size);
     weights.assign(batch.size(), 1.0);
   }
-  const double inv_batch = 1.0 / static_cast<double>(batch.size());
+  const std::size_t B = batch.size();
+  const double inv_batch = 1.0 / static_cast<double>(B);
+  const auto S = static_cast<std::size_t>(config_.state_dim);
+  const std::size_t SA = S + 1;
+
+  // Pack the minibatch once; every network pass below runs batched through
+  // the vectorized kernels (per-sample arithmetic identical to forwarding
+  // each transition on its own — see Mlp::forward_batch).
+  next_states_.resize(B * S);
+  states_.resize(B * S);
+  sa_.resize(B * SA);
+  for (std::size_t b = 0; b < B; ++b) {
+    const Transition* t = batch[b];
+    std::copy(t->next_state.begin(), t->next_state.end(),
+              next_states_.begin() + static_cast<std::ptrdiff_t>(b * S));
+    std::copy(t->state.begin(), t->state.end(),
+              states_.begin() + static_cast<std::ptrdiff_t>(b * S));
+    std::copy(t->state.begin(), t->state.end(),
+              sa_.begin() + static_cast<std::ptrdiff_t>(b * SA));
+    sa_[b * SA + S] = t->action;
+  }
 
   // ---- critic: minimize MSE(Q(s,a), r + gamma * Q'(s', mu'(s'))) ----
+  // Target values for terminal transitions are computed (the forwards are
+  // pure) but never consumed, exactly as if they had been skipped.
+  const std::vector<double>& next_a =
+      actor_target_.forward_batch(next_states_.data(), B, actor_target_cache_);
+  delta_.resize(B * SA);
+  for (std::size_t b = 0; b < B; ++b) {
+    std::copy(next_states_.begin() + static_cast<std::ptrdiff_t>(b * S),
+              next_states_.begin() + static_cast<std::ptrdiff_t>(b * S + S),
+              delta_.begin() + static_cast<std::ptrdiff_t>(b * SA));
+    delta_[b * SA + S] = next_a[b];
+  }
+  const std::vector<double>& q_next =
+      critic_target_.forward_batch(delta_.data(), B, critic_target_cache_);
+  const std::vector<double>& q =
+      critic_.forward_batch(sa_.data(), B, critic_cache_);
+
   critic_.zero_grads();
   double critic_loss = 0.0;
-  for (std::size_t b = 0; b < batch.size(); ++b) {
+  delta_.resize(B);
+  for (std::size_t b = 0; b < B; ++b) {
     const Transition* t = batch[b];
     double target = t->reward;
-    if (!t->terminal) {
-      const double next_a = actor_target_.forward(t->next_state)[0];
-      std::vector<double> sa(t->next_state);
-      sa.push_back(next_a);
-      target += config_.gamma * critic_target_.forward(sa)[0];
-    }
-    std::vector<double> sa(t->state);
-    sa.push_back(t->action);
-    Mlp::Cache cache;
-    const double q = critic_.forward(sa, cache)[0];
-    const double err = q - target;
+    if (!t->terminal) target += config_.gamma * q_next[b];
+    const double err = q[b] - target;
     if (config_.prioritized_replay) {
       prioritized_replay_.update_priority(indices[b], std::fabs(err));
     }
     critic_loss += weights[b] * err * err * inv_batch;
-    const double grad = 2.0 * weights[b] * err * inv_batch;
-    critic_.backward(cache, std::span<const double>(&grad, 1));
+    delta_[b] = 2.0 * weights[b] * err * inv_batch;
   }
+  critic_.backward_batch(critic_cache_, delta_, nullptr);
   critic_opt_.step(critic_.params(), critic_.grads());
 
   // ---- actor: ascend dQ(s, mu(s))/d(theta_mu) ----
   actor_.zero_grads();
-  critic_.zero_grads();  // scratch use below; cleared again next update
-  for (const Transition* t : batch) {
-    Mlp::Cache actor_cache;
-    const double a = actor_.forward(t->state, actor_cache)[0];
-    std::vector<double> sa(t->state);
-    sa.push_back(a);
-    Mlp::Cache critic_cache;
-    critic_.forward(sa, critic_cache);
-    const double one = 1.0;
-    const std::vector<double> dq_dsa =
-        critic_.backward(critic_cache, std::span<const double>(&one, 1));
-    const double dq_da = dq_dsa.back();
+  const std::vector<double>& a =
+      actor_.forward_batch(states_.data(), B, actor_cache_);
+  for (std::size_t b = 0; b < B; ++b) sa_[b * SA + S] = a[b];
+  critic_.forward_batch(sa_.data(), B, critic_q_cache_);
+  delta_.assign(B, 1.0);
+  // Only dQ/d(state,action) is needed here, not critic weight gradients.
+  critic_.backward_batch(critic_q_cache_, delta_, &dq_dsa_,
+                         /*accumulate_param_grads=*/false);
+  for (std::size_t b = 0; b < B; ++b) {
     // Minimize -Q  =>  dL/da = -dQ/da.
-    const double grad = -dq_da * inv_batch;
-    actor_.backward(actor_cache, std::span<const double>(&grad, 1));
+    delta_[b] = -dq_dsa_[b * SA + S] * inv_batch;
   }
+  actor_.backward_batch(actor_cache_, delta_, nullptr);
   actor_opt_.step(actor_.params(), actor_.grads());
-  critic_.zero_grads();
 
   // ---- target soft updates ----
   actor_target_.soft_update_from(actor_, config_.tau);

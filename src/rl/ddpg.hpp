@@ -90,6 +90,19 @@ class DdpgAgent {
   PrioritizedReplayBuffer prioritized_replay_;
   DecayingGaussian noise_;
   OrnsteinUhlenbeck ou_noise_;
+
+  // update() scratch — sized on first use, reused every minibatch so the
+  // hot path allocates nothing in steady state.
+  Mlp::BatchCache actor_target_cache_;
+  Mlp::BatchCache critic_target_cache_;
+  Mlp::BatchCache critic_cache_;
+  Mlp::BatchCache actor_cache_;
+  Mlp::BatchCache critic_q_cache_;
+  std::vector<double> next_states_;
+  std::vector<double> states_;
+  std::vector<double> sa_;
+  std::vector<double> delta_;
+  std::vector<double> dq_dsa_;
 };
 
 }  // namespace autohet::rl

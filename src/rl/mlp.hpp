@@ -52,6 +52,42 @@ class Mlp {
   std::vector<double> backward(const Cache& cache,
                                std::span<const double> grad_output);
 
+  // ---- batched kernels (the DDPG update hot path) ----
+  //
+  // Row-major batch×width activations. The arithmetic is element-for-
+  // element the same as the per-sample path — each output neuron's dot
+  // product accumulates over inputs in the same order, and parameter
+  // gradients accumulate over the batch in sample order — but the loops
+  // are shaped as contiguous saxpy/broadcast sweeps (weights transposed
+  // into scratch) so the compiler can vectorize them without reassociating
+  // any floating-point reduction. All scratch lives in the caller's
+  // BatchCache; steady-state calls allocate nothing.
+
+  struct BatchCache {
+    std::size_t batch = 0;
+    /// post[0] is the input batch; post[l] the activated output of affine
+    /// layer l-1. Flattened batch × sizes_[l], row-major.
+    std::vector<std::vector<double>> post;
+    std::vector<double> wt;          ///< in×out transposed-weight scratch
+    std::vector<double> delta;       ///< backprop scratch
+    std::vector<double> next_delta;  ///< backprop scratch
+  };
+
+  /// Forward for `batch` rows (`x` is batch × input_size, row-major).
+  /// Returns the output batch (batch × output_size), owned by `cache`.
+  const std::vector<double>& forward_batch(const double* x, std::size_t batch,
+                                           BatchCache& cache) const;
+
+  /// Batched backward: `grad_output` is batch × output_size. Accumulates
+  /// parameter gradients (sample-major, matching repeated per-sample
+  /// backward calls) and, when `grad_input` is non-null, writes
+  /// dL/d(input) as batch × input_size. Pass `accumulate_param_grads =
+  /// false` when only dL/d(input) is wanted (DDPG's actor pass
+  /// differentiates the critic w.r.t. the action, not its weights).
+  void backward_batch(BatchCache& cache, std::span<const double> grad_output,
+                      std::vector<double>* grad_input,
+                      bool accumulate_param_grads = true);
+
   void zero_grads();
 
   /// θ ← τ·θ_src + (1-τ)·θ (DDPG target-network soft update).

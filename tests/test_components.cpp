@@ -13,6 +13,28 @@ using reram::DacModel;
 using reram::derive_device_params;
 using reram::SramBufferModel;
 
+TEST(PureHelpers, CeilLog2EdgeCases) {
+  // Merge-tree depth helper shared by the hardware model and the
+  // evaluation engine: 0 for degenerate inputs, exact on powers of two,
+  // rounded up in between.
+  EXPECT_DOUBLE_EQ(reram::ceil_log2(0), 0.0);
+  EXPECT_DOUBLE_EQ(reram::ceil_log2(1), 0.0);
+  EXPECT_DOUBLE_EQ(reram::ceil_log2(2), 1.0);
+  EXPECT_DOUBLE_EQ(reram::ceil_log2(3), 2.0);
+  EXPECT_DOUBLE_EQ(reram::ceil_log2(4), 2.0);
+  EXPECT_DOUBLE_EQ(reram::ceil_log2(5), 3.0);
+  EXPECT_DOUBLE_EQ(reram::ceil_log2(7), 3.0);
+  EXPECT_DOUBLE_EQ(reram::ceil_log2(8), 3.0);
+  EXPECT_DOUBLE_EQ(reram::ceil_log2(9), 4.0);
+  EXPECT_DOUBLE_EQ(reram::ceil_log2(1023), 10.0);
+  EXPECT_DOUBLE_EQ(reram::ceil_log2(1024), 10.0);
+  EXPECT_DOUBLE_EQ(reram::ceil_log2(-5), 0.0);
+}
+
+TEST(PureHelpers, PjToNjScale) {
+  EXPECT_DOUBLE_EQ(reram::kPjToNj, 1e-3);
+}
+
 TEST(AdcModel, EnergyDoublesPerBit) {
   for (int bits = 4; bits < 12; ++bits) {
     const AdcModel lo(bits), hi(bits + 1);

@@ -1,0 +1,233 @@
+// EvaluationEngine: the memoized/batched path must be bit-identical to the
+// uncached evaluate_network, the LRU must bound memory, and evaluate_batch
+// must match serial evaluation regardless of thread count.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mapping/crossbar_shape.hpp"
+#include "nn/model_zoo.hpp"
+#include "reram/eval_engine.hpp"
+#include "reram/hardware_model.hpp"
+
+namespace autohet {
+namespace {
+
+using mapping::CrossbarShape;
+using reram::AcceleratorConfig;
+using reram::EvalEngineConfig;
+using reram::EvaluationEngine;
+using reram::NetworkReport;
+
+std::vector<nn::LayerSpec> test_layers() {
+  return nn::alexnet().mappable_layers();
+}
+
+std::vector<CrossbarShape> test_candidates() {
+  return mapping::hybrid_candidates();
+}
+
+std::vector<CrossbarShape> shapes_for(
+    const std::vector<std::size_t>& actions,
+    const std::vector<CrossbarShape>& candidates) {
+  std::vector<CrossbarShape> shapes;
+  shapes.reserve(actions.size());
+  for (std::size_t a : actions) shapes.push_back(candidates[a]);
+  return shapes;
+}
+
+// Bit-identical comparison: EXPECT_DOUBLE_EQ requires exact equality for
+// finite values, which is the engine's documented contract.
+void expect_identical(const NetworkReport& got, const NetworkReport& want) {
+  EXPECT_DOUBLE_EQ(got.energy.adc_nj, want.energy.adc_nj);
+  EXPECT_DOUBLE_EQ(got.energy.dac_nj, want.energy.dac_nj);
+  EXPECT_DOUBLE_EQ(got.energy.cell_nj, want.energy.cell_nj);
+  EXPECT_DOUBLE_EQ(got.energy.shift_add_nj, want.energy.shift_add_nj);
+  EXPECT_DOUBLE_EQ(got.energy.buffer_nj, want.energy.buffer_nj);
+  EXPECT_DOUBLE_EQ(got.area.crossbar_um2, want.area.crossbar_um2);
+  EXPECT_DOUBLE_EQ(got.area.adc_um2, want.area.adc_um2);
+  EXPECT_DOUBLE_EQ(got.area.dac_um2, want.area.dac_um2);
+  EXPECT_DOUBLE_EQ(got.area.shift_add_um2, want.area.shift_add_um2);
+  EXPECT_DOUBLE_EQ(got.area.tile_overhead_um2, want.area.tile_overhead_um2);
+  EXPECT_DOUBLE_EQ(got.latency_ns, want.latency_ns);
+  EXPECT_DOUBLE_EQ(got.utilization, want.utilization);
+  EXPECT_EQ(got.occupied_tiles, want.occupied_tiles);
+  EXPECT_EQ(got.empty_crossbars, want.empty_crossbars);
+  ASSERT_EQ(got.layers.size(), want.layers.size());
+  for (std::size_t i = 0; i < got.layers.size(); ++i) {
+    const auto& g = got.layers[i];
+    const auto& w = want.layers[i];
+    EXPECT_EQ(g.shape, w.shape) << "layer " << i;
+    EXPECT_EQ(g.logical_crossbars, w.logical_crossbars) << "layer " << i;
+    EXPECT_EQ(g.adc_instances, w.adc_instances) << "layer " << i;
+    EXPECT_EQ(g.tiles, w.tiles) << "layer " << i;
+    EXPECT_EQ(g.mvm_invocations, w.mvm_invocations) << "layer " << i;
+    EXPECT_DOUBLE_EQ(g.utilization, w.utilization) << "layer " << i;
+    EXPECT_DOUBLE_EQ(g.latency_ns, w.latency_ns) << "layer " << i;
+    EXPECT_DOUBLE_EQ(g.energy.adc_nj, w.energy.adc_nj) << "layer " << i;
+    EXPECT_DOUBLE_EQ(g.energy.dac_nj, w.energy.dac_nj) << "layer " << i;
+    EXPECT_DOUBLE_EQ(g.energy.cell_nj, w.energy.cell_nj) << "layer " << i;
+    EXPECT_DOUBLE_EQ(g.energy.shift_add_nj, w.energy.shift_add_nj)
+        << "layer " << i;
+    EXPECT_DOUBLE_EQ(g.energy.buffer_nj, w.energy.buffer_nj) << "layer " << i;
+  }
+}
+
+class EvalEngineIdentity : public ::testing::TestWithParam<bool> {};
+
+TEST_P(EvalEngineIdentity, MatchesUncachedEvaluateNetwork) {
+  const auto layers = test_layers();
+  const auto candidates = test_candidates();
+  AcceleratorConfig accel;
+  accel.tile_shared = GetParam();
+  EvaluationEngine engine(layers, candidates, accel);
+
+  common::Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::size_t> actions(layers.size());
+    for (auto& a : actions) a = rng.uniform_u64(candidates.size());
+    const NetworkReport cached = engine.evaluate(actions);
+    const NetworkReport uncached =
+        reram::evaluate_network(layers, shapes_for(actions, candidates),
+                                accel);
+    expect_identical(cached, uncached);
+    // Second evaluation is a memo hit and must return the same bits again.
+    expect_identical(engine.evaluate(actions), uncached);
+  }
+  EXPECT_GT(engine.cache_stats().hits, 0u);
+  EXPECT_GT(engine.cache_stats().misses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileModes, EvalEngineIdentity,
+                         ::testing::Values(false, true),
+                         [](const auto& param_info) {
+                           return param_info.param ? "TileShared" : "TileBased";
+                         });
+
+TEST(EvalEngine, LayerReportTableMatchesEvaluateLayer) {
+  const auto layers = test_layers();
+  const auto candidates = test_candidates();
+  AcceleratorConfig accel;
+  EvaluationEngine engine(layers, candidates, accel);
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const auto m = mapping::map_layer(layers[l], candidates[c]);
+      const std::int64_t tiles =
+          (m.logical_crossbars() + accel.pes_per_tile - 1) /
+          accel.pes_per_tile;
+      const auto want =
+          reram::evaluate_layer(layers[l], m, tiles, accel.device);
+      const auto& got = engine.layer_report(l, c);
+      EXPECT_EQ(got.shape, want.shape);
+      EXPECT_EQ(got.tiles, want.tiles);
+      EXPECT_DOUBLE_EQ(got.utilization, want.utilization);
+      EXPECT_DOUBLE_EQ(got.energy.total_nj(), want.energy.total_nj());
+      EXPECT_DOUBLE_EQ(got.latency_ns, want.latency_ns);
+    }
+  }
+}
+
+TEST(EvalEngine, LruEvictsLeastRecentlyUsed) {
+  const auto layers = test_layers();
+  const auto candidates = test_candidates();
+  EvalEngineConfig config;
+  config.memo_capacity = 4;
+  EvaluationEngine engine(layers, candidates, AcceleratorConfig{}, config);
+
+  auto homo = [&](std::size_t c) {
+    return std::vector<std::size_t>(layers.size(), c);
+  };
+  for (std::size_t c = 0; c < 5; ++c) engine.evaluate(homo(c));
+  auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 5u);
+  EXPECT_EQ(stats.evictions, 1u);  // capacity 4: config 0 was evicted
+
+  // Configs 1..4 are resident (hits); config 0 must recompute (miss).
+  for (std::size_t c = 1; c < 5; ++c) engine.evaluate(homo(c));
+  stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 4u);
+  engine.evaluate(homo(0));
+  stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 6u);
+
+  // Touch order governs eviction: after re-inserting 0, the LRU entry is 1.
+  engine.evaluate(homo(1));
+  EXPECT_EQ(engine.cache_stats().misses, 7u);
+
+  engine.clear_cache();
+  const auto cleared = engine.cache_stats();
+  EXPECT_EQ(cleared.hits + cleared.misses, 0u);
+}
+
+TEST(EvalEngine, ZeroCapacityDisablesMemo) {
+  const auto layers = test_layers();
+  EvalEngineConfig config;
+  config.memo_capacity = 0;
+  EvaluationEngine engine(layers, test_candidates(), AcceleratorConfig{},
+                          config);
+  const std::vector<std::size_t> actions(layers.size(), 1);
+  const auto a = engine.evaluate(actions);
+  const auto b = engine.evaluate(actions);
+  expect_identical(a, b);
+  EXPECT_EQ(engine.cache_stats().hits, 0u);
+}
+
+TEST(EvalEngine, ValidatesActions) {
+  const auto layers = test_layers();
+  const auto candidates = test_candidates();
+  EvaluationEngine engine(layers, candidates, AcceleratorConfig{});
+  EXPECT_THROW(engine.evaluate({0, 1}), std::invalid_argument);
+  std::vector<std::size_t> bad(layers.size(), candidates.size());
+  EXPECT_THROW(engine.evaluate(bad), std::invalid_argument);
+}
+
+TEST(EvalEngine, BatchMatchesSerialAcrossThreadCounts) {
+  const auto layers = test_layers();
+  const auto candidates = test_candidates();
+  AcceleratorConfig accel;
+  accel.tile_shared = true;
+
+  // Serial reference on an engine with no threads and no memo reuse across
+  // the comparison (fresh engine per thread count keeps stats clean).
+  common::Rng rng(7);
+  std::vector<std::vector<std::size_t>> batch;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<std::size_t> actions(layers.size());
+    for (auto& a : actions) a = rng.uniform_u64(candidates.size());
+    batch.push_back(std::move(actions));
+  }
+  batch.push_back(batch.front());  // duplicate: exercises dedup
+  EvaluationEngine serial(layers, candidates, accel);
+  std::vector<NetworkReport> want;
+  want.reserve(batch.size());
+  for (const auto& actions : batch) want.push_back(serial.evaluate(actions));
+
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}, hw}) {
+    EvalEngineConfig config;
+    config.threads = threads;
+    EvaluationEngine engine(layers, candidates, accel, config);
+    const auto got = engine.evaluate_batch(batch);
+    ASSERT_EQ(got.size(), batch.size()) << threads << " threads";
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_identical(got[i], want[i]);
+    }
+    // The duplicated vector must be a dedup/memo hit, not a recompute.
+    EXPECT_GT(engine.cache_stats().hits, 0u) << threads << " threads";
+  }
+}
+
+TEST(EvalEngine, BatchOfOneAndEmptyBatch) {
+  const auto layers = test_layers();
+  EvaluationEngine engine(layers, test_candidates(), AcceleratorConfig{});
+  EXPECT_TRUE(engine.evaluate_batch({}).empty());
+  const std::vector<std::size_t> actions(layers.size(), 2);
+  const auto got = engine.evaluate_batch({actions});
+  ASSERT_EQ(got.size(), 1u);
+  expect_identical(got[0], engine.evaluate(actions));
+}
+
+}  // namespace
+}  // namespace autohet
