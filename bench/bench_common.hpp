@@ -12,14 +12,20 @@
 #include "autohet/baselines.hpp"
 #include "autohet/search.hpp"
 #include "nn/model_zoo.hpp"
+#include "obs/session.hpp"
 #include "report/table.hpp"
 
 namespace autohet::bench {
 
 /// Episodes for RL searches, overridable as argv[1] (all bench binaries
 /// accept it) so CI can run quick sweeps and full runs can match the
-/// paper's 300 rounds.
+/// paper's 300 rounds. Also wires up the shared observability flags
+/// (--trace-out/--metrics-out/--episode-log/--log-level anywhere on the
+/// command line): the static session writes the files at process exit, so
+/// the bench binaries gain telemetry without touching their positional
+/// conventions.
 inline int episodes_from_args(int argc, char** argv, int fallback) {
+  static obs::ObsSession session(obs::options_from_argv(argc, argv));
   if (argc > 1) {
     const int v = std::atoi(argv[1]);
     if (v > 0) return v;

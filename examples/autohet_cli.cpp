@@ -18,6 +18,7 @@
 #include "common/cli.hpp"
 #include "nn/describe.hpp"
 #include "nn/model_zoo.hpp"
+#include "obs/session.hpp"
 #include "report/table.hpp"
 
 using namespace autohet;
@@ -41,6 +42,7 @@ core::CrossbarEnv build_env(const common::ArgParser& args,
   cfg.candidates = candidates_by_name(args.option("candidates"));
   cfg.accel.tile_shared = !args.flag("no-tile-shared");
   cfg.accel.pes_per_tile = args.option_int("pes-per-tile");
+  cfg.eval_threads = static_cast<std::size_t>(args.option_int("eval-threads"));
   return core::CrossbarEnv(net.mappable_layers(), cfg);
 }
 
@@ -171,7 +173,11 @@ int main(int argc, char** argv) {
   args.add_option("out", "", "write the learned strategy to this file");
   args.add_option("csv", "", "write per-episode search history CSV");
   args.add_option("strategy", "", "strategy file for 'evaluate'");
+  args.add_option("eval-threads", "0",
+                  "worker threads for batched hardware evaluation "
+                  "(0 = serial)");
   args.add_flag("no-tile-shared", "disable the tile-shared allocation");
+  obs::add_cli_options(args);
 
   std::string error;
   if (!args.parse(argc, argv, &error)) {
@@ -179,6 +185,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    obs::ObsSession session(args);
     const std::string command = args.positional("command");
     if (command == "search") return run_search(args);
     if (command == "evaluate") return run_evaluate(args);

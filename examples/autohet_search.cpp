@@ -2,77 +2,108 @@
 // episode-by-episode convergence output and a comparison against the
 // homogeneous, manual-hetero, greedy and random baselines.
 //
-// Usage: autohet_search [episodes] [seed]
+// Usage: autohet_search [episodes] [seed] [--trace-out trace.json]
+//                       [--metrics-out metrics.prom] [--episode-log ep.jsonl]
+//                       [--log-level debug] [--eval-threads N]
 #include <cstdlib>
 #include <iostream>
 
 #include "autohet/baselines.hpp"
 #include "autohet/search.hpp"
+#include "common/cli.hpp"
 #include "nn/model_zoo.hpp"
+#include "obs/session.hpp"
 #include "report/table.hpp"
 
 using namespace autohet;
 
 int main(int argc, char** argv) {
-  const int episodes = argc > 1 ? std::atoi(argv[1]) : 300;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  common::ArgParser args("autohet_search",
+                         "AutoHet RL search on VGG16 with baseline "
+                         "comparison.");
+  args.add_optional_positional("episodes", "300", "RL search episodes");
+  args.add_optional_positional("seed", "1", "RNG seed");
+  args.add_option("eval-threads", "0",
+                  "worker threads for batched hardware evaluation "
+                  "(0 = serial)");
+  obs::add_cli_options(args);
 
-  const nn::NetworkSpec net = nn::vgg16();
-  std::cout << "AutoHet search on " << net.name << ", " << episodes
-            << " episodes, seed " << seed << "\n\n";
+  std::string error;
+  if (!args.parse(argc, argv, &error)) {
+    std::cerr << error << '\n';
+    return 2;
+  }
 
-  core::EnvConfig cfg;
-  cfg.candidates = mapping::hybrid_candidates();
-  cfg.accel.tile_shared = true;
-  const core::CrossbarEnv env(net.mappable_layers(), cfg);
+  try {
+    obs::ObsSession session(args);
 
-  core::SearchConfig search_cfg;
-  search_cfg.episodes = episodes;
-  search_cfg.seed = seed;
-  core::AutoHetSearch search(env, search_cfg);
-  const core::SearchResult result = search.run();
+    const int episodes = static_cast<int>(std::atoi(
+        args.positional("episodes").c_str()));
+    const std::uint64_t seed =
+        std::strtoull(args.positional("seed").c_str(), nullptr, 10);
 
-  // Convergence trace: best-so-far reward every 25 episodes.
-  std::cout << "Convergence (best reward so far):\n";
-  double best_so_far = 0.0;
-  for (std::size_t ep = 0; ep < result.history.size(); ++ep) {
-    best_so_far = std::max(best_so_far, result.history[ep].reward);
-    if ((ep + 1) % 25 == 0) {
-      std::cout << "  episode " << ep + 1 << ": " << best_so_far << '\n';
+    const nn::NetworkSpec net = nn::vgg16();
+    std::cout << "AutoHet search on " << net.name << ", " << episodes
+              << " episodes, seed " << seed << "\n\n";
+
+    core::EnvConfig cfg;
+    cfg.candidates = mapping::hybrid_candidates();
+    cfg.accel.tile_shared = true;
+    cfg.eval_threads =
+        static_cast<std::size_t>(args.option_int("eval-threads"));
+    const core::CrossbarEnv env(net.mappable_layers(), cfg);
+
+    core::SearchConfig search_cfg;
+    search_cfg.episodes = episodes;
+    search_cfg.seed = seed;
+    core::AutoHetSearch search(env, search_cfg);
+    const core::SearchResult result = search.run();
+
+    // Convergence trace: best-so-far reward every 25 episodes.
+    std::cout << "Convergence (best reward so far):\n";
+    double best_so_far = 0.0;
+    for (std::size_t ep = 0; ep < result.history.size(); ++ep) {
+      best_so_far = std::max(best_so_far, result.history[ep].reward);
+      if ((ep + 1) % 25 == 0) {
+        std::cout << "  episode " << ep + 1 << ": " << best_so_far << '\n';
+      }
     }
+
+    // Baseline comparison on the same hybrid-candidate environment plus the
+    // paper's square-only baselines.
+    core::EnvConfig square_cfg;
+    square_cfg.candidates = mapping::square_candidates();
+    const core::CrossbarEnv square_env(net.mappable_layers(), square_cfg);
+
+    report::Table table({"Strategy", "Utilization %", "Energy (nJ)", "RUE"});
+    const auto add = [&table](const std::string& name,
+                              const reram::NetworkReport& r) {
+      table.add_row({name, report::format_fixed(r.utilization * 100.0, 1),
+                     report::format_sci(r.energy.total_nj()),
+                     report::format_sci(r.rue())});
+    };
+    add(core::best_homogeneous(square_env).name,
+        core::best_homogeneous(square_env).report);
+    add("Manual-Hetero (512 head / 256 tail)",
+        core::manual_hetero(square_env, 4, 3, 10).report);
+    add("Greedy (layer-local)", core::greedy_search(env).report);
+    add("Random (equal budget)",
+        core::random_search(env, episodes, seed).report);
+    add("AutoHet (RL)", result.best_report);
+    std::cout << '\n';
+    table.print(std::cout);
+
+    std::cout << "\nSearch time: decision " << result.decision_seconds
+              << " s, simulator " << result.simulator_seconds
+              << " s, learning " << result.learning_seconds << " s\n";
+    std::cout << "Best per-layer configuration:\n  ";
+    for (auto a : result.best_actions) {
+      std::cout << env.candidates()[a].name() << ' ';
+    }
+    std::cout << '\n';
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
   }
-
-  // Baseline comparison on the same hybrid-candidate environment plus the
-  // paper's square-only baselines.
-  core::EnvConfig square_cfg;
-  square_cfg.candidates = mapping::square_candidates();
-  const core::CrossbarEnv square_env(net.mappable_layers(), square_cfg);
-
-  report::Table table({"Strategy", "Utilization %", "Energy (nJ)", "RUE"});
-  const auto add = [&table](const std::string& name,
-                            const reram::NetworkReport& r) {
-    table.add_row({name, report::format_fixed(r.utilization * 100.0, 1),
-                   report::format_sci(r.energy.total_nj()),
-                   report::format_sci(r.rue())});
-  };
-  add(core::best_homogeneous(square_env).name,
-      core::best_homogeneous(square_env).report);
-  add("Manual-Hetero (512 head / 256 tail)",
-      core::manual_hetero(square_env, 4, 3, 10).report);
-  add("Greedy (layer-local)", core::greedy_search(env).report);
-  add("Random (equal budget)",
-      core::random_search(env, episodes, seed).report);
-  add("AutoHet (RL)", result.best_report);
-  std::cout << '\n';
-  table.print(std::cout);
-
-  std::cout << "\nSearch time: decision " << result.decision_seconds
-            << " s, simulator " << result.simulator_seconds << " s, learning "
-            << result.learning_seconds << " s\n";
-  std::cout << "Best per-layer configuration:\n  ";
-  for (auto a : result.best_actions) {
-    std::cout << env.candidates()[a].name() << ' ';
-  }
-  std::cout << '\n';
-  return 0;
 }

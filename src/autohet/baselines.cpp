@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 
 namespace autohet::core {
 
@@ -34,6 +35,7 @@ StrategyResult evaluate_homogeneous_strategy(const CrossbarEnv& env,
 }
 
 std::vector<StrategyResult> homogeneous_sweep(const CrossbarEnv& env) {
+  OBS_SPAN("homogeneous_sweep");
   // One batch through the engine: the C configurations are independent, so
   // cache misses evaluate in parallel when the env has eval threads.
   std::vector<std::vector<std::size_t>> batch;
@@ -81,6 +83,7 @@ StrategyResult manual_hetero(const CrossbarEnv& env, std::size_t head_index,
 }
 
 StrategyResult greedy_search(const CrossbarEnv& env) {
+  OBS_SPAN("greedy_search");
   std::vector<std::size_t> actions;
   actions.reserve(env.num_layers());
   for (std::size_t k = 0; k < env.num_layers(); ++k) {
@@ -105,6 +108,7 @@ StrategyResult greedy_search(const CrossbarEnv& env) {
 StrategyResult random_search(const CrossbarEnv& env, int evaluations,
                              std::uint64_t seed) {
   AUTOHET_CHECK(evaluations > 0, "evaluations must be positive");
+  OBS_SPAN("random_search");
   common::Rng rng(seed);
   StrategyResult best;
   best.name = "Random";
@@ -138,6 +142,7 @@ StrategyResult random_search(const CrossbarEnv& env, int evaluations,
 
 StrategyResult exhaustive_search(const CrossbarEnv& env,
                                  std::int64_t max_evaluations) {
+  OBS_SPAN("exhaustive_search");
   const std::size_t n = env.num_layers();
   const std::size_t c = env.num_actions();
   // Overflow-safe space-size check.

@@ -32,8 +32,19 @@ void ArgParser::add_option(const std::string& name,
 
 void ArgParser::add_positional(const std::string& name,
                                const std::string& help) {
+  AUTOHET_CHECK(required_positionals_ == positional_names_.size(),
+                "required positional after optional: " + name);
   positional_names_.push_back(name);
   positional_help_.push_back(help);
+  ++required_positionals_;
+}
+
+void ArgParser::add_optional_positional(const std::string& name,
+                                        const std::string& default_value,
+                                        const std::string& help) {
+  positional_names_.push_back(name);
+  positional_help_.push_back(help);
+  positional_values_[name] = default_value;
 }
 
 bool ArgParser::parse(int argc, const char* const* argv, std::string* error) {
@@ -84,7 +95,7 @@ bool ArgParser::parse(int argc, const char* const* argv, std::string* error) {
     }
     positional_values_[positional_names_[positional_index++]] = arg;
   }
-  if (positional_index < positional_names_.size()) {
+  if (positional_index < required_positionals_) {
     if (error) {
       *error = "missing argument: " + positional_names_[positional_index];
     }
@@ -143,11 +154,16 @@ const std::string& ArgParser::positional(const std::string& name) const {
 std::string ArgParser::help_text() const {
   std::ostringstream oss;
   oss << "usage: " << program_;
-  for (const auto& p : positional_names_) oss << " <" << p << '>';
+  for (std::size_t i = 0; i < positional_names_.size(); ++i) {
+    const bool required = i < required_positionals_;
+    oss << (required ? " <" : " [") << positional_names_[i]
+        << (required ? '>' : ']');
+  }
   oss << " [options]\n\n" << description_ << "\n\n";
   for (std::size_t i = 0; i < positional_names_.size(); ++i) {
-    oss << "  <" << positional_names_[i] << ">  " << positional_help_[i]
-        << '\n';
+    const bool required = i < required_positionals_;
+    oss << (required ? "  <" : "  [") << positional_names_[i]
+        << (required ? ">  " : "]  ") << positional_help_[i] << '\n';
   }
   oss << "\noptions:\n";
   for (const auto& [name, opt] : options_) {

@@ -23,6 +23,12 @@ class ArgParser {
                   const std::string& help);
   /// Registers a named positional argument (required, in order).
   void add_positional(const std::string& name, const std::string& help);
+  /// Registers an optional positional argument with a default. Optional
+  /// positionals must be registered after every required one and are
+  /// filled left-to-right by the remaining arguments.
+  void add_optional_positional(const std::string& name,
+                               const std::string& default_value,
+                               const std::string& help);
 
   /// Parses argv. Returns false and fills *error on malformed input or when
   /// --help was requested (error is then the help text).
@@ -49,6 +55,7 @@ class ArgParser {
   std::map<std::string, Option> options_;
   std::vector<std::string> positional_names_;
   std::vector<std::string> positional_help_;
+  std::size_t required_positionals_ = 0;
   std::map<std::string, std::string> positional_values_;
 };
 

@@ -1,10 +1,52 @@
 #include "common/logging.hpp"
 
+#include <cstdio>
+
+#include "obs/clock.hpp"
+
 namespace autohet::common {
 
-LogLevel& log_level() noexcept {
-  static LogLevel level = LogLevel::kInfo;
+namespace {
+std::atomic<LogLevel>& level_storage() noexcept {
+  static std::atomic<LogLevel> level{LogLevel::kInfo};
   return level;
+}
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return level_storage().load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+bool parse_log_level(std::string_view text, LogLevel* out) noexcept {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn" || text == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else if (text == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "info";
 }
 
 std::mutex& log_mutex() noexcept {
@@ -16,8 +58,15 @@ void log_line(LogLevel level, std::string_view message) {
   static constexpr const char* kNames[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
   const int idx = static_cast<int>(level);
   if (idx < 0 || idx > 3) return;
+  // Same clock as the trace spans: "+12.345s" here is ts=12345000us there.
+  const double seconds =
+      static_cast<double>(obs::ns_since_start()) / 1e9;
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "+%.3fs t%u", seconds,
+                obs::thread_index());
   std::lock_guard<std::mutex> guard(log_mutex());
-  std::cerr << "[autohet " << kNames[idx] << "] " << message << '\n';
+  std::cerr << "[autohet " << kNames[idx] << ' ' << prefix << "] " << message
+            << '\n';
 }
 
 }  // namespace autohet::common

@@ -2,19 +2,31 @@
 //
 // Intentionally tiny: benches and examples produce their primary output on
 // stdout; logging is for progress/diagnostics and can be silenced globally.
+// Each line carries a monotonic timestamp (seconds since process start, the
+// same clock the trace spans use — see obs/clock.hpp) and a dense thread id,
+// so plain logs correlate with Chrome-trace timelines.
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <mutex>
 #include <sstream>
 #include <string_view>
+#include <utility>
 
 namespace autohet::common {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global minimum level; messages below it are dropped.
-LogLevel& log_level() noexcept;
+/// Global minimum level; messages below it are dropped. Read lock-free from
+/// pool threads, so it is stored in an atomic — mutate via set_log_level.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "debug" / "info" / "warn" ("warning") / "error" / "off".
+/// Returns false (leaving *out untouched) on anything else.
+bool parse_log_level(std::string_view text, LogLevel* out) noexcept;
+std::string_view log_level_name(LogLevel level) noexcept;
 
 /// Serializes concurrent log writes from the thread pool.
 std::mutex& log_mutex() noexcept;
@@ -26,7 +38,7 @@ template <typename... Args>
 void log_fmt(LogLevel level, Args&&... args) {
   if (level < log_level()) return;
   std::ostringstream oss;
-  (oss << ... << args);
+  (oss << ... << std::forward<Args>(args));
   log_line(level, oss.str());
 }
 }  // namespace detail

@@ -4,6 +4,11 @@
 // configurations concurrently (e.g. the homogeneous baseline sweep and the
 // search-time benchmark). Work items must be independent; the pool provides
 // no ordering guarantees beyond wait()/parallel_for joining all tasks.
+//
+// Instrumented (src/obs): queue depth is exported as the
+// `autohet_pool_queue_depth` gauge and a `pool_queue_depth` trace counter
+// track; each task runs inside a `pool_task` span and feeds the
+// `autohet_pool_task_latency_ns` histogram.
 #pragma once
 
 #include <condition_variable>

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace autohet::mapping {
 
@@ -49,6 +50,8 @@ double AllocationResult::system_utilization() const {
 
 CombMap tile_shared_remap(std::vector<Tile*>& tiles, std::int64_t xb_num) {
   AUTOHET_CHECK(xb_num > 0, "xb_num must be positive");
+  OBS_SPAN("tile_shared_remap");
+  OBS_COUNTER_ADD("autohet_tile_remap_passes_total", 1);
   CombMap comb_map;
   // Line 2: sort ascending by empty-crossbar count.
   std::sort(tiles.begin(), tiles.end(), [](const Tile* a, const Tile* b) {
@@ -75,6 +78,7 @@ CombMap tile_shared_remap(std::vector<Tile*>& tiles, std::int64_t xb_num) {
       t->layer_ids.clear();
       t->layer_xbs.clear();
       comb_map[h->id].push_back(t->id);
+      OBS_COUNTER_ADD("autohet_tiles_released_total", 1);
       --tail;
     } else {
       ++head;
@@ -93,6 +97,7 @@ AllocationResult TileAllocator::allocate(
     const std::vector<CrossbarShape>& shapes) const {
   AUTOHET_CHECK(layers.size() == shapes.size(),
                 "layers and shapes must be the same length");
+  OBS_SPAN("tile_alloc");
   AllocationResult result;
   result.xbs_per_tile = xbs_per_tile_;
 

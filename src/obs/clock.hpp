@@ -1,0 +1,35 @@
+// Shared observability clock and thread identity.
+//
+// All telemetry (log lines, trace spans, counter tracks) timestamps against
+// one steady clock anchored at the first call in the process, so a log line
+// at "+12.345s" lands at ts=12345000us on the Chrome trace timeline.
+// Thread ids are small dense integers (1, 2, 3, ...) assigned on first use —
+// readable in trace viewers and log prefixes, unlike std::thread::id.
+//
+// Header-only on purpose: common/logging (below obs in the link order) and
+// the tracer both include it without creating a library cycle.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace autohet::obs {
+
+/// Nanoseconds since the first call to this function in the process.
+inline std::uint64_t ns_since_start() noexcept {
+  static const auto t0 = std::chrono::steady_clock::now();
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+}
+
+/// Dense per-thread id: the main thread is usually 1, pool workers follow.
+inline std::uint32_t thread_index() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace autohet::obs

@@ -1,0 +1,113 @@
+#include "obs/metrics.hpp"
+
+namespace autohet::obs {
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& b : shard.buckets) {
+      total += b.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::uint64_t Histogram::sum() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets()
+    const noexcept {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (const auto& shard : shards_) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      out[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& shard : shards_) {
+    for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramSample s;
+    s.name = name;
+    s.buckets = h->buckets();
+    s.sum = h->sum();
+    for (const auto b : s.buckets) s.count += b;
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void Registry::reset_for_testing() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace autohet::obs

@@ -1,0 +1,190 @@
+// Lock-cheap metrics registry: counters, gauges, and fixed log-scale
+// histograms, sharded per thread and aggregated on snapshot.
+//
+// Hot-path writes never take a lock: each metric owns a small array of
+// cache-line-aligned shards and a thread picks its shard by a dense
+// thread index, so concurrent increments from the thread pool land on
+// different cache lines and cost one relaxed atomic RMW. Reads
+// (`Registry::snapshot()`) sum the shards; the snapshot is consistent per
+// metric, not across metrics — fine for exposition.
+//
+// Registration (`Registry::global().counter("name")`) takes a mutex once;
+// call sites cache the returned reference in a function-local static (the
+// OBS_* macros in obs/obs.hpp do exactly that), so steady-state cost is the
+// shard increment alone. Returned references stay valid for the lifetime of
+// the registry (metrics are never erased, only reset for tests).
+//
+// Exposition lives in report/serialize (write_metrics_prometheus /
+// write_metrics_json) so the formats sit next to the other emitters.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace autohet::obs {
+
+inline constexpr std::size_t kMetricShards = 16;  // power of two
+
+namespace detail {
+inline std::size_t shard_index() noexcept {
+  return thread_index() & (kMetricShards - 1);
+}
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> value{0};
+};
+}  // namespace detail
+
+/// Monotonic counter (e.g. cache hits). Thread-sharded; add() is one relaxed
+/// atomic add on the calling thread's shard.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    shards_[detail::shard_index()].value.fetch_add(delta,
+                                                   std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() noexcept {
+    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::CounterShard, kMetricShards> shards_;
+};
+
+/// Last-value gauge (e.g. queue depth, last episode reward).
+class Gauge {
+ public:
+  void set(double v) noexcept { bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed); }
+  double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Histogram over non-negative integer samples (latencies in ns, batch
+/// sizes) with fixed log2-scale buckets: bucket 0 holds the value 0 and
+/// bucket b >= 1 holds [2^(b-1), 2^b - 1], so boundaries are compile-time
+/// fixed and bucketing is one std::bit_width. Thread-sharded like Counter.
+class Histogram {
+ public:
+  /// 0, [1,1], [2,3], [4,7], ..., [2^63, 2^64-1] — 65 buckets total.
+  static constexpr std::size_t kBuckets = 65;
+
+  static std::size_t bucket_index(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Inclusive upper bound of bucket `b` (the Prometheus `le` label).
+  static std::uint64_t bucket_upper_bound(std::size_t b) noexcept {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    auto& shard = shards_[detail::shard_index()];
+    shard.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept;
+  std::uint64_t sum() const noexcept;
+  /// Per-bucket (non-cumulative) totals, aggregated across shards.
+  std::array<std::uint64_t, kBuckets> buckets() const noexcept;
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Point-in-time aggregate of every registered metric, for exposition.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Process-wide metric registry. Lookup-or-create is mutex-guarded;
+/// returned references are stable (node-based map, values never erased).
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric (references stay valid). Test helper.
+  void reset_for_testing();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Runtime switch set when a metrics sink is configured (--metrics-out).
+/// Counter/gauge updates are cheap enough to run unconditionally; call sites
+/// that need a clock (latency histograms) check this first so disabled runs
+/// never pay for timestamps.
+bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool enabled) noexcept;
+
+/// RAII latency sample: reads the clock only when metrics are enabled and
+/// records elapsed nanoseconds into `hist` on destruction.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram& hist) noexcept
+      : hist_(metrics_enabled() ? &hist : nullptr),
+        start_ns_(hist_ ? ns_since_start() : 0) {}
+  ~ScopedLatencyTimer() {
+    if (hist_) hist_->record(ns_since_start() - start_ns_);
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace autohet::obs

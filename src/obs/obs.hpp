@@ -1,0 +1,82 @@
+// Instrumentation macros — the only interface hot paths should use.
+//
+// Every macro compiles to nothing when AUTOHET_OBS_DISABLED is defined
+// (CMake: -DAUTOHET_OBS=OFF), and at runtime the default state is a null
+// sink: spans cost one atomic load until the tracer is enabled, latency
+// timers never read the clock until metrics are enabled, counters/gauges
+// are single relaxed atomic writes on a per-thread cache line. A run with
+// no --trace-out/--metrics-out is observationally identical to a build
+// without instrumentation (asserted against BENCH_search_time.json).
+//
+// Metric references are resolved once per call site via function-local
+// statics, so the registry mutex is touched only on first execution.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#if !defined(AUTOHET_OBS_DISABLED)
+
+#define AUTOHET_OBS_CONCAT_INNER(a, b) a##b
+#define AUTOHET_OBS_CONCAT(a, b) AUTOHET_OBS_CONCAT_INNER(a, b)
+
+/// RAII trace span for the enclosing scope. `name` must be a literal.
+#define OBS_SPAN(name)                                      \
+  ::autohet::obs::ScopedSpan AUTOHET_OBS_CONCAT(            \
+      obs_span_, __LINE__)(name)
+
+/// Adds `delta` to the named monotonic counter.
+#define OBS_COUNTER_ADD(name, delta)                                     \
+  do {                                                                   \
+    static ::autohet::obs::Counter& obs_counter_ref =                    \
+        ::autohet::obs::Registry::global().counter(name);                \
+    obs_counter_ref.add(delta);                                          \
+  } while (false)
+
+/// Sets the named gauge to `value` (converted to double).
+#define OBS_GAUGE_SET(name, value)                                       \
+  do {                                                                   \
+    static ::autohet::obs::Gauge& obs_gauge_ref =                        \
+        ::autohet::obs::Registry::global().gauge(name);                  \
+    obs_gauge_ref.set(static_cast<double>(value));                       \
+  } while (false)
+
+/// Records a non-negative sample into the named log2-bucket histogram.
+#define OBS_HIST_RECORD(name, value)                                     \
+  do {                                                                   \
+    static ::autohet::obs::Histogram& obs_hist_ref =                     \
+        ::autohet::obs::Registry::global().histogram(name);              \
+    obs_hist_ref.record(static_cast<std::uint64_t>(value));              \
+  } while (false)
+
+/// Times the enclosing scope into the named latency histogram (ns).
+/// Reads the clock only when metrics are enabled.
+#define OBS_SCOPED_LATENCY(name)                                         \
+  static ::autohet::obs::Histogram& AUTOHET_OBS_CONCAT(                  \
+      obs_lat_hist_, __LINE__) =                                         \
+      ::autohet::obs::Registry::global().histogram(name);                \
+  ::autohet::obs::ScopedLatencyTimer AUTOHET_OBS_CONCAT(                 \
+      obs_lat_timer_, __LINE__)(AUTOHET_OBS_CONCAT(obs_lat_hist_,        \
+                                                   __LINE__))
+
+/// Emits a counter-track sample onto the trace timeline (no-op unless the
+/// tracer is enabled). `name` must be a literal.
+#define OBS_TRACE_COUNTER(name, value)                                   \
+  do {                                                                   \
+    ::autohet::obs::Tracer& obs_tracer_ref =                             \
+        ::autohet::obs::Tracer::global();                                \
+    if (obs_tracer_ref.enabled()) {                                      \
+      obs_tracer_ref.counter(name, static_cast<double>(value));          \
+    }                                                                    \
+  } while (false)
+
+#else  // AUTOHET_OBS_DISABLED
+
+#define OBS_SPAN(name) ((void)0)
+#define OBS_COUNTER_ADD(name, delta) ((void)0)
+#define OBS_GAUGE_SET(name, value) ((void)0)
+#define OBS_HIST_RECORD(name, value) ((void)0)
+#define OBS_SCOPED_LATENCY(name) ((void)0)
+#define OBS_TRACE_COUNTER(name, value) ((void)0)
+
+#endif  // AUTOHET_OBS_DISABLED

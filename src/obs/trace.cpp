@@ -1,0 +1,201 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace autohet::obs {
+
+namespace {
+/// Per-thread ring capacity; a span event is ~48 bytes, so a full ring is
+/// ~3 MB. Long runs keep the most recent window instead of growing.
+constexpr std::size_t kRingCapacity = 1 << 16;
+
+thread_local std::uint32_t t_span_depth = 0;
+
+/// Escapes the characters that can break a JSON string. Names are literals
+/// under our control, so this is belt-and-braces.
+void write_json_string(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+}  // namespace
+
+struct Tracer::ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> ring;
+  std::size_t next = 0;       ///< insertion cursor once the ring is full
+  std::uint64_t dropped = 0;  ///< events overwritten by wrap-around
+  std::uint32_t tid = 0;
+
+  void push(const TraceEvent& ev) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (ring.size() < kRingCapacity) {
+      ring.push_back(ev);
+    } else {
+      ring[next] = ev;
+      next = (next + 1) % kRingCapacity;
+      ++dropped;
+    }
+  }
+};
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto buf = std::make_shared<ThreadBuffer>();
+    buf->tid = thread_index();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(buf);
+    return buf;
+  }();
+  return *buffer;
+}
+
+void Tracer::record(const TraceEvent& ev) { local_buffer().push(ev); }
+
+void Tracer::counter(const char* name, double value) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.ts_ns = ns_since_start();
+  ev.value = value;
+  ev.tid = thread_index();
+  ev.ph = 'C';
+  record(ev);
+}
+
+void Tracer::span(const char* name, std::uint64_t start_ns,
+                  std::uint64_t end_ns, std::uint32_t depth) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.ts_ns = start_ns;
+  ev.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  ev.tid = thread_index();
+  ev.depth = depth;
+  ev.ph = 'X';
+  record(ev);
+}
+
+std::uint32_t Tracer::enter_span() noexcept { return t_span_depth++; }
+
+void Tracer::exit_span() noexcept {
+  if (t_span_depth > 0) --t_span_depth;
+}
+
+std::vector<TraceEvent> Tracer::snapshot_events() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buf : buffers) {
+    const std::lock_guard<std::mutex> lock(buf->mutex);
+    events.insert(events.end(), buf->ring.begin(), buf->ring.end());
+  }
+  // Start-time order; longer (enclosing) spans first on ties so viewers see
+  // parents before children.
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+              return a.tid < b.tid;
+            });
+  return events;
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers) {
+    const std::lock_guard<std::mutex> lock(buf->mutex);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+void Tracer::clear_for_testing() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buf : buffers) {
+    const std::lock_guard<std::mutex> lock(buf->mutex);
+    buf->ring.clear();
+    buf->next = 0;
+    buf->dropped = 0;
+  }
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = snapshot_events();
+  os << "{\"traceEvents\":[\n";
+  // Process metadata row so the viewer labels the lane.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"autohet\"}}";
+  for (const TraceEvent& ev : events) {
+    os << ",\n{\"name\":";
+    write_json_string(os, ev.name);
+    os << ",\"cat\":\"autohet\",\"ph\":\"" << ev.ph
+       << "\",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":"
+       << static_cast<double>(ev.ts_ns) / 1000.0;
+    if (ev.ph == 'X') {
+      os << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1000.0
+         << ",\"args\":{\"depth\":" << ev.depth << "}";
+    } else {
+      os << ",\"args\":{\"value\":" << ev.value << "}";
+    }
+    os << '}';
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"droppedEvents\":"
+     << dropped_events() << "}\n";
+}
+
+EventLog& EventLog::global() {
+  static EventLog log;
+  return log;
+}
+
+void EventLog::open(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto file = std::make_unique<std::ofstream>(path);
+  AUTOHET_CHECK(file->good(), "cannot open event log: " + path);
+  out_ = std::move(file);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void EventLog::emit(const std::string& json_object) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (out_) *out_ << json_object << '\n';
+}
+
+void EventLog::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  out_.reset();
+}
+
+}  // namespace autohet::obs

@@ -1,0 +1,138 @@
+// Scoped-span tracer writing Chrome trace_event JSON.
+//
+// `OBS_SPAN("tile_alloc")` (obs/obs.hpp) opens an RAII span; on destruction
+// a complete "X" event (name, ts, dur, tid, nesting depth) is appended to
+// the calling thread's ring buffer. Counter tracks (`Tracer::counter`) emit
+// "C" events — cache hit-rate, pool queue depth — that trace viewers render
+// as value-over-time lanes. `write_chrome_trace()` merges every thread's
+// ring into one `{"traceEvents": [...]}` document loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Cost model: the tracer is a runtime null sink by default — a span
+// constructor is one relaxed atomic load and a branch until `enable()` is
+// called (typically by ObsSession when --trace-out is given). When enabled,
+// recording locks only the calling thread's own buffer mutex (uncontended
+// except during a flush). Rings are bounded: when full the oldest events
+// are overwritten and counted in `dropped_events()`, so tracing a very long
+// run keeps the tail rather than growing without bound.
+//
+// Span names must be string literals (or otherwise outlive the tracer);
+// the macros only ever pass literals.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace autohet::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t ts_ns = 0;   ///< start, ns since process start
+  std::uint64_t dur_ns = 0;  ///< span duration ('X' events)
+  double value = 0.0;        ///< counter value ('C' events)
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;   ///< span nesting depth, outermost = 0
+  char ph = 'X';             ///< 'X' complete span | 'C' counter sample
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// Starts accepting events. Cheap to call repeatedly.
+  void enable() noexcept { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() noexcept {
+    enabled_.store(false, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends a counter sample to the calling thread's ring (no-op when
+  /// disabled). `name` must be a literal.
+  void counter(const char* name, double value);
+
+  /// Appends a complete span event (used by ScopedSpan).
+  void span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
+            std::uint32_t depth);
+
+  /// Current nesting depth bookkeeping for the calling thread.
+  static std::uint32_t enter_span() noexcept;
+  static void exit_span() noexcept;
+
+  /// Merges all thread rings into Chrome trace_event JSON. Safe to call
+  /// while other threads keep recording (their new events may or may not
+  /// be included).
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// All events currently buffered, merged and sorted by start time
+  /// (test/inspection hook; the JSON writer uses the same view).
+  std::vector<TraceEvent> snapshot_events() const;
+
+  /// Events overwritten because a thread ring wrapped.
+  std::uint64_t dropped_events() const;
+
+  /// Drops all buffered events and re-arms rings. Test helper.
+  void clear_for_testing();
+
+ private:
+  struct ThreadBuffer;
+  ThreadBuffer& local_buffer();
+  void record(const TraceEvent& ev);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;  ///< guards buffers_ (registration + flush)
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span; see OBS_SPAN in obs/obs.hpp. Does nothing (one atomic load)
+/// when the tracer is disabled at construction time.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept {
+    if (!Tracer::global().enabled()) return;
+    name_ = name;
+    start_ns_ = ns_since_start();
+    depth_ = Tracer::enter_span();
+  }
+  ~ScopedSpan() {
+    if (name_ == nullptr) return;
+    Tracer::global().span(name_, start_ns_, ns_since_start(), depth_);
+    Tracer::exit_span();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+/// Line-oriented JSON event log (JSONL), used for the per-episode search
+/// telemetry. Null sink until `open()` is called; `emit()` appends one
+/// pre-rendered JSON object per line under a mutex.
+class EventLog {
+ public:
+  static EventLog& global();
+
+  void open(const std::string& path);
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void emit(const std::string& json_object);
+  void close();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::mutex mutex_;
+  std::unique_ptr<std::ostream> out_;
+};
+
+}  // namespace autohet::obs

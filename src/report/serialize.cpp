@@ -53,4 +53,80 @@ void write_summary_csv(std::ostream& os, const std::string& name,
      << ',' << report.empty_crossbars << '\n';
 }
 
+namespace {
+
+/// Highest non-empty bucket index, or 0 when the histogram is empty.
+std::size_t last_used_bucket(
+    const obs::MetricsSnapshot::HistogramSample& h) {
+  std::size_t last = 0;
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    if (h.buckets[b] > 0) last = b;
+  }
+  return last;
+}
+
+}  // namespace
+
+void write_metrics_prometheus(std::ostream& os,
+                              const obs::MetricsSnapshot& snapshot) {
+  for (const auto& c : snapshot.counters) {
+    os << "# TYPE " << c.name << " counter\n"
+       << c.name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    os << "# TYPE " << g.name << " gauge\n" << g.name << ' ' << g.value
+       << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    os << "# TYPE " << h.name << " histogram\n";
+    const std::size_t last = last_used_bucket(h);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b <= last; ++b) {
+      if (h.buckets[b] == 0 && b != last) continue;
+      cumulative += h.buckets[b];
+      os << h.name << "_bucket{le=\""
+         << obs::Histogram::bucket_upper_bound(b) << "\"} " << cumulative
+         << '\n';
+    }
+    os << h.name << "_bucket{le=\"+Inf\"} " << h.count << '\n'
+       << h.name << "_sum " << h.sum << '\n'
+       << h.name << "_count " << h.count << '\n';
+  }
+}
+
+void write_metrics_json(std::ostream& os,
+                        const obs::MetricsSnapshot& snapshot) {
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << c.name
+       << "\": " << c.value;
+  }
+  os << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << g.name << "\": " << g.value;
+  }
+  os << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << h.name
+       << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"buckets\": [";
+    const std::size_t last = last_used_bucket(h);
+    std::uint64_t cumulative = 0;
+    bool first = true;
+    for (std::size_t b = 0; b <= last; ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      os << (first ? "" : ", ") << "{\"le\": "
+         << obs::Histogram::bucket_upper_bound(b)
+         << ", \"count\": " << cumulative << '}';
+      first = false;
+    }
+    os << "]}";
+  }
+  os << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
 }  // namespace autohet::report

@@ -1,10 +1,11 @@
-// CSV serialization of evaluation artifacts, for plotting/regression
-// tooling outside the repo (each bench prints human tables; these emitters
-// give machine-readable equivalents).
+// Serialization of evaluation artifacts and telemetry, for plotting,
+// regression tooling and metric scrapers outside the repo (each bench
+// prints human tables; these emitters give machine-readable equivalents).
 #pragma once
 
 #include <iosfwd>
 
+#include "obs/metrics.hpp"
 #include "reram/stats.hpp"
 
 namespace autohet::report {
@@ -19,5 +20,17 @@ void write_network_report_csv(std::ostream& os,
 void write_summary_csv(std::ostream& os, const std::string& name,
                        const reram::NetworkReport& report,
                        bool with_header = true);
+
+/// Prometheus text exposition (format 0.0.4): `# TYPE` lines, counters and
+/// gauges as plain samples, histograms as cumulative `_bucket{le="..."}`
+/// series (empty log2 buckets are skipped) plus `_sum`/`_count`.
+void write_metrics_prometheus(std::ostream& os,
+                              const obs::MetricsSnapshot& snapshot);
+
+/// The same snapshot as one JSON object:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {"buckets":
+/// [{"le": ..., "count": ...}], "count": ..., "sum": ...}}}.
+void write_metrics_json(std::ostream& os,
+                        const obs::MetricsSnapshot& snapshot);
 
 }  // namespace autohet::report

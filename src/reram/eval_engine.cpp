@@ -6,8 +6,20 @@
 
 #include "common/error.hpp"
 #include "mapping/layer_mapping.hpp"
+#include "obs/obs.hpp"
 
 namespace autohet::reram {
+
+namespace {
+/// Engine-wide metric names (one registry series across engines; the
+/// per-engine split stays available via cache_stats()).
+[[maybe_unused]] constexpr const char* kHits =
+    "autohet_eval_cache_hits_total";
+[[maybe_unused]] constexpr const char* kMisses =
+    "autohet_eval_cache_misses_total";
+[[maybe_unused]] constexpr const char* kEvictions =
+    "autohet_eval_cache_evictions_total";
+}  // namespace
 
 EvaluationEngine::EvaluationEngine(
     std::vector<nn::LayerSpec> layers,
@@ -64,6 +76,7 @@ const LayerReport& EvaluationEngine::layer_report(std::size_t layer,
 
 NetworkReport EvaluationEngine::compute(
     const std::vector<std::size_t>& actions) const {
+  OBS_SPAN("eval_compute");
   const std::size_t n = layers_.size();
   const std::int64_t xpt = accel_.pes_per_tile;
 
@@ -104,6 +117,8 @@ NetworkReport EvaluationEngine::compute(
   std::int64_t released_tiles = 0;
   std::int64_t empty_xbs = 0;
   if (accel_.tile_shared && !partials.empty()) {
+    OBS_SPAN("tile_shared_remap");
+    OBS_COUNTER_ADD("autohet_tile_remap_passes_total", 1);
     // Group by crossbar shape (layers may only share same-size tiles, §3.4)
     // and run the two-pointer pass per group, mirroring tile_shared_remap's
     // (empty asc, id asc) order.
@@ -143,6 +158,8 @@ NetworkReport EvaluationEngine::compute(
       empty_xbs += p.empty;
     }
   }
+  OBS_COUNTER_ADD("autohet_tiles_released_total",
+                  static_cast<std::uint64_t>(released_tiles));
 
   // ---- area: same per-tile contributions, same tile-id order ----
   std::int64_t useful_cells = 0;
@@ -189,6 +206,7 @@ void EvaluationEngine::insert_locked(const std::vector<std::size_t>& actions,
     memo_.erase(lru_.back().actions);
     lru_.pop_back();
     ++stats_.evictions;
+    OBS_COUNTER_ADD(kEvictions, 1);
   }
 }
 
@@ -203,9 +221,13 @@ NetworkReport EvaluationEngine::evaluate(
     const std::lock_guard<std::mutex> lock(mutex_);
     if (const NetworkReport* hit = lookup_locked(actions)) {
       ++stats_.hits;
+      OBS_COUNTER_ADD(kHits, 1);
+      OBS_TRACE_COUNTER("eval_cache_hit_rate", stats_.hit_rate());
       return *hit;
     }
     ++stats_.misses;
+    OBS_COUNTER_ADD(kMisses, 1);
+    OBS_TRACE_COUNTER("eval_cache_hit_rate", stats_.hit_rate());
   }
   NetworkReport report = compute(actions);
   {
@@ -217,6 +239,9 @@ NetworkReport EvaluationEngine::evaluate(
 
 std::vector<NetworkReport> EvaluationEngine::evaluate_batch(
     const std::vector<std::vector<std::size_t>>& batch) const {
+  OBS_SPAN("evaluate_batch");
+  OBS_SCOPED_LATENCY("autohet_eval_batch_latency_ns");
+  OBS_HIST_RECORD("autohet_eval_batch_size", batch.size());
   std::vector<NetworkReport> results(batch.size());
   for (const auto& actions : batch) {
     AUTOHET_CHECK(actions.size() == layers_.size(),
@@ -232,9 +257,11 @@ std::vector<NetworkReport> EvaluationEngine::evaluate_batch(
   std::vector<std::vector<std::size_t>> positions;  // unique miss -> all
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t batch_hits = 0;
     for (std::size_t i = 0; i < batch.size(); ++i) {
       if (const NetworkReport* hit = lookup_locked(batch[i])) {
         ++stats_.hits;
+        ++batch_hits;
         results[i] = *hit;
         continue;
       }
@@ -246,9 +273,14 @@ std::vector<NetworkReport> EvaluationEngine::evaluate_batch(
         positions.emplace_back();
       } else {
         ++stats_.hits;  // duplicate within the batch: served by the dedup
+        ++batch_hits;
       }
       positions[it->second].push_back(i);
     }
+    OBS_COUNTER_ADD(kHits, batch_hits);
+    OBS_COUNTER_ADD(kMisses, first_position.size());
+    OBS_TRACE_COUNTER("eval_cache_hit_rate", stats_.hit_rate());
+    (void)batch_hits;
     if (!first_position.empty() && config_.threads > 0 && !pool_) {
       pool_ = std::make_unique<common::ThreadPool>(config_.threads);
     }

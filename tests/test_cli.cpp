@@ -124,5 +124,59 @@ TEST(ArgParser, DuplicateRegistrationRejected) {
   EXPECT_THROW(args.add_option("x", "1", "h"), std::invalid_argument);
 }
 
+TEST(ArgParser, OptionalPositionalsUseDefaultsWhenOmitted) {
+  ArgParser args("t", "d");
+  args.add_optional_positional("episodes", "300", "h");
+  args.add_optional_positional("seed", "1", "h");
+  const char* argv[] = {"t"};
+  std::string error;
+  ASSERT_TRUE(args.parse(1, argv, &error)) << error;
+  EXPECT_EQ(args.positional("episodes"), "300");
+  EXPECT_EQ(args.positional("seed"), "1");
+}
+
+TEST(ArgParser, OptionalPositionalsFillLeftToRight) {
+  ArgParser args("t", "d");
+  args.add_optional_positional("episodes", "300", "h");
+  args.add_optional_positional("seed", "1", "h");
+  const char* argv[] = {"t", "50"};
+  std::string error;
+  ASSERT_TRUE(args.parse(2, argv, &error)) << error;
+  EXPECT_EQ(args.positional("episodes"), "50");
+  EXPECT_EQ(args.positional("seed"), "1");
+  const char* argv2[] = {"t", "50", "7"};
+  ArgParser args2("t", "d");
+  args2.add_optional_positional("episodes", "300", "h");
+  args2.add_optional_positional("seed", "1", "h");
+  ASSERT_TRUE(args2.parse(3, argv2, &error)) << error;
+  EXPECT_EQ(args2.positional("seed"), "7");
+}
+
+TEST(ArgParser, OptionalPositionalsMixWithOptions) {
+  ArgParser args("t", "d");
+  args.add_optional_positional("episodes", "300", "h");
+  args.add_option("trace-out", "", "h");
+  const char* argv[] = {"t", "25", "--trace-out", "trace.json"};
+  std::string error;
+  ASSERT_TRUE(args.parse(4, argv, &error)) << error;
+  EXPECT_EQ(args.positional("episodes"), "25");
+  EXPECT_EQ(args.option("trace-out"), "trace.json");
+}
+
+TEST(ArgParser, RequiredPositionalAfterOptionalRejected) {
+  ArgParser args("t", "d");
+  args.add_optional_positional("episodes", "300", "h");
+  EXPECT_THROW(args.add_positional("command", "h"), std::invalid_argument);
+}
+
+TEST(ArgParser, HelpMarksOptionalPositionalsWithBrackets) {
+  ArgParser args("t", "d");
+  args.add_positional("command", "h");
+  args.add_optional_positional("episodes", "300", "h");
+  const std::string help = args.help_text();
+  EXPECT_NE(help.find("<command>"), std::string::npos);
+  EXPECT_NE(help.find("[episodes]"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace autohet
