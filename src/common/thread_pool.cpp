@@ -26,17 +26,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
-    depth = queue_.size();
+    // Published under the lock so the gauge's last value always reflects
+    // the latest queue state (depths from racing submits/workers would
+    // otherwise land out of order).
+    OBS_GAUGE_SET("autohet_pool_queue_depth", queue_.size());
+    OBS_TRACE_COUNTER("pool_queue_depth", queue_.size());
   }
   OBS_COUNTER_ADD("autohet_pool_tasks_total", 1);
-  OBS_GAUGE_SET("autohet_pool_queue_depth", depth);
-  OBS_TRACE_COUNTER("pool_queue_depth", depth);
-  (void)depth;  // only read by the (compile-time optional) instrumentation
   cv_task_.notify_one();
 }
 
@@ -65,18 +65,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
-    std::size_t depth;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
-      depth = queue_.size();
+      OBS_GAUGE_SET("autohet_pool_queue_depth", queue_.size());
+      OBS_TRACE_COUNTER("pool_queue_depth", queue_.size());
     }
-    OBS_GAUGE_SET("autohet_pool_queue_depth", depth);
-    OBS_TRACE_COUNTER("pool_queue_depth", depth);
-    (void)depth;
     {
       OBS_SPAN("pool_task");
       OBS_SCOPED_LATENCY("autohet_pool_task_latency_ns");

@@ -61,7 +61,9 @@ inline Options options_from_cli(const common::ArgParser& args) {
 
 /// Scans raw argv for the observability flags (--name value or --name=value)
 /// and ignores everything else — for binaries that do their own positional
-/// parsing (the bench harnesses).
+/// parsing (the bench harnesses). Throws (like ArgParser's "needs a value")
+/// when a recognized flag is the final argument with no value, rather than
+/// silently dropping it.
 inline Options options_from_argv(int argc, const char* const* argv) {
   Options opts;
   const auto match = [&](int& i, const char* flag,
@@ -69,7 +71,8 @@ inline Options options_from_argv(int argc, const char* const* argv) {
     const std::string arg = argv[i];
     const std::string name = std::string("--") + flag;
     if (arg == name) {
-      if (i + 1 < argc) *out = argv[++i];
+      if (i + 1 >= argc) common::fail("option " + name + " needs a value");
+      *out = argv[++i];
       return true;
     }
     if (arg.rfind(name + "=", 0) == 0) {
@@ -92,9 +95,13 @@ inline Options options_from_argv(int argc, const char* const* argv) {
 /// no-op shell: the tracer stays a null sink and nothing is written.
 class ObsSession {
  public:
-  ObsSession() = default;
-  explicit ObsSession(const Options& opts) { configure(opts); }
+  ObsSession() { touch_globals(); }
+  explicit ObsSession(const Options& opts) {
+    touch_globals();
+    configure(opts);
+  }
   explicit ObsSession(const common::ArgParser& args) {
+    touch_globals();
     configure(options_from_cli(args));
   }
   ObsSession(const ObsSession&) = delete;
@@ -147,6 +154,18 @@ class ObsSession {
   }
 
  private:
+  /// Function-local statics destruct in reverse construction order, and
+  /// ~ObsSession reaches into Registry/Tracer/EventLog. A session may itself
+  /// be a function-local static (bench_common's episodes_from_args), so the
+  /// singletons must finish constructing before any session's constructor
+  /// returns — otherwise they could be lazily created after the session and
+  /// destroyed before its flush() runs.
+  static void touch_globals() {
+    Registry::global();
+    Tracer::global();
+    EventLog::global();
+  }
+
   std::string metrics_out_;
   std::string trace_out_;
 };

@@ -82,6 +82,11 @@ class Tracer {
   void clear_for_testing();
 
  private:
+  /// The per-thread buffer cache in local_buffer() is keyed by thread only,
+  /// so a second Tracer instance on the same thread would reuse (and mix
+  /// events into) the buffer registered with the first. Singleton-only.
+  Tracer() = default;
+
   struct ThreadBuffer;
   ThreadBuffer& local_buffer();
   void record(const TraceEvent& ev);

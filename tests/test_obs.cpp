@@ -375,6 +375,11 @@ TEST(ObsCli, RawArgvScannerFindsFlagsAmongPositionals) {
   EXPECT_TRUE(opts.episode_log.empty());
 }
 
+TEST(ObsCli, RawArgvScannerRejectsTrailingFlagWithoutValue) {
+  const char* argv[] = {"bench", "40", "--metrics-out"};
+  EXPECT_THROW(obs::options_from_argv(3, argv), std::invalid_argument);
+}
+
 TEST(ObsCli, BadLogLevelThrowsInvalidArgument) {
   obs::Options opts;
   opts.log_level = "chatty";
