@@ -1,0 +1,135 @@
+// Robustness sweep: accuracy under ReRAM non-idealities as a function of
+// stuck-at fault rate and bits-per-cell, for the AutoHet-searched
+// heterogeneous configuration vs homogeneous baselines.
+//
+// The paper evaluates an ideal device; this bench quantifies how each
+// configuration's accuracy (argmax agreement with the ideal fabric, LeNet-5
+// on synthetic inputs) degrades as the fabric becomes faulty. Every point
+// is a seeded Monte-Carlo run (reram/faults.hpp) — same binary, same
+// output, every time. Multi-bit cells pack more levels into the same
+// conductance window, so the same physical defect rate costs more accuracy
+// at 4 bits/cell than at 1 bit/cell (the A(b) amplification; DESIGN.md §6).
+//
+// Emits BENCH_fault_sweep.json: one series per configuration, one point per
+// (stuck-at rate, cell_bits) with accuracy mean/stddev/min, the analytic
+// vulnerability (the search-reward proxy), and the burned-in fault counts.
+//
+// Usage: fault_sweep [episodes]   (search budget; default 60)
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "reram/eval_engine.hpp"
+
+using namespace autohet;
+
+namespace {
+
+constexpr double kStuckRates[] = {0.0, 1e-4, 1e-3, 5e-3, 1e-2};
+constexpr int kCellBits[] = {1, 2, 4};
+/// Programming variation present at every point (including rate 0) so the
+/// bits-per-cell axis is visible independently of the stuck-at axis.
+constexpr double kProgramSigma = 0.01;
+constexpr int kTrials = 5;
+constexpr int kSamples = 12;
+
+reram::FaultConfig point_config(double stuck_rate, int cell_bits) {
+  reram::FaultConfig faults;
+  faults.stuck_at_zero_rate = stuck_rate / 2.0;
+  faults.stuck_at_one_rate = stuck_rate / 2.0;
+  faults.program_sigma = kProgramSigma;
+  faults.cell_bits = cell_bits;
+  return faults;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int episodes = bench::episodes_from_args(argc, argv, 60);
+  bench::print_header("Fault sweep — accuracy vs stuck-at rate × cell bits "
+                      "(LeNet-5, " + std::to_string(episodes) +
+                      " search rounds)");
+
+  const nn::NetworkSpec net = nn::lenet5();
+  common::Rng weight_rng(21);
+  const nn::Model model(net, weight_rng);
+  const auto env = bench::make_env(net, mapping::hybrid_candidates(),
+                                   /*tile_shared=*/true);
+
+  struct Config {
+    std::string name;
+    std::vector<std::size_t> actions;
+  };
+  std::vector<Config> configs;
+  const auto autohet_result = bench::run_search(env, episodes, /*seed=*/1);
+  configs.push_back({"AutoHet (RL)", autohet_result.best_actions});
+  const auto homo = core::best_homogeneous(env);
+  configs.push_back({homo.name, homo.actions});
+  // Largest candidate homogeneously: the conservative "big crossbars"
+  // deployment (fewest row blocks → analytically the most robust).
+  const auto& candidates = env.candidates();
+  std::size_t largest = 0;
+  for (std::size_t c = 1; c < candidates.size(); ++c) {
+    if (candidates[c].cells() > candidates[largest].cells()) largest = c;
+  }
+  configs.push_back(
+      {"Homo(" + candidates[largest].name() + ")",
+       std::vector<std::size_t>(env.num_layers(), largest)});
+
+  reram::RobustnessOptions mc;
+  mc.trials = kTrials;
+  mc.samples = kSamples;
+
+  report::Table table({"Configuration", "Stuck rate", "Cell bits",
+                       "Accuracy mean±σ", "Min", "Analytic vuln"});
+  std::ofstream json("BENCH_fault_sweep.json");
+  json << "{\n  \"benchmark\": \"fault_sweep\",\n  \"model\": \"lenet5\",\n"
+       << "  \"episodes\": " << episodes << ",\n"
+       << "  \"trials\": " << kTrials << ",\n"
+       << "  \"samples\": " << kSamples << ",\n"
+       << "  \"program_sigma\": " << kProgramSigma << ",\n"
+       << "  \"series\": [";
+  bool first_series = true;
+  for (const auto& config : configs) {
+    std::vector<mapping::CrossbarShape> shapes;
+    for (std::size_t a : config.actions) shapes.push_back(candidates[a]);
+    json << (first_series ? "\n" : ",\n")
+         << "    {\"name\": \"" << config.name << "\", \"points\": [";
+    first_series = false;
+    bool first_point = true;
+    for (const int cell_bits : kCellBits) {
+      for (const double rate : kStuckRates) {
+        const reram::FaultConfig faults = point_config(rate, cell_bits);
+        const auto report = env.engine().evaluate_robustness(
+            model, config.actions, faults, mc);
+        const double vuln = reram::analytic_network_vulnerability(
+            env.layers(), shapes, faults);
+        table.add_row(
+            {config.name, report::format_sci(rate, 1),
+             std::to_string(cell_bits),
+             report::format_fixed(report.mean_accuracy, 3) + " ± " +
+                 report::format_fixed(report.stddev_accuracy, 3),
+             report::format_fixed(report.min_accuracy, 3),
+             report::format_fixed(vuln, 4)});
+        json << (first_point ? "\n" : ",\n")
+             << "      {\"stuck_rate\": " << rate
+             << ", \"cell_bits\": " << cell_bits
+             << ", \"accuracy_mean\": " << report.mean_accuracy
+             << ", \"accuracy_stddev\": " << report.stddev_accuracy
+             << ", \"accuracy_min\": " << report.min_accuracy
+             << ", \"mean_logit_error\": " << report.mean_logit_error
+             << ", \"analytic_vulnerability\": " << vuln
+             << ", \"stuck_cells\": "
+             << report.fault_stats.stuck_at_zero +
+                    report.fault_stats.stuck_at_one
+             << ", \"weights_changed\": "
+             << report.fault_stats.weights_changed << "}";
+        first_point = false;
+      }
+    }
+    json << "\n    ]}";
+  }
+  json << "\n  ]\n}\n";
+  table.print(std::cout);
+  std::cout << "\nWrote BENCH_fault_sweep.json\n";
+  return 0;
+}

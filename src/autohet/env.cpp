@@ -118,6 +118,11 @@ double CrossbarEnv::reward(const reram::NetworkReport& report) const {
       const double t = report.latency_ns;
       return t > 0.0 ? base / (t / config_.latency_scale_ns) : 0.0;
     }
+    case RewardObjective::kRobustnessAware: {
+      const double v =
+          std::clamp(report.fault_vulnerability, 0.0, 1.0);
+      return base * (1.0 - v);
+    }
   }
   return base;
 }

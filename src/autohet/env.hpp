@@ -35,7 +35,12 @@ namespace autohet::core {
 enum class RewardObjective {
   kUtilizationPerEnergy,  ///< Eq. 2: R = u / e (the paper)
   kAreaAware,             ///< R = u / (e · a)
-  kLatencyAware           ///< R = u / (e · t)
+  kLatencyAware,          ///< R = u / (e · t)
+  /// R = (u / e) · (1 − v) where v is the analytic network fault
+  /// vulnerability under accel.faults (reram/faults.hpp). With the default
+  /// ideal FaultConfig v = 0, so this reduces exactly to Eq. 2 — opting in
+  /// only changes the search when a non-ideal device is configured.
+  kRobustnessAware
 };
 
 struct EnvConfig {

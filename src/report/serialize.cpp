@@ -53,6 +53,32 @@ void write_summary_csv(std::ostream& os, const std::string& name,
      << ',' << report.empty_crossbars << '\n';
 }
 
+void write_robustness_json(std::ostream& os, const std::string& name,
+                           const reram::RobustnessReport& report) {
+  os << "{\n  \"name\": \"" << name << "\",\n"
+     << "  \"trials\": " << report.trials << ",\n"
+     << "  \"samples\": " << report.samples << ",\n"
+     << "  \"accuracy_mean\": " << format_fixed(report.mean_accuracy, 6)
+     << ",\n"
+     << "  \"accuracy_stddev\": " << format_fixed(report.stddev_accuracy, 6)
+     << ",\n"
+     << "  \"accuracy_min\": " << format_fixed(report.min_accuracy, 6)
+     << ",\n"
+     << "  \"accuracy_max\": " << format_fixed(report.max_accuracy, 6)
+     << ",\n"
+     << "  \"mean_logit_error\": " << format_sci(report.mean_logit_error, 6)
+     << ",\n  \"layer_error\": [";
+  for (std::size_t i = 0; i < report.layer_error.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << format_sci(report.layer_error[i], 6);
+  }
+  os << "],\n  \"fault_stats\": {"
+     << "\"physical_cells\": " << report.fault_stats.physical_cells
+     << ", \"stuck_at_zero\": " << report.fault_stats.stuck_at_zero
+     << ", \"stuck_at_one\": " << report.fault_stats.stuck_at_one
+     << ", \"weights_changed\": " << report.fault_stats.weights_changed
+     << "}\n}\n";
+}
+
 namespace {
 
 /// Highest non-empty bucket index, or 0 when the histogram is empty.

@@ -6,6 +6,7 @@
 #include <iosfwd>
 
 #include "obs/metrics.hpp"
+#include "reram/faults.hpp"
 #include "reram/stats.hpp"
 
 namespace autohet::report {
@@ -20,6 +21,12 @@ void write_network_report_csv(std::ostream& os,
 void write_summary_csv(std::ostream& os, const std::string& name,
                        const reram::NetworkReport& report,
                        bool with_header = true);
+
+/// One Monte-Carlo robustness report as a JSON object: trials/samples,
+/// accuracy mean/stddev/min/max, mean logit error, per-layer relative
+/// error array, and the burned-in fault-map statistics.
+void write_robustness_json(std::ostream& os, const std::string& name,
+                           const reram::RobustnessReport& report);
 
 /// Prometheus text exposition (format 0.0.4): `# TYPE` lines, counters and
 /// gauges as plain samples, histograms as cumulative `_bucket{le="..."}`

@@ -120,6 +120,34 @@ void LogicalCrossbar::apply_variation(common::Rng& rng, double sigma) {
   }
 }
 
+FaultMapStats LogicalCrossbar::apply_faults(const FaultModel& model,
+                                            std::uint64_t crossbar_id) {
+  return model.apply(cells_, shape_.rows, shape_.cols, shape_.cols,
+                     crossbar_id);
+}
+
+std::vector<std::int32_t> LogicalCrossbar::mvm_read_noisy(
+    std::span<const std::uint8_t> input, common::Rng& rng,
+    double weight_sigma) const {
+  if (weight_sigma == 0.0) return mvm_reference(input);
+  AUTOHET_CHECK(static_cast<std::int64_t>(input.size()) == rows_used_,
+                "input length must equal rows_used");
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(cols_used_), 0);
+  for (std::int64_t i = 0; i < rows_used_; ++i) {
+    const std::int32_t x = input[static_cast<std::size_t>(i)];
+    if (x == 0) continue;  // gated wordline: cells are not sensed
+    const std::int8_t* row = cells_.data() + i * shape_.cols;
+    for (std::int64_t j = 0; j < cols_used_; ++j) {
+      const double noisy =
+          static_cast<double>(row[j]) + rng.normal(0.0, weight_sigma);
+      const auto w = static_cast<std::int32_t>(
+          std::lround(std::clamp(noisy, -128.0, 127.0)));
+      acc[static_cast<std::size_t>(j)] += x * w;
+    }
+  }
+  return acc;
+}
+
 std::vector<std::int32_t> LogicalCrossbar::mvm_reference(
     std::span<const std::uint8_t> input) const {
   AUTOHET_CHECK(static_cast<std::int64_t>(input.size()) == rows_used_,

@@ -18,6 +18,7 @@
 
 #include "common/rng.hpp"
 #include "mapping/crossbar_shape.hpp"
+#include "reram/faults.hpp"
 
 namespace autohet::reram {
 
@@ -63,6 +64,24 @@ class LogicalCrossbar {
   /// the array untouched. Models device non-ideality for the accuracy
   /// studies; see reram/variation.hpp helpers.
   void apply_variation(common::Rng& rng, double sigma);
+
+  /// Burns a seeded fault model into the whole physical array (stuck-at
+  /// maps, programming variation, retention drift — see reram/faults.hpp).
+  /// Deterministic in (model.config().seed, crossbar_id); gap cells inside
+  /// the used region are perturbed too (their stuck-at-1 faults inject
+  /// spurious bitline current exactly as on real fabric). A no-op for an
+  /// ideal model.
+  FaultMapStats apply_faults(const FaultModel& model,
+                             std::uint64_t crossbar_id);
+
+  /// Integer MVM with cycle-to-cycle read noise: every sensed cell's weight
+  /// is perturbed by round(N(0, weight_sigma)) for this read only (the
+  /// programmed array is untouched). `weight_sigma` is in weight LSBs —
+  /// use FaultModel::read_noise_weight_sigma(). Falls back to
+  /// mvm_reference when weight_sigma == 0.
+  std::vector<std::int32_t> mvm_read_noisy(std::span<const std::uint8_t> input,
+                                           common::Rng& rng,
+                                           double weight_sigma) const;
 
  private:
   mapping::CrossbarShape shape_;

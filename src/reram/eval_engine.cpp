@@ -60,7 +60,8 @@ EvaluationEngine::EvaluationEngine(
       lc.tiles = (needed + xpt - 1) / xpt;
       lc.last_tile_empty = lc.tiles * xpt - needed;
       lc.useful_cells = m.useful_cells;
-      lc.report = evaluate_layer(layer, m, lc.tiles, accel_.device);
+      lc.report =
+          evaluate_layer(layer, m, lc.tiles, accel_.device, accel_.faults);
       table_.push_back(std::move(lc));
     }
   }
@@ -82,12 +83,17 @@ NetworkReport EvaluationEngine::compute(
 
   NetworkReport report;
   report.layers.reserve(n);
+  std::vector<double> layer_vuln;
+  layer_vuln.reserve(n);
   for (std::size_t l = 0; l < n; ++l) {
     const LayerCandidate& e = cell(l, actions[l]);
     report.energy += e.report.energy;
     report.latency_ns += e.report.latency_ns;
+    layer_vuln.push_back(e.report.fault_vulnerability);
     report.layers.push_back(e.report);
   }
+  // Same aggregation, same layer order as evaluate_network.
+  report.fault_vulnerability = aggregate_network_vulnerability(layer_vuln);
 
   // ---- tile accounting on the compact per-layer summary ----
   // Only a layer's last tile can hold empty PEs, so Algorithm 1's
@@ -310,6 +316,22 @@ std::vector<NetworkReport> EvaluationEngine::evaluate_batch(
     for (std::size_t pos : positions[u]) results[pos] = computed[u];
   }
   return results;
+}
+
+RobustnessReport EvaluationEngine::evaluate_robustness(
+    const nn::Model& model, const std::vector<std::size_t>& actions,
+    const FaultConfig& faults, const RobustnessOptions& options) const {
+  AUTOHET_CHECK(actions.size() == layers_.size(),
+                "one action per layer required");
+  AUTOHET_CHECK(model.spec().mappable_layers().size() == layers_.size(),
+                "model mappable layers must match engine layers");
+  std::vector<mapping::CrossbarShape> shapes;
+  shapes.reserve(actions.size());
+  for (std::size_t a : actions) {
+    AUTOHET_CHECK(a < candidates_.size(), "action index out of range");
+    shapes.push_back(candidates_[a]);
+  }
+  return monte_carlo_robustness(model, shapes, faults, options);
 }
 
 EvaluationEngine::CacheStats EvaluationEngine::cache_stats() const {

@@ -44,6 +44,7 @@
 #include "common/thread_pool.hpp"
 #include "mapping/crossbar_shape.hpp"
 #include "nn/layer.hpp"
+#include "reram/functional.hpp"
 #include "reram/hardware_model.hpp"
 
 namespace autohet::reram {
@@ -85,6 +86,16 @@ class EvaluationEngine {
   /// and independent of thread scheduling.
   std::vector<NetworkReport> evaluate_batch(
       const std::vector<std::vector<std::size_t>>& batch) const;
+
+  /// Monte-Carlo accuracy-under-faults of one action vector: maps each
+  /// action to its candidate shape and runs `monte_carlo_robustness` on the
+  /// functional fabric. `model`'s mappable layers must match the engine's
+  /// layer count (same order). Not memoized — each call re-simulates; use
+  /// the analytic `fault_vulnerability` in `evaluate()` reports for
+  /// in-loop search feedback and this for the expensive ground truth.
+  RobustnessReport evaluate_robustness(
+      const nn::Model& model, const std::vector<std::size_t>& actions,
+      const FaultConfig& faults, const RobustnessOptions& options = {}) const;
 
   struct CacheStats {
     std::uint64_t hits = 0;

@@ -1,0 +1,162 @@
+#include "reram/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace autohet::reram {
+
+namespace {
+/// E[v²] for v uniform over {0, …, 2^b − 1}: (2^b−1)(2^{b+1}−1)/6.
+double mean_square_level(int bits) noexcept {
+  const double top = static_cast<double>((1 << bits) - 1);
+  return top * (2.0 * top + 1.0) / 6.0;
+}
+}  // namespace
+
+FaultConfig FaultConfig::for_trial(std::uint64_t trial) const noexcept {
+  FaultConfig out = *this;
+  // SplitMix the trial index into an independent seed stream.
+  std::uint64_t sm = seed ^ (0x9e3779b97f4a7c15ULL * (trial + 1));
+  out.seed = common::splitmix64(sm);
+  return out;
+}
+
+void FaultConfig::validate() const {
+  AUTOHET_CHECK(stuck_at_zero_rate >= 0.0 && stuck_at_zero_rate <= 1.0 &&
+                    stuck_at_one_rate >= 0.0 && stuck_at_one_rate <= 1.0 &&
+                    stuck_at_zero_rate + stuck_at_one_rate <= 1.0,
+                "stuck-at rates must be probabilities summing to <= 1");
+  AUTOHET_CHECK(program_sigma >= 0.0 && read_sigma >= 0.0,
+                "variation sigmas must be non-negative");
+  AUTOHET_CHECK(drift_time_s >= 0.0 && drift_nu >= 0.0,
+                "drift parameters must be non-negative");
+  AUTOHET_CHECK(cell_bits > 0 && cell_bits <= 8 && 8 % cell_bits == 0,
+                "cell_bits must divide 8");
+}
+
+double FaultModel::level_noise_amplification(int cell_bits) noexcept {
+  double scale_sum = 0.0;  // Σ_p 4^{p·b} over the 8/b planes
+  for (int p = 0; p < 8 / cell_bits; ++p) {
+    scale_sum += std::pow(4.0, static_cast<double>(p * cell_bits));
+  }
+  return std::sqrt(mean_square_level(cell_bits) * scale_sum);
+}
+
+FaultModel::FaultModel(const FaultConfig& config) : config_(config) {
+  config_.validate();
+  planes_ = 8 / config_.cell_bits;
+  level_mask_ = (1u << config_.cell_bits) - 1u;
+  drift_factor_ =
+      (config_.drift_time_s > 0.0 && config_.drift_nu > 0.0)
+          ? std::pow(1.0 + config_.drift_time_s, -config_.drift_nu)
+          : 1.0;
+  read_sigma_weights_ =
+      config_.read_sigma * level_noise_amplification(config_.cell_bits);
+}
+
+std::int8_t FaultModel::perturb_weight(std::int8_t weight, common::Rng& rng,
+                                       FaultMapStats& stats) const {
+  const int b = config_.cell_bits;
+  const auto offset = static_cast<unsigned>(static_cast<int>(weight) + 128);
+  unsigned out = 0;
+  for (int p = 0; p < planes_; ++p, ++stats.physical_cells) {
+    double level = static_cast<double>((offset >> (p * b)) & level_mask_);
+    // Programming variation: lognormal on the stored conductance level
+    // (HRS level 0 stays 0 — an off cell has nothing to vary).
+    if (config_.program_sigma > 0.0 && level > 0.0) {
+      level *= std::exp(rng.normal(0.0, config_.program_sigma));
+    }
+    level *= drift_factor_;  // deterministic retention decay
+    auto quantized = static_cast<unsigned>(std::clamp(
+        std::lround(level), 0l, static_cast<long>(level_mask_)));
+    // Stuck-at faults override whatever was programmed. One uniform draw
+    // per physical cell whenever either rate is nonzero keeps the map a
+    // pure function of the RNG stream position.
+    if (config_.stuck_at_zero_rate > 0.0 || config_.stuck_at_one_rate > 0.0) {
+      const double u = rng.uniform();
+      if (u < config_.stuck_at_zero_rate) {
+        quantized = 0;
+        ++stats.stuck_at_zero;
+      } else if (u < config_.stuck_at_zero_rate + config_.stuck_at_one_rate) {
+        quantized = level_mask_;
+        ++stats.stuck_at_one;
+      }
+    }
+    out |= (quantized & level_mask_) << (p * b);
+  }
+  const auto perturbed =
+      static_cast<std::int8_t>(static_cast<int>(out) - 128);
+  if (perturbed != weight) ++stats.weights_changed;
+  return perturbed;
+}
+
+FaultMapStats FaultModel::apply(std::span<std::int8_t> cells,
+                                std::int64_t rows, std::int64_t cols,
+                                std::int64_t row_stride,
+                                std::uint64_t crossbar_id) const {
+  FaultMapStats stats;
+  if (ideal()) return stats;
+  AUTOHET_CHECK(rows >= 0 && cols >= 0 && row_stride >= cols,
+                "invalid fault-map geometry");
+  common::Rng rng = common::Rng(config_.seed).child(crossbar_id);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int8_t* row = cells.data() + r * row_stride;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      row[c] = perturb_weight(row[c], rng, stats);
+    }
+  }
+  OBS_COUNTER_ADD("autohet_fault_cells_total",
+                  static_cast<std::uint64_t>(stats.physical_cells));
+  OBS_COUNTER_ADD("autohet_fault_stuck_cells_total",
+                  static_cast<std::uint64_t>(stats.stuck_at_zero +
+                                             stats.stuck_at_one));
+  return stats;
+}
+
+double analytic_layer_vulnerability(const mapping::LayerMapping& m,
+                                    const FaultConfig& faults) {
+  if (faults.ideal()) return 0.0;
+  faults.validate();
+  const double drift_loss =
+      (faults.drift_time_s > 0.0 && faults.drift_nu > 0.0)
+          ? 1.0 - std::pow(1.0 + faults.drift_time_s, -faults.drift_nu)
+          : 0.0;
+  const double per_level_variance =
+      faults.stuck_at_zero_rate + faults.stuck_at_one_rate +
+      faults.program_sigma * faults.program_sigma +
+      faults.read_sigma * faults.read_sigma + drift_loss * drift_loss;
+  const double cell_error =
+      std::sqrt(per_level_variance) *
+      FaultModel::level_noise_amplification(faults.cell_bits) / 127.0;
+  const double blocks = static_cast<double>(std::max<std::int64_t>(
+      m.row_blocks, 1));
+  return std::min(1.0, cell_error * std::sqrt(blocks));
+}
+
+double aggregate_network_vulnerability(const std::vector<double>& layer_vuln) {
+  if (layer_vuln.empty()) return 0.0;
+  double sum_sq = 0.0;
+  for (const double v : layer_vuln) sum_sq += v * v;
+  return std::min(1.0,
+                  std::sqrt(sum_sq / static_cast<double>(layer_vuln.size())));
+}
+
+double analytic_network_vulnerability(
+    const std::vector<nn::LayerSpec>& layers,
+    const std::vector<mapping::CrossbarShape>& shapes,
+    const FaultConfig& faults) {
+  AUTOHET_CHECK(layers.size() == shapes.size(),
+                "layers and shapes must be the same length");
+  std::vector<double> vuln;
+  vuln.reserve(layers.size());
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    vuln.push_back(analytic_layer_vulnerability(
+        mapping::map_layer(layers[i], shapes[i]), faults));
+  }
+  return aggregate_network_vulnerability(vuln);
+}
+
+}  // namespace autohet::reram

@@ -1,0 +1,178 @@
+// ReRAM non-ideality model: stuck-at faults, conductance variation and
+// retention drift, seeded and deterministic.
+//
+// The paper evaluates an *ideal* device; multi-bit ReRAM cells are precisely
+// the ones most vulnerable to conductance variation and stuck-at defects
+// (Hamun, arXiv:2502.01502; CIM-Explorer, arXiv:2505.14303). This module
+// makes the fabric's non-ideality a first-class, reproducible axis:
+//
+//   * Storage model. A logical 8-bit weight w is stored offset-binary
+//     (v = w + 128) across `8 / cell_bits` physical cells ("planes") of
+//     `cell_bits` bits each — the same encoding the multilevel datapath
+//     (`LogicalCrossbar::mvm_multilevel`) computes on. Plane p carries the
+//     level v_p = (v >> p·b) & (2^b − 1) with weight-space scale 2^{p·b}.
+//
+//   * Stuck-at faults. Every physical cell is independently stuck-at-0
+//     (level forced to 0, HRS) with probability `stuck_at_zero_rate` and
+//     stuck-at-1 (level forced to 2^b − 1, LRS) with probability
+//     `stuck_at_one_rate`. The fault map is a pure function of
+//     (seed, crossbar_id, cell index): same seed ⇒ same map.
+//
+//   * Conductance variation. Each programmed level is perturbed
+//     lognormally, v' = v · exp(σ·N(0,1)), then rounded back to the level
+//     grid. Because plane p re-enters the weight with scale 2^{p·b} and
+//     b-bit cells space 2^b − 1 levels across the same conductance window,
+//     the *effective* weight-space error grows with bits per cell:
+//     σ_w = σ · A(b) with A(b)² = E[v²] · Σ_p 4^{p·b} (see weight_sigma()).
+//
+//   * Retention drift. Conductance decays with time as the deterministic
+//     power law g(t) = g0 · (1 + t)^{−ν} (t in seconds, ν = drift_nu),
+//     applied to every nonzero level before rounding.
+//
+// Faults and programming variation are burned in at weight-programming time
+// (`LogicalCrossbar::apply_faults`, called by `MappedLayer`); cycle-to-cycle
+// read variation (`read_sigma`) is sampled at MVM time on the integer
+// datapath. A default `FaultConfig{}` is ideal: no RNG is consumed and every
+// output stays bit-identical to the fault-free build (tested).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mapping/layer_mapping.hpp"
+#include "nn/layer.hpp"
+
+namespace autohet::reram {
+
+/// Device non-ideality knobs. Default-constructed = ideal device.
+struct FaultConfig {
+  double stuck_at_zero_rate = 0.0;  ///< per physical cell, Bernoulli
+  double stuck_at_one_rate = 0.0;   ///< per physical cell, Bernoulli
+  double program_sigma = 0.0;  ///< lognormal σ of programmed conductance
+  double read_sigma = 0.0;     ///< lognormal σ per MVM read (cycle-to-cycle)
+  double drift_time_s = 0.0;   ///< retention time since programming; 0 = off
+  double drift_nu = 0.0;       ///< drift exponent ν (typically ~0.1)
+  int cell_bits = 1;           ///< bits per physical cell (1, 2, 4 or 8)
+  std::uint64_t seed = 0xfa0175eedULL;  // "faults-eed"
+
+  /// True when every non-ideality is off; the fault machinery then never
+  /// touches an RNG and programmed arrays stay bit-identical.
+  bool ideal() const noexcept {
+    return stuck_at_zero_rate == 0.0 && stuck_at_one_rate == 0.0 &&
+           program_sigma == 0.0 && read_sigma == 0.0 &&
+           (drift_time_s == 0.0 || drift_nu == 0.0);
+  }
+
+  /// Derives the trial-t configuration for Monte-Carlo sweeps: identical
+  /// rates, independent seed stream.
+  FaultConfig for_trial(std::uint64_t trial) const noexcept;
+
+  void validate() const;
+};
+
+/// Aggregate counts of one fault-map application (per crossbar, per layer
+/// or per fabric depending on who reports them).
+struct FaultMapStats {
+  std::int64_t physical_cells = 0;  ///< cells visited (rows·cols·planes)
+  std::int64_t stuck_at_zero = 0;
+  std::int64_t stuck_at_one = 0;
+  std::int64_t weights_changed = 0;  ///< logical weights whose value moved
+
+  FaultMapStats& operator+=(const FaultMapStats& o) noexcept {
+    physical_cells += o.physical_cells;
+    stuck_at_zero += o.stuck_at_zero;
+    stuck_at_one += o.stuck_at_one;
+    weights_changed += o.weights_changed;
+    return *this;
+  }
+};
+
+/// Monte-Carlo robustness of one configuration (accuracy-under-faults over
+/// N seeded trials). Produced by `monte_carlo_robustness` (functional.hpp)
+/// and `EvaluationEngine::evaluate_robustness`.
+struct RobustnessReport {
+  int trials = 0;
+  int samples = 0;
+  double mean_accuracy = 0.0;    ///< mean argmax agreement vs ideal fabric
+  double stddev_accuracy = 0.0;  ///< across trials (population stddev)
+  double min_accuracy = 0.0;
+  double max_accuracy = 0.0;
+  double mean_logit_error = 0.0;  ///< mean max-|logit diff| vs ideal fabric
+  /// Per-mappable-layer mean relative output error — where the fault
+  /// energy enters the network.
+  std::vector<double> layer_error;
+  FaultMapStats fault_stats;  ///< aggregated over every trial fabric
+};
+
+/// Seeded sampler that burns a FaultConfig into programmed weight arrays.
+/// Stateless across calls: every perturbation is a pure function of
+/// (config.seed, crossbar_id), so fabrics rebuilt with the same seed see
+/// the same fault maps.
+class FaultModel {
+ public:
+  explicit FaultModel(const FaultConfig& config);
+
+  const FaultConfig& config() const noexcept { return config_; }
+  bool ideal() const noexcept { return config_.ideal(); }
+
+  /// Applies stuck-at faults, programming variation and drift to a full
+  /// rows×cols two's-complement weight array (row-major, stride
+  /// `row_stride`). Deterministic in (config.seed, crossbar_id).
+  FaultMapStats apply(std::span<std::int8_t> cells, std::int64_t rows,
+                      std::int64_t cols, std::int64_t row_stride,
+                      std::uint64_t crossbar_id) const;
+
+  /// Perturbs one weight (used by apply(); exposed for tests).
+  std::int8_t perturb_weight(std::int8_t weight, common::Rng& rng,
+                             FaultMapStats& stats) const;
+
+  /// Effective weight-space rms error per unit σ of per-level lognormal
+  /// noise: A(b) = sqrt(E[v²] · Σ_p 4^{p·b}) with v uniform over the level
+  /// grid. Grows with cell_bits — multi-bit cells pack tighter levels, so
+  /// the same conductance spread costs more weight-space error.
+  static double level_noise_amplification(int cell_bits) noexcept;
+
+  /// rms weight perturbation (in weight LSBs) the configured read noise
+  /// injects per MVM; 0 when read_sigma == 0.
+  double read_noise_weight_sigma() const noexcept {
+    return read_sigma_weights_;
+  }
+
+ private:
+  FaultConfig config_;
+  int planes_ = 8;           ///< 8 / cell_bits
+  unsigned level_mask_ = 1;  ///< 2^cell_bits − 1
+  double drift_factor_ = 1.0;
+  double read_sigma_weights_ = 0.0;
+};
+
+/// Closed-form per-layer fault vulnerability in [0, 1]: the expected
+/// relative MVM output error of `layer` mapped as `m` under `faults`.
+///
+///   ε_cell = sqrt(p₀ + p₁ + σ_prog² + σ_read² + drift_loss²) · A(b) / 127
+///   ε_layer = min(1, ε_cell · sqrt(row_blocks))
+///
+/// The √row_blocks factor models the adder-tree merge of independently
+/// converted partial sums: each row block contributes its own
+/// conversion-referred error, so configurations that split a layer across
+/// more, smaller crossbars accumulate more of it. This is the robustness
+/// counterweight to utilization (small crossbars pack tighter but fragment
+/// the partial sums), and it is what the robustness-aware reward trades.
+/// Returns 0 for an ideal config.
+double analytic_layer_vulnerability(const mapping::LayerMapping& m,
+                                    const FaultConfig& faults);
+
+/// Network-level aggregation: rms over the per-layer vulnerabilities,
+/// clamped to [0, 1]. Both `evaluate_network` and the `EvaluationEngine`
+/// use exactly this formula so their reports stay bit-identical.
+double aggregate_network_vulnerability(const std::vector<double>& layer_vuln);
+
+/// Convenience: maps every layer and aggregates, without building reports.
+double analytic_network_vulnerability(
+    const std::vector<nn::LayerSpec>& layers,
+    const std::vector<mapping::CrossbarShape>& shapes,
+    const FaultConfig& faults);
+
+}  // namespace autohet::reram

@@ -4,13 +4,21 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "tensor/ops.hpp"
 
 namespace autohet::reram {
 
+namespace {
+/// Crossbar-id stride between layers: fault maps stay stable per crossbar
+/// as long as no layer spans more than 2^20 logical crossbars.
+constexpr std::uint64_t kFaultIdStride = std::uint64_t{1} << 20;
+}  // namespace
+
 MappedLayer::MappedLayer(const nn::LayerSpec& spec,
                          const tensor::Tensor& weight,
-                         const mapping::CrossbarShape& shape)
+                         const mapping::CrossbarShape& shape,
+                         const FaultModel* faults, std::uint64_t layer_id)
     : spec_(spec), mapping_(mapping::map_layer(spec, shape)) {
   const std::int64_t k2 = spec.kernel * spec.kernel;
   const std::int64_t wrows = spec.weight_rows();
@@ -76,6 +84,20 @@ MappedLayer::MappedLayer(const nn::LayerSpec& spec,
       }
     }
   }
+
+  // Device non-ideality enters at this programming step: the seeded fault
+  // maps and programming variation are burned into the arrays the moment
+  // the weights are written (reram/faults.hpp).
+  if (faults != nullptr && !faults->ideal()) {
+    const std::uint64_t base_id = layer_id * kFaultIdStride;
+    for (std::size_t i = 0; i < crossbars_.size(); ++i) {
+      fault_stats_ += crossbars_[i].apply_faults(
+          *faults, base_id + static_cast<std::uint64_t>(i));
+    }
+    read_sigma_weights_ = faults->read_noise_weight_sigma();
+    read_rng_ = common::Rng(faults->config().seed ^ 0x5eadbeefcafeULL)
+                    .child(layer_id);
+  }
 }
 
 std::vector<std::int32_t> MappedLayer::mvm(
@@ -93,9 +115,15 @@ std::vector<std::int32_t> MappedLayer::mvm(
                              static_cast<std::size_t>(r1 - r0));
     for (std::int64_t cb = 0; cb < cb_count; ++cb) {
       const auto& xb = crossbars_[static_cast<std::size_t>(rb * cb_count + cb)];
+      // Read variation is sampled at MVM time (per read, per sensed cell);
+      // it requires the integer datapath — SimulatedModel enforces that.
       const std::vector<std::int32_t> partial =
-          (mode == DatapathMode::kBitSerial) ? xb.mvm_bit_serial(slice)
-                                             : xb.mvm_reference(slice);
+          (mode == DatapathMode::kBitSerial)
+              ? xb.mvm_bit_serial(slice)
+              : (read_sigma_weights_ > 0.0
+                     ? xb.mvm_read_noisy(slice, read_rng_,
+                                         read_sigma_weights_)
+                     : xb.mvm_reference(slice));
       const std::int64_t c0 = cb * mapping_.shape.cols;
       for (std::size_t j = 0; j < partial.size(); ++j) {
         // Adder tree: merge row-block partial sums per output channel.
@@ -114,16 +142,27 @@ void SimulatedModel::apply_variation(common::Rng& rng, double sigma) {
   for (auto& layer : layers_) layer.apply_variation(rng, sigma);
 }
 
+FaultMapStats SimulatedModel::fault_stats() const noexcept {
+  FaultMapStats total;
+  for (const auto& layer : layers_) total += layer.fault_stats();
+  return total;
+}
+
 SimulatedModel::SimulatedModel(
     const nn::Model& model,
-    const std::vector<mapping::CrossbarShape>& shapes, DatapathMode mode)
-    : model_(&model), mode_(mode) {
+    const std::vector<mapping::CrossbarShape>& shapes, DatapathMode mode,
+    const FaultConfig& faults)
+    : model_(&model), mode_(mode), fault_model_(faults) {
   const auto mappable = model.spec().mappable_layers();
   AUTOHET_CHECK(shapes.size() == mappable.size(),
                 "one crossbar shape per mappable layer required");
+  AUTOHET_CHECK(faults.read_sigma == 0.0 || mode == DatapathMode::kInteger,
+                "read noise requires the integer datapath");
+  const FaultModel* fm = fault_model_.ideal() ? nullptr : &fault_model_;
   layers_.reserve(mappable.size());
   for (std::size_t i = 0; i < mappable.size(); ++i) {
-    layers_.emplace_back(mappable[i], model.weight(i), shapes[i]);
+    layers_.emplace_back(mappable[i], model.weight(i), shapes[i], fm,
+                         static_cast<std::uint64_t>(i));
   }
 }
 
@@ -186,21 +225,111 @@ tensor::Tensor SimulatedModel::run_mappable(const MappedLayer& layer,
 }
 
 tensor::Tensor SimulatedModel::forward(const tensor::Tensor& input) const {
+  return forward_traced(input).output;
+}
+
+SimulatedModel::ForwardTrace SimulatedModel::forward_traced(
+    const tensor::Tensor& input) const {
   const nn::NetworkSpec& spec = model_->spec();
   AUTOHET_CHECK(spec.sequential_runnable,
                 "network is not sequentially runnable (" + spec.name + ")");
+  ForwardTrace trace;
+  trace.mappable_outputs.reserve(layers_.size());
   tensor::Tensor x = input;
   std::size_t mappable_idx = 0;
   for (std::size_t i = 0; i < spec.layers.size(); ++i) {
     const nn::LayerSpec& layer = spec.layers[i];
     if (nn::is_mappable(layer.type)) {
       x = run_mappable(layers_[mappable_idx++], x);
+      trace.mappable_outputs.push_back(x);  // pre-activation layer output
     } else {
       x = model_->forward_layer(i, x);
     }
     if (layer.relu_after) tensor::relu_inplace(x);
   }
-  return x;
+  trace.output = std::move(x);
+  return trace;
+}
+
+RobustnessReport monte_carlo_robustness(
+    const nn::Model& model, const std::vector<mapping::CrossbarShape>& shapes,
+    const FaultConfig& faults, const RobustnessOptions& options) {
+  OBS_SPAN("mc_robustness");
+  AUTOHET_CHECK(options.trials > 0 && options.samples > 0,
+                "robustness needs at least one trial and one sample");
+  faults.validate();
+
+  RobustnessReport report;
+  report.trials = options.trials;
+  report.samples = options.samples;
+  report.min_accuracy = 1.0;
+
+  // The ideal fabric is the reference: agreement with it isolates device
+  // non-ideality from the (always present) 8-bit quantization error.
+  const SimulatedModel ideal(model, shapes, options.mode);
+  const nn::LayerSpec& first = model.spec().layers.front();
+  common::Rng img_rng(options.input_seed);
+  std::vector<tensor::Tensor> images;
+  std::vector<SimulatedModel::ForwardTrace> references;
+  std::vector<std::int64_t> reference_classes;
+  images.reserve(static_cast<std::size_t>(options.samples));
+  for (int s = 0; s < options.samples; ++s) {
+    images.push_back(nn::synthetic_image(img_rng, first.in_channels,
+                                         first.in_height, first.in_width));
+    references.push_back(ideal.forward_traced(images.back()));
+    reference_classes.push_back(tensor::argmax(references.back().output));
+  }
+
+  const std::size_t num_layers = ideal.mapped_layers().size();
+  report.layer_error.assign(num_layers, 0.0);
+  double acc_sum = 0.0;
+  double acc_sq_sum = 0.0;
+  double logit_err_sum = 0.0;
+  for (int t = 0; t < options.trials; ++t) {
+    OBS_SPAN("fault_trial");
+    const SimulatedModel faulty(model, shapes, options.mode,
+                                faults.for_trial(static_cast<std::uint64_t>(t)));
+    report.fault_stats += faulty.fault_stats();
+    int agree = 0;
+    for (int s = 0; s < options.samples; ++s) {
+      const auto si = static_cast<std::size_t>(s);
+      const auto trace = faulty.forward_traced(images[si]);
+      if (tensor::argmax(trace.output) == reference_classes[si]) ++agree;
+      logit_err_sum += tensor::max_abs_diff(trace.output,
+                                            references[si].output);
+      for (std::size_t l = 0; l < num_layers; ++l) {
+        const float ref_scale =
+            std::max(1.0f, references[si].mappable_outputs[l].abs_max());
+        report.layer_error[l] +=
+            tensor::max_abs_diff(trace.mappable_outputs[l],
+                                 references[si].mappable_outputs[l]) /
+            ref_scale;
+      }
+    }
+    const double accuracy =
+        static_cast<double>(agree) / static_cast<double>(options.samples);
+    acc_sum += accuracy;
+    acc_sq_sum += accuracy * accuracy;
+    report.min_accuracy = std::min(report.min_accuracy, accuracy);
+    report.max_accuracy = std::max(report.max_accuracy, accuracy);
+    OBS_COUNTER_ADD("autohet_fault_trials_total", 1);
+    OBS_HIST_RECORD("autohet_fault_trial_agreement_permille",
+                    accuracy * 1000.0);
+  }
+
+  const double n = static_cast<double>(options.trials);
+  report.mean_accuracy = acc_sum / n;
+  report.stddev_accuracy = std::sqrt(
+      std::max(0.0, acc_sq_sum / n - report.mean_accuracy *
+                                         report.mean_accuracy));
+  report.mean_logit_error =
+      logit_err_sum / (n * static_cast<double>(options.samples));
+  for (auto& e : report.layer_error) {
+    e /= n * static_cast<double>(options.samples);
+  }
+  OBS_GAUGE_SET("autohet_fault_accuracy_mean", report.mean_accuracy);
+  OBS_GAUGE_SET("autohet_fault_accuracy_stddev", report.stddev_accuracy);
+  return report;
 }
 
 }  // namespace autohet::reram

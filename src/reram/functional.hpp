@@ -31,9 +31,13 @@ enum class DatapathMode {
 class MappedLayer {
  public:
   /// Quantizes `weight` ([Cout,Cin,k,k] or [out,in]) to 8 bits and programs
-  /// it across crossbars of the given shape.
+  /// it across crossbars of the given shape. When `faults` is non-null and
+  /// non-ideal, stuck-at maps / programming variation / drift are burned
+  /// into the arrays at this programming step (deterministic in the fault
+  /// seed and `layer_id`), and MVMs sample the configured read noise.
   MappedLayer(const nn::LayerSpec& spec, const tensor::Tensor& weight,
-              const mapping::CrossbarShape& shape);
+              const mapping::CrossbarShape& shape,
+              const FaultModel* faults = nullptr, std::uint64_t layer_id = 0);
 
   const mapping::LayerMapping& mapping() const noexcept { return mapping_; }
   float weight_scale() const noexcept { return weight_scale_; }
@@ -49,6 +53,10 @@ class MappedLayer {
   /// magnitude `sigma` (see LogicalCrossbar::apply_variation).
   void apply_variation(common::Rng& rng, double sigma);
 
+  /// Stuck-at / variation counts burned in at construction (all zero when
+  /// the layer was programmed without a fault model).
+  const FaultMapStats& fault_stats() const noexcept { return fault_stats_; }
+
  private:
   nn::LayerSpec spec_;
   mapping::LayerMapping mapping_;
@@ -58,23 +66,46 @@ class MappedLayer {
   // Channel range [start, end) of each row block (kernel-aligned path) or
   // row range (split path).
   std::vector<std::pair<std::int64_t, std::int64_t>> row_ranges_;
+  FaultMapStats fault_stats_;
+  double read_sigma_weights_ = 0.0;  ///< per-read weight-LSB noise rms
+  /// Cycle-to-cycle read noise stream; advanced per MVM, seeded from the
+  /// fault seed and layer id so full forward passes stay deterministic.
+  mutable common::Rng read_rng_;
 };
 
 /// Whole-network functional simulation on the heterogeneous fabric.
 class SimulatedModel {
  public:
   /// `shapes` assigns a crossbar shape to each mappable layer (same order
-  /// as NetworkSpec::mappable_layers()).
+  /// as NetworkSpec::mappable_layers()). A non-ideal `faults` config runs
+  /// the whole network on a faulty fabric: stuck-at maps and programming
+  /// variation are burned in at construction, read noise is sampled at MVM
+  /// time (integer datapath only). The default ideal config is bit-identical
+  /// to the fault-free fabric.
   SimulatedModel(const nn::Model& model,
                  const std::vector<mapping::CrossbarShape>& shapes,
-                 DatapathMode mode = DatapathMode::kInteger);
+                 DatapathMode mode = DatapathMode::kInteger,
+                 const FaultConfig& faults = {});
 
   /// Forward pass (CHW input). Requires a sequentially runnable network.
   tensor::Tensor forward(const tensor::Tensor& input) const;
 
+  /// Forward pass that also captures each mappable layer's raw output
+  /// (pre-activation) — the per-layer hooks the robustness metric compares
+  /// against an ideal fabric to attribute fault-induced error to layers.
+  struct ForwardTrace {
+    tensor::Tensor output;
+    std::vector<tensor::Tensor> mappable_outputs;
+  };
+  ForwardTrace forward_traced(const tensor::Tensor& input) const;
+
   const std::vector<MappedLayer>& mapped_layers() const noexcept {
     return layers_;
   }
+
+  /// Aggregate stuck-at / variation counts over all layers (zero when the
+  /// fabric is ideal).
+  FaultMapStats fault_stats() const noexcept;
 
   /// Applies conductance variation to every mapped layer — the device
   /// non-ideality study of the variation example/bench. Irreversible on
@@ -87,7 +118,26 @@ class SimulatedModel {
 
   const nn::Model* model_;
   DatapathMode mode_;
+  FaultModel fault_model_;
   std::vector<MappedLayer> layers_;  // one per mappable layer
 };
+
+/// Knobs of the Monte-Carlo robustness evaluation.
+struct RobustnessOptions {
+  int trials = 8;    ///< independent fault-map seeds
+  int samples = 16;  ///< synthetic inputs evaluated per trial
+  std::uint64_t input_seed = 0x1a9e5ULL;
+  DatapathMode mode = DatapathMode::kInteger;
+};
+
+/// Accuracy-under-faults over N seeded trials: for each trial a fresh
+/// faulty fabric (fault seed = faults.for_trial(t)) classifies `samples`
+/// synthetic inputs; accuracy is argmax agreement with the *ideal* fabric
+/// (isolating device non-ideality from quantization). Reports mean/stddev
+/// across trials plus each layer's mean relative output error.
+/// Deterministic: same model, shapes, faults and options ⇒ same report.
+RobustnessReport monte_carlo_robustness(
+    const nn::Model& model, const std::vector<mapping::CrossbarShape>& shapes,
+    const FaultConfig& faults, const RobustnessOptions& options = {});
 
 }  // namespace autohet::reram

@@ -10,7 +10,8 @@ namespace autohet::reram {
 LayerReport evaluate_layer(const nn::LayerSpec& layer,
                            const mapping::LayerMapping& m,
                            std::int64_t tiles_spanned,
-                           const DeviceParams& params) {
+                           const DeviceParams& params,
+                           const FaultConfig& faults) {
   AUTOHET_CHECK(nn::is_mappable(layer.type), "layer does not occupy crossbars");
   LayerReport report;
   report.shape = m.shape;
@@ -19,6 +20,7 @@ LayerReport evaluate_layer(const nn::LayerSpec& layer,
   report.tiles = tiles_spanned;
   report.mvm_invocations = layer.mvm_count();
   report.utilization = m.utilization();
+  report.fault_vulnerability = analytic_layer_vulnerability(m, faults);
 
   const double planes = params.bit_planes();
   const double cycles = params.input_cycles();
@@ -83,15 +85,19 @@ NetworkReport evaluate_network(
 
   NetworkReport report;
   report.layers.reserve(layers.size());
+  std::vector<double> layer_vuln;
+  layer_vuln.reserve(layers.size());
   for (std::size_t i = 0; i < layers.size(); ++i) {
     const auto& layer_alloc = alloc.layers[i];
     LayerReport lr = evaluate_layer(layers[i], layer_alloc.mapping,
                                     layer_alloc.tiles_allocated,
-                                    config.device);
+                                    config.device, config.faults);
     report.energy += lr.energy;
     report.latency_ns += lr.latency_ns;
+    layer_vuln.push_back(lr.fault_vulnerability);
     report.layers.push_back(std::move(lr));
   }
+  report.fault_vulnerability = aggregate_network_vulnerability(layer_vuln);
 
   // ---- area (µm²): tile-provisioned ----
   // Higher utilization, rectangle shapes, and tile sharing shrink the chip

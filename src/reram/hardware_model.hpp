@@ -25,6 +25,7 @@
 #include "mapping/tile_allocator.hpp"
 #include "nn/layer.hpp"
 #include "reram/device_params.hpp"
+#include "reram/faults.hpp"
 #include "reram/stats.hpp"
 
 namespace autohet::reram {
@@ -34,10 +35,15 @@ struct AcceleratorConfig {
   DeviceParams device;
   std::int64_t pes_per_tile = 4;  ///< logical crossbars per tile (paper §4.1)
   bool tile_shared = false;       ///< enable §3.4 allocation
+  /// Device non-ideality assumed by evaluations (reram/faults.hpp). The
+  /// default is ideal: every report's fault_vulnerability stays 0 and all
+  /// figures are bit-identical to a fault-unaware build.
+  FaultConfig faults{};
 
   void validate() const {
     device.validate();
     AUTOHET_CHECK(pes_per_tile > 0, "pes_per_tile must be positive");
+    faults.validate();
   }
 };
 
@@ -76,11 +82,14 @@ inline TileAreaContribution tile_area_contribution(
 
 /// Evaluates one layer mapped with the given geometry. `tiles_spanned` is
 /// the number of tiles the layer occupies (affects the inter-tile merge
-/// latency term).
+/// latency term). A non-ideal `faults` config fills in the closed-form
+/// fault_vulnerability (analytic_layer_vulnerability); the default ideal
+/// config leaves it 0 and every other figure untouched.
 LayerReport evaluate_layer(const nn::LayerSpec& layer,
                            const mapping::LayerMapping& m,
                            std::int64_t tiles_spanned,
-                           const DeviceParams& params);
+                           const DeviceParams& params,
+                           const FaultConfig& faults = {});
 
 /// Evaluates a whole network: maps each mappable layer with its assigned
 /// shape, runs the tile allocator (tile-based or tile-shared per `config`),

@@ -1,6 +1,7 @@
 #include "reram/programming.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -8,14 +9,21 @@ namespace autohet::reram {
 
 ProgrammingReport evaluate_programming(
     const mapping::AllocationResult& allocation, const DeviceParams& device,
-    const ProgrammingParams& params) {
+    const ProgrammingParams& params, const FaultConfig& faults) {
   device.validate();
+  faults.validate();
   AUTOHET_CHECK(params.write_energy_pj_per_cell > 0.0 &&
                     params.write_latency_ns > 0.0 &&
-                    params.verify_pulses >= 1.0,
+                    params.verify_pulses >= 1.0 &&
+                    params.fault_retry_pulses >= 0.0,
                 "invalid programming parameters");
   ProgrammingReport report;
   const double planes = device.bit_planes();
+  // Stuck-at cells live in the FaultConfig's physical layout: one cell per
+  // cell_bits-wide plane of the offset-binary weight (reram/faults.hpp).
+  const double stuck_rate =
+      faults.stuck_at_zero_rate + faults.stuck_at_one_rate;
+  const double fault_planes = 8.0 / static_cast<double>(faults.cell_bits);
   for (const auto& layer : allocation.layers) {
     const auto& m = layer.mapping;
     // Physical cells: every useful cell exists once per bit plane.
@@ -30,13 +38,33 @@ ProgrammingReport evaluate_programming(
     // weight-matrix height.
     const std::int64_t serial_rows = std::clamp<std::int64_t>(
         (m.weight_rows + m.row_blocks - 1) / m.row_blocks, 1, m.shape.rows);
-    const double layer_latency =
+    double layer_latency =
         params.row_parallel
             ? static_cast<double>(serial_rows) * params.verify_pulses *
                   params.write_latency_ns
             : static_cast<double>(serial_rows) *
                   static_cast<double>(m.shape.cols) * params.verify_pulses *
                   params.write_latency_ns;
+    if (stuck_rate > 0.0) {
+      // Expected stuck cells among this layer's useful weights: the write
+      // driver burns fault_retry_pulses extra verify attempts on each
+      // before declaring it defective.
+      const double expected_stuck =
+          stuck_rate * fault_planes * static_cast<double>(m.useful_cells);
+      report.cells_stuck +=
+          static_cast<std::int64_t>(std::llround(expected_stuck));
+      report.energy_nj += expected_stuck * params.fault_retry_pulses *
+                          params.write_energy_pj_per_cell * 1e-3;
+      // A row's write step stalls for the retries if any of its cells is
+      // stuck: P_row = 1 − (1 − p)^(cols · planes). Every serial row pays
+      // the expected stall on the critical path.
+      const double cells_per_row =
+          static_cast<double>(m.shape.cols) * fault_planes;
+      const double p_row =
+          1.0 - std::pow(1.0 - stuck_rate, cells_per_row);
+      layer_latency += static_cast<double>(serial_rows) * p_row *
+                       params.fault_retry_pulses * params.write_latency_ns;
+    }
     report.latency_ns = std::max(report.latency_ns, layer_latency);
   }
   return report;

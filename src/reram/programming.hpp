@@ -13,6 +13,7 @@
 
 #include "mapping/tile_allocator.hpp"
 #include "reram/device_params.hpp"
+#include "reram/faults.hpp"
 
 namespace autohet::reram {
 
@@ -20,6 +21,10 @@ struct ProgrammingParams {
   double write_energy_pj_per_cell = 10.0;  ///< per pulse (SET/RESET avg)
   double write_latency_ns = 50.0;          ///< per pulse
   double verify_pulses = 3.0;              ///< mean program-and-verify count
+  /// Extra program-and-verify pulses the write driver spends on a cell
+  /// whose verify read keeps failing (stuck-at fault) before the controller
+  /// marks it defective and moves on.
+  double fault_retry_pulses = 5.0;
   /// Cells programmed concurrently (one row of one crossbar per step is
   /// typical; parallelism across crossbars is free — they have independent
   /// drivers).
@@ -28,6 +33,9 @@ struct ProgrammingParams {
 
 struct ProgrammingReport {
   std::int64_t cells_programmed = 0;  ///< physical cells incl. bit planes
+  /// Expected stuck-at cells among the programmed ones (deterministic
+  /// expectation under the FaultConfig's Bernoulli rates; 0 when ideal).
+  std::int64_t cells_stuck = 0;
   double energy_nj = 0.0;
   /// Wall-clock to program the whole network; crossbars program in
   /// parallel, rows within a crossbar serially.
@@ -36,8 +44,12 @@ struct ProgrammingReport {
 
 /// Cost of programming every layer of an allocation onto its crossbars
 /// (the initial deployment; the GC's phase-1 PROGRAM_WEIGHTS stream).
+/// A non-ideal `faults` config adds the expected-value cost of stuck-at
+/// cells — `fault_retry_pulses` wasted pulses per expected stuck cell, and
+/// per-row serial retries that inflate the critical path. Deterministic
+/// (no sampling); the default ideal config leaves every figure untouched.
 ProgrammingReport evaluate_programming(
     const mapping::AllocationResult& allocation, const DeviceParams& device,
-    const ProgrammingParams& params = {});
+    const ProgrammingParams& params = {}, const FaultConfig& faults = {});
 
 }  // namespace autohet::reram

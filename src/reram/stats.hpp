@@ -61,6 +61,9 @@ struct LayerReport {
   double utilization = 0.0;           ///< Eq. 4, in [0, 1]
   EnergyBreakdown energy;
   double latency_ns = 0.0;
+  /// Closed-form fault vulnerability in [0, 1] under the accelerator's
+  /// FaultConfig (reram/faults.hpp); 0 for an ideal device.
+  double fault_vulnerability = 0.0;
 };
 
 /// Whole-network hardware report for one inference pass.
@@ -72,6 +75,9 @@ struct NetworkReport {
   double utilization = 0.0;           ///< system-level (tile-granular), [0,1]
   std::int64_t occupied_tiles = 0;
   std::int64_t empty_crossbars = 0;
+  /// Network-level fault vulnerability in [0, 1]: RMS aggregation of the
+  /// per-layer values (aggregate_network_vulnerability); 0 when ideal.
+  double fault_vulnerability = 0.0;
 
   /// Paper §2.2 RUE metric: utilization (percent, as plotted in the paper's
   /// figures) over energy (nanojoules).
