@@ -18,9 +18,8 @@ int main() {
   for (int bits : {6, 8, 10, 12}) {
     reram::ComponentConfig cfg;
     cfg.adc_resolution_bits = bits;
-    reram::AcceleratorConfig accel;
+    auto accel = bench::paper_accel(/*tile_shared=*/true);
     accel.device = reram::derive_device_params(cfg);
-    accel.tile_shared = true;
     const auto r = reram::evaluate_network(layers, shapes, accel);
     table.add_row({std::to_string(bits),
                    report::format_fixed(accel.device.adc_energy_pj, 3),

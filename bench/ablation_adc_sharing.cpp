@@ -16,7 +16,7 @@ int main() {
   report::Table table({"Bitlines/ADC", "Area (um^2)", "ADC area share %",
                        "Latency (ns)", "Energy (nJ)"});
   for (int share : {1, 2, 4, 8, 16}) {
-    reram::AcceleratorConfig config;
+    auto config = bench::paper_accel();
     config.device.adc_share = share;
     const auto r = reram::evaluate_network(layers, shapes, config);
     table.add_row({std::to_string(share),

@@ -17,9 +17,8 @@ int main() {
                        "Area (um^2)", "Energy vs 1-bit", "Area vs 1-bit"});
   double e1 = 0.0, a1 = 0.0;
   for (int cell_bits : {1, 2, 4, 8}) {
-    reram::AcceleratorConfig config;
+    auto config = bench::paper_accel(/*tile_shared=*/true);
     config.device.cell_bits = cell_bits;
-    config.tile_shared = true;
     const auto r = reram::evaluate_network(layers, shapes, config);
     if (cell_bits == 1) {
       e1 = r.energy.total_nj();

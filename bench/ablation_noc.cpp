@@ -16,8 +16,7 @@ int main() {
   const auto add_row = [&](const std::string& name,
                            const std::vector<mapping::CrossbarShape>& shapes,
                            bool shared) {
-    reram::AcceleratorConfig config;
-    config.tile_shared = shared;
+    const auto config = bench::paper_accel(shared);
     const auto core = reram::evaluate_network(layers, shapes, config);
     const mapping::TileAllocator alloc(config.pes_per_tile, shared);
     const auto allocation = alloc.allocate(layers, shapes);

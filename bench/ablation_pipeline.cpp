@@ -10,7 +10,7 @@ int main() {
   bench::print_header("Ablation — pipelined throughput vs replication budget "
                       "(VGG16)");
   const auto layers = nn::vgg16().mappable_layers();
-  const reram::AcceleratorConfig config;
+  const auto config = bench::paper_accel();
 
   report::Table table({"Crossbar", "Extra-tile budget",
                        "Bottleneck interval (ns)", "Throughput (inf/s)",

@@ -40,7 +40,7 @@ int main() {
   const std::vector<mapping::CrossbarShape> shapes(layers.size(),
                                                    {128, 128});
   const auto schedule = reram::schedule_batch(
-      layers, shapes, reram::AcceleratorConfig{}, /*batch=*/3);
+      layers, shapes, bench::paper_accel(), /*batch=*/3);
   report::Table timeline({"Image", "Layer", "Start (ns)", "Finish (ns)"});
   for (std::size_t t = 0; t < 8 && t < schedule.tasks.size(); ++t) {
     const auto& task = schedule.tasks[t];

@@ -33,6 +33,18 @@ inline int episodes_from_args(int argc, char** argv, int fallback) {
   return fallback;
 }
 
+/// The paper's accelerator configuration (default DeviceParams, default
+/// ideal FaultConfig, 4 PEs per tile), with the two knobs the benches
+/// actually vary. Every bench builds its AcceleratorConfig through this
+/// helper so a change to the shared baseline lands everywhere at once.
+inline reram::AcceleratorConfig paper_accel(bool tile_shared = false,
+                                            std::int64_t pes_per_tile = 4) {
+  reram::AcceleratorConfig accel;
+  accel.tile_shared = tile_shared;
+  accel.pes_per_tile = pes_per_tile;
+  return accel;
+}
+
 /// Builds an environment with the given candidates/allocation over a
 /// network's mappable layers.
 inline core::CrossbarEnv make_env(
@@ -40,8 +52,7 @@ inline core::CrossbarEnv make_env(
     bool tile_shared, std::int64_t pes_per_tile = 4) {
   core::EnvConfig cfg;
   cfg.candidates = std::move(candidates);
-  cfg.accel.tile_shared = tile_shared;
-  cfg.accel.pes_per_tile = pes_per_tile;
+  cfg.accel = paper_accel(tile_shared, pes_per_tile);
   return core::CrossbarEnv(net.mappable_layers(), cfg);
 }
 

@@ -12,7 +12,7 @@ using namespace autohet;
 int main() {
   bench::print_header("Energy breakdown by component (VGG16)");
   const auto layers = nn::vgg16().mappable_layers();
-  const reram::AcceleratorConfig config;
+  const auto config = bench::paper_accel();
 
   report::Table table({"Crossbar", "ADC %", "DAC %", "Cell %", "Shift-add %",
                        "Buffer %", "Total (nJ)"});

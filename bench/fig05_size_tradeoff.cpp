@@ -13,7 +13,7 @@ int main() {
   bench::print_header("Fig. 5 — one layer (k=3, Cin=12, Cout=128) on 64x64 "
                       "vs 128x128 crossbars");
   const auto layer = nn::make_conv(12, 128, 3, 1, 1, 16, 16);
-  reram::AcceleratorConfig config;  // 4 PEs/tile as in the paper figure
+  const auto config = bench::paper_accel();  // 4 PEs/tile as in the figure
   const std::vector<mapping::CrossbarShape> shapes{{64, 64}, {128, 128}};
   const reram::EvaluationEngine engine({layer}, shapes, config);
 
@@ -22,7 +22,7 @@ int main() {
                        "ADC energy (nJ)"});
   for (std::size_t c = 0; c < shapes.size(); ++c) {
     const auto& lr = engine.layer_report(0, c);
-    const auto net = engine.evaluate({c});
+    const auto net = engine.evaluate(std::vector<std::size_t>{c});
     table.add_row({shapes[c].name(), std::to_string(lr.logical_crossbars),
                    std::to_string(lr.adc_instances),
                    report::format_fixed(net.utilization, 4),

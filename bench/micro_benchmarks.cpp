@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "autohet/env.hpp"
+#include "bench_common.hpp"
 #include "mapping/tile_allocator.hpp"
 #include "nn/model_zoo.hpp"
 #include "reram/crossbar.hpp"
@@ -26,8 +27,7 @@ BENCHMARK(BM_MapLayer)->Arg(32)->Arg(128)->Arg(512);
 
 void BM_EvaluateNetworkVgg16(benchmark::State& state) {
   const auto layers = nn::vgg16().mappable_layers();
-  reram::AcceleratorConfig config;
-  config.tile_shared = state.range(0) != 0;
+  auto config = bench::paper_accel(state.range(0) != 0);
   const std::vector<mapping::CrossbarShape> shapes(layers.size(), {64, 64});
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -38,8 +38,7 @@ BENCHMARK(BM_EvaluateNetworkVgg16)->Arg(0)->Arg(1);
 
 void BM_EvaluateNetworkResnet152(benchmark::State& state) {
   const auto layers = nn::resnet152().mappable_layers();
-  reram::AcceleratorConfig config;
-  config.tile_shared = true;
+  const auto config = bench::paper_accel(/*tile_shared=*/true);
   const std::vector<mapping::CrossbarShape> shapes(layers.size(),
                                                    {288, 256});
   for (auto _ : state) {

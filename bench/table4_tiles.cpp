@@ -24,8 +24,7 @@ int main(int argc, char** argv) {
     // Same per-layer shapes, re-evaluated with the tile-shared allocator.
     std::vector<mapping::CrossbarShape> shapes;
     for (auto a : hy.best_actions) shapes.push_back(hy_env.candidates()[a]);
-    reram::AcceleratorConfig shared_cfg;
-    shared_cfg.tile_shared = true;
+    const auto shared_cfg = bench::paper_accel(/*tile_shared=*/true);
     const auto all = reram::evaluate_network(net.mappable_layers(), shapes,
                                              shared_cfg);
 

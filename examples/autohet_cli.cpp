@@ -1,13 +1,18 @@
 // autohet_cli — the command-line driver a downstream user runs.
 //
 //   autohet_cli search   --model vgg16 --episodes 300 --out strategy.txt
+//                        --plan-out plan.json
 //   autohet_cli evaluate --model vgg16 --strategy strategy.txt
+//   autohet_cli replay   --plan-in plan.json --report-json report.json
 //   autohet_cli baselines --model alexnet
 //
 // `search` runs the RL search and writes the winning strategy in the Fig. 6
-// text format (plus an optional per-episode CSV); `evaluate` loads a
-// strategy file and reports its hardware metrics; `baselines` prints the
-// homogeneous sweep.
+// text format (plus an optional per-episode CSV) and, with --plan-out, the
+// compiled DeploymentPlan as JSON; `evaluate` loads a strategy file,
+// compiles it to a plan and reports its hardware metrics; `replay` loads a
+// saved plan and re-runs hardware evaluation, functional inference and
+// robustness Monte Carlo without searching or re-mapping; `baselines`
+// prints the homogeneous sweep.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -16,10 +21,15 @@
 #include "autohet/search.hpp"
 #include "autohet/strategy.hpp"
 #include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "nn/describe.hpp"
+#include "nn/model.hpp"
 #include "nn/model_zoo.hpp"
 #include "obs/session.hpp"
+#include "reram/functional.hpp"
+#include "report/serialize.hpp"
 #include "report/table.hpp"
+#include "tensor/ops.hpp"
 
 using namespace autohet;
 
@@ -76,6 +86,23 @@ int run_search(const common::ArgParser& args) {
 
   const auto strategy = core::strategy_from_actions(
       net.name, env.candidates(), result.best_actions);
+  if (!args.option("plan-out").empty() ||
+      !args.option("report-json").empty()) {
+    const plan::DeploymentPlan plan =
+        env.compile(result.best_actions, net.name);
+    if (const std::string path = args.option("plan-out"); !path.empty()) {
+      std::ofstream file(path);
+      AUTOHET_CHECK(file.good(), "cannot open plan file: " + path);
+      report::write_plan_json(file, plan);
+      std::cout << "deployment plan written to " << path << "\n\n";
+    }
+    if (const std::string path = args.option("report-json"); !path.empty()) {
+      std::ofstream file(path);
+      AUTOHET_CHECK(file.good(), "cannot open report file: " + path);
+      report::write_network_report_json(file, plan::evaluate_plan(plan));
+      std::cout << "network report written to " << path << "\n\n";
+    }
+  }
   const std::string out = args.option("out");
   if (!out.empty()) {
     std::ofstream file(out);
@@ -115,14 +142,74 @@ int run_evaluate(const common::ArgParser& args) {
   const auto strategy = core::Strategy::from_text(buffer.str());
 
   const auto net = nn::network_by_name(model_or(args, strategy.network));
-  const auto layers = net.mappable_layers();
-  AUTOHET_CHECK(strategy.shapes.size() == layers.size(),
-                "strategy layer count does not match " + net.name);
   reram::AcceleratorConfig accel;
   accel.tile_shared = !args.flag("no-tile-shared");
   accel.pes_per_tile = args.option_int("pes-per-tile");
-  const auto report = reram::evaluate_network(layers, strategy.shapes, accel);
+  const auto plan = plan::compile_plan(net, strategy, accel);
+  print_report(path, plan::evaluate_plan(plan));
+  return 0;
+}
+
+int run_replay(const common::ArgParser& args) {
+  const std::string path = args.option("plan-in");
+  AUTOHET_CHECK(!path.empty(), "replay needs --plan-in <plan.json>");
+  std::ifstream file(path);
+  AUTOHET_CHECK(file.good(), "cannot open plan file: " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const plan::DeploymentPlan plan = report::read_plan_json(buffer.str());
+
+  std::cout << "replaying plan for " << plan.network << " ("
+            << plan.layers.size() << " layers, "
+            << plan.allocation.occupied_tiles() << " tiles)\n\n";
+  const auto report = plan::evaluate_plan(plan);
   print_report(path, report);
+  if (const std::string out = args.option("report-json"); !out.empty()) {
+    std::ofstream rf(out);
+    AUTOHET_CHECK(rf.good(), "cannot open report file: " + out);
+    report::write_network_report_json(rf, report);
+    std::cout << "network report written to " << out << '\n';
+  }
+
+  // Functional inference + robustness MC on the plan's placement. Both
+  // need weights; the zoo networks ship none, so we use the same seeded
+  // random initialization the functional examples use.
+  const auto samples = args.option_int("functional-samples");
+  const auto trials = args.option_int("mc-trials");
+  if (samples > 0 || trials > 0) {
+    const auto net = nn::network_by_name(plan.network);
+    AUTOHET_CHECK(net.sequential_runnable,
+                  plan.network + " is not sequentially runnable");
+    common::Rng weight_rng(3);
+    const nn::Model model(net, weight_rng);
+    const nn::LayerSpec& input = net.layers.front();
+    if (samples > 0) {
+      const reram::SimulatedModel fabric(model, plan);
+      common::Rng img_rng(4);
+      int agree = 0;
+      for (std::int64_t s = 0; s < samples; ++s) {
+        const auto img = nn::synthetic_image(img_rng, input.in_channels,
+                                             input.in_height, input.in_width);
+        if (tensor::argmax(model.forward(img)) ==
+            tensor::argmax(fabric.forward(img))) {
+          ++agree;
+        }
+      }
+      std::cout << "functional inference: " << agree << '/' << samples
+                << " argmax agreement with float reference\n";
+    }
+    if (trials > 0) {
+      reram::RobustnessOptions opts;
+      opts.trials = static_cast<int>(trials);
+      opts.samples = 4;
+      const auto rob = reram::monte_carlo_robustness(model, plan, opts);
+      std::cout << "robustness MC: accuracy "
+                << report::format_fixed(rob.mean_accuracy * 100.0, 1)
+                << "% +/- "
+                << report::format_fixed(rob.stddev_accuracy * 100.0, 1)
+                << "% over " << trials << " trials\n";
+    }
+  }
   return 0;
 }
 
@@ -161,7 +248,8 @@ int main(int argc, char** argv) {
       "autohet_cli",
       "AutoHet heterogeneous ReRAM accelerator driver: RL search, strategy "
       "evaluation, and homogeneous baselines.");
-  args.add_positional("command", "search | evaluate | baselines | describe");
+  args.add_positional("command",
+                      "search | evaluate | replay | baselines | describe");
   args.add_option("model", "",
                   "lenet5 | alexnet | vgg16 | resnet152 (default: vgg16; "
                   "'evaluate' defaults to the strategy file's network)");
@@ -173,6 +261,20 @@ int main(int argc, char** argv) {
   args.add_option("out", "", "write the learned strategy to this file");
   args.add_option("csv", "", "write per-episode search history CSV");
   args.add_option("strategy", "", "strategy file for 'evaluate'");
+  args.add_option("plan-in", "",
+                  "saved DeploymentPlan JSON for 'replay' (mutually "
+                  "exclusive with the search-configuration options)");
+  args.add_option("plan-out", "",
+                  "'search': also write the compiled DeploymentPlan JSON");
+  args.add_option("report-json", "",
+                  "'search'/'replay': write the winner's / replayed "
+                  "NetworkReport as JSON (byte-comparable across the two)");
+  args.add_option("functional-samples", "0",
+                  "'replay': run functional inference on this many synthetic "
+                  "images (0 = skip)");
+  args.add_option("mc-trials", "0",
+                  "'replay': robustness Monte-Carlo trials under the plan's "
+                  "fault config (0 = skip)");
   args.add_option("eval-threads", "0",
                   "worker threads for batched hardware evaluation "
                   "(0 = serial)");
@@ -184,11 +286,22 @@ int main(int argc, char** argv) {
     std::cerr << error << '\n';
     return 2;
   }
+  // A plan freezes the network, mapping and accelerator config, so every
+  // option that would configure a fresh search contradicts it.
+  if (!args.reject_option_conflicts(
+          "plan-in",
+          {"episodes", "seed", "candidates", "model", "strategy", "out",
+           "csv", "pes-per-tile", "no-tile-shared"},
+          &error)) {
+    std::cerr << error << '\n';
+    return 2;
+  }
   try {
     obs::ObsSession session(args);
     const std::string command = args.positional("command");
     if (command == "search") return run_search(args);
     if (command == "evaluate") return run_evaluate(args);
+    if (command == "replay") return run_replay(args);
     if (command == "baselines") return run_baselines(args);
     if (command == "describe") return run_describe(args);
     std::cerr << "unknown command: " << command << "\n\n"

@@ -5,14 +5,18 @@
 // Usage: autohet_search [episodes] [seed] [--trace-out trace.json]
 //                       [--metrics-out metrics.prom] [--episode-log ep.jsonl]
 //                       [--log-level debug] [--eval-threads N]
+//                       [--plan-out plan.json] [--report-json report.json]
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "autohet/baselines.hpp"
 #include "autohet/search.hpp"
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "nn/model_zoo.hpp"
 #include "obs/session.hpp"
+#include "report/serialize.hpp"
 #include "report/table.hpp"
 
 using namespace autohet;
@@ -26,6 +30,12 @@ int main(int argc, char** argv) {
   args.add_option("eval-threads", "0",
                   "worker threads for batched hardware evaluation "
                   "(0 = serial)");
+  args.add_option("plan-out", "",
+                  "compile the winning strategy into a DeploymentPlan and "
+                  "write it as JSON (replay with autohet_cli replay)");
+  args.add_option("report-json", "",
+                  "write the winner's NetworkReport as JSON (byte-comparable "
+                  "with a replayed plan's report)");
   obs::add_cli_options(args);
 
   std::string error;
@@ -92,6 +102,25 @@ int main(int argc, char** argv) {
     add("AutoHet (RL)", result.best_report);
     std::cout << '\n';
     table.print(std::cout);
+
+    if (!args.option("plan-out").empty() ||
+        !args.option("report-json").empty()) {
+      const plan::DeploymentPlan plan =
+          env.compile(result.best_actions, net.name);
+      if (const std::string path = args.option("plan-out"); !path.empty()) {
+        std::ofstream file(path);
+        AUTOHET_CHECK(file.good(), "cannot open plan file: " + path);
+        report::write_plan_json(file, plan);
+        std::cout << "\ndeployment plan written to " << path << '\n';
+      }
+      if (const std::string path = args.option("report-json");
+          !path.empty()) {
+        std::ofstream file(path);
+        AUTOHET_CHECK(file.good(), "cannot open report file: " + path);
+        report::write_network_report_json(file, plan::evaluate_plan(plan));
+        std::cout << "network report written to " << path << '\n';
+      }
+    }
 
     std::cout << "\nSearch time: decision " << result.decision_seconds
               << " s, simulator " << result.simulator_seconds

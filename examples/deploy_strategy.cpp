@@ -1,13 +1,17 @@
-// End-to-end deployment workflow (the full Fig. 6 path):
+// End-to-end deployment workflow (the full Fig. 6 path), built on the
+// DeploymentPlan IR:
 //   1. run the RL search on LeNet-5,
 //   2. serialize the winning strategy to the Fig. 6 text format (and parse
 //      it back, as a deployment flow would from a file),
-//   3. allocate tiles (tile-shared) for the strategy and place them on the
-//      chip's bank grid,
-//   4. compile a Global Controller program and run the checked decoder,
-//   5. report interconnect traffic for the placement,
-//   6. execute real inference on the configured fabric.
+//   3. compile the strategy into an immutable DeploymentPlan — the single
+//      artifact every downstream stage consumes — and round-trip it
+//      through its JSON form,
+//   4. place the plan's tiles on the chip's bank grid,
+//   5. compile a Global Controller program and run the checked decoder,
+//   6. report weight-programming cost and interconnect traffic,
+//   7. execute real inference on the plan-configured fabric.
 #include <iostream>
+#include <sstream>
 
 #include "autohet/search.hpp"
 #include "autohet/strategy.hpp"
@@ -16,6 +20,7 @@
 #include "reram/functional.hpp"
 #include "reram/noc.hpp"
 #include "reram/programming.hpp"
+#include "report/serialize.hpp"
 #include "report/table.hpp"
 #include "tensor/ops.hpp"
 
@@ -41,23 +46,29 @@ int main() {
   std::cout << "Learned strategy (Fig. 6 format):\n" << text << '\n';
   const core::Strategy reloaded = core::Strategy::from_text(text);
 
-  // --- 3. allocation + placement ---
-  const auto layers = net.mappable_layers();
-  const mapping::TileAllocator allocator(env_cfg.accel.pes_per_tile,
-                                         /*tile_shared=*/true);
-  const auto allocation = allocator.allocate(layers, reloaded.shapes);
+  // --- 3. compile to a DeploymentPlan, round-trip through JSON ---
+  const plan::DeploymentPlan compiled =
+      plan::compile_plan(net, reloaded, env_cfg.accel);
+  std::ostringstream plan_json;
+  report::write_plan_json(plan_json, compiled);
+  const plan::DeploymentPlan plan = report::read_plan_json(plan_json.str());
+  std::cout << "Compiled plan: " << plan.layers.size() << " layers, "
+            << plan.allocation.occupied_tiles() << " tiles ("
+            << plan_json.str().size() << " bytes of JSON)\n";
+
+  // --- 4. placement ---
   reram::ChipSpec chip;
   chip.banks = 1;
   chip.bank.tile_rows = 16;
   chip.bank.tile_cols = 16;
-  const auto placement = reram::place_tiles(allocation.tiles, chip);
+  const auto placement = reram::place_tiles(plan.allocation.tiles, chip);
   std::cout << "Placed " << placement.tiles_placed << " tiles on "
             << placement.banks_used << " bank(s), chip occupancy "
             << report::format_fixed(placement.chip_occupancy * 100.0, 1)
             << "%\n";
 
-  // --- 4. Global Controller program ---
-  const auto program = reram::compile_program(layers, allocation);
+  // --- 5. Global Controller program ---
+  const auto program = reram::compile_program(plan.layers, plan.allocation);
   const auto stats = reram::execute_program(program);
   std::cout << "GC program: " << stats.instructions << " instructions, "
             << stats.tiles_configured << " tiles configured, "
@@ -68,26 +79,27 @@ int main() {
     std::cout << "  " << program[i].to_string() << '\n';
   }
 
-  // --- 4b. deployment (weight programming) cost ---
+  // --- 6a. deployment (weight programming) cost ---
   const auto programming =
-      reram::evaluate_programming(allocation, env_cfg.accel.device);
+      reram::evaluate_programming(plan.allocation, plan.accel.device);
   std::cout << "Programming cost: " << programming.cells_programmed
             << " cells, "
             << report::format_fixed(programming.energy_nj, 1) << " nJ, "
             << report::format_sci(programming.latency_ns, 2)
             << " ns wall-clock\n";
 
-  // --- 5. interconnect traffic ---
-  const auto noc = reram::evaluate_noc(layers, allocation, placement);
+  // --- 6b. interconnect traffic ---
+  const auto noc = reram::evaluate_noc(plan.layers, plan.allocation,
+                                       placement);
   std::cout << "Interconnect: " << noc.total_bytes
             << " bytes/inference over mean "
             << report::format_fixed(noc.mean_hops, 2) << " hops ("
             << report::format_fixed(noc.total_energy_nj, 2) << " nJ)\n";
 
-  // --- 6. inference on the configured fabric ---
+  // --- 7. inference on the plan-configured fabric ---
   common::Rng weight_rng(3);
   const nn::Model model(net, weight_rng);
-  const reram::SimulatedModel fabric(model, reloaded.shapes);
+  const reram::SimulatedModel fabric(model, plan);
   common::Rng img_rng(4);
   int agree = 0;
   constexpr int kSamples = 5;

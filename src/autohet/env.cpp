@@ -103,6 +103,20 @@ std::vector<reram::NetworkReport> CrossbarEnv::evaluate_batch(
   return engine_->evaluate_batch(batch);
 }
 
+plan::DeploymentPlan CrossbarEnv::compile(
+    const std::vector<std::size_t>& action_indices, std::string network) const {
+  AUTOHET_CHECK(action_indices.size() == layers_.size(),
+                "one action per layer required");
+  std::vector<mapping::CrossbarShape> shapes;
+  shapes.reserve(action_indices.size());
+  for (std::size_t a : action_indices) {
+    AUTOHET_CHECK(a < num_actions(), "action index out of range");
+    shapes.push_back(config_.candidates[a]);
+  }
+  return plan::compile_plan(std::move(network), layers_, shapes,
+                            config_.accel);
+}
+
 double CrossbarEnv::reward(const reram::NetworkReport& report) const {
   const double e = report.energy.total_nj();
   if (e <= 0.0) return 0.0;

@@ -19,9 +19,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mapping/crossbar_shape.hpp"
+#include "mapping/plan.hpp"
 #include "nn/layer.hpp"
 #include "reram/eval_engine.hpp"
 #include "reram/hardware_model.hpp"
@@ -107,6 +109,12 @@ class CrossbarEnv {
 
   /// The shared evaluation engine (L×C layer-report table + report memo).
   const reram::EvaluationEngine& engine() const noexcept { return *engine_; }
+
+  /// Compiles one action assignment into a DeploymentPlan for `network`
+  /// under this environment's accelerator config — the bridge from a search
+  /// result to the save/replay/deploy artifact (mapping/plan.hpp).
+  plan::DeploymentPlan compile(const std::vector<std::size_t>& action_indices,
+                               std::string network) const;
 
   /// Eq. 2 reward from a hardware report (utilization over scaled energy).
   double reward(const reram::NetworkReport& report) const;

@@ -1,6 +1,7 @@
 #include "autohet/strategy.hpp"
 
 #include <sstream>
+#include <string_view>
 
 #include "common/error.hpp"
 
@@ -8,6 +9,7 @@ namespace autohet::core {
 
 std::string Strategy::to_text() const {
   std::ostringstream oss;
+  oss << "autohet-strategy v" << kStrategyTextVersion << '\n';
   oss << "network: " << network << '\n';
   for (std::size_t i = 0; i < shapes.size(); ++i) {
     oss << 'L' << i + 1 << ": " << shapes[i].name() << '\n';
@@ -24,24 +26,57 @@ std::string trimmed(const std::string& s) {
   return s.substr(begin, end - begin + 1);
 }
 
-mapping::CrossbarShape parse_shape(const std::string& text) {
+std::string at_line(std::size_t line_no) {
+  return "line " + std::to_string(line_no) + ": ";
+}
+
+mapping::CrossbarShape parse_shape(const std::string& text,
+                                   std::size_t line_no) {
   const auto x = text.find('x');
   AUTOHET_CHECK(x != std::string::npos && x > 0 && x + 1 < text.size(),
-                "malformed crossbar shape: " + text);
+                at_line(line_no) + "malformed crossbar shape: " + text);
   mapping::CrossbarShape shape;
   try {
     std::size_t used = 0;
     shape.rows = std::stoll(text.substr(0, x), &used);
-    AUTOHET_CHECK(used == x, "malformed crossbar rows: " + text);
+    AUTOHET_CHECK(used == x,
+                  at_line(line_no) + "malformed crossbar rows: " + text);
     shape.cols = std::stoll(text.substr(x + 1), &used);
     AUTOHET_CHECK(used == text.size() - x - 1,
-                  "malformed crossbar cols: " + text);
+                  at_line(line_no) + "malformed crossbar cols: " + text);
   } catch (const std::logic_error&) {
-    AUTOHET_CHECK(false, "malformed crossbar shape: " + text);
+    AUTOHET_CHECK(false,
+                  at_line(line_no) + "malformed crossbar shape: " + text);
   }
   AUTOHET_CHECK(shape.rows > 0 && shape.cols > 0,
-                "crossbar shape must be positive: " + text);
+                at_line(line_no) + "crossbar shape must be positive: " + text);
   return shape;
+}
+
+// Parses an "autohet-strategy v<N>" version line; returns false when `line`
+// is not a version line at all (legacy files start straight at "network:").
+bool parse_version_line(const std::string& line, std::size_t line_no) {
+  constexpr std::string_view kMagic = "autohet-strategy";
+  if (line.compare(0, kMagic.size(), kMagic) != 0) return false;
+  const std::string rest = trimmed(line.substr(kMagic.size()));
+  AUTOHET_CHECK(rest.size() >= 2 && rest[0] == 'v',
+                at_line(line_no) + "malformed strategy version line: " + line);
+  int version = 0;
+  try {
+    std::size_t used = 0;
+    version = std::stoi(rest.substr(1), &used);
+    AUTOHET_CHECK(used == rest.size() - 1,
+                  at_line(line_no) +
+                      "malformed strategy version line: " + line);
+  } catch (const std::logic_error&) {
+    AUTOHET_CHECK(false, at_line(line_no) +
+                             "malformed strategy version line: " + line);
+  }
+  AUTOHET_CHECK(version == kStrategyTextVersion,
+                at_line(line_no) + "unsupported strategy version v" +
+                    std::to_string(version) + " (this build understands v" +
+                    std::to_string(kStrategyTextVersion) + ")");
+  return true;
 }
 
 }  // namespace
@@ -50,27 +85,37 @@ Strategy Strategy::from_text(const std::string& text) {
   Strategy strategy;
   std::istringstream iss(text);
   std::string line;
+  bool version_checked = false;
   bool header_seen = false;
   std::size_t expected_layer = 1;
+  std::size_t line_no = 0;
   while (std::getline(iss, line)) {
+    ++line_no;
     line = trimmed(line);
     if (line.empty() || line[0] == '#') continue;
+    if (!version_checked && !header_seen) {
+      version_checked = true;
+      if (parse_version_line(line, line_no)) continue;
+    }
     const auto colon = line.find(':');
-    AUTOHET_CHECK(colon != std::string::npos, "missing ':' in line: " + line);
+    AUTOHET_CHECK(colon != std::string::npos,
+                  at_line(line_no) + "missing ':' in line: " + line);
     const std::string key = trimmed(line.substr(0, colon));
     const std::string value = trimmed(line.substr(colon + 1));
     if (!header_seen) {
       AUTOHET_CHECK(key == "network",
-                    "strategy must start with 'network:', got: " + line);
-      AUTOHET_CHECK(!value.empty(), "network name must be non-empty");
+                    at_line(line_no) +
+                        "strategy must start with 'network:', got: " + line);
+      AUTOHET_CHECK(!value.empty(),
+                    at_line(line_no) + "network name must be non-empty");
       strategy.network = value;
       header_seen = true;
       continue;
     }
     AUTOHET_CHECK(key == "L" + std::to_string(expected_layer),
-                  "expected L" + std::to_string(expected_layer) +
-                      ", got: " + key);
-    strategy.shapes.push_back(parse_shape(value));
+                  at_line(line_no) + "expected L" +
+                      std::to_string(expected_layer) + ", got: " + key);
+    strategy.shapes.push_back(parse_shape(value, line_no));
     ++expected_layer;
   }
   AUTOHET_CHECK(header_seen, "empty strategy text");

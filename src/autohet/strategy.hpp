@@ -4,10 +4,14 @@
 // a search result can be saved, inspected, and replayed without re-running
 // the search:
 //
+//   autohet-strategy v1
 //   network: VGG16
 //   L1: 288x256
 //   L2: 576x512
 //   ...
+//
+// The version line is optional on input (files written before the format
+// was versioned parse unchanged) but always emitted by to_text.
 #pragma once
 
 #include <string>
@@ -17,6 +21,9 @@
 
 namespace autohet::core {
 
+/// Version of the strategy text format emitted by Strategy::to_text.
+inline constexpr int kStrategyTextVersion = 1;
+
 struct Strategy {
   std::string network;
   std::vector<mapping::CrossbarShape> shapes;  ///< one per mappable layer
@@ -24,7 +31,9 @@ struct Strategy {
   std::string to_text() const;
 
   /// Parses the text format; throws std::invalid_argument on malformed
-  /// input (bad header, out-of-order layer ids, unparsable shapes).
+  /// input (bad header, unsupported version, out-of-order layer ids,
+  /// unparsable shapes), naming the offending line number. A missing
+  /// `autohet-strategy v1` line is tolerated for backward compatibility.
   static Strategy from_text(const std::string& text);
 
   friend bool operator==(const Strategy&, const Strategy&) = default;

@@ -111,6 +111,27 @@ bool ArgParser::flag(const std::string& name) const {
   return it->second.value == "true";
 }
 
+bool ArgParser::provided(const std::string& name) const {
+  const auto it = options_.find(name);
+  AUTOHET_CHECK(it != options_.end(), "unknown option: " + name);
+  return it->second.seen;
+}
+
+bool ArgParser::reject_option_conflicts(
+    const std::string& gate, const std::vector<std::string>& conflicts,
+    std::string* error) const {
+  if (!provided(gate)) return true;
+  for (const std::string& other : conflicts) {
+    if (provided(other)) {
+      if (error) {
+        *error = "--" + gate + " cannot be combined with --" + other;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
 const std::string& ArgParser::option(const std::string& name) const {
   const auto it = options_.find(name);
   AUTOHET_CHECK(it != options_.end() && !it->second.is_flag,

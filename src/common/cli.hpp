@@ -35,6 +35,16 @@ class ArgParser {
   bool parse(int argc, const char* const* argv, std::string* error);
 
   bool flag(const std::string& name) const;
+  /// True when the user supplied this flag/option on the command line
+  /// (a registered option left at its default returns false).
+  bool provided(const std::string& name) const;
+  /// After parse(): if `gate` was provided together with any of `conflicts`,
+  /// fills *error with "--gate cannot be combined with --other" and returns
+  /// false. For mutually exclusive operating modes (e.g. replaying a saved
+  /// plan vs. configuring a fresh search).
+  bool reject_option_conflicts(const std::string& gate,
+                               const std::vector<std::string>& conflicts,
+                               std::string* error) const;
   const std::string& option(const std::string& name) const;
   std::int64_t option_int(const std::string& name) const;
   double option_double(const std::string& name) const;

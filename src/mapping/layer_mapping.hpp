@@ -51,6 +51,10 @@ struct LayerMapping {
   std::int64_t adc_count() const noexcept {
     return logical_crossbars() * shape.cols;
   }
+
+  /// Exact geometric equality — lets a DeploymentPlan prove its frozen
+  /// mapping still matches what map_layer derives.
+  bool operator==(const LayerMapping&) const = default;
 };
 
 /// Computes the mapping geometry of one CONV/FC layer onto crossbars of the

@@ -1,0 +1,220 @@
+#include "mapping/plan.hpp"
+
+#include <bit>
+#include <cctype>
+#include <utility>
+
+#include "autohet/strategy.hpp"
+#include "common/error.hpp"
+
+namespace autohet::plan {
+
+namespace {
+
+/// FNV-1a over a stream of 64-bit words.
+class Fnv1a {
+ public:
+  void mix(std::uint64_t word) noexcept {
+    hash_ ^= word;
+    hash_ *= 1099511628211ull;
+  }
+  void mix(double value) noexcept { mix(std::bit_cast<std::uint64_t>(value)); }
+  std::uint64_t hash() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ull;
+};
+
+std::string layer_tag(std::size_t i) {
+  return "layer " + std::to_string(i + 1) + ": ";
+}
+
+}  // namespace
+
+std::uint64_t fault_fingerprint(const reram::FaultConfig& faults) {
+  Fnv1a h;
+  h.mix(faults.stuck_at_zero_rate);
+  h.mix(faults.stuck_at_one_rate);
+  h.mix(faults.program_sigma);
+  h.mix(faults.read_sigma);
+  h.mix(faults.drift_time_s);
+  h.mix(faults.drift_nu);
+  h.mix(static_cast<std::uint64_t>(faults.cell_bits));
+  h.mix(faults.seed);
+  return h.hash();
+}
+
+bool same_network_name(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<mapping::CrossbarShape> DeploymentPlan::shapes() const {
+  std::vector<mapping::CrossbarShape> result;
+  result.reserve(allocation.layers.size());
+  for (const auto& layer : allocation.layers) {
+    result.push_back(layer.mapping.shape);
+  }
+  return result;
+}
+
+void DeploymentPlan::validate() const {
+  AUTOHET_CHECK(version == kPlanVersion,
+                "unsupported plan version " + std::to_string(version) +
+                    " (this build understands v" +
+                    std::to_string(kPlanVersion) + ")");
+  accel.validate();
+  AUTOHET_CHECK(!layers.empty(), "plan has no layers");
+  AUTOHET_CHECK(layers.size() == allocation.layers.size(),
+                "plan layer specs and allocation disagree on layer count");
+  AUTOHET_CHECK(allocation.xbs_per_tile == accel.pes_per_tile,
+                "allocation granularity (" +
+                    std::to_string(allocation.xbs_per_tile) +
+                    " PEs/tile) contradicts the accelerator config (" +
+                    std::to_string(accel.pes_per_tile) + ")");
+  AUTOHET_CHECK(fault_fingerprint == plan::fault_fingerprint(accel.faults),
+                "stale fault fingerprint: the plan was compiled under a "
+                "different FaultConfig");
+  AUTOHET_CHECK(accel.tile_shared || allocation.remap.empty(),
+                "plan carries a tile-shared combMap but tile sharing is off");
+
+  // Per-layer geometry must be exactly what map_layer derives from the
+  // stored spec and shape — a plan whose frozen mapping drifted from the
+  // mapping machinery must not be deployed.
+  std::vector<std::int64_t> layer_xbs(layers.size(), 0);
+  std::int64_t expected_tiles = 0;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    AUTOHET_CHECK(nn::is_mappable(layers[i].type),
+                  layer_tag(i) + "plan layers must be CONV/FC");
+    const auto& alloc = allocation.layers[i];
+    AUTOHET_CHECK(alloc.layer_id == static_cast<std::int64_t>(i),
+                  layer_tag(i) + "allocation layer ids must be consecutive");
+    const mapping::LayerMapping derived =
+        mapping::map_layer(layers[i], alloc.mapping.shape);
+    AUTOHET_CHECK(derived == alloc.mapping,
+                  layer_tag(i) + "stored mapping geometry disagrees with "
+                                 "map_layer for shape " +
+                      alloc.mapping.shape.name());
+    const std::int64_t needed = alloc.mapping.logical_crossbars();
+    AUTOHET_CHECK(alloc.tiles_allocated ==
+                      (needed + accel.pes_per_tile - 1) / accel.pes_per_tile,
+                  layer_tag(i) + "tile count disagrees with the mapping");
+    expected_tiles += alloc.tiles_allocated;
+  }
+  AUTOHET_CHECK(
+      static_cast<std::int64_t>(allocation.tiles.size()) == expected_tiles,
+      "plan tile list does not cover the per-layer tile allocations");
+
+  // Tile bookkeeping must conserve every layer's crossbars: summed over
+  // tiles, layer l holds exactly its mapping's logical crossbar count.
+  for (const auto& tile : allocation.tiles) {
+    AUTOHET_CHECK(tile.layer_ids.size() == tile.layer_xbs.size(),
+                  "tile " + std::to_string(tile.id) +
+                      ": occupant lists out of sync");
+    std::int64_t held = 0;
+    for (std::size_t o = 0; o < tile.layer_ids.size(); ++o) {
+      const std::int64_t l = tile.layer_ids[o];
+      AUTOHET_CHECK(l >= 0 && l < static_cast<std::int64_t>(layers.size()),
+                    "tile " + std::to_string(tile.id) +
+                        ": occupant layer id out of range");
+      layer_xbs[static_cast<std::size_t>(l)] += tile.layer_xbs[o];
+      held += tile.layer_xbs[o];
+    }
+    if (tile.released) {
+      AUTOHET_CHECK(held == 0 && tile.empty_xbs == 0,
+                    "tile " + std::to_string(tile.id) +
+                        ": released tiles must be fully drained");
+    } else {
+      AUTOHET_CHECK(held + tile.empty_xbs == accel.pes_per_tile,
+                    "tile " + std::to_string(tile.id) +
+                        ": occupancy does not add up to PEs/tile");
+    }
+  }
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    AUTOHET_CHECK(
+        layer_xbs[i] == allocation.layers[i].mapping.logical_crossbars(),
+        layer_tag(i) + "tiles do not conserve the layer's crossbars");
+  }
+
+  // Finally, the frozen allocation must be exactly what the allocator
+  // derives today from the stored specs/shapes under the stored config —
+  // the structural checks above localize most tampering, this one closes
+  // every remaining gap (and is what makes replayed numbers bit-identical
+  // to a fresh compile by construction).
+  const mapping::TileAllocator allocator(accel.pes_per_tile,
+                                         accel.tile_shared);
+  AUTOHET_CHECK(allocator.allocate(layers, shapes()) == allocation,
+                "plan allocation does not match re-derivation: the plan is "
+                "stale or was edited by hand");
+}
+
+void DeploymentPlan::validate_against(const nn::NetworkSpec& net) const {
+  validate();
+  AUTOHET_CHECK(network.empty() || same_network_name(network, net.name),
+                "plan was compiled for '" + network + "', not '" + net.name +
+                    "'");
+  const auto mappable = net.mappable_layers();
+  AUTOHET_CHECK(mappable.size() == layers.size(),
+                "plan layer count (" + std::to_string(layers.size()) +
+                    ") does not match " + net.name + " (" +
+                    std::to_string(mappable.size()) + " mappable layers)");
+  for (std::size_t i = 0; i < mappable.size(); ++i) {
+    AUTOHET_CHECK(mappable[i] == layers[i],
+                  layer_tag(i) + "plan layer spec does not match " + net.name);
+  }
+}
+
+DeploymentPlan compile_plan(std::string network,
+                            const std::vector<nn::LayerSpec>& mappable_layers,
+                            const std::vector<mapping::CrossbarShape>& shapes,
+                            const reram::AcceleratorConfig& accel) {
+  accel.validate();
+  AUTOHET_CHECK(!mappable_layers.empty(), "cannot compile an empty network");
+  AUTOHET_CHECK(mappable_layers.size() == shapes.size(),
+                "one crossbar shape per mappable layer required");
+  DeploymentPlan plan;
+  plan.network = std::move(network);
+  plan.layers = mappable_layers;
+  plan.accel = accel;
+  plan.fault_fingerprint = fault_fingerprint(accel.faults);
+  const mapping::TileAllocator allocator(accel.pes_per_tile,
+                                         accel.tile_shared);
+  plan.allocation = allocator.allocate(mappable_layers, shapes);
+  return plan;
+}
+
+DeploymentPlan compile_plan(const nn::NetworkSpec& model,
+                            const core::Strategy& strategy,
+                            const reram::AcceleratorConfig& accel) {
+  AUTOHET_CHECK(same_network_name(strategy.network, model.name),
+                "strategy names '" + strategy.network + "', not '" +
+                    model.name + "'");
+  return compile_plan(model.name, model.mappable_layers(), strategy.shapes,
+                      accel);
+}
+
+reram::NetworkReport evaluate_plan(const DeploymentPlan& plan) {
+  plan.validate();
+  return reram::evaluate_allocation(plan.layers, plan.allocation, plan.accel);
+}
+
+std::vector<LayerCost> plan_layer_costs(const DeploymentPlan& plan) {
+  std::vector<LayerCost> costs;
+  costs.reserve(plan.layers.size());
+  for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+    const auto& alloc = plan.allocation.layers[i];
+    const reram::LayerReport report =
+        reram::evaluate_layer(plan.layers[i], alloc.mapping,
+                              alloc.tiles_allocated, plan.accel.device);
+    costs.push_back({report.latency_ns, alloc.tiles_allocated});
+  }
+  return costs;
+}
+
+}  // namespace autohet::plan

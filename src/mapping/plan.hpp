@@ -1,0 +1,123 @@
+// The compiled deployment artifact: an immutable IR that pins the physical
+// mapping of one searched strategy onto one accelerator configuration.
+//
+// AutoHet's search produces a Strategy (a crossbar shape per layer, Fig. 6),
+// but a strategy alone is not deployable: every consumer — analytical
+// evaluation, functional inference, fault injection, pipeline scheduling —
+// still has to re-derive the physical layout (kernel-to-crossbar geometry,
+// tile allocation, tile-shared draining) from `(layer, shape)`. Full-stack
+// ReRAM systems separate the *compile* step that fixes the physical mapping
+// from the *runtime* that executes it (FPSA; CIM-Explorer's RRAM compiler
+// toolchain). `compile_plan` is that compile step: it runs the mapping
+// machinery once and freezes the result into a `DeploymentPlan` that can be
+// validated, serialized (report/serialize.hpp), shipped, and replayed —
+// search once, compile once, deploy many times.
+//
+// Consumers take the plan instead of re-deriving:
+//   * `evaluate_plan` / `EvaluationEngine::evaluate(plan)` — hardware report,
+//     bit-identical to the legacy `evaluate_network` path (tested);
+//   * `SimulatedModel(model, plan)` — programs crossbars from the plan's
+//     stored per-layer geometry (functional.hpp);
+//   * `monte_carlo_robustness(model, plan, ...)` — fault injection under the
+//     plan's burned-in FaultConfig;
+//   * `evaluate_pipeline` / `schedule_batch` / `balance_replication` — walk
+//     plan layers, never calling `map_layer` themselves;
+//   * placement / Global Controller / NoC / programming consumers reuse the
+//     plan's embedded `AllocationResult` verbatim.
+//
+// The plan lives (file-wise) next to the mapping machinery it freezes, but
+// sits architecturally above both src/mapping and src/reram; it is compiled
+// into the autohet_reram library (see src/reram/CMakeLists.txt).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mapping/crossbar_shape.hpp"
+#include "mapping/layer_mapping.hpp"
+#include "mapping/tile_allocator.hpp"
+#include "nn/layer.hpp"
+#include "reram/hardware_model.hpp"
+
+namespace autohet::core {
+struct Strategy;  // autohet/strategy.hpp; full include only in plan.cpp
+}
+
+namespace autohet::plan {
+
+/// Plan IR version; bump when the structure (and its JSON schema) changes.
+inline constexpr int kPlanVersion = 1;
+
+/// Order-independent fingerprint of a fault configuration, stored in the
+/// plan so a replayed artifact can prove it was compiled under the same
+/// device non-ideality assumptions it is executed with.
+std::uint64_t fault_fingerprint(const reram::FaultConfig& faults);
+
+struct DeploymentPlan {
+  int version = kPlanVersion;
+  std::string network;  ///< workload name ("" for anonymous layer lists)
+  /// Snapshot of the mappable layers the plan was compiled for, in order.
+  std::vector<nn::LayerSpec> layers;
+  /// The full fabric configuration: device (ADC/DAC/cell) parameters,
+  /// PEs per tile, tile-shared allocation, and the FaultConfig.
+  reram::AcceleratorConfig accel;
+  /// fault_fingerprint(accel.faults), fixed at compile time.
+  std::uint64_t fault_fingerprint = 0;
+  /// The frozen physical layout: per-layer mapping geometry, tile states
+  /// after the (optional) tile-shared pass, and Algorithm 1's combMap.
+  mapping::AllocationResult allocation;
+
+  /// The per-layer crossbar shapes (the strategy the plan was compiled
+  /// from), recovered from the stored mappings.
+  std::vector<mapping::CrossbarShape> shapes() const;
+
+  /// Consistency check: throws std::invalid_argument when the plan is
+  /// internally inconsistent — version mismatch, layer/allocation length
+  /// mismatch, non-mappable layers, stored geometry that disagrees with
+  /// `map_layer` on the stored layer specs, tile bookkeeping that does not
+  /// conserve each layer's crossbars, a stale fault fingerprint, or an
+  /// allocation granularity that contradicts the accelerator config.
+  void validate() const;
+
+  /// validate() plus a match against a concrete workload: the network name
+  /// (case-insensitive) and every mappable layer spec must agree.
+  void validate_against(const nn::NetworkSpec& net) const;
+};
+
+/// Compiles one per-layer shape assignment onto the accelerator: derives
+/// every layer's mapping geometry, runs the tile allocator (tile-based or
+/// tile-shared per `accel`), and freezes the result. The single entry point
+/// through which all physical-layout derivation flows.
+DeploymentPlan compile_plan(std::string network,
+                            const std::vector<nn::LayerSpec>& mappable_layers,
+                            const std::vector<mapping::CrossbarShape>& shapes,
+                            const reram::AcceleratorConfig& accel);
+
+/// Convenience entry point over a searched Strategy (autohet/strategy.hpp):
+/// checks the strategy names `model` and covers all its mappable layers.
+DeploymentPlan compile_plan(const nn::NetworkSpec& model,
+                            const core::Strategy& strategy,
+                            const reram::AcceleratorConfig& accel);
+
+/// Hardware report of a compiled plan; bit-identical to `evaluate_network`
+/// on the inputs the plan was compiled from (same per-layer reports, same
+/// tile-id-order area aggregation, same utilization division). Validates
+/// the plan first.
+reram::NetworkReport evaluate_plan(const DeploymentPlan& plan);
+
+/// Per-layer serial latency and tile cost, read off the plan — what the
+/// pipeline/scheduler consumers need to build stage intervals without
+/// re-deriving the mapping.
+struct LayerCost {
+  double latency_ns = 0.0;
+  std::int64_t tiles = 0;
+};
+std::vector<LayerCost> plan_layer_costs(const DeploymentPlan& plan);
+
+/// Case-insensitive network-name comparison used by plan/strategy checks
+/// (network_by_name is case-insensitive, so names compare likewise).
+bool same_network_name(std::string_view a, std::string_view b);
+
+}  // namespace autohet::plan

@@ -33,12 +33,16 @@ struct Tile {
   /// layer_ids when populated by the allocator (Algorithm 1 merges both).
   std::vector<std::int64_t> layer_xbs;
   bool released = false;                ///< drained by tile sharing
+
+  bool operator==(const Tile&) const = default;
 };
 
 struct LayerAllocation {
   std::int64_t layer_id = 0;  ///< index among the network's mappable layers
   LayerMapping mapping;
   std::int64_t tiles_allocated = 0;  ///< exclusive tiles before sharing
+
+  bool operator==(const LayerAllocation&) const = default;
 };
 
 /// combMap from Algorithm 1: receiving tile id -> drained tile ids.
@@ -63,6 +67,8 @@ struct AllocationResult {
   /// System-level utilization in [0, 1]: useful cells over cells in occupied
   /// tiles — empty crossbars inside an allocated tile count as waste.
   double system_utilization() const;
+
+  bool operator==(const AllocationResult&) const = default;
 };
 
 /// Algorithm 1 (two-pointer tile-shared remapping) applied to one

@@ -64,6 +64,10 @@ struct LayerSpec {
   }
 
   std::string to_string() const;
+
+  /// Exact field equality — used by plan validation to match a compiled
+  /// plan's layer snapshot against a live NetworkSpec.
+  bool operator==(const LayerSpec&) const = default;
 };
 
 /// A whole network: ordered layers, plus metadata.

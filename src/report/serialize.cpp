@@ -1,10 +1,32 @@
 #include "report/serialize.hpp"
 
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <ostream>
+#include <string_view>
+#include <utility>
+#include <vector>
 
+#include "common/error.hpp"
 #include "report/table.hpp"
 
 namespace autohet::report {
+
+std::string format_double_json(double value) {
+  AUTOHET_CHECK(std::isfinite(value), "JSON cannot represent NaN/Inf");
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    const double parsed = std::strtod(buf, nullptr);
+    if (std::bit_cast<std::uint64_t>(parsed) ==
+        std::bit_cast<std::uint64_t>(value)) {
+      return buf;
+    }
+  }
+  return buf;  // %.17g always round-trips IEEE doubles
+}
 
 void write_network_report_csv(std::ostream& os,
                               const reram::NetworkReport& report) {
@@ -153,6 +175,592 @@ void write_metrics_json(std::ostream& os,
     os << "]}";
   }
   os << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+// ---------------------------------------------------------------------------
+// DeploymentPlan JSON (schema documented in DESIGN.md, "Compile/deploy
+// split"). The writer is deterministic — fixed key order, round-trip double
+// rendering, 64-bit ids as decimal strings — and the reader below is a
+// minimal recursive-descent JSON parser (the repo deliberately has no
+// external JSON dependency).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* layer_type_name(nn::LayerType t) {
+  switch (t) {
+    case nn::LayerType::kConv: return "conv";
+    case nn::LayerType::kFullyConnected: return "fc";
+    case nn::LayerType::kMaxPool: return "maxpool";
+    case nn::LayerType::kAvgPool: return "avgpool";
+  }
+  return "conv";
+}
+
+nn::LayerType layer_type_from_name(const std::string& name) {
+  if (name == "conv") return nn::LayerType::kConv;
+  if (name == "fc") return nn::LayerType::kFullyConnected;
+  if (name == "maxpool") return nn::LayerType::kMaxPool;
+  if (name == "avgpool") return nn::LayerType::kAvgPool;
+  AUTOHET_CHECK(false, "unknown layer type: " + name);
+  return nn::LayerType::kConv;
+}
+
+void write_device_json(std::ostream& os, const reram::DeviceParams& d,
+                       const char* indent) {
+  const auto f = [](double v) { return format_double_json(v); };
+  os << "{\n"
+     << indent << "  \"weight_bits\": " << d.weight_bits << ",\n"
+     << indent << "  \"input_bits\": " << d.input_bits << ",\n"
+     << indent << "  \"cell_bits\": " << d.cell_bits << ",\n"
+     << indent << "  \"dac_bits\": " << d.dac_bits << ",\n"
+     << indent << "  \"adc_resolution_bits\": " << d.adc_resolution_bits
+     << ",\n"
+     << indent << "  \"adc_share\": " << d.adc_share << ",\n"
+     << indent << "  \"adc_energy_pj\": " << f(d.adc_energy_pj) << ",\n"
+     << indent << "  \"dac_energy_pj\": " << f(d.dac_energy_pj) << ",\n"
+     << indent << "  \"cell_read_energy_pj\": " << f(d.cell_read_energy_pj)
+     << ",\n"
+     << indent << "  \"shift_add_energy_pj\": " << f(d.shift_add_energy_pj)
+     << ",\n"
+     << indent << "  \"buffer_rw_energy_pj\": " << f(d.buffer_rw_energy_pj)
+     << ",\n"
+     << indent << "  \"adc_area_um2\": " << f(d.adc_area_um2) << ",\n"
+     << indent << "  \"dac_area_um2\": " << f(d.dac_area_um2) << ",\n"
+     << indent << "  \"cell_area_um2\": " << f(d.cell_area_um2) << ",\n"
+     << indent << "  \"shift_add_area_um2\": " << f(d.shift_add_area_um2)
+     << ",\n"
+     << indent << "  \"tile_overhead_area_um2\": "
+     << f(d.tile_overhead_area_um2) << ",\n"
+     << indent << "  \"base_cycle_ns\": " << f(d.base_cycle_ns) << ",\n"
+     << indent << "  \"wire_delay_ns_per_row\": " << f(d.wire_delay_ns_per_row)
+     << ",\n"
+     << indent << "  \"adc_latency_ns\": " << f(d.adc_latency_ns) << ",\n"
+     << indent << "  \"merge_latency_ns\": " << f(d.merge_latency_ns) << ",\n"
+     << indent << "  \"bus_latency_ns\": " << f(d.bus_latency_ns) << '\n'
+     << indent << '}';
+}
+
+void write_faults_json(std::ostream& os, const reram::FaultConfig& fc,
+                       const char* indent) {
+  const auto f = [](double v) { return format_double_json(v); };
+  os << "{\n"
+     << indent << "  \"stuck_at_zero_rate\": " << f(fc.stuck_at_zero_rate)
+     << ",\n"
+     << indent << "  \"stuck_at_one_rate\": " << f(fc.stuck_at_one_rate)
+     << ",\n"
+     << indent << "  \"program_sigma\": " << f(fc.program_sigma) << ",\n"
+     << indent << "  \"read_sigma\": " << f(fc.read_sigma) << ",\n"
+     << indent << "  \"drift_time_s\": " << f(fc.drift_time_s) << ",\n"
+     << indent << "  \"drift_nu\": " << f(fc.drift_nu) << ",\n"
+     << indent << "  \"cell_bits\": " << fc.cell_bits << ",\n"
+     << indent << "  \"seed\": \"" << fc.seed << "\"\n"
+     << indent << '}';
+}
+
+void write_energy_json(std::ostream& os, const reram::EnergyBreakdown& e) {
+  const auto f = [](double v) { return format_double_json(v); };
+  os << "{\"adc_nj\": " << f(e.adc_nj) << ", \"dac_nj\": " << f(e.dac_nj)
+     << ", \"cell_nj\": " << f(e.cell_nj)
+     << ", \"shift_add_nj\": " << f(e.shift_add_nj)
+     << ", \"buffer_nj\": " << f(e.buffer_nj) << '}';
+}
+
+// ---- minimal JSON parser -------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string scalar;  ///< raw number token, or decoded string
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue& at(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return v;
+    }
+    AUTOHET_CHECK(false, "missing JSON key: " + key);
+    return *this;  // unreachable
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    AUTOHET_CHECK(pos_ == text_.size(), err("trailing content"));
+    return v;
+  }
+
+ private:
+  std::string err(const std::string& what) const {
+    return "JSON parse error at offset " + std::to_string(pos_) + ": " + what;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    AUTOHET_CHECK(pos_ < text_.size(), err("unexpected end of input"));
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    AUTOHET_CHECK(peek() == c,
+                  err(std::string("expected '") + c + "', got '" +
+                      text_[pos_] + "'"));
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.scalar = parse_string();
+      return v;
+    }
+    JsonValue v;
+    if (consume_literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      AUTOHET_CHECK(peek() == '"', err("expected object key"));
+      std::string key = parse_string();
+      expect(':');
+      v.members.emplace_back(std::move(key), parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      AUTOHET_CHECK(pos_ < text_.size(), err("unterminated escape"));
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          AUTOHET_CHECK(pos_ + 4 <= text_.size(), err("short \\u escape"));
+          const unsigned long code =
+              std::strtoul(std::string(text_.substr(pos_, 4)).c_str(),
+                           nullptr, 16);
+          pos_ += 4;
+          AUTOHET_CHECK(code < 0x80,
+                        err("non-ASCII \\u escapes are not supported"));
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          AUTOHET_CHECK(false, err(std::string("bad escape \\") + c));
+      }
+    }
+    AUTOHET_CHECK(pos_ < text_.size(), err("unterminated string"));
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    AUTOHET_CHECK(pos_ > start, err("expected a JSON value"));
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.scalar = std::string(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+double as_double(const JsonValue& v, const std::string& key) {
+  AUTOHET_CHECK(v.kind == JsonValue::Kind::kNumber,
+                "JSON key '" + key + "' must be a number");
+  return std::strtod(v.scalar.c_str(), nullptr);
+}
+
+std::int64_t as_int(const JsonValue& v, const std::string& key) {
+  AUTOHET_CHECK(v.kind == JsonValue::Kind::kNumber,
+                "JSON key '" + key + "' must be a number");
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(v.scalar.c_str(), &end, 10);
+  AUTOHET_CHECK(end != nullptr && *end == '\0',
+                "JSON key '" + key + "' must be an integer");
+  return value;
+}
+
+std::uint64_t as_u64_string(const JsonValue& v, const std::string& key) {
+  AUTOHET_CHECK(v.kind == JsonValue::Kind::kString,
+                "JSON key '" + key + "' must be a decimal string");
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(v.scalar.c_str(), &end, 10);
+  AUTOHET_CHECK(end != nullptr && *end == '\0' && !v.scalar.empty(),
+                "JSON key '" + key + "' must be a decimal string");
+  return value;
+}
+
+bool as_bool(const JsonValue& v, const std::string& key) {
+  AUTOHET_CHECK(v.kind == JsonValue::Kind::kBool,
+                "JSON key '" + key + "' must be a boolean");
+  return v.boolean;
+}
+
+std::string as_string(const JsonValue& v, const std::string& key) {
+  AUTOHET_CHECK(v.kind == JsonValue::Kind::kString,
+                "JSON key '" + key + "' must be a string");
+  return v.scalar;
+}
+
+const std::vector<JsonValue>& as_array(const JsonValue& v,
+                                       const std::string& key) {
+  AUTOHET_CHECK(v.kind == JsonValue::Kind::kArray,
+                "JSON key '" + key + "' must be an array");
+  return v.items;
+}
+
+#define AUTOHET_READ_D(obj, target, field) \
+  (target).field = as_double((obj).at(#field), #field)
+#define AUTOHET_READ_I(obj, target, field) \
+  (target).field = static_cast<decltype((target).field)>( \
+      as_int((obj).at(#field), #field))
+
+reram::DeviceParams read_device(const JsonValue& obj) {
+  reram::DeviceParams d;
+  AUTOHET_READ_I(obj, d, weight_bits);
+  AUTOHET_READ_I(obj, d, input_bits);
+  AUTOHET_READ_I(obj, d, cell_bits);
+  AUTOHET_READ_I(obj, d, dac_bits);
+  AUTOHET_READ_I(obj, d, adc_resolution_bits);
+  AUTOHET_READ_I(obj, d, adc_share);
+  AUTOHET_READ_D(obj, d, adc_energy_pj);
+  AUTOHET_READ_D(obj, d, dac_energy_pj);
+  AUTOHET_READ_D(obj, d, cell_read_energy_pj);
+  AUTOHET_READ_D(obj, d, shift_add_energy_pj);
+  AUTOHET_READ_D(obj, d, buffer_rw_energy_pj);
+  AUTOHET_READ_D(obj, d, adc_area_um2);
+  AUTOHET_READ_D(obj, d, dac_area_um2);
+  AUTOHET_READ_D(obj, d, cell_area_um2);
+  AUTOHET_READ_D(obj, d, shift_add_area_um2);
+  AUTOHET_READ_D(obj, d, tile_overhead_area_um2);
+  AUTOHET_READ_D(obj, d, base_cycle_ns);
+  AUTOHET_READ_D(obj, d, wire_delay_ns_per_row);
+  AUTOHET_READ_D(obj, d, adc_latency_ns);
+  AUTOHET_READ_D(obj, d, merge_latency_ns);
+  AUTOHET_READ_D(obj, d, bus_latency_ns);
+  return d;
+}
+
+reram::FaultConfig read_faults(const JsonValue& obj) {
+  reram::FaultConfig fc;
+  AUTOHET_READ_D(obj, fc, stuck_at_zero_rate);
+  AUTOHET_READ_D(obj, fc, stuck_at_one_rate);
+  AUTOHET_READ_D(obj, fc, program_sigma);
+  AUTOHET_READ_D(obj, fc, read_sigma);
+  AUTOHET_READ_D(obj, fc, drift_time_s);
+  AUTOHET_READ_D(obj, fc, drift_nu);
+  AUTOHET_READ_I(obj, fc, cell_bits);
+  fc.seed = as_u64_string(obj.at("seed"), "seed");
+  return fc;
+}
+
+nn::LayerSpec read_layer(const JsonValue& obj) {
+  nn::LayerSpec spec;
+  spec.type = layer_type_from_name(as_string(obj.at("type"), "type"));
+  AUTOHET_READ_I(obj, spec, in_channels);
+  AUTOHET_READ_I(obj, spec, out_channels);
+  AUTOHET_READ_I(obj, spec, kernel);
+  AUTOHET_READ_I(obj, spec, stride);
+  AUTOHET_READ_I(obj, spec, pad);
+  AUTOHET_READ_I(obj, spec, in_height);
+  AUTOHET_READ_I(obj, spec, in_width);
+  spec.relu_after = as_bool(obj.at("relu_after"), "relu_after");
+  return spec;
+}
+
+mapping::LayerMapping read_mapping(const JsonValue& obj) {
+  mapping::LayerMapping m;
+  m.shape.rows = as_int(obj.at("rows"), "rows");
+  m.shape.cols = as_int(obj.at("cols"), "cols");
+  AUTOHET_READ_I(obj, m, row_blocks);
+  AUTOHET_READ_I(obj, m, col_blocks);
+  AUTOHET_READ_I(obj, m, kernels_per_row_block);
+  m.split_kernel = as_bool(obj.at("split_kernel"), "split_kernel");
+  AUTOHET_READ_I(obj, m, useful_cells);
+  AUTOHET_READ_I(obj, m, weight_rows);
+  AUTOHET_READ_I(obj, m, weight_cols);
+  return m;
+}
+
+#undef AUTOHET_READ_D
+#undef AUTOHET_READ_I
+
+}  // namespace
+
+void write_plan_json(std::ostream& os, const plan::DeploymentPlan& plan) {
+  os << "{\n"
+     << "  \"format\": \"autohet-plan\",\n"
+     << "  \"version\": " << plan.version << ",\n"
+     << "  \"network\": \"" << json_escape(plan.network) << "\",\n"
+     << "  \"fault_fingerprint\": \"" << plan.fault_fingerprint << "\",\n"
+     << "  \"accel\": {\n"
+     << "    \"pes_per_tile\": " << plan.accel.pes_per_tile << ",\n"
+     << "    \"tile_shared\": "
+     << (plan.accel.tile_shared ? "true" : "false") << ",\n"
+     << "    \"device\": ";
+  write_device_json(os, plan.accel.device, "    ");
+  os << ",\n    \"faults\": ";
+  write_faults_json(os, plan.accel.faults, "    ");
+  os << "\n  },\n  \"layers\": [";
+  for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+    const nn::LayerSpec& l = plan.layers[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"type\": \""
+       << layer_type_name(l.type) << "\", \"in_channels\": " << l.in_channels
+       << ", \"out_channels\": " << l.out_channels
+       << ", \"kernel\": " << l.kernel << ", \"stride\": " << l.stride
+       << ", \"pad\": " << l.pad << ", \"in_height\": " << l.in_height
+       << ", \"in_width\": " << l.in_width << ", \"relu_after\": "
+       << (l.relu_after ? "true" : "false") << '}';
+  }
+  os << "\n  ],\n  \"allocation\": {\n"
+     << "    \"xbs_per_tile\": " << plan.allocation.xbs_per_tile << ",\n"
+     << "    \"layers\": [";
+  for (std::size_t i = 0; i < plan.allocation.layers.size(); ++i) {
+    const mapping::LayerAllocation& a = plan.allocation.layers[i];
+    const mapping::LayerMapping& m = a.mapping;
+    os << (i == 0 ? "\n" : ",\n") << "      {\"layer_id\": " << a.layer_id
+       << ", \"tiles_allocated\": " << a.tiles_allocated
+       << ", \"mapping\": {\"rows\": " << m.shape.rows
+       << ", \"cols\": " << m.shape.cols
+       << ", \"row_blocks\": " << m.row_blocks
+       << ", \"col_blocks\": " << m.col_blocks
+       << ", \"kernels_per_row_block\": " << m.kernels_per_row_block
+       << ", \"split_kernel\": " << (m.split_kernel ? "true" : "false")
+       << ", \"useful_cells\": " << m.useful_cells
+       << ", \"weight_rows\": " << m.weight_rows
+       << ", \"weight_cols\": " << m.weight_cols << "}}";
+  }
+  os << "\n    ],\n    \"tiles\": [";
+  for (std::size_t i = 0; i < plan.allocation.tiles.size(); ++i) {
+    const mapping::Tile& t = plan.allocation.tiles[i];
+    os << (i == 0 ? "\n" : ",\n") << "      {\"id\": " << t.id
+       << ", \"rows\": " << t.shape.rows << ", \"cols\": " << t.shape.cols
+       << ", \"empty_xbs\": " << t.empty_xbs << ", \"layer_ids\": [";
+    for (std::size_t o = 0; o < t.layer_ids.size(); ++o) {
+      os << (o == 0 ? "" : ", ") << t.layer_ids[o];
+    }
+    os << "], \"layer_xbs\": [";
+    for (std::size_t o = 0; o < t.layer_xbs.size(); ++o) {
+      os << (o == 0 ? "" : ", ") << t.layer_xbs[o];
+    }
+    os << "], \"released\": " << (t.released ? "true" : "false") << '}';
+  }
+  os << "\n    ],\n    \"remap\": [";
+  bool first_remap = true;
+  for (const auto& [to, from] : plan.allocation.remap) {
+    os << (first_remap ? "\n" : ",\n") << "      {\"to\": " << to
+       << ", \"from\": [";
+    for (std::size_t o = 0; o < from.size(); ++o) {
+      os << (o == 0 ? "" : ", ") << from[o];
+    }
+    os << "]}";
+    first_remap = false;
+  }
+  os << "\n    ]\n  }\n}\n";
+}
+
+plan::DeploymentPlan read_plan_json(const std::string& text) {
+  const JsonValue doc = JsonParser(text).parse();
+  AUTOHET_CHECK(doc.kind == JsonValue::Kind::kObject,
+                "plan JSON must be an object");
+  AUTOHET_CHECK(as_string(doc.at("format"), "format") == "autohet-plan",
+                "not an autohet-plan document");
+
+  plan::DeploymentPlan plan;
+  plan.version = static_cast<int>(as_int(doc.at("version"), "version"));
+  plan.network = as_string(doc.at("network"), "network");
+  plan.fault_fingerprint =
+      as_u64_string(doc.at("fault_fingerprint"), "fault_fingerprint");
+
+  const JsonValue& accel = doc.at("accel");
+  plan.accel.pes_per_tile = as_int(accel.at("pes_per_tile"), "pes_per_tile");
+  plan.accel.tile_shared = as_bool(accel.at("tile_shared"), "tile_shared");
+  plan.accel.device = read_device(accel.at("device"));
+  plan.accel.faults = read_faults(accel.at("faults"));
+
+  for (const JsonValue& l : as_array(doc.at("layers"), "layers")) {
+    plan.layers.push_back(read_layer(l));
+  }
+
+  const JsonValue& alloc = doc.at("allocation");
+  plan.allocation.xbs_per_tile =
+      as_int(alloc.at("xbs_per_tile"), "xbs_per_tile");
+  for (const JsonValue& l : as_array(alloc.at("layers"), "layers")) {
+    mapping::LayerAllocation a;
+    a.layer_id = as_int(l.at("layer_id"), "layer_id");
+    a.tiles_allocated = as_int(l.at("tiles_allocated"), "tiles_allocated");
+    a.mapping = read_mapping(l.at("mapping"));
+    plan.allocation.layers.push_back(std::move(a));
+  }
+  for (const JsonValue& t : as_array(alloc.at("tiles"), "tiles")) {
+    mapping::Tile tile;
+    tile.id = as_int(t.at("id"), "id");
+    tile.shape.rows = as_int(t.at("rows"), "rows");
+    tile.shape.cols = as_int(t.at("cols"), "cols");
+    tile.empty_xbs = as_int(t.at("empty_xbs"), "empty_xbs");
+    for (const JsonValue& v : as_array(t.at("layer_ids"), "layer_ids")) {
+      tile.layer_ids.push_back(as_int(v, "layer_ids[]"));
+    }
+    for (const JsonValue& v : as_array(t.at("layer_xbs"), "layer_xbs")) {
+      tile.layer_xbs.push_back(as_int(v, "layer_xbs[]"));
+    }
+    tile.released = as_bool(t.at("released"), "released");
+    plan.allocation.tiles.push_back(std::move(tile));
+  }
+  for (const JsonValue& r : as_array(alloc.at("remap"), "remap")) {
+    std::vector<std::int64_t> from;
+    for (const JsonValue& v : as_array(r.at("from"), "from")) {
+      from.push_back(as_int(v, "from[]"));
+    }
+    plan.allocation.remap.emplace(as_int(r.at("to"), "to"), std::move(from));
+  }
+
+  plan.validate();
+  return plan;
+}
+
+void write_network_report_json(std::ostream& os,
+                               const reram::NetworkReport& report) {
+  const auto f = [](double v) { return format_double_json(v); };
+  os << "{\n  \"layers\": [";
+  for (std::size_t k = 0; k < report.layers.size(); ++k) {
+    const reram::LayerReport& lr = report.layers[k];
+    os << (k == 0 ? "\n" : ",\n") << "    {\"shape\": \"" << lr.shape.name()
+       << "\", \"logical_crossbars\": " << lr.logical_crossbars
+       << ", \"adc_instances\": " << lr.adc_instances
+       << ", \"tiles\": " << lr.tiles
+       << ", \"mvm_invocations\": " << lr.mvm_invocations
+       << ", \"utilization\": " << f(lr.utilization) << ", \"energy\": ";
+    write_energy_json(os, lr.energy);
+    os << ", \"latency_ns\": " << f(lr.latency_ns)
+       << ", \"fault_vulnerability\": " << f(lr.fault_vulnerability) << '}';
+  }
+  os << "\n  ],\n  \"energy\": ";
+  write_energy_json(os, report.energy);
+  os << ",\n  \"area\": {\"crossbar_um2\": " << f(report.area.crossbar_um2)
+     << ", \"adc_um2\": " << f(report.area.adc_um2)
+     << ", \"dac_um2\": " << f(report.area.dac_um2)
+     << ", \"shift_add_um2\": " << f(report.area.shift_add_um2)
+     << ", \"tile_overhead_um2\": " << f(report.area.tile_overhead_um2)
+     << "},\n  \"latency_ns\": " << f(report.latency_ns)
+     << ",\n  \"utilization\": " << f(report.utilization)
+     << ",\n  \"occupied_tiles\": " << report.occupied_tiles
+     << ",\n  \"empty_crossbars\": " << report.empty_crossbars
+     << ",\n  \"fault_vulnerability\": " << f(report.fault_vulnerability)
+     << ",\n  \"rue\": " << f(report.rue()) << "\n}\n";
 }
 
 }  // namespace autohet::report

@@ -69,6 +69,8 @@ struct DeviceParams {
     AUTOHET_CHECK(adc_resolution_bits > 0, "ADC resolution must be positive");
     AUTOHET_CHECK(adc_share >= 1, "adc_share must be >= 1");
   }
+
+  bool operator==(const DeviceParams&) const = default;
 };
 
 }  // namespace autohet::reram

@@ -243,6 +243,34 @@ NetworkReport EvaluationEngine::evaluate(
   return report;
 }
 
+NetworkReport EvaluationEngine::evaluate(
+    const plan::DeploymentPlan& plan) const {
+  plan.validate();
+  AUTOHET_CHECK(plan.accel == accel_,
+                "plan was compiled for a different accelerator config");
+  AUTOHET_CHECK(plan.layers == layers_,
+                "plan layers do not match the engine's layers");
+  // Map the plan's shapes back to candidate indices; the frozen allocation
+  // is then exactly what compute() re-derives, so the memoized
+  // action-vector path serves the plan bit-identically.
+  std::vector<std::size_t> actions;
+  actions.reserve(plan.layers.size());
+  for (const auto& shape : plan.shapes()) {
+    std::size_t index = candidates_.size();
+    for (std::size_t c = 0; c < candidates_.size(); ++c) {
+      if (candidates_[c] == shape) {
+        index = c;
+        break;
+      }
+    }
+    AUTOHET_CHECK(index < candidates_.size(),
+                  "plan shape " + shape.name() +
+                      " is not in the engine's candidate set");
+    actions.push_back(index);
+  }
+  return evaluate(actions);
+}
+
 std::vector<NetworkReport> EvaluationEngine::evaluate_batch(
     const std::vector<std::vector<std::size_t>>& batch) const {
   OBS_SPAN("evaluate_batch");

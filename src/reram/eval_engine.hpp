@@ -43,6 +43,7 @@
 
 #include "common/thread_pool.hpp"
 #include "mapping/crossbar_shape.hpp"
+#include "mapping/plan.hpp"
 #include "nn/layer.hpp"
 #include "reram/functional.hpp"
 #include "reram/hardware_model.hpp"
@@ -79,6 +80,13 @@ class EvaluationEngine {
   /// Full-network evaluation of one action vector; bit-identical to
   /// `evaluate_network` on the same inputs. Memoized.
   NetworkReport evaluate(const std::vector<std::size_t>& actions) const;
+
+  /// Evaluation of a compiled DeploymentPlan. The plan must have been
+  /// compiled for this engine's layers and accelerator config (checked),
+  /// and every plan shape must be in the candidate set — the call then maps
+  /// shapes back to candidate indices and shares the memo with the
+  /// action-vector path. Bit-identical to `evaluate_plan`.
+  NetworkReport evaluate(const plan::DeploymentPlan& plan) const;
 
   /// Evaluates many independent action vectors, deduplicating repeats and
   /// fanning cache misses out over the thread pool (serial when

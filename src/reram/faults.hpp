@@ -70,6 +70,8 @@ struct FaultConfig {
   FaultConfig for_trial(std::uint64_t trial) const noexcept;
 
   void validate() const;
+
+  bool operator==(const FaultConfig&) const = default;
 };
 
 /// Aggregate counts of one fault-map application (per crossbar, per layer

@@ -19,7 +19,17 @@ MappedLayer::MappedLayer(const nn::LayerSpec& spec,
                          const tensor::Tensor& weight,
                          const mapping::CrossbarShape& shape,
                          const FaultModel* faults, std::uint64_t layer_id)
-    : spec_(spec), mapping_(mapping::map_layer(spec, shape)) {
+    : MappedLayer(spec, weight, mapping::map_layer(spec, shape), faults,
+                  layer_id) {}
+
+MappedLayer::MappedLayer(const nn::LayerSpec& spec,
+                         const tensor::Tensor& weight,
+                         const mapping::LayerMapping& mapping,
+                         const FaultModel* faults, std::uint64_t layer_id)
+    : spec_(spec), mapping_(mapping) {
+  AUTOHET_CHECK(mapping_ == mapping::map_layer(spec, mapping_.shape),
+                "mapping geometry disagrees with map_layer for this layer");
+  const mapping::CrossbarShape& shape = mapping_.shape;
   const std::int64_t k2 = spec.kernel * spec.kernel;
   const std::int64_t wrows = spec.weight_rows();
   const std::int64_t wcols = spec.weight_cols();
@@ -162,6 +172,24 @@ SimulatedModel::SimulatedModel(
   layers_.reserve(mappable.size());
   for (std::size_t i = 0; i < mappable.size(); ++i) {
     layers_.emplace_back(mappable[i], model.weight(i), shapes[i], fm,
+                         static_cast<std::uint64_t>(i));
+  }
+}
+
+SimulatedModel::SimulatedModel(const nn::Model& model,
+                               const plan::DeploymentPlan& plan,
+                               DatapathMode mode)
+    : model_(&model), mode_(mode), fault_model_(plan.accel.faults) {
+  plan.validate_against(model.spec());
+  AUTOHET_CHECK(
+      plan.accel.faults.read_sigma == 0.0 || mode == DatapathMode::kInteger,
+      "read noise requires the integer datapath");
+  const FaultModel* fm = fault_model_.ideal() ? nullptr : &fault_model_;
+  layers_.reserve(plan.layers.size());
+  for (std::size_t i = 0; i < plan.layers.size(); ++i) {
+    // Program straight from the plan's frozen geometry — no map_layer here.
+    layers_.emplace_back(plan.layers[i], model.weight(i),
+                         plan.allocation.layers[i].mapping, fm,
                          static_cast<std::uint64_t>(i));
   }
 }
@@ -330,6 +358,16 @@ RobustnessReport monte_carlo_robustness(
   OBS_GAUGE_SET("autohet_fault_accuracy_mean", report.mean_accuracy);
   OBS_GAUGE_SET("autohet_fault_accuracy_stddev", report.stddev_accuracy);
   return report;
+}
+
+RobustnessReport monte_carlo_robustness(const nn::Model& model,
+                                        const plan::DeploymentPlan& plan,
+                                        const RobustnessOptions& options) {
+  plan.validate_against(model.spec());
+  // The plan's stored geometry equals map_layer on its shapes (validated),
+  // so the shapes overload runs the same trial fabrics bit-identically.
+  return monte_carlo_robustness(model, plan.shapes(), plan.accel.faults,
+                                options);
 }
 
 }  // namespace autohet::reram

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mapping/layer_mapping.hpp"
+#include "mapping/plan.hpp"
 #include "nn/model.hpp"
 #include "nn/quantize.hpp"
 #include "reram/crossbar.hpp"
@@ -37,6 +38,14 @@ class MappedLayer {
   /// seed and `layer_id`), and MVMs sample the configured read noise.
   MappedLayer(const nn::LayerSpec& spec, const tensor::Tensor& weight,
               const mapping::CrossbarShape& shape,
+              const FaultModel* faults = nullptr, std::uint64_t layer_id = 0);
+
+  /// Programs from an already-derived mapping geometry (a DeploymentPlan's
+  /// frozen per-layer mapping) instead of re-deriving it from the shape.
+  /// `mapping` must equal what map_layer derives for (spec, mapping.shape)
+  /// — checked, so a stale plan cannot silently program a different layout.
+  MappedLayer(const nn::LayerSpec& spec, const tensor::Tensor& weight,
+              const mapping::LayerMapping& mapping,
               const FaultModel* faults = nullptr, std::uint64_t layer_id = 0);
 
   const mapping::LayerMapping& mapping() const noexcept { return mapping_; }
@@ -86,6 +95,14 @@ class SimulatedModel {
                  const std::vector<mapping::CrossbarShape>& shapes,
                  DatapathMode mode = DatapathMode::kInteger,
                  const FaultConfig& faults = {});
+
+  /// Builds the fabric from a compiled DeploymentPlan: each mappable layer
+  /// is programmed from the plan's frozen per-layer geometry and the plan's
+  /// FaultConfig (`plan.accel.faults`). The plan is validated against the
+  /// model first. Bit-identical to the shape-list constructor on the inputs
+  /// the plan was compiled from.
+  SimulatedModel(const nn::Model& model, const plan::DeploymentPlan& plan,
+                 DatapathMode mode = DatapathMode::kInteger);
 
   /// Forward pass (CHW input). Requires a sequentially runnable network.
   tensor::Tensor forward(const tensor::Tensor& input) const;
@@ -139,5 +156,12 @@ struct RobustnessOptions {
 RobustnessReport monte_carlo_robustness(
     const nn::Model& model, const std::vector<mapping::CrossbarShape>& shapes,
     const FaultConfig& faults, const RobustnessOptions& options = {});
+
+/// Plan-based robustness MC: the shapes and FaultConfig come from the
+/// compiled plan (validated against `model` first). Bit-identical to the
+/// explicit-shapes overload on the inputs the plan was compiled from.
+RobustnessReport monte_carlo_robustness(const nn::Model& model,
+                                        const plan::DeploymentPlan& plan,
+                                        const RobustnessOptions& options = {});
 
 }  // namespace autohet::reram

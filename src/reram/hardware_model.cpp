@@ -71,18 +71,11 @@ LayerReport evaluate_layer(const nn::LayerSpec& layer,
   return report;
 }
 
-NetworkReport evaluate_network(
-    const std::vector<nn::LayerSpec>& layers,
-    const std::vector<mapping::CrossbarShape>& shapes,
-    const AcceleratorConfig& config) {
-  config.validate();
-  AUTOHET_CHECK(layers.size() == shapes.size(),
-                "layers and shapes must be the same length");
-
-  const mapping::TileAllocator allocator(config.pes_per_tile,
-                                         config.tile_shared);
-  const mapping::AllocationResult alloc = allocator.allocate(layers, shapes);
-
+NetworkReport evaluate_allocation(const std::vector<nn::LayerSpec>& layers,
+                                  const mapping::AllocationResult& alloc,
+                                  const AcceleratorConfig& config) {
+  AUTOHET_CHECK(layers.size() == alloc.layers.size(),
+                "layers and allocation must be the same length");
   NetworkReport report;
   report.layers.reserve(layers.size());
   std::vector<double> layer_vuln;
@@ -117,6 +110,20 @@ NetworkReport evaluate_network(
 
   report.utilization = alloc.system_utilization();
   return report;
+}
+
+NetworkReport evaluate_network(
+    const std::vector<nn::LayerSpec>& layers,
+    const std::vector<mapping::CrossbarShape>& shapes,
+    const AcceleratorConfig& config) {
+  config.validate();
+  AUTOHET_CHECK(layers.size() == shapes.size(),
+                "layers and shapes must be the same length");
+
+  const mapping::TileAllocator allocator(config.pes_per_tile,
+                                         config.tile_shared);
+  const mapping::AllocationResult alloc = allocator.allocate(layers, shapes);
+  return evaluate_allocation(layers, alloc, config);
 }
 
 NetworkReport evaluate_homogeneous(const std::vector<nn::LayerSpec>& layers,

@@ -45,6 +45,10 @@ struct AcceleratorConfig {
     AUTOHET_CHECK(pes_per_tile > 0, "pes_per_tile must be positive");
     faults.validate();
   }
+
+  /// Exact equality — used by plan consumers to prove a compiled plan and a
+  /// live engine/fabric assume the same hardware.
+  bool operator==(const AcceleratorConfig&) const = default;
 };
 
 /// Area contribution of one occupied tile (µm² per component class).
@@ -90,6 +94,15 @@ LayerReport evaluate_layer(const nn::LayerSpec& layer,
                            std::int64_t tiles_spanned,
                            const DeviceParams& params,
                            const FaultConfig& faults = {});
+
+/// Aggregates a full NetworkReport over an already-computed allocation:
+/// per-layer evaluate_layer reports, area over non-released tiles in tile-id
+/// order, and the system utilization. The shared arithmetic core of both
+/// `evaluate_network` (which allocates first) and `plan::evaluate_plan`
+/// (which replays a frozen allocation) — keeping the two bit-identical.
+NetworkReport evaluate_allocation(const std::vector<nn::LayerSpec>& layers,
+                                  const mapping::AllocationResult& alloc,
+                                  const AcceleratorConfig& config);
 
 /// Evaluates a whole network: maps each mappable layer with its assigned
 /// shape, runs the tile allocator (tile-based or tile-shared per `config`),

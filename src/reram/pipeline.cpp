@@ -3,53 +3,26 @@
 #include <algorithm>
 
 #include "common/error.hpp"
-#include "mapping/layer_mapping.hpp"
 
 namespace autohet::reram {
 
-namespace {
-
-/// Serial latency and tile cost of one layer copy under the given config.
-struct LayerCost {
-  double latency_ns = 0.0;
-  std::int64_t tiles = 0;
-};
-
-LayerCost layer_cost(const nn::LayerSpec& layer,
-                     const mapping::CrossbarShape& shape,
-                     const AcceleratorConfig& config) {
-  const auto m = mapping::map_layer(layer, shape);
-  const std::int64_t tiles =
-      (m.logical_crossbars() + config.pes_per_tile - 1) / config.pes_per_tile;
-  const auto report = evaluate_layer(layer, m, tiles, config.device);
-  return {report.latency_ns, tiles};
-}
-
-}  // namespace
-
-PipelineReport evaluate_pipeline(
-    const std::vector<nn::LayerSpec>& layers,
-    const std::vector<mapping::CrossbarShape>& shapes,
-    const AcceleratorConfig& config,
-    const std::vector<std::int64_t>& replication) {
-  config.validate();
-  AUTOHET_CHECK(layers.size() == shapes.size(),
-                "layers and shapes must be the same length");
-  AUTOHET_CHECK(replication.empty() || replication.size() == layers.size(),
+PipelineReport evaluate_pipeline(const plan::DeploymentPlan& plan,
+                                 const std::vector<std::int64_t>& replication) {
+  plan.validate();
+  AUTOHET_CHECK(replication.empty() || replication.size() == plan.layers.size(),
                 "replication must be empty or one entry per layer");
+  const std::vector<plan::LayerCost> costs = plan::plan_layer_costs(plan);
   PipelineReport report;
-  report.stages.reserve(layers.size());
-  for (std::size_t k = 0; k < layers.size(); ++k) {
-    const std::int64_t rep =
-        replication.empty() ? 1 : replication[k];
+  report.stages.reserve(costs.size());
+  for (std::size_t k = 0; k < costs.size(); ++k) {
+    const std::int64_t rep = replication.empty() ? 1 : replication[k];
     AUTOHET_CHECK(rep >= 1, "replication factors must be >= 1");
-    const LayerCost cost = layer_cost(layers[k], shapes[k], config);
     StageReport stage;
     stage.layer = static_cast<std::int64_t>(k);
-    stage.serial_latency_ns = cost.latency_ns;
+    stage.serial_latency_ns = costs[k].latency_ns;
     stage.replication = rep;
-    stage.interval_ns = cost.latency_ns / static_cast<double>(rep);
-    stage.extra_tiles = (rep - 1) * cost.tiles;
+    stage.interval_ns = costs[k].latency_ns / static_cast<double>(rep);
+    stage.extra_tiles = (rep - 1) * costs[k].tiles;
     report.bottleneck_interval_ns =
         std::max(report.bottleneck_interval_ns, stage.interval_ns);
     report.fill_latency_ns += stage.interval_ns;
@@ -63,27 +36,28 @@ PipelineReport evaluate_pipeline(
   return report;
 }
 
-std::vector<std::int64_t> balance_replication(
+PipelineReport evaluate_pipeline(
     const std::vector<nn::LayerSpec>& layers,
     const std::vector<mapping::CrossbarShape>& shapes,
-    const AcceleratorConfig& config, std::int64_t extra_tile_budget) {
-  config.validate();
-  AUTOHET_CHECK(layers.size() == shapes.size(),
-                "layers and shapes must be the same length");
+    const AcceleratorConfig& config,
+    const std::vector<std::int64_t>& replication) {
+  return evaluate_pipeline(plan::compile_plan("", layers, shapes, config),
+                           replication);
+}
+
+std::vector<std::int64_t> balance_replication(const plan::DeploymentPlan& plan,
+                                              std::int64_t extra_tile_budget) {
+  plan.validate();
   AUTOHET_CHECK(extra_tile_budget >= 0, "budget must be non-negative");
 
-  std::vector<LayerCost> costs;
-  costs.reserve(layers.size());
-  for (std::size_t k = 0; k < layers.size(); ++k) {
-    costs.push_back(layer_cost(layers[k], shapes[k], config));
-  }
-  std::vector<std::int64_t> replication(layers.size(), 1);
+  const std::vector<plan::LayerCost> costs = plan::plan_layer_costs(plan);
+  std::vector<std::int64_t> replication(costs.size(), 1);
   std::int64_t budget = extra_tile_budget;
   for (;;) {
     // Find the bottleneck stage.
     std::size_t worst = 0;
     double worst_interval = -1.0;
-    for (std::size_t k = 0; k < layers.size(); ++k) {
+    for (std::size_t k = 0; k < costs.size(); ++k) {
       const double interval =
           costs[k].latency_ns / static_cast<double>(replication[k]);
       if (interval > worst_interval) {
@@ -96,6 +70,14 @@ std::vector<std::int64_t> balance_replication(
     ++replication[worst];
   }
   return replication;
+}
+
+std::vector<std::int64_t> balance_replication(
+    const std::vector<nn::LayerSpec>& layers,
+    const std::vector<mapping::CrossbarShape>& shapes,
+    const AcceleratorConfig& config, std::int64_t extra_tile_budget) {
+  return balance_replication(plan::compile_plan("", layers, shapes, config),
+                             extra_tile_budget);
 }
 
 }  // namespace autohet::reram

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mapping/crossbar_shape.hpp"
+#include "mapping/plan.hpp"
 #include "nn/layer.hpp"
 #include "reram/hardware_model.hpp"
 
@@ -36,8 +37,15 @@ struct PipelineReport {
   std::int64_t total_extra_tiles = 0;
 };
 
-/// Evaluates the pipeline with the given per-layer replication factors
-/// (empty = all ones).
+/// Evaluates the pipeline of a compiled plan with the given per-layer
+/// replication factors (empty = all ones). Stage latencies and tile costs
+/// are read off the plan; no mapping is re-derived here.
+PipelineReport evaluate_pipeline(
+    const plan::DeploymentPlan& plan,
+    const std::vector<std::int64_t>& replication = {});
+
+/// Convenience wrapper: compiles `(layers, shapes, config)` into a plan
+/// and evaluates it. Bit-identical to the plan overload.
 PipelineReport evaluate_pipeline(
     const std::vector<nn::LayerSpec>& layers,
     const std::vector<mapping::CrossbarShape>& shapes,
@@ -47,6 +55,10 @@ PipelineReport evaluate_pipeline(
 /// Greedy throughput balancing: repeatedly duplicates the current
 /// bottleneck layer while its tile cost fits in `extra_tile_budget`.
 /// Returns the chosen replication factors.
+std::vector<std::int64_t> balance_replication(const plan::DeploymentPlan& plan,
+                                              std::int64_t extra_tile_budget);
+
+/// Convenience wrapper over a freshly compiled plan.
 std::vector<std::int64_t> balance_replication(
     const std::vector<nn::LayerSpec>& layers,
     const std::vector<mapping::CrossbarShape>& shapes,

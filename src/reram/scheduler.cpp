@@ -3,37 +3,27 @@
 #include <algorithm>
 
 #include "common/error.hpp"
-#include "mapping/layer_mapping.hpp"
 
 namespace autohet::reram {
 
-ScheduleReport schedule_batch(
-    const std::vector<nn::LayerSpec>& layers,
-    const std::vector<mapping::CrossbarShape>& shapes,
-    const AcceleratorConfig& config, std::int64_t batch,
-    const std::vector<std::int64_t>& replication) {
-  config.validate();
-  AUTOHET_CHECK(layers.size() == shapes.size(),
-                "layers and shapes must be the same length");
+ScheduleReport schedule_batch(const plan::DeploymentPlan& plan,
+                              std::int64_t batch,
+                              const std::vector<std::int64_t>& replication) {
+  plan.validate();
   AUTOHET_CHECK(batch > 0, "batch must be positive");
-  AUTOHET_CHECK(replication.empty() || replication.size() == layers.size(),
+  AUTOHET_CHECK(replication.empty() || replication.size() == plan.layers.size(),
                 "replication must be empty or one entry per layer");
 
-  const auto n = static_cast<std::int64_t>(layers.size());
+  const std::vector<plan::LayerCost> costs = plan::plan_layer_costs(plan);
+  const auto n = static_cast<std::int64_t>(costs.size());
   std::vector<double> interval(static_cast<std::size_t>(n));
   for (std::int64_t k = 0; k < n; ++k) {
-    const auto m = mapping::map_layer(layers[static_cast<std::size_t>(k)],
-                                      shapes[static_cast<std::size_t>(k)]);
-    const std::int64_t tiles = (m.logical_crossbars() + config.pes_per_tile -
-                                1) /
-                               config.pes_per_tile;
-    const auto lr = evaluate_layer(layers[static_cast<std::size_t>(k)], m,
-                                   tiles, config.device);
     const std::int64_t rep =
         replication.empty() ? 1 : replication[static_cast<std::size_t>(k)];
     AUTOHET_CHECK(rep >= 1, "replication factors must be >= 1");
     interval[static_cast<std::size_t>(k)] =
-        lr.latency_ns / static_cast<double>(rep);
+        costs[static_cast<std::size_t>(k)].latency_ns /
+        static_cast<double>(rep);
   }
 
   ScheduleReport report;
@@ -79,6 +69,15 @@ ScheduleReport schedule_batch(
             : 0.0);
   }
   return report;
+}
+
+ScheduleReport schedule_batch(
+    const std::vector<nn::LayerSpec>& layers,
+    const std::vector<mapping::CrossbarShape>& shapes,
+    const AcceleratorConfig& config, std::int64_t batch,
+    const std::vector<std::int64_t>& replication) {
+  return schedule_batch(plan::compile_plan("", layers, shapes, config), batch,
+                        replication);
 }
 
 }  // namespace autohet::reram

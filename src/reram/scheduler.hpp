@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mapping/crossbar_shape.hpp"
+#include "mapping/plan.hpp"
 #include "nn/layer.hpp"
 #include "reram/hardware_model.hpp"
 
@@ -47,8 +48,16 @@ struct ScheduleReport {
   }
 };
 
-/// Schedules `batch` images through the layer pipeline. `replication` as in
-/// evaluate_pipeline (empty = all ones).
+/// Schedules `batch` images through the layer pipeline of a compiled plan.
+/// Stage intervals come from the plan's frozen per-layer costs; no mapping
+/// is re-derived here. `replication` as in evaluate_pipeline (empty = all
+/// ones).
+ScheduleReport schedule_batch(
+    const plan::DeploymentPlan& plan, std::int64_t batch,
+    const std::vector<std::int64_t>& replication = {});
+
+/// Convenience wrapper: compiles `(layers, shapes, config)` into a plan and
+/// schedules it. Bit-identical to the plan overload.
 ScheduleReport schedule_batch(
     const std::vector<nn::LayerSpec>& layers,
     const std::vector<mapping::CrossbarShape>& shapes,

@@ -169,6 +169,56 @@ TEST(ArgParser, RequiredPositionalAfterOptionalRejected) {
   EXPECT_THROW(args.add_positional("command", "h"), std::invalid_argument);
 }
 
+TEST(ArgParser, ProvidedTracksUserSuppliedOptions) {
+  ArgParser args("t", "d");
+  args.add_option("episodes", "300", "h");
+  args.add_option("plan-in", "", "h");
+  args.add_flag("no-tile-shared", "h");
+  const char* argv[] = {"t", "--plan-in", "plan.json"};
+  std::string error;
+  ASSERT_TRUE(args.parse(3, argv, &error)) << error;
+  EXPECT_TRUE(args.provided("plan-in"));
+  EXPECT_FALSE(args.provided("episodes"));  // defaulted, not supplied
+  EXPECT_FALSE(args.provided("no-tile-shared"));
+  EXPECT_THROW(args.provided("unknown"), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectOptionConflicts) {
+  const auto parse = [](std::vector<const char*> argv, std::string* error) {
+    ArgParser args("t", "d");
+    args.add_option("plan-in", "", "h");
+    args.add_option("episodes", "300", "h");
+    args.add_option("seed", "1", "h");
+    args.add_flag("no-tile-shared", "h");
+    argv.insert(argv.begin(), "t");
+    EXPECT_TRUE(args.parse(static_cast<int>(argv.size()), argv.data(), error))
+        << *error;
+    return args;
+  };
+  std::string error;
+
+  // Replay mode combined with a search-configuration option is rejected
+  // with an error naming both options.
+  auto conflicted = parse({"--plan-in", "p.json", "--episodes", "5"}, &error);
+  EXPECT_FALSE(conflicted.reject_option_conflicts(
+      "plan-in", {"episodes", "seed", "no-tile-shared"}, &error));
+  EXPECT_EQ(error, "--plan-in cannot be combined with --episodes");
+
+  // Flags conflict too.
+  auto flagged = parse({"--plan-in", "p.json", "--no-tile-shared"}, &error);
+  EXPECT_FALSE(flagged.reject_option_conflicts(
+      "plan-in", {"episodes", "seed", "no-tile-shared"}, &error));
+  EXPECT_EQ(error, "--plan-in cannot be combined with --no-tile-shared");
+
+  // Gate alone, or conflicts without the gate, pass.
+  auto gate_only = parse({"--plan-in", "p.json"}, &error);
+  EXPECT_TRUE(gate_only.reject_option_conflicts(
+      "plan-in", {"episodes", "seed", "no-tile-shared"}, &error));
+  auto search_only = parse({"--episodes", "5", "--seed", "2"}, &error);
+  EXPECT_TRUE(search_only.reject_option_conflicts(
+      "plan-in", {"episodes", "seed", "no-tile-shared"}, &error));
+}
+
 TEST(ArgParser, HelpMarksOptionalPositionalsWithBrackets) {
   ArgParser args("t", "d");
   args.add_positional("command", "h");

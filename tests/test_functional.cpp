@@ -30,7 +30,8 @@ TEST(MappedLayer, FcMatchesQuantizedReference) {
   const auto spec = nn::make_fc(40, 12);
   tensor::Tensor w({12, 40});
   w.fill_normal(rng, 0.0f, 0.5f);
-  const MappedLayer mapped(spec, w, {32, 32});  // forces 2x1 crossbar grid
+  // The 32x32 shape forces a 2x1 crossbar grid.
+  const MappedLayer mapped(spec, w, CrossbarShape{32, 32});
 
   const auto qw = nn::quantize_weights(w, 8);
   std::vector<std::uint8_t> x(40);
@@ -54,7 +55,7 @@ TEST(MappedLayer, ConvKernelAlignedMatchesQuantizedReference) {
   tensor::Tensor w({7, 5, 3, 3});
   w.fill_normal(rng, 0.0f, 0.5f);
   // 32 rows, floor(32/9)=3 kernels per block -> 2 row blocks; 7 cols fit.
-  const MappedLayer mapped(spec, w, {32, 32});
+  const MappedLayer mapped(spec, w, CrossbarShape{32, 32});
   EXPECT_FALSE(mapped.mapping().split_kernel);
   EXPECT_EQ(mapped.mapping().row_blocks, 2);
 
@@ -77,7 +78,7 @@ TEST(MappedLayer, SplitKernelFallbackMatchesReference) {
   const auto spec = nn::make_conv(2, 5, 7, 1, 3, 8, 8);  // 49 > 32 rows
   tensor::Tensor w({5, 2, 7, 7});
   w.fill_normal(rng, 0.0f, 0.5f);
-  const MappedLayer mapped(spec, w, {32, 32});
+  const MappedLayer mapped(spec, w, CrossbarShape{32, 32});
   EXPECT_TRUE(mapped.mapping().split_kernel);
 
   const auto qw = nn::quantize_weights(w.reshaped({5, 98}), 8);

@@ -22,7 +22,57 @@ TEST(Strategy, TextFormatMatchesFig6) {
   Strategy s;
   s.network = "AlexNet";
   s.shapes = {{32, 32}, {36, 32}};
-  EXPECT_EQ(s.to_text(), "network: AlexNet\nL1: 32x32\nL2: 36x32\n");
+  EXPECT_EQ(s.to_text(),
+            "autohet-strategy v1\n"
+            "network: AlexNet\nL1: 32x32\nL2: 36x32\n");
+}
+
+TEST(Strategy, VersionHeaderIsOptionalOnInput) {
+  // Pre-versioning files (no header) still parse...
+  const Strategy bare =
+      Strategy::from_text("network: AlexNet\nL1: 32x32\n");
+  EXPECT_EQ(bare.network, "AlexNet");
+  // ...and parse identically to the versioned form.
+  const Strategy versioned = Strategy::from_text(
+      "autohet-strategy v1\nnetwork: AlexNet\nL1: 32x32\n");
+  EXPECT_EQ(bare, versioned);
+  // Comments before the version line are fine.
+  EXPECT_EQ(Strategy::from_text("# comment\nautohet-strategy v1\n"
+                                "network: AlexNet\nL1: 32x32\n"),
+            versioned);
+}
+
+TEST(Strategy, RejectsUnsupportedOrMalformedVersion) {
+  EXPECT_THROW(
+      Strategy::from_text("autohet-strategy v2\nnetwork: X\nL1: 32x32\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      Strategy::from_text("autohet-strategy\nnetwork: X\nL1: 32x32\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      Strategy::from_text("autohet-strategy vX\nnetwork: X\nL1: 32x32\n"),
+      std::invalid_argument);
+  // The version line only counts before the header.
+  EXPECT_THROW(
+      Strategy::from_text("network: X\nautohet-strategy v1\nL1: 32x32\n"),
+      std::invalid_argument);
+}
+
+TEST(Strategy, ErrorsNameTheLine) {
+  try {
+    Strategy::from_text("autohet-strategy v1\nnetwork: X\nL1: 32y32\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+  try {
+    Strategy::from_text("network: X\nL1: 32x32\nL3: 32x32\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Strategy, ParsesCommentsAndWhitespace) {
