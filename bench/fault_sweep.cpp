@@ -14,7 +14,11 @@
 // (stuck-at rate, cell_bits) with accuracy mean/stddev/min, the analytic
 // vulnerability (the search-reward proxy), and the burned-in fault counts.
 //
-// Usage: fault_sweep [episodes]   (search budget; default 60)
+// Usage: fault_sweep [episodes] [mc_threads]
+//   episodes   — search budget (default 60)
+//   mc_threads — Monte-Carlo trial parallelism: 1 = serial, 0 = one per
+//                hardware thread (default). The emitted JSON is
+//                byte-identical at every thread count (CI diffs it).
 #include <fstream>
 
 #include "bench_common.hpp"
@@ -45,6 +49,8 @@ reram::FaultConfig point_config(double stuck_rate, int cell_bits) {
 
 int main(int argc, char** argv) {
   const int episodes = bench::episodes_from_args(argc, argv, 60);
+  int mc_threads = 0;  // one worker per hardware thread
+  if (argc > 2 && argv[2][0] != '-') mc_threads = std::atoi(argv[2]);
   bench::print_header("Fault sweep — accuracy vs stuck-at rate × cell bits "
                       "(LeNet-5, " + std::to_string(episodes) +
                       " search rounds)");
@@ -78,6 +84,7 @@ int main(int argc, char** argv) {
   reram::RobustnessOptions mc;
   mc.trials = kTrials;
   mc.samples = kSamples;
+  mc.threads = mc_threads;
 
   report::Table table({"Configuration", "Stuck rate", "Cell bits",
                        "Accuracy mean±σ", "Min", "Analytic vuln"});

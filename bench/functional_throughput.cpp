@@ -1,0 +1,356 @@
+// Functional-simulation throughput: packed vs scalar MVM kernels, fast vs
+// scalar forward plumbing, and Monte-Carlo robustness wall time — the perf
+// trajectory of the fast functional engine (DESIGN.md §7).
+//
+// Three levels are timed, each against its retained scalar baseline (the
+// pre-packing datapaths, kept precisely so this comparison stays honest):
+//   * raw crossbar kernels (bit-serial / multilevel / reference MVMs/s),
+//   * whole-network forwards (images/s, integer and bit-serial datapaths),
+//   * the full fault_sweep Monte-Carlo workload — fault_sweep's three
+//     configurations (AutoHet search, best homogeneous, largest-candidate
+//     homogeneous) over its 15-point grid (3 cell-bits × 5 stuck rates,
+//     σ=0.01, 5 trials × 12 samples), measured end-to-end through
+//     EvaluationEngine::evaluate_robustness. Fast kernels + recorded trial
+//     fabrics (TrialFabricCache) + parallel trials vs the scalar serial
+//     path; every point's report is byte-identical (asserted here and in
+//     CI).
+//
+// Emits BENCH_functional_throughput.json with every rate and ratio; the
+// headline `mc_speedup` field (aggregate scalar wall / aggregate fast wall
+// over the whole workload) gates the acceptance criterion.
+//
+// Usage: functional_throughput [mc_reps] [episodes]
+//   mc_reps  — repetitions of each Monte-Carlo timing (best-of; default 1)
+//   episodes — search budget for the AutoHet configuration (default 60,
+//              matching fault_sweep)
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "reram/eval_engine.hpp"
+#include "reram/functional.hpp"
+
+using namespace autohet;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Times fn() repeatedly until ~min_ms of wall time accumulates; returns
+/// calls per second.
+template <typename Fn>
+double calls_per_second(Fn&& fn, double min_ms = 200.0) {
+  // Warm up once (packs lazy structures, faults the caches).
+  fn();
+  std::int64_t calls = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++calls;
+    elapsed = ms_since(t0);
+  } while (elapsed < min_ms);
+  return static_cast<double>(calls) * 1000.0 / elapsed;
+}
+
+// fault_sweep's fault grid, replicated exactly (bench/fault_sweep.cpp).
+constexpr double kStuckRates[] = {0.0, 1e-4, 1e-3, 5e-3, 1e-2};
+constexpr int kCellBits[] = {1, 2, 4};
+constexpr double kProgramSigma = 0.01;
+constexpr int kMcTrials = 5;
+constexpr int kMcSamples = 12;
+
+reram::FaultConfig point_config(double stuck_rate, int cell_bits) {
+  reram::FaultConfig faults;
+  faults.stuck_at_zero_rate = stuck_rate / 2.0;
+  faults.stuck_at_one_rate = stuck_rate / 2.0;
+  faults.program_sigma = kProgramSigma;
+  faults.cell_bits = cell_bits;
+  return faults;
+}
+
+bool reports_equal(const reram::RobustnessReport& a,
+                   const reram::RobustnessReport& b) {
+  return a.trials == b.trials && a.samples == b.samples &&
+         a.mean_accuracy == b.mean_accuracy &&
+         a.stddev_accuracy == b.stddev_accuracy &&
+         a.min_accuracy == b.min_accuracy &&
+         a.max_accuracy == b.max_accuracy &&
+         a.mean_logit_error == b.mean_logit_error &&
+         a.layer_error == b.layer_error &&
+         a.fault_stats.physical_cells == b.fault_stats.physical_cells &&
+         a.fault_stats.stuck_at_zero == b.fault_stats.stuck_at_zero &&
+         a.fault_stats.stuck_at_one == b.fault_stats.stuck_at_one &&
+         a.fault_stats.weights_changed == b.fault_stats.weights_changed;
+}
+
+struct McTiming {
+  std::string config;
+  double scalar_serial_ms = 0.0;
+  double fast_serial_ms = 0.0;
+  double fast_parallel_ms = 0.0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int mc_reps = bench::episodes_from_args(argc, argv, 1);
+  const int hw_threads =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  bench::print_header(
+      "Functional-simulation throughput (packed kernels, parallel MC)");
+
+  const nn::NetworkSpec net = nn::lenet5();
+  common::Rng weight_rng(21);
+  const nn::Model model(net, weight_rng);
+
+  // --- Raw kernel rates on one 288x256 crossbar -------------------------
+  const mapping::CrossbarShape kshape{288, 256};
+  common::Rng cell_rng(7);
+  std::vector<std::int8_t> weights(static_cast<std::size_t>(kshape.cells()));
+  for (auto& w : weights) {
+    w = static_cast<std::int8_t>(cell_rng.uniform_int(-128, 127));
+  }
+  reram::LogicalCrossbar xb(kshape);
+  xb.program(weights, kshape.rows, kshape.cols);  // packs eagerly
+  std::vector<std::uint8_t> input(static_cast<std::size_t>(kshape.rows));
+  for (auto& v : input) {
+    v = static_cast<std::uint8_t>(cell_rng.uniform_int(0, 255));
+  }
+  volatile std::int32_t sink = 0;
+  const auto time_kernel = [&](auto&& fn) {
+    return calls_per_second([&] { sink = sink + fn().back(); });
+  };
+  struct KernelRow {
+    std::string name;
+    double packed_per_s, scalar_per_s;
+  };
+  std::vector<KernelRow> kernels;
+  kernels.push_back({"bit_serial",
+                     time_kernel([&] { return xb.mvm_bit_serial(input); }),
+                     time_kernel([&] {
+                       return xb.mvm_bit_serial_scalar(input);
+                     })});
+  kernels.push_back({"multilevel",
+                     time_kernel([&] { return xb.mvm_multilevel(input, 2); }),
+                     time_kernel([&] {
+                       return xb.mvm_multilevel_scalar(input, 2);
+                     })});
+  kernels.push_back({"reference",
+                     time_kernel([&] { return xb.mvm_reference(input); }),
+                     time_kernel([&] {
+                       return xb.mvm_reference_scalar(input);
+                     })});
+
+  // --- Whole-network forward rates --------------------------------------
+  const auto mappable = net.mappable_layers();
+  const std::vector<mapping::CrossbarShape> shapes(mappable.size(),
+                                                   {72, 64});
+  common::Rng img_rng(4);
+  const nn::LayerSpec& first = net.layers.front();
+  const tensor::Tensor image = nn::synthetic_image(
+      img_rng, first.in_channels, first.in_height, first.in_width);
+  volatile float fsink = 0.0f;
+  struct ForwardRow {
+    std::string name;
+    double fast_per_s, scalar_per_s;
+  };
+  std::vector<ForwardRow> forwards;
+  {
+    const reram::SimulatedModel fast_int(model, shapes,
+                                         reram::DatapathMode::kInteger);
+    const reram::SimulatedModel scalar_int(
+        model, shapes, reram::DatapathMode::kInteger, {},
+        reram::KernelPolicy::kScalarReference);
+    forwards.push_back(
+        {"integer",
+         calls_per_second([&] { fsink = fsink + fast_int.forward(image)[0]; }),
+         calls_per_second(
+             [&] { fsink = fsink + scalar_int.forward(image)[0]; })});
+    const reram::SimulatedModel fast_bits(model, shapes,
+                                          reram::DatapathMode::kBitSerial);
+    const reram::SimulatedModel scalar_bits(
+        model, shapes, reram::DatapathMode::kBitSerial, {},
+        reram::KernelPolicy::kScalarReference);
+    forwards.push_back(
+        {"bit_serial",
+         calls_per_second([&] { fsink = fsink + fast_bits.forward(image)[0]; }),
+         calls_per_second(
+             [&] { fsink = fsink + scalar_bits.forward(image)[0]; }, 400.0)});
+  }
+
+  // --- Monte-Carlo wall time on the fault_sweep workload ----------------
+  // fault_sweep's three configurations over its full 15-point grid,
+  // measured end-to-end through EvaluationEngine::evaluate_robustness. A
+  // fresh environment (fresh engine, cold TrialFabricCache) per timed
+  // measurement: the fast path pays every ideal-reference build and trial
+  // recording inside the timer, exactly as one fault_sweep run does.
+  int episodes = 60;
+  if (argc > 2 && argv[2][0] != '-') episodes = std::atoi(argv[2]);
+  const auto env0 = bench::make_env(net, mapping::hybrid_candidates(),
+                                    /*tile_shared=*/true);
+  struct McConfig {
+    std::string name;
+    std::vector<std::size_t> actions;
+  };
+  std::vector<McConfig> mc_configs;
+  const auto autohet_result = bench::run_search(env0, episodes, /*seed=*/1);
+  mc_configs.push_back({"AutoHet (RL)", autohet_result.best_actions});
+  const auto homo = core::best_homogeneous(env0);
+  mc_configs.push_back({homo.name, homo.actions});
+  const auto& candidates = env0.candidates();
+  std::size_t largest = 0;
+  for (std::size_t c = 1; c < candidates.size(); ++c) {
+    if (candidates[c].cells() > candidates[largest].cells()) largest = c;
+  }
+  mc_configs.push_back(
+      {"Homo(" + candidates[largest].name() + ")",
+       std::vector<std::size_t>(env0.num_layers(), largest)});
+
+  using Reports = std::vector<reram::RobustnessReport>;
+  const auto grid_wall = [&](const McConfig& cfg,
+                             const reram::RobustnessOptions& opts,
+                             Reports* out) {
+    const auto env = bench::make_env(net, mapping::hybrid_candidates(),
+                                     /*tile_shared=*/true);
+    Reports reports;
+    const auto t0 = Clock::now();
+    for (const int cell_bits : kCellBits) {
+      for (const double rate : kStuckRates) {
+        reports.push_back(env.engine().evaluate_robustness(
+            model, cfg.actions, point_config(rate, cell_bits), opts));
+      }
+    }
+    const double wall = ms_since(t0);
+    if (out != nullptr) *out = std::move(reports);
+    return wall;
+  };
+  const auto best_grid = [&](const McConfig& cfg,
+                             const reram::RobustnessOptions& opts,
+                             Reports* out) {
+    double best = 0.0;
+    for (int rep = 0; rep < mc_reps; ++rep) {
+      const double wall = grid_wall(cfg, opts, rep == 0 ? out : nullptr);
+      if (rep == 0 || wall < best) best = wall;
+    }
+    return best;
+  };
+
+  reram::RobustnessOptions mc;
+  mc.trials = kMcTrials;
+  mc.samples = kMcSamples;
+  std::vector<McTiming> mc_rows;
+  bool mc_identical = true;
+  double scalar_total = 0.0, serial_total = 0.0, parallel_total = 0.0;
+  for (const McConfig& cfg : mc_configs) {
+    McTiming row;
+    row.config = cfg.name;
+    Reports ref_reports, fast_reports, par_reports;
+    reram::RobustnessOptions scalar_opts = mc;
+    scalar_opts.kernels = reram::KernelPolicy::kScalarReference;
+    row.scalar_serial_ms = best_grid(cfg, scalar_opts, &ref_reports);
+    reram::RobustnessOptions serial_opts = mc;
+    serial_opts.threads = 1;
+    row.fast_serial_ms = best_grid(cfg, serial_opts, &fast_reports);
+    reram::RobustnessOptions parallel_opts = mc;
+    parallel_opts.threads = 0;  // one worker per hardware thread
+    row.fast_parallel_ms = best_grid(cfg, parallel_opts, &par_reports);
+    row.identical = fast_reports.size() == ref_reports.size() &&
+                    par_reports.size() == ref_reports.size();
+    for (std::size_t i = 0; row.identical && i < ref_reports.size(); ++i) {
+      row.identical = reports_equal(ref_reports[i], fast_reports[i]) &&
+                      reports_equal(ref_reports[i], par_reports[i]);
+    }
+    mc_identical = mc_identical && row.identical;
+    scalar_total += row.scalar_serial_ms;
+    serial_total += row.fast_serial_ms;
+    parallel_total += row.fast_parallel_ms;
+    mc_rows.push_back(row);
+  }
+  // Headline gate: aggregate wall time of the whole workload (all three
+  // configurations × 15 grid points), scalar serial vs fast parallel.
+  const double mc_speedup = scalar_total / parallel_total;
+  const double parallel_ratio = serial_total / parallel_total;
+
+  // --- Report ------------------------------------------------------------
+  report::Table table({"Level", "Variant", "Fast", "Scalar", "Speedup"});
+  for (const auto& k : kernels) {
+    table.add_row({"kernel (MVM/s)", k.name,
+                   report::format_fixed(k.packed_per_s, 0),
+                   report::format_fixed(k.scalar_per_s, 0),
+                   report::format_fixed(k.packed_per_s / k.scalar_per_s, 2)});
+  }
+  for (const auto& f : forwards) {
+    table.add_row({"forward (img/s)", f.name,
+                   report::format_fixed(f.fast_per_s, 1),
+                   report::format_fixed(f.scalar_per_s, 1),
+                   report::format_fixed(f.fast_per_s / f.scalar_per_s, 2)});
+  }
+  for (const auto& m : mc_rows) {
+    table.add_row({"MC grid (ms)", m.config,
+                   report::format_fixed(m.fast_parallel_ms, 1),
+                   report::format_fixed(m.scalar_serial_ms, 1),
+                   report::format_fixed(
+                       m.scalar_serial_ms / m.fast_parallel_ms, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nMC speedup (fault_sweep workload aggregate, fast parallel "
+            << "vs scalar serial): " << report::format_fixed(mc_speedup, 2)
+            << "x, reports identical: " << (mc_identical ? "yes" : "NO")
+            << "\n";
+
+  std::ofstream json("BENCH_functional_throughput.json");
+  json << "{\n  \"benchmark\": \"functional_throughput\",\n"
+       << "  \"model\": \"lenet5\",\n"
+       << "  \"hardware_threads\": " << hw_threads << ",\n"
+       << "  \"mc_reps\": " << mc_reps << ",\n  \"kernels\": [";
+  bool first_row = true;
+  for (const auto& k : kernels) {
+    json << (first_row ? "\n" : ",\n") << "    {\"name\": \"" << k.name
+         << "\", \"shape\": \"288x256\", \"packed_mvms_per_s\": "
+         << k.packed_per_s << ", \"scalar_mvms_per_s\": " << k.scalar_per_s
+         << ", \"speedup\": " << k.packed_per_s / k.scalar_per_s << "}";
+    first_row = false;
+  }
+  json << "\n  ],\n  \"forward\": [";
+  first_row = true;
+  for (const auto& f : forwards) {
+    json << (first_row ? "\n" : ",\n") << "    {\"datapath\": \"" << f.name
+         << "\", \"fast_images_per_s\": " << f.fast_per_s
+         << ", \"scalar_images_per_s\": " << f.scalar_per_s
+         << ", \"speedup\": " << f.fast_per_s / f.scalar_per_s << "}";
+    first_row = false;
+  }
+  json << "\n  ],\n  \"monte_carlo\": {\n"
+       << "    \"workload\": \"fault_sweep\",\n"
+       << "    \"episodes\": " << episodes << ",\n"
+       << "    \"cell_bits\": [1, 2, 4],\n"
+       << "    \"stuck_rates\": [0.0, 0.0001, 0.001, 0.005, 0.01],\n"
+       << "    \"program_sigma\": " << kProgramSigma << ",\n"
+       << "    \"trials\": " << mc.trials << ",\n"
+       << "    \"samples\": " << mc.samples << ",\n"
+       << "    \"configs\": [";
+  first_row = true;
+  for (const auto& m : mc_rows) {
+    json << (first_row ? "\n" : ",\n") << "      {\"config\": \"" << m.config
+         << "\", \"scalar_serial_ms\": " << m.scalar_serial_ms
+         << ", \"fast_serial_ms\": " << m.fast_serial_ms
+         << ", \"fast_parallel_ms\": " << m.fast_parallel_ms
+         << ", \"speedup\": " << m.scalar_serial_ms / m.fast_parallel_ms
+         << ", \"reports_identical\": " << (m.identical ? "true" : "false")
+         << "}";
+    first_row = false;
+  }
+  json << "\n    ]\n  },\n  \"mc_speedup\": " << mc_speedup
+       << ",\n  \"parallel_vs_serial\": " << parallel_ratio
+       << ",\n  \"mc_reports_identical\": " << (mc_identical ? "true" : "false")
+       << "\n}\n";
+  std::cout << "Wrote BENCH_functional_throughput.json\n";
+  return 0;
+}

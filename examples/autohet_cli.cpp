@@ -202,6 +202,7 @@ int run_replay(const common::ArgParser& args) {
       reram::RobustnessOptions opts;
       opts.trials = static_cast<int>(trials);
       opts.samples = 4;
+      opts.threads = static_cast<int>(args.option_int("mc-threads"));
       const auto rob = reram::monte_carlo_robustness(model, plan, opts);
       std::cout << "robustness MC: accuracy "
                 << report::format_fixed(rob.mean_accuracy * 100.0, 1)
@@ -275,6 +276,10 @@ int main(int argc, char** argv) {
   args.add_option("mc-trials", "0",
                   "'replay': robustness Monte-Carlo trials under the plan's "
                   "fault config (0 = skip)");
+  args.add_option("mc-threads", "1",
+                  "'replay': worker threads for the Monte-Carlo trials "
+                  "(1 = serial, 0 = one per hardware thread; the report is "
+                  "byte-identical at any value)");
   args.add_option("eval-threads", "0",
                   "worker threads for batched hardware evaluation "
                   "(0 = serial)");

@@ -59,6 +59,12 @@ class Rng {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
   }
 
+  /// The integer k in [0, 2^53) such that uniform() would have returned
+  /// k·2⁻⁵³. Lets hot loops compare against a precomputed integer threshold
+  /// instead of materializing the double, while consuming the stream
+  /// identically to uniform().
+  std::uint64_t uniform_bits53() noexcept { return (*this)() >> 11; }
+
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) noexcept {
     return lo + (hi - lo) * uniform();

@@ -1,6 +1,7 @@
 #include "reram/crossbar.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -9,7 +10,8 @@ namespace autohet::reram {
 
 LogicalCrossbar::LogicalCrossbar(mapping::CrossbarShape shape)
     : shape_(shape),
-      cells_(static_cast<std::size_t>(shape.cells()), 0) {
+      cells_(static_cast<std::size_t>(shape.cells()), 0),
+      packed_words_((shape.rows + 63) / 64) {
   AUTOHET_CHECK(shape.rows > 0 && shape.cols > 0, "invalid crossbar shape");
 }
 
@@ -28,6 +30,7 @@ void LogicalCrossbar::program(std::span<const std::int8_t> weights,
   }
   rows_used_ = rows;
   cols_used_ = cols;
+  repack();
 }
 
 void LogicalCrossbar::program_cell(std::int64_t row, std::int64_t col,
@@ -37,9 +40,127 @@ void LogicalCrossbar::program_cell(std::int64_t row, std::int64_t col,
   cells_[static_cast<std::size_t>(row * shape_.cols + col)] = value;
   rows_used_ = std::max(rows_used_, row + 1);
   cols_used_ = std::max(cols_used_, col + 1);
+  if (!packed_.empty()) {
+    const auto bits = static_cast<std::uint8_t>(value);
+    const std::uint64_t bit = std::uint64_t{1} << (row & 63);
+    const std::int64_t word = row >> 6;
+    for (int wb = 0; wb < 8; ++wb) {
+      std::uint64_t& w = packed_[static_cast<std::size_t>(
+          (wb * shape_.cols + col) * packed_words_ + word)];
+      if ((bits >> wb) & 1u) {
+        w |= bit;
+      } else {
+        w &= ~bit;
+      }
+    }
+  }
+}
+
+void LogicalCrossbar::ensure_packed() {
+  if (packed_.empty()) repack();
+}
+
+void LogicalCrossbar::repack() {
+  packed_.assign(static_cast<std::size_t>(8 * shape_.cols * packed_words_), 0);
+  // All shape_.rows wordlines are packed (fault burn-in can set cells outside
+  // the used region); the kernels' input masks zero everything past
+  // rows_used, so stray bits beyond the used rows never contribute.
+  for (std::int64_t r = 0; r < shape_.rows; ++r) {
+    const std::int8_t* row = cells_.data() + r * shape_.cols;
+    const std::uint64_t bit = std::uint64_t{1} << (r & 63);
+    const std::int64_t word = r >> 6;
+    for (std::int64_t j = 0; j < shape_.cols; ++j) {
+      const auto bits = static_cast<std::uint8_t>(row[j]);
+      if (bits == 0) continue;
+      for (int wb = 0; wb < 8; ++wb) {
+        if ((bits >> wb) & 1u) {
+          packed_[static_cast<std::size_t>(
+              (wb * shape_.cols + j) * packed_words_ + word)] |= bit;
+        }
+      }
+    }
+  }
+}
+
+std::int64_t LogicalCrossbar::pack_input(
+    std::span<const std::uint8_t> input,
+    std::vector<std::uint64_t>& xbits) const {
+  const auto rows = static_cast<std::int64_t>(input.size());
+  const std::int64_t words_used = (rows + 63) / 64;
+  xbits.assign(static_cast<std::size_t>(8 * words_used), 0);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const std::uint8_t x = input[static_cast<std::size_t>(i)];
+    if (x == 0) continue;
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    const std::int64_t word = i >> 6;
+    for (int xb = 0; xb < 8; ++xb) {
+      if ((x >> xb) & 1u) {
+        xbits[static_cast<std::size_t>(xb * words_used + word)] |= bit;
+      }
+    }
+  }
+  return words_used;
 }
 
 std::vector<std::int32_t> LogicalCrossbar::mvm_bit_serial(
+    std::span<const std::uint8_t> input) const {
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(cols_used_), 0);
+  thread_local std::vector<std::uint64_t> xbits;
+  mvm_bit_serial_accum(input, acc.data(), xbits);
+  return acc;
+}
+
+void LogicalCrossbar::mvm_bit_serial_accum(
+    std::span<const std::uint8_t> input, std::int32_t* out,
+    std::vector<std::uint64_t>& xbits) const {
+  AUTOHET_CHECK(static_cast<std::int64_t>(input.size()) == rows_used_,
+                "input length must equal rows_used");
+  if (packed_.empty()) {
+    // Scalar datapath, accumulating into the caller's buffer.
+    for (int xb = 0; xb < 8; ++xb) {
+      for (int wb = 0; wb < 8; ++wb) {
+        const std::int64_t scale =
+            (wb == 7) ? -(std::int64_t{1} << (xb + wb))
+                      : (std::int64_t{1} << (xb + wb));
+        for (std::int64_t j = 0; j < cols_used_; ++j) {
+          std::int32_t bitline_sum = 0;
+          for (std::int64_t i = 0; i < rows_used_; ++i) {
+            const unsigned xbit =
+                (input[static_cast<std::size_t>(i)] >> xb) & 1u;
+            if (!xbit) continue;
+            const auto cell = static_cast<std::uint8_t>(
+                cells_[static_cast<std::size_t>(i * shape_.cols + j)]);
+            bitline_sum += static_cast<std::int32_t>((cell >> wb) & 1u);
+          }
+          out[j] += static_cast<std::int32_t>(scale * bitline_sum);
+        }
+      }
+    }
+    return;
+  }
+  const std::int64_t words_used = pack_input(input, xbits);
+  // One AND+popcount pass per (weight plane, column, input plane): the 64
+  // wordline passes of the scalar path collapse into words_used word ops.
+  for (int wb = 0; wb < 8; ++wb) {
+    const std::int64_t neg = (wb == 7) ? -1 : 1;
+    for (std::int64_t j = 0; j < cols_used_; ++j) {
+      const std::uint64_t* p = plane(wb, j);
+      std::int64_t shifted = 0;  // Σ_xb 2^xb · bitline(xb) — exact in int64
+      for (int xb = 0; xb < 8; ++xb) {
+        const std::uint64_t* x =
+            xbits.data() + static_cast<std::size_t>(xb * words_used);
+        std::int64_t bitline = 0;
+        for (std::int64_t w = 0; w < words_used; ++w) {
+          bitline += std::popcount(x[w] & p[w]);
+        }
+        shifted += bitline << xb;
+      }
+      out[j] += static_cast<std::int32_t>(neg * (shifted << wb));
+    }
+  }
+}
+
+std::vector<std::int32_t> LogicalCrossbar::mvm_bit_serial_scalar(
     std::span<const std::uint8_t> input) const {
   AUTOHET_CHECK(static_cast<std::int64_t>(input.size()) == rows_used_,
                 "input length must equal rows_used");
@@ -70,6 +191,70 @@ std::vector<std::int32_t> LogicalCrossbar::mvm_bit_serial(
 }
 
 std::vector<std::int32_t> LogicalCrossbar::mvm_multilevel(
+    std::span<const std::uint8_t> input, int cell_bits) const {
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(cols_used_), 0);
+  thread_local std::vector<std::uint64_t> xbits;
+  mvm_multilevel_accum(input, cell_bits, acc.data(), xbits);
+  return acc;
+}
+
+void LogicalCrossbar::mvm_multilevel_accum(
+    std::span<const std::uint8_t> input, int cell_bits, std::int32_t* out,
+    std::vector<std::uint64_t>& xbits) const {
+  AUTOHET_CHECK(cell_bits > 0 && cell_bits <= 8 && 8 % cell_bits == 0,
+                "cell_bits must divide 8");
+  AUTOHET_CHECK(static_cast<std::int64_t>(input.size()) == rows_used_,
+                "input length must equal rows_used");
+  if (packed_.empty()) {
+    const std::vector<std::int32_t> acc = mvm_multilevel_scalar(input,
+                                                                cell_bits);
+    for (std::int64_t j = 0; j < cols_used_; ++j) {
+      out[j] += acc[static_cast<std::size_t>(j)];
+    }
+    return;
+  }
+  // Offset-binary level sums decompose exactly into per-bit bitline sums:
+  // bit k of v = w + 128 is the packed two's-complement plane k for k < 7
+  // and its complement for k = 7 (v = w ^ 0x80 on the uint8 pattern), so
+  // Σ_p 2^{p·b}·level_p = Σ_k 2^k·bit_k and the result is independent of
+  // cell_bits. popcount(x & ~p7) = popcount(x) − popcount(x & p7) keeps the
+  // complement implicit (input bits past rows_used are zero in x).
+  std::int64_t ref = 0;
+  for (std::int64_t i = 0; i < rows_used_; ++i) {
+    ref += 128 * static_cast<std::int64_t>(input[static_cast<std::size_t>(i)]);
+  }
+  const std::int64_t words_used = pack_input(input, xbits);
+  std::int64_t popx[8];
+  for (int xb = 0; xb < 8; ++xb) {
+    const std::uint64_t* x =
+        xbits.data() + static_cast<std::size_t>(xb * words_used);
+    std::int64_t n = 0;
+    for (std::int64_t w = 0; w < words_used; ++w) n += std::popcount(x[w]);
+    popx[xb] = n;
+  }
+  for (int k = 0; k < 8; ++k) {
+    for (std::int64_t j = 0; j < cols_used_; ++j) {
+      const std::uint64_t* p = plane(k, j);
+      std::int64_t shifted = 0;  // Σ_xb 2^xb · bitline(xb)
+      for (int xb = 0; xb < 8; ++xb) {
+        const std::uint64_t* x =
+            xbits.data() + static_cast<std::size_t>(xb * words_used);
+        std::int64_t bitline = 0;
+        for (std::int64_t w = 0; w < words_used; ++w) {
+          bitline += std::popcount(x[w] & p[w]);
+        }
+        if (k == 7) bitline = popx[xb] - bitline;
+        shifted += bitline << xb;
+      }
+      out[j] += static_cast<std::int32_t>(shifted << k);
+    }
+  }
+  for (std::int64_t j = 0; j < cols_used_; ++j) {
+    out[j] -= static_cast<std::int32_t>(ref);
+  }
+}
+
+std::vector<std::int32_t> LogicalCrossbar::mvm_multilevel_scalar(
     std::span<const std::uint8_t> input, int cell_bits) const {
   AUTOHET_CHECK(cell_bits > 0 && cell_bits <= 8 && 8 % cell_bits == 0,
                 "cell_bits must divide 8");
@@ -118,21 +303,50 @@ void LogicalCrossbar::apply_variation(common::Rng& rng, double sigma) {
     const double clamped = std::clamp(noisy, -128.0, 127.0);
     cell = static_cast<std::int8_t>(std::lround(clamped));
   }
+  if (!packed_.empty()) repack();
 }
 
 FaultMapStats LogicalCrossbar::apply_faults(const FaultModel& model,
-                                            std::uint64_t crossbar_id) {
-  return model.apply(cells_, shape_.rows, shape_.cols, shape_.cols,
-                     crossbar_id);
+                                            std::uint64_t crossbar_id,
+                                            bool reference_path) {
+  const FaultMapStats stats =
+      reference_path
+          ? model.apply_reference(cells_, shape_.rows, shape_.cols,
+                                  shape_.cols, crossbar_id)
+          : model.apply(cells_, shape_.rows, shape_.cols, shape_.cols,
+                        crossbar_id);
+  if (!packed_.empty() && !model.ideal()) repack();
+  return stats;
 }
 
-std::vector<std::int32_t> LogicalCrossbar::mvm_read_noisy(
+FaultMapStats LogicalCrossbar::apply_faults_recording(
+    const FaultModel& model, std::uint64_t crossbar_id,
+    std::vector<StuckCandidate>& out) {
+  const FaultMapStats stats = model.apply_recording(
+      cells_, shape_.rows, shape_.cols, shape_.cols, crossbar_id, out);
+  if (!packed_.empty()) repack();
+  return stats;
+}
+
+FaultMapStats LogicalCrossbar::replay_stuck_faults(
+    const FaultModel& model, std::span<const StuckCandidate> hits) {
+  const FaultMapStats delta =
+      model.replay_stuck(cells_, shape_.cols, shape_.cols, hits);
+  if (!packed_.empty() && (delta.stuck_at_zero || delta.stuck_at_one)) {
+    repack();
+  }
+  return delta;
+}
+
+void LogicalCrossbar::mvm_read_noisy_accum(
     std::span<const std::uint8_t> input, common::Rng& rng,
-    double weight_sigma) const {
-  if (weight_sigma == 0.0) return mvm_reference(input);
+    double weight_sigma, std::int32_t* out) const {
+  if (weight_sigma == 0.0) {
+    mvm_reference_accum(input, out);
+    return;
+  }
   AUTOHET_CHECK(static_cast<std::int64_t>(input.size()) == rows_used_,
                 "input length must equal rows_used");
-  std::vector<std::int32_t> acc(static_cast<std::size_t>(cols_used_), 0);
   for (std::int64_t i = 0; i < rows_used_; ++i) {
     const std::int32_t x = input[static_cast<std::size_t>(i)];
     if (x == 0) continue;  // gated wordline: cells are not sensed
@@ -142,13 +356,88 @@ std::vector<std::int32_t> LogicalCrossbar::mvm_read_noisy(
           static_cast<double>(row[j]) + rng.normal(0.0, weight_sigma);
       const auto w = static_cast<std::int32_t>(
           std::lround(std::clamp(noisy, -128.0, 127.0)));
-      acc[static_cast<std::size_t>(j)] += x * w;
+      out[j] += x * w;
     }
   }
+}
+
+std::vector<std::int32_t> LogicalCrossbar::mvm_read_noisy(
+    std::span<const std::uint8_t> input, common::Rng& rng,
+    double weight_sigma) const {
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(cols_used_), 0);
+  mvm_read_noisy_accum(input, rng, weight_sigma, acc.data());
   return acc;
 }
 
+void LogicalCrossbar::mvm_reference_accum(std::span<const std::uint8_t> input,
+                                          std::int32_t* out) const {
+  AUTOHET_CHECK(static_cast<std::int64_t>(input.size()) == rows_used_,
+                "input length must equal rows_used");
+  // Blocked GEMV: gather up to four nonzero-activation rows and fuse their
+  // widening int8 multiply-adds into one pass over the accumulators, so the
+  // out[] traffic amortizes across rows (integer adds reassociate exactly).
+  const std::int64_t stride = shape_.cols;
+  std::int64_t rows[4];
+  std::int64_t i = 0;
+  while (i < rows_used_) {
+    int n = 0;
+    while (i < rows_used_ && n < 4) {
+      if (input[static_cast<std::size_t>(i)] != 0) rows[n++] = i;
+      ++i;
+    }
+    if (n == 4) {
+      const std::int32_t x0 = input[static_cast<std::size_t>(rows[0])];
+      const std::int32_t x1 = input[static_cast<std::size_t>(rows[1])];
+      const std::int32_t x2 = input[static_cast<std::size_t>(rows[2])];
+      const std::int32_t x3 = input[static_cast<std::size_t>(rows[3])];
+      const std::int8_t* r0 = cells_.data() + rows[0] * stride;
+      const std::int8_t* r1 = cells_.data() + rows[1] * stride;
+      const std::int8_t* r2 = cells_.data() + rows[2] * stride;
+      const std::int8_t* r3 = cells_.data() + rows[3] * stride;
+      for (std::int64_t j = 0; j < cols_used_; ++j) {
+        out[j] += x0 * static_cast<std::int32_t>(r0[j]) +
+                  x1 * static_cast<std::int32_t>(r1[j]) +
+                  x2 * static_cast<std::int32_t>(r2[j]) +
+                  x3 * static_cast<std::int32_t>(r3[j]);
+      }
+    } else {
+      for (int m = 0; m < n; ++m) {
+        const std::int32_t x = input[static_cast<std::size_t>(rows[m])];
+        const std::int8_t* row = cells_.data() + rows[m] * stride;
+        for (std::int64_t j = 0; j < cols_used_; ++j) {
+          out[j] += x * static_cast<std::int32_t>(row[j]);
+        }
+      }
+    }
+  }
+}
+
+void LogicalCrossbar::mvm_reference_batch_accum(const std::uint8_t* inputs_t,
+                                                std::int64_t count,
+                                                std::int32_t* acc_t) const {
+  const std::int64_t stride = shape_.cols;
+  for (std::int64_t i = 0; i < rows_used_; ++i) {
+    const std::uint8_t* xs = inputs_t + i * count;
+    const std::int8_t* row = cells_.data() + i * stride;
+    for (std::int64_t j = 0; j < cols_used_; ++j) {
+      const std::int32_t w = row[j];
+      if (w == 0) continue;  // a zero cell contributes exactly zero
+      std::int32_t* a = acc_t + j * count;
+      for (std::int64_t p = 0; p < count; ++p) {
+        a[p] += w * static_cast<std::int32_t>(xs[p]);
+      }
+    }
+  }
+}
+
 std::vector<std::int32_t> LogicalCrossbar::mvm_reference(
+    std::span<const std::uint8_t> input) const {
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(cols_used_), 0);
+  mvm_reference_accum(input, acc.data());
+  return acc;
+}
+
+std::vector<std::int32_t> LogicalCrossbar::mvm_reference_scalar(
     std::span<const std::uint8_t> input) const {
   AUTOHET_CHECK(static_cast<std::int64_t>(input.size()) == rows_used_,
                 "input length must equal rows_used");

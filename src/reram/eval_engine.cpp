@@ -359,7 +359,18 @@ RobustnessReport EvaluationEngine::evaluate_robustness(
     AUTOHET_CHECK(a < candidates_.size(), "action index out of range");
     shapes.push_back(candidates_[a]);
   }
-  return monte_carlo_robustness(model, shapes, faults, options);
+  // Callers that leave the trial parallelism at its serial default inherit
+  // the engine's configured worker count (reports are byte-identical at
+  // any thread count, so this is purely a wall-time knob).
+  RobustnessOptions effective = options;
+  if (effective.threads == 1 && config_.threads > 1) {
+    effective.threads = static_cast<int>(config_.threads);
+  }
+  // Sweeps that revisit one configuration across fault grids reuse the
+  // engine's trial-fabric cache (byte-identical reports, see
+  // TrialFabricCache); callers can still pass their own cache.
+  if (effective.cache == nullptr) effective.cache = &mc_cache_;
+  return monte_carlo_robustness(model, shapes, faults, effective);
 }
 
 EvaluationEngine::CacheStats EvaluationEngine::cache_stats() const {

@@ -98,9 +98,17 @@ class EvaluationEngine {
   /// Monte-Carlo accuracy-under-faults of one action vector: maps each
   /// action to its candidate shape and runs `monte_carlo_robustness` on the
   /// functional fabric. `model`'s mappable layers must match the engine's
-  /// layer count (same order). Not memoized — each call re-simulates; use
-  /// the analytic `fault_vulnerability` in `evaluate()` reports for
-  /// in-loop search feedback and this for the expensive ground truth.
+  /// layer count (same order). Reports are not memoized, but the engine
+  /// passes its `TrialFabricCache` (unless `options.cache` is already set):
+  /// fault sweeps that revisit one configuration across stuck-rate grids
+  /// record each trial's burn-in once and replay it per rate point, and
+  /// share the ideal references across the grid — byte-identical reports,
+  /// large wall-time savings. Use the analytic `fault_vulnerability` in
+  /// `evaluate()` reports for in-loop search feedback and this for the
+  /// expensive ground truth.
+  /// When `options.threads` is the serial default (1) and the engine was
+  /// configured with worker threads, the Monte-Carlo trials fan out across
+  /// that many threads (byte-identical reports either way).
   RobustnessReport evaluate_robustness(
       const nn::Model& model, const std::vector<std::size_t>& actions,
       const FaultConfig& faults, const RobustnessOptions& options = {}) const;
@@ -169,6 +177,9 @@ class EvaluationEngine {
       memo_;
   mutable CacheStats stats_;
   mutable std::unique_ptr<common::ThreadPool> pool_;  ///< lazy, when threads>0
+  /// Cross-call Monte-Carlo fabric cache for evaluate_robustness (its own
+  /// internal locking; byte-identical reports — see TrialFabricCache).
+  mutable TrialFabricCache mc_cache_;
 
   // Unsynchronized memo helpers (callers hold mutex_).
   const NetworkReport* lookup_locked(

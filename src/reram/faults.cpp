@@ -1,6 +1,7 @@
 #include "reram/faults.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -55,6 +56,37 @@ FaultModel::FaultModel(const FaultConfig& config) : config_(config) {
           : 1.0;
   read_sigma_weights_ =
       config_.read_sigma * level_noise_amplification(config_.cell_bits);
+
+  // Fast-kernel precompute. Retention drift multiplies every level by a
+  // constant != 1, defeating the "level provably unchanged" shortcut, so
+  // drifted configs stay on the reference path.
+  fast_eligible_ = drift_factor_ == 1.0;
+  // uniform() returns k·2⁻⁵³ with k = uniform_bits53(); multiplying a rate
+  // by 2⁵³ is exact (pure exponent shift), so k·2⁻⁵³ < rate ⟺ k < ceil(T).
+  const auto thr53 = [](double rate) {
+    return static_cast<std::uint64_t>(std::ceil(rate * 0x1.0p53));
+  };
+  stuck_zero_thr53_ = thr53(config_.stuck_at_zero_rate);
+  // The sum is rounded in double first, exactly as perturb_weight compares.
+  stuck_sum_thr53_ =
+      thr53(config_.stuck_at_zero_rate + config_.stuck_at_one_rate);
+  if (fast_eligible_ && config_.program_sigma > 0.0) {
+    // Marsaglia polar: the accepted pair (u, v) with s = u²+v² yields
+    // deviates u·m and v·m with m = sqrt(−2 ln s / s), so |N| ≤ sqrt(−2 ln s)
+    // (since |u|,|v| ≤ √s). Level L survives lround(L·exp(σN)) == L whenever
+    // |σN| < ln(1 + 1/(2L)) — the tighter of the two rounding boundaries —
+    // giving the sufficient condition s > exp(−(ln(1+1/(2L))/σ)²/2).
+    level_s_safe_.assign(level_mask_ + 1u, 1.0);  // level 0 draws no normal
+    for (unsigned level = 1; level <= level_mask_; ++level) {
+      // The 1−1e−9 shrink keeps the bound conservative against the ~1-ulp
+      // rounding of this precompute chain: borderline cells take the exact
+      // slow path instead of being (wrongly) skipped.
+      const double bound = (1.0 - 1e-9) *
+                           std::log1p(0.5 / static_cast<double>(level)) /
+                           config_.program_sigma;
+      level_s_safe_[level] = std::exp(-0.5 * bound * bound);
+    }
+  }
 }
 
 std::int8_t FaultModel::perturb_weight(std::int8_t weight, common::Rng& rng,
@@ -97,6 +129,27 @@ FaultMapStats FaultModel::apply(std::span<std::int8_t> cells,
                                 std::int64_t rows, std::int64_t cols,
                                 std::int64_t row_stride,
                                 std::uint64_t crossbar_id) const {
+  if (!fast_eligible_) {
+    return apply_reference(cells, rows, cols, row_stride, crossbar_id);
+  }
+  FaultMapStats stats;
+  if (ideal()) return stats;
+  AUTOHET_CHECK(rows >= 0 && cols >= 0 && row_stride >= cols,
+                "invalid fault-map geometry");
+  common::Rng rng = common::Rng(config_.seed).child(crossbar_id);
+  stats = apply_fast(cells, rows, cols, row_stride, rng);
+  OBS_COUNTER_ADD("autohet_fault_cells_total",
+                  static_cast<std::uint64_t>(stats.physical_cells));
+  OBS_COUNTER_ADD("autohet_fault_stuck_cells_total",
+                  static_cast<std::uint64_t>(stats.stuck_at_zero +
+                                             stats.stuck_at_one));
+  return stats;
+}
+
+FaultMapStats FaultModel::apply_reference(std::span<std::int8_t> cells,
+                                          std::int64_t rows, std::int64_t cols,
+                                          std::int64_t row_stride,
+                                          std::uint64_t crossbar_id) const {
   FaultMapStats stats;
   if (ideal()) return stats;
   AUTOHET_CHECK(rows >= 0 && cols >= 0 && row_stride >= cols,
@@ -113,6 +166,320 @@ FaultMapStats FaultModel::apply(std::span<std::int8_t> cells,
   OBS_COUNTER_ADD("autohet_fault_stuck_cells_total",
                   static_cast<std::uint64_t>(stats.stuck_at_zero +
                                              stats.stuck_at_one));
+  return stats;
+}
+
+FaultMapStats FaultModel::apply_fast(std::span<std::int8_t> cells,
+                                     std::int64_t rows, std::int64_t cols,
+                                     std::int64_t row_stride,
+                                     common::Rng& rng) const {
+  switch (planes_) {
+    case 8:
+      return apply_fast_impl<8, false>(cells, rows, cols, row_stride, rng,
+                                       nullptr);
+    case 4:
+      return apply_fast_impl<4, false>(cells, rows, cols, row_stride, rng,
+                                       nullptr);
+    case 2:
+      return apply_fast_impl<2, false>(cells, rows, cols, row_stride, rng,
+                                       nullptr);
+    default:
+      return apply_fast_impl<1, false>(cells, rows, cols, row_stride, rng,
+                                       nullptr);
+  }
+}
+
+FaultMapStats FaultModel::apply_recording(
+    std::span<std::int8_t> cells, std::int64_t rows, std::int64_t cols,
+    std::int64_t row_stride, std::uint64_t crossbar_id,
+    std::vector<StuckCandidate>& out) const {
+  AUTOHET_CHECK(record_eligible(),
+                "this fault config cannot be recorded (drift, zero stuck "
+                "rates, or rates beyond the recording cap)");
+  AUTOHET_CHECK(rows >= 0 && cols >= 0 && row_stride >= cols,
+                "invalid fault-map geometry");
+  AUTOHET_CHECK(rows * cols * planes_ <= 0xffffffffll,
+                "crossbar too large for 32-bit plane indices");
+  common::Rng rng = common::Rng(config_.seed).child(crossbar_id);
+  switch (planes_) {
+    case 8:
+      return apply_fast_impl<8, true>(cells, rows, cols, row_stride, rng,
+                                      &out);
+    case 4:
+      return apply_fast_impl<4, true>(cells, rows, cols, row_stride, rng,
+                                      &out);
+    case 2:
+      return apply_fast_impl<2, true>(cells, rows, cols, row_stride, rng,
+                                      &out);
+    default:
+      return apply_fast_impl<1, true>(cells, rows, cols, row_stride, rng,
+                                      &out);
+  }
+}
+
+FaultMapStats FaultModel::replay_stuck(
+    std::span<std::int8_t> cells, std::int64_t cols, std::int64_t row_stride,
+    std::span<const StuckCandidate> hits) const {
+  FaultMapStats delta;
+  const int b = config_.cell_bits;
+  const auto planes = static_cast<std::uint32_t>(planes_);
+  std::size_t i = 0;
+  while (i < hits.size()) {
+    // Candidates are in stream order, so same-cell hits are adjacent: patch
+    // the byte once per touched cell and correct weights_changed exactly
+    // (the recording counted post-variation vs original).
+    const std::uint32_t cell = hits[i].plane / planes;
+    const std::int8_t original = hits[i].original;
+    const std::int64_t r = cell / cols;
+    const std::int64_t c = cell % cols;
+    std::int8_t& byte = cells[static_cast<std::size_t>(r * row_stride + c)];
+    const std::int8_t post_var = byte;
+    auto offset = static_cast<unsigned>(static_cast<int>(byte) + 128);
+    bool touched = false;
+    for (; i < hits.size() && hits[i].plane / planes == cell; ++i) {
+      const std::uint64_t k = hits[i].k;
+      if (k >= stuck_sum_thr53_) continue;
+      const auto p = static_cast<int>(hits[i].plane % planes);
+      unsigned forced;
+      if (k < stuck_zero_thr53_) {
+        forced = 0;
+        ++delta.stuck_at_zero;
+      } else {
+        forced = level_mask_;
+        ++delta.stuck_at_one;
+      }
+      offset = (offset & ~(level_mask_ << (p * b))) | (forced << (p * b));
+      touched = true;
+    }
+    if (touched) {
+      const auto final_w =
+          static_cast<std::int8_t>(static_cast<int>(offset) - 128);
+      byte = final_w;
+      delta.weights_changed +=
+          static_cast<int>(final_w != original) -
+          static_cast<int>(post_var != original);
+    }
+  }
+  return delta;
+}
+
+template <int kPlanes, bool kRecord>
+FaultMapStats FaultModel::apply_fast_impl(
+    std::span<std::int8_t> cells, std::int64_t rows, std::int64_t cols,
+    std::int64_t row_stride, common::Rng& rng,
+    std::vector<StuckCandidate>* rec) const {
+  // Burn-in dominates Monte-Carlo robustness wall time (it touches every
+  // physical cell of every trial fabric), so this kernel strips the per-cell
+  // cost to raw RNG stream advancement wherever the result provably cannot
+  // change. It replicates perturb_weight's stream consumption draw for draw:
+  //   * the lognormal variation draws one polar-method normal per nonzero
+  //     level — here the rejection loop runs identically, but the sqrt/log/
+  //     exp/lround are skipped whenever s > level_s_safe_[L] proves the
+  //     rounded level is unchanged (the overwhelmingly common case at
+  //     realistic σ). The polar pair cache lives in locals: legal because
+  //     this rng is crossbar-local and discarded when apply() returns.
+  //   * the stuck-at uniform compares raw 53-bit draws against precomputed
+  //     integer thresholds instead of materializing doubles.
+  const int b = 8 / kPlanes;
+  constexpr int planes = kPlanes;
+  const unsigned mask = level_mask_;
+  const double sigma = config_.program_sigma;
+  const bool variation = sigma > 0.0;
+  const bool stuck =
+      config_.stuck_at_zero_rate > 0.0 || config_.stuck_at_one_rate > 0.0;
+  // A zero weight encodes as offset 128 = top_level in the top plane alone
+  // (for every cell_bits dividing 8), so its draw pattern is fixed.
+  const unsigned top_level = 1u << (b - 1);
+  const int top_shift = (planes - 1) * b;
+  const double s_safe_top = variation ? level_s_safe_[top_level] : 1.0;
+  FaultMapStats stats;
+  stats.physical_cells = rows * cols * planes;
+  // Polar pair cache (mirrors Rng::normal's cached second deviate, with the
+  // value deferred: only s and the pair are kept until someone needs it).
+  bool has_pending = false;
+  double pu = 0.0, pv = 0.0, ps = 0.0;
+  // Recording locals: flat plane-index base and original weight of the cell
+  // currently being processed (unused when !kRecord).
+  std::uint64_t rec_base = 0;
+  std::int8_t rec_orig = 0;
+  // uniform(-1, 1) = -1 + 2·(k·2⁻⁵³) with k = uniform_bits53(). The doubling
+  // and the subtraction are both exact (k·2⁻⁵² and k·2⁻⁵² − 1 each fit in 53
+  // significant bits since |k − 2⁵²| ≤ 2⁵²), so the single convert+multiply
+  // below is bit-identical with a shorter dependency chain in the rejection
+  // loop.
+  const auto unit_draw = [&rng]() {
+    return static_cast<double>(static_cast<std::int64_t>(rng.uniform_bits53()) -
+                               (std::int64_t{1} << 52)) *
+           0x1.0p-52;
+  };
+  const auto next_normal_su = [&](double& s, double& uv) {
+    if (has_pending) {
+      has_pending = false;
+      s = ps;
+      uv = pv;  // second deviate of the pair, as Rng::normal caches
+    } else {
+      do {
+        pu = unit_draw();
+        pv = unit_draw();
+        ps = pu * pu + pv * pv;
+      } while (ps >= 1.0 || ps == 0.0);
+      has_pending = true;
+      s = ps;
+      uv = pu;
+    }
+  };
+  // Rare: the deviate is large enough to possibly move the level.
+  const auto requantize = [&](unsigned level, double s, double uv) {
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    const double noisy =
+        static_cast<double>(level) * std::exp(sigma * (uv * m));
+    return static_cast<unsigned>(
+        std::clamp(std::lround(noisy), 0l, static_cast<long>(mask)));
+  };
+  const auto stuck_override = [&](unsigned& quantized, int p) {
+    const std::uint64_t k = rng.uniform_bits53();
+    if constexpr (kRecord) {
+      (void)quantized;
+      if (k < kRecordCap53) [[unlikely]] {
+        rec->push_back(
+            {k,
+             static_cast<std::uint32_t>(rec_base +
+                                        static_cast<std::uint64_t>(p)),
+             rec_orig});
+      }
+    } else {
+      (void)p;
+      if (k < stuck_sum_thr53_) {
+        if (k < stuck_zero_thr53_) {
+          quantized = 0;
+          ++stats.stuck_at_zero;
+        } else {
+          quantized = mask;
+          ++stats.stuck_at_one;
+        }
+      }
+    }
+  };
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int8_t* row = cells.data() + r * row_stride;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const std::int8_t weight = row[c];
+      if (weight == 0) {
+        // Zero weight — the vast majority of a sparsely used physical array
+        // (stuck-at maps cover every cell, used or not). Its plane pattern
+        // is known up front, so the per-plane `level > 0` test that costs
+        // the generic path a mispredict per plane disappears: the lower
+        // planes collapse to a straight run of stuck draws and only the top
+        // plane draws variation. Stream consumption is identical.
+        unsigned out = 0;
+        if constexpr (kRecord) {
+          rec_base =
+              static_cast<std::uint64_t>(r * cols + c) * planes;
+          rec_orig = 0;
+        }
+        if (stuck) {
+          for (int p = 0; p < planes - 1; ++p) {
+            const std::uint64_t k = rng.uniform_bits53();
+            if constexpr (kRecord) {
+              if (k < kRecordCap53) [[unlikely]] {
+                rec->push_back(
+                    {k,
+                     static_cast<std::uint32_t>(
+                         rec_base + static_cast<std::uint64_t>(p)),
+                     rec_orig});
+              }
+            } else if (k < stuck_sum_thr53_) [[unlikely]] {
+              if (k < stuck_zero_thr53_) {
+                ++stats.stuck_at_zero;  // level was already 0
+              } else {
+                out |= mask << (p * b);
+                ++stats.stuck_at_one;
+              }
+            }
+          }
+        }
+        unsigned quantized = top_level;
+        if (variation) {
+          double s, uv;
+          next_normal_su(s, uv);
+          if (s <= s_safe_top) [[unlikely]] {
+            quantized = requantize(top_level, s, uv);
+          }
+        }
+        if (stuck) stuck_override(quantized, planes - 1);
+        out |= (quantized & mask) << top_shift;
+        const auto perturbed =
+            static_cast<std::int8_t>(static_cast<int>(out) - 128);
+        if (perturbed != 0) ++stats.weights_changed;
+        row[c] = perturbed;
+        continue;
+      }
+      const auto offset = static_cast<unsigned>(static_cast<int>(weight) + 128);
+      if constexpr (kRecord) {
+        rec_base = static_cast<std::uint64_t>(r * cols + c) * planes;
+        rec_orig = weight;
+      }
+      // Branchless mask of planes holding a nonzero level. Iterating its set
+      // bits (below) replaces `planes` unpredictable per-plane `level > 0`
+      // branches — the dominant cost on random weights, where each plane
+      // mispredicts half the time — with one loop whose trip count is the
+      // set-plane count.
+      unsigned plane_mask = 0;
+      for (int p = 0; p < planes; ++p) {
+        plane_mask |= ((offset >> (p * b)) & mask) ? 1u << p : 0u;
+      }
+      if (!variation) plane_mask = 0;  // no draws → every plane is stuck-only
+      unsigned out = offset;
+      // Planes outside the draw mask keep their stored level unless a stuck
+      // draw hits (rare), so the run loops touch `out` only on a hit.
+      const auto stuck_run = [&](int from, int to) {
+        for (int rp = from; rp < to; ++rp) {
+          const std::uint64_t k = rng.uniform_bits53();
+          if constexpr (kRecord) {
+            if (k < kRecordCap53) [[unlikely]] {
+              rec->push_back(
+                  {k,
+                   static_cast<std::uint32_t>(
+                       rec_base + static_cast<std::uint64_t>(rp)),
+                   rec_orig});
+            }
+          } else if (k < stuck_sum_thr53_) [[unlikely]] {
+            unsigned forced;
+            if (k < stuck_zero_thr53_) {
+              forced = 0;
+              ++stats.stuck_at_zero;
+            } else {
+              forced = mask;
+              ++stats.stuck_at_one;
+            }
+            out = (out & ~(mask << (rp * b))) | (forced << (rp * b));
+          }
+        }
+      };
+      int p = 0;
+      unsigned pending_planes = plane_mask;
+      while (pending_planes) {
+        const int q = std::countr_zero(pending_planes);
+        pending_planes &= pending_planes - 1;
+        if (stuck) stuck_run(p, q);
+        const unsigned level = (offset >> (q * b)) & mask;
+        unsigned quantized = level;
+        double s, uv;
+        next_normal_su(s, uv);
+        if (s <= level_s_safe_[level]) {
+          quantized = requantize(level, s, uv);
+        }
+        if (stuck) stuck_override(quantized, q);
+        out = (out & ~(mask << (q * b))) | (quantized << (q * b));
+        p = q + 1;
+      }
+      if (stuck) stuck_run(p, planes);
+      const auto perturbed =
+          static_cast<std::int8_t>(static_cast<int>(out) - 128);
+      if (perturbed != weight) ++stats.weights_changed;
+      row[c] = perturbed;
+    }
+  }
   return stats;
 }
 

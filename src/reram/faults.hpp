@@ -108,6 +108,19 @@ struct RobustnessReport {
   FaultMapStats fault_stats;  ///< aggregated over every trial fabric
 };
 
+/// One stuck-at draw candidate captured by a recording burn-in pass
+/// (FaultModel::apply_recording): the raw 53-bit uniform draw `k`, the flat
+/// physical-plane index it targets ((row·cols + col)·planes + plane) and the
+/// originally programmed weight of the owning logical cell (needed to
+/// recompute weights_changed exactly on replay). Only draws below
+/// FaultModel::kRecordCap53 are kept, so at sweep-scale rates the list is a
+/// few candidates per thousand cells.
+struct StuckCandidate {
+  std::uint64_t k = 0;       ///< raw uniform_bits53 draw
+  std::uint32_t plane = 0;   ///< (row·cols + col)·planes + plane
+  std::int8_t original = 0;  ///< programmed weight before any perturbation
+};
+
 /// Seeded sampler that burns a FaultConfig into programmed weight arrays.
 /// Stateless across calls: every perturbation is a pure function of
 /// (config.seed, crossbar_id), so fabrics rebuilt with the same seed see
@@ -122,13 +135,64 @@ class FaultModel {
   /// Applies stuck-at faults, programming variation and drift to a full
   /// rows×cols two's-complement weight array (row-major, stride
   /// `row_stride`). Deterministic in (config.seed, crossbar_id).
+  /// Dispatches to a stream-exact fast kernel when eligible (no drift):
+  /// cells, stats and the consumed RNG stream are bit-identical to
+  /// apply_reference (tested), only the wall time differs.
   FaultMapStats apply(std::span<std::int8_t> cells, std::int64_t rows,
                       std::int64_t cols, std::int64_t row_stride,
                       std::uint64_t crossbar_id) const;
 
-  /// Perturbs one weight (used by apply(); exposed for tests).
+  /// The straightforward per-cell path (perturb_weight per logical weight).
+  /// Retained as the equivalence oracle for the fast kernel and as the
+  /// scalar-baseline burn-in for KernelPolicy::kScalar fabrics.
+  FaultMapStats apply_reference(std::span<std::int8_t> cells,
+                                std::int64_t rows, std::int64_t cols,
+                                std::int64_t row_stride,
+                                std::uint64_t crossbar_id) const;
+
+  /// Perturbs one weight (used by apply_reference(); exposed for tests).
   std::int8_t perturb_weight(std::int8_t weight, common::Rng& rng,
                              FaultMapStats& stats) const;
+
+  /// Recording cap: stuck draws with k < 2⁵³/16 are captured by
+  /// apply_recording, so any config whose summed stuck rate is ≤ 1/16 can be
+  /// replayed from one recording (the sweep grids top out around 1e-2).
+  static constexpr std::uint64_t kRecordCap53 = std::uint64_t{1} << 49;
+
+  /// True when this config's burn-in can be recorded and later replayed:
+  /// fast-kernel eligible (no drift), stuck draws consumed (some stuck rate
+  /// > 0 — a zero-rate stream skips the draws entirely and is a different
+  /// stream) and thresholds within the recording cap.
+  bool record_eligible() const noexcept {
+    return fast_eligible_ && stuck_sum_thr53_ > 0 &&
+           stuck_sum_thr53_ <= kRecordCap53;
+  }
+
+  /// Recording burn-in: consumes the RNG stream exactly as apply() does for
+  /// this config, applies programming variation to `cells`, but *records*
+  /// every stuck draw below kRecordCap53 into `out` (appended in stream
+  /// order) instead of applying any stuck override. The returned stats carry
+  /// the variation-only counts (stuck counts zero); replay_stuck() then
+  /// completes the burn for any rate pair within the cap. The key property
+  /// (tested): the burn-in stream position never depends on the stuck *rate
+  /// values*, so one recording serves every nonzero-rate config sharing
+  /// (seed, program_sigma, cell_bits). Requires record_eligible().
+  FaultMapStats apply_recording(std::span<std::int8_t> cells,
+                                std::int64_t rows, std::int64_t cols,
+                                std::int64_t row_stride,
+                                std::uint64_t crossbar_id,
+                                std::vector<StuckCandidate>& out) const;
+
+  /// Completes a recorded burn on a post-variation clone: forces the planes
+  /// whose recorded draw falls under this config's thresholds and returns
+  /// the *delta* stats (stuck counts plus the weights_changed correction
+  /// relative to the recording's variation-only count; physical_cells 0, so
+  /// recording stats + delta == apply() stats exactly). `cells` must hold
+  /// the recording's post-variation state; `hits` must be the recording's
+  /// candidate list for the same geometry.
+  FaultMapStats replay_stuck(std::span<std::int8_t> cells, std::int64_t cols,
+                             std::int64_t row_stride,
+                             std::span<const StuckCandidate> hits) const;
 
   /// Effective weight-space rms error per unit σ of per-level lognormal
   /// noise: A(b) = sqrt(E[v²] · Σ_p 4^{p·b}) with v uniform over the level
@@ -143,11 +207,34 @@ class FaultModel {
   }
 
  private:
+  FaultMapStats apply_fast(std::span<std::int8_t> cells, std::int64_t rows,
+                           std::int64_t cols, std::int64_t row_stride,
+                           common::Rng& rng) const;
+  /// apply_fast body with the plane count baked in at compile time so the
+  /// per-plane loops fully unroll (defined in faults.cpp; instantiated for
+  /// every legal 8 / cell_bits). With kRecord the stuck draws are captured
+  /// into `rec` instead of applied (the apply_recording path); the branch is
+  /// compile-time, so the hot non-recording kernel is unchanged.
+  template <int kPlanes, bool kRecord>
+  FaultMapStats apply_fast_impl(std::span<std::int8_t> cells,
+                                std::int64_t rows, std::int64_t cols,
+                                std::int64_t row_stride, common::Rng& rng,
+                                std::vector<StuckCandidate>* rec) const;
+
   FaultConfig config_;
   int planes_ = 8;           ///< 8 / cell_bits
   unsigned level_mask_ = 1;  ///< 2^cell_bits − 1
   double drift_factor_ = 1.0;
   double read_sigma_weights_ = 0.0;
+  // Fast-kernel precompute (see apply_fast): integer stuck-at thresholds on
+  // the raw 53-bit uniform draw, and per-level polar-rejection safety bounds
+  // s_safe[L] — when the accepted polar s exceeds s_safe[L] the lognormal
+  // perturbation provably cannot move level L off its grid point, so the
+  // sqrt/log/exp are skipped while the RNG stream advances identically.
+  bool fast_eligible_ = false;
+  std::uint64_t stuck_zero_thr53_ = 0;  ///< u < z₀ ⟺ bits53 < this
+  std::uint64_t stuck_sum_thr53_ = 0;   ///< u < z₀+z₁ ⟺ bits53 < this
+  std::vector<double> level_s_safe_;    ///< indexed by level, [0..mask]
 };
 
 /// Closed-form per-layer fault vulnerability in [0, 1]: the expected

@@ -1,9 +1,13 @@
 #include "reram/functional.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <thread>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/obs.hpp"
 #include "tensor/ops.hpp"
 
@@ -13,20 +17,30 @@ namespace {
 /// Crossbar-id stride between layers: fault maps stay stable per crossbar
 /// as long as no layer spans more than 2^20 logical crossbars.
 constexpr std::uint64_t kFaultIdStride = std::uint64_t{1} << 20;
+
+/// Read-noise stream key for one MVM call: the per-pass noise stream in the
+/// high bits, the output-position ordinal in the low 20 (no conv in the zoo
+/// comes near 2^20 output positions).
+constexpr std::uint64_t make_call_key(std::uint64_t noise_stream,
+                                      std::uint64_t position) noexcept {
+  return (noise_stream << 20) | position;
+}
 }  // namespace
 
 MappedLayer::MappedLayer(const nn::LayerSpec& spec,
                          const tensor::Tensor& weight,
                          const mapping::CrossbarShape& shape,
-                         const FaultModel* faults, std::uint64_t layer_id)
+                         const FaultModel* faults, std::uint64_t layer_id,
+                         KernelPolicy policy)
     : MappedLayer(spec, weight, mapping::map_layer(spec, shape), faults,
-                  layer_id) {}
+                  layer_id, policy) {}
 
 MappedLayer::MappedLayer(const nn::LayerSpec& spec,
                          const tensor::Tensor& weight,
                          const mapping::LayerMapping& mapping,
-                         const FaultModel* faults, std::uint64_t layer_id)
-    : spec_(spec), mapping_(mapping) {
+                         const FaultModel* faults, std::uint64_t layer_id,
+                         KernelPolicy policy)
+    : spec_(spec), mapping_(mapping), policy_(policy) {
   AUTOHET_CHECK(mapping_ == mapping::map_layer(spec, mapping_.shape),
                 "mapping geometry disagrees with map_layer for this layer");
   const mapping::CrossbarShape& shape = mapping_.shape;
@@ -50,6 +64,9 @@ MappedLayer::MappedLayer(const nn::LayerSpec& spec,
   crossbars_.reserve(static_cast<std::size_t>(rb_count * cb_count));
   row_ranges_.reserve(static_cast<std::size_t>(rb_count));
 
+  // The two mapping paths differ only in how a row block's weight-row range
+  // is derived: whole kernels per block (kernel-aligned, Fig. 7) vs a plain
+  // row partition (split-kernel fallback).
   if (!mapping_.split_kernel) {
     const std::int64_t kpb = mapping_.kernels_per_row_block;
     for (std::int64_t rb = 0; rb < rb_count; ++rb) {
@@ -57,41 +74,25 @@ MappedLayer::MappedLayer(const nn::LayerSpec& spec,
       const std::int64_t ch1 = std::min(spec.in_channels, ch0 + kpb);
       row_ranges_.emplace_back(ch0 * k2, ch1 * k2);
     }
-    for (std::int64_t rb = 0; rb < rb_count; ++rb) {
-      const auto [r0, r1] = row_ranges_[static_cast<std::size_t>(rb)];
-      for (std::int64_t cb = 0; cb < cb_count; ++cb) {
-        const std::int64_t c0 = cb * shape.cols;
-        const std::int64_t c1 = std::min(wcols, c0 + shape.cols);
-        LogicalCrossbar xb(shape);
-        for (std::int64_t r = r0; r < r1; ++r) {
-          for (std::int64_t c = c0; c < c1; ++c) {
-            xb.program_cell(r - r0, c - c0, wq(r, c));
-          }
-        }
-        crossbars_.push_back(std::move(xb));
-      }
-    }
   } else {
-    // Split-kernel fallback: plain row-wise partition of the weight matrix.
     for (std::int64_t rb = 0; rb < rb_count; ++rb) {
       const std::int64_t r0 = rb * shape.rows;
       const std::int64_t r1 = std::min(wrows, r0 + shape.rows);
       row_ranges_.emplace_back(r0, r1);
-      // (crossbars appended below, after all ranges, to keep rb-major order)
     }
-    for (std::int64_t rb = 0; rb < rb_count; ++rb) {
-      const auto [r0, r1] = row_ranges_[static_cast<std::size_t>(rb)];
-      for (std::int64_t cb = 0; cb < cb_count; ++cb) {
-        const std::int64_t c0 = cb * shape.cols;
-        const std::int64_t c1 = std::min(wcols, c0 + shape.cols);
-        LogicalCrossbar xb(shape);
-        for (std::int64_t r = r0; r < r1; ++r) {
-          for (std::int64_t c = c0; c < c1; ++c) {
-            xb.program_cell(r - r0, c - c0, wq(r, c));
-          }
+  }
+  for (std::int64_t rb = 0; rb < rb_count; ++rb) {
+    const auto [r0, r1] = row_ranges_[static_cast<std::size_t>(rb)];
+    for (std::int64_t cb = 0; cb < cb_count; ++cb) {
+      const std::int64_t c0 = cb * shape.cols;
+      const std::int64_t c1 = std::min(wcols, c0 + shape.cols);
+      LogicalCrossbar xb(shape);
+      for (std::int64_t r = r0; r < r1; ++r) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          xb.program_cell(r - r0, c - c0, wq(r, c));
         }
-        crossbars_.push_back(std::move(xb));
       }
+      crossbars_.push_back(std::move(xb));
     }
   }
 
@@ -99,24 +100,89 @@ MappedLayer::MappedLayer(const nn::LayerSpec& spec,
   // maps and programming variation are burned into the arrays the moment
   // the weights are written (reram/faults.hpp).
   if (faults != nullptr && !faults->ideal()) {
-    const std::uint64_t base_id = layer_id * kFaultIdStride;
-    for (std::size_t i = 0; i < crossbars_.size(); ++i) {
-      fault_stats_ += crossbars_[i].apply_faults(
-          *faults, base_id + static_cast<std::uint64_t>(i));
-    }
-    read_sigma_weights_ = faults->read_noise_weight_sigma();
-    read_rng_ = common::Rng(faults->config().seed ^ 0x5eadbeefcafeULL)
-                    .child(layer_id);
+    burn_faults(*faults, layer_id,
+                policy_ == KernelPolicy::kScalarReference);
   }
+}
+
+void MappedLayer::burn_faults(const FaultModel& faults, std::uint64_t layer_id,
+                              bool reference_path) {
+  fault_stats_ = {};
+  read_sigma_weights_ = 0.0;
+  if (faults.ideal()) return;
+  const std::uint64_t base_id = layer_id * kFaultIdStride;
+  for (std::size_t i = 0; i < crossbars_.size(); ++i) {
+    fault_stats_ += crossbars_[i].apply_faults(
+        faults, base_id + static_cast<std::uint64_t>(i), reference_path);
+  }
+  read_sigma_weights_ = faults.read_noise_weight_sigma();
+  read_base_ = common::Rng(faults.config().seed ^ 0x5eadbeefcafeULL)
+                   .child(layer_id);
+}
+
+void MappedLayer::burn_faults_recording(const FaultModel& faults,
+                                        std::uint64_t layer_id,
+                                        std::vector<CrossbarBurnRecord>& out) {
+  fault_stats_ = {};
+  out.clear();
+  out.resize(crossbars_.size());
+  const std::uint64_t base_id = layer_id * kFaultIdStride;
+  for (std::size_t i = 0; i < crossbars_.size(); ++i) {
+    out[i].variation = crossbars_[i].apply_faults_recording(
+        faults, base_id + static_cast<std::uint64_t>(i), out[i].hits);
+    fault_stats_ += out[i].variation;
+  }
+  read_sigma_weights_ = faults.read_noise_weight_sigma();
+  read_base_ = common::Rng(faults.config().seed ^ 0x5eadbeefcafeULL)
+                   .child(layer_id);
+}
+
+void MappedLayer::replay_faults(
+    const FaultModel& faults, std::uint64_t layer_id,
+    const std::vector<CrossbarBurnRecord>& recorded) {
+  AUTOHET_CHECK(recorded.size() == crossbars_.size(),
+                "recorded burn does not match this layer's crossbar grid");
+  fault_stats_ = {};
+  for (std::size_t i = 0; i < crossbars_.size(); ++i) {
+    fault_stats_ += recorded[i].variation;
+    fault_stats_ += crossbars_[i].replay_stuck_faults(faults,
+                                                      recorded[i].hits);
+  }
+  read_sigma_weights_ = faults.read_noise_weight_sigma();
+  read_base_ = common::Rng(faults.config().seed ^ 0x5eadbeefcafeULL)
+                   .child(layer_id);
+}
+
+void MappedLayer::prepare_packed() {
+  for (auto& xb : crossbars_) xb.ensure_packed();
 }
 
 std::vector<std::int32_t> MappedLayer::mvm(
     std::span<const std::uint8_t> input_column, DatapathMode mode) const {
+  std::vector<std::int32_t> out(
+      static_cast<std::size_t>(spec_.weight_cols()), 0);
+  thread_local std::vector<std::uint64_t> xbits;
+  mvm_into(input_column, mode, out, xbits, /*call_key=*/0);
+  return out;
+}
+
+void MappedLayer::mvm_into(std::span<const std::uint8_t> input_column,
+                           DatapathMode mode, std::span<std::int32_t> out,
+                           std::vector<std::uint64_t>& xbits,
+                           std::uint64_t call_key) const {
   AUTOHET_CHECK(
       static_cast<std::int64_t>(input_column.size()) == spec_.weight_rows(),
       "input column length mismatch");
-  std::vector<std::int32_t> out(
-      static_cast<std::size_t>(spec_.weight_cols()), 0);
+  AUTOHET_CHECK(
+      static_cast<std::int64_t>(out.size()) == spec_.weight_cols(),
+      "output span length mismatch");
+  OBS_COUNTER_ADD("autohet_functional_mvm_total", 1);
+  std::fill(out.begin(), out.end(), 0);
+  const bool noisy = read_sigma_weights_ > 0.0;
+  // One child derivation per call keeps concurrent forwards deterministic
+  // without mutating shared state (the old advanced-in-place stream raced).
+  const common::Rng call_base =
+      noisy ? read_base_.child(call_key) : common::Rng();
   const std::int64_t cb_count = mapping_.col_blocks;
   for (std::int64_t rb = 0; rb < mapping_.row_blocks; ++rb) {
     const auto [r0, r1] = row_ranges_[static_cast<std::size_t>(rb)];
@@ -124,19 +190,82 @@ std::vector<std::int32_t> MappedLayer::mvm(
         input_column.subspan(static_cast<std::size_t>(r0),
                              static_cast<std::size_t>(r1 - r0));
     for (std::int64_t cb = 0; cb < cb_count; ++cb) {
-      const auto& xb = crossbars_[static_cast<std::size_t>(rb * cb_count + cb)];
-      // Read variation is sampled at MVM time (per read, per sensed cell);
-      // it requires the integer datapath — SimulatedModel enforces that.
-      const std::vector<std::int32_t> partial =
-          (mode == DatapathMode::kBitSerial)
-              ? xb.mvm_bit_serial(slice)
-              : (read_sigma_weights_ > 0.0
-                     ? xb.mvm_read_noisy(slice, read_rng_,
-                                         read_sigma_weights_)
-                     : xb.mvm_reference(slice));
+      const std::size_t idx = static_cast<std::size_t>(rb * cb_count + cb);
+      const auto& xb = crossbars_[idx];
+      // Adder tree: row-block partials accumulate straight into the output
+      // slice for this column block — no per-crossbar partial vectors.
+      std::int32_t* outp = out.data() + cb * mapping_.shape.cols;
+      if (mode == DatapathMode::kBitSerial) {
+        xb.mvm_bit_serial_accum(slice, outp, xbits);
+      } else if (noisy) {
+        // Read variation is sampled at MVM time (per read, per sensed
+        // cell); it requires the integer datapath — SimulatedModel
+        // enforces that.
+        common::Rng rng = call_base.child(static_cast<std::uint64_t>(idx));
+        xb.mvm_read_noisy_accum(slice, rng, read_sigma_weights_, outp);
+      } else {
+        xb.mvm_reference_accum(slice, outp);
+      }
+    }
+  }
+}
+
+void MappedLayer::mvm_batch_into(const std::uint8_t* columns_t,
+                                 std::int64_t count,
+                                 std::span<std::int32_t> accs_t) const {
+  const std::int64_t cols = spec_.weight_cols();
+  AUTOHET_CHECK(static_cast<std::int64_t>(accs_t.size()) == count * cols,
+                "accumulator span must be weight_cols x count");
+  AUTOHET_CHECK(read_sigma_weights_ == 0.0,
+                "batched MVMs require a noise-free fabric");
+  OBS_COUNTER_ADD("autohet_functional_mvm_total",
+                  static_cast<std::uint64_t>(count));
+  std::fill(accs_t.begin(), accs_t.end(), 0);
+  const std::int64_t cb_count = mapping_.col_blocks;
+  for (std::int64_t rb = 0; rb < mapping_.row_blocks; ++rb) {
+    const auto [r0, r1] = row_ranges_[static_cast<std::size_t>(rb)];
+    (void)r1;
+    for (std::int64_t cb = 0; cb < cb_count; ++cb) {
+      const std::size_t idx = static_cast<std::size_t>(rb * cb_count + cb);
+      crossbars_[idx].mvm_reference_batch_accum(
+          columns_t + r0 * count, count,
+          accs_t.data() + cb * mapping_.shape.cols * count);
+    }
+  }
+}
+
+std::vector<std::int32_t> MappedLayer::mvm_scalar(
+    std::span<const std::uint8_t> input_column, DatapathMode mode,
+    std::uint64_t call_key) const {
+  AUTOHET_CHECK(
+      static_cast<std::int64_t>(input_column.size()) == spec_.weight_rows(),
+      "input column length mismatch");
+  OBS_COUNTER_ADD("autohet_functional_mvm_total", 1);
+  std::vector<std::int32_t> out(
+      static_cast<std::size_t>(spec_.weight_cols()), 0);
+  const bool noisy = read_sigma_weights_ > 0.0;
+  const common::Rng call_base =
+      noisy ? read_base_.child(call_key) : common::Rng();
+  const std::int64_t cb_count = mapping_.col_blocks;
+  for (std::int64_t rb = 0; rb < mapping_.row_blocks; ++rb) {
+    const auto [r0, r1] = row_ranges_[static_cast<std::size_t>(rb)];
+    const std::span<const std::uint8_t> slice =
+        input_column.subspan(static_cast<std::size_t>(r0),
+                             static_cast<std::size_t>(r1 - r0));
+    for (std::int64_t cb = 0; cb < cb_count; ++cb) {
+      const std::size_t idx = static_cast<std::size_t>(rb * cb_count + cb);
+      const auto& xb = crossbars_[idx];
+      std::vector<std::int32_t> partial;
+      if (mode == DatapathMode::kBitSerial) {
+        partial = xb.mvm_bit_serial_scalar(slice);
+      } else if (noisy) {
+        common::Rng rng = call_base.child(static_cast<std::uint64_t>(idx));
+        partial = xb.mvm_read_noisy(slice, rng, read_sigma_weights_);
+      } else {
+        partial = xb.mvm_reference_scalar(slice);
+      }
       const std::int64_t c0 = cb * mapping_.shape.cols;
       for (std::size_t j = 0; j < partial.size(); ++j) {
-        // Adder tree: merge row-block partial sums per output channel.
         out[static_cast<std::size_t>(c0) + j] += partial[j];
       }
     }
@@ -161,8 +290,8 @@ FaultMapStats SimulatedModel::fault_stats() const noexcept {
 SimulatedModel::SimulatedModel(
     const nn::Model& model,
     const std::vector<mapping::CrossbarShape>& shapes, DatapathMode mode,
-    const FaultConfig& faults)
-    : model_(&model), mode_(mode), fault_model_(faults) {
+    const FaultConfig& faults, KernelPolicy policy)
+    : model_(&model), mode_(mode), fault_model_(faults), policy_(policy) {
   const auto mappable = model.spec().mappable_layers();
   AUTOHET_CHECK(shapes.size() == mappable.size(),
                 "one crossbar shape per mappable layer required");
@@ -172,14 +301,23 @@ SimulatedModel::SimulatedModel(
   layers_.reserve(mappable.size());
   for (std::size_t i = 0; i < mappable.size(); ++i) {
     layers_.emplace_back(mappable[i], model.weight(i), shapes[i], fm,
-                         static_cast<std::uint64_t>(i));
+                         static_cast<std::uint64_t>(i), policy_);
+  }
+  // The integer datapath never reads the packed planes; pack only when the
+  // bit-serial fast kernels will actually run (packing costs a pass per
+  // crossbar, wasted on every Monte-Carlo trial fabric otherwise).
+  if (mode_ == DatapathMode::kBitSerial && policy_ == KernelPolicy::kFast) {
+    for (auto& layer : layers_) layer.prepare_packed();
   }
 }
 
 SimulatedModel::SimulatedModel(const nn::Model& model,
                                const plan::DeploymentPlan& plan,
-                               DatapathMode mode)
-    : model_(&model), mode_(mode), fault_model_(plan.accel.faults) {
+                               DatapathMode mode, KernelPolicy policy)
+    : model_(&model),
+      mode_(mode),
+      fault_model_(plan.accel.faults),
+      policy_(policy) {
   plan.validate_against(model.spec());
   AUTOHET_CHECK(
       plan.accel.faults.read_sigma == 0.0 || mode == DatapathMode::kInteger,
@@ -190,12 +328,66 @@ SimulatedModel::SimulatedModel(const nn::Model& model,
     // Program straight from the plan's frozen geometry — no map_layer here.
     layers_.emplace_back(plan.layers[i], model.weight(i),
                          plan.allocation.layers[i].mapping, fm,
-                         static_cast<std::uint64_t>(i));
+                         static_cast<std::uint64_t>(i), policy_);
+  }
+  if (mode_ == DatapathMode::kBitSerial && policy_ == KernelPolicy::kFast) {
+    for (auto& layer : layers_) layer.prepare_packed();
   }
 }
 
-tensor::Tensor SimulatedModel::run_mappable(const MappedLayer& layer,
-                                            const tensor::Tensor& input) const {
+SimulatedModel SimulatedModel::with_faults(const FaultConfig& faults) const {
+  AUTOHET_CHECK(fault_model_.ideal(),
+                "with_faults requires a clean (ideal) fabric to clone");
+  AUTOHET_CHECK(faults.read_sigma == 0.0 || mode_ == DatapathMode::kInteger,
+                "read noise requires the integer datapath");
+  SimulatedModel out = *this;  // reuses quantization + programmed cells
+  out.fault_model_ = FaultModel(faults);
+  if (out.fault_model_.ideal()) return out;
+  for (std::size_t i = 0; i < out.layers_.size(); ++i) {
+    out.layers_[i].burn_faults(out.fault_model_,
+                               static_cast<std::uint64_t>(i));
+  }
+  return out;
+}
+
+SimulatedModel SimulatedModel::with_faults_recorded(
+    const FaultConfig& faults, TrialBurnRecord& record) const {
+  AUTOHET_CHECK(fault_model_.ideal(),
+                "recording requires a clean (ideal) fabric to clone");
+  AUTOHET_CHECK(faults.read_sigma == 0.0 || mode_ == DatapathMode::kInteger,
+                "read noise requires the integer datapath");
+  SimulatedModel out = *this;
+  out.fault_model_ = FaultModel(faults);
+  AUTOHET_CHECK(out.fault_model_.record_eligible(),
+                "fault config is not record-eligible");
+  record.layers.clear();
+  record.layers.resize(out.layers_.size());
+  for (std::size_t i = 0; i < out.layers_.size(); ++i) {
+    out.layers_[i].burn_faults_recording(
+        out.fault_model_, static_cast<std::uint64_t>(i), record.layers[i]);
+  }
+  return out;
+}
+
+SimulatedModel SimulatedModel::replay_faults(
+    const FaultConfig& faults, const TrialBurnRecord& record) const {
+  AUTOHET_CHECK(record.layers.size() == layers_.size(),
+                "burn record does not match this fabric's layer count");
+  AUTOHET_CHECK(faults.read_sigma == 0.0 || mode_ == DatapathMode::kInteger,
+                "read noise requires the integer datapath");
+  SimulatedModel out = *this;  // clone of the post-variation fabric
+  out.fault_model_ = FaultModel(faults);
+  for (std::size_t i = 0; i < out.layers_.size(); ++i) {
+    out.layers_[i].replay_faults(out.fault_model_,
+                                 static_cast<std::uint64_t>(i),
+                                 record.layers[i]);
+  }
+  return out;
+}
+
+tensor::Tensor SimulatedModel::run_mappable(
+    const MappedLayer& layer, const tensor::Tensor& input,
+    std::uint64_t noise_stream) const {
   const nn::LayerSpec& spec = layer.spec();
   // Quantize the whole activation tensor once (8-bit, unsigned: inputs are
   // post-ReLU or raw non-negative pixels).
@@ -205,10 +397,20 @@ tensor::Tensor SimulatedModel::run_mappable(const MappedLayer& layer,
           : input.reshaped({input.numel()}),
       /*bits=*/8);
   const float out_scale = layer.weight_scale() * qa.scale;
+  const bool scalar = policy_ == KernelPolicy::kScalarReference;
+  thread_local std::vector<std::uint64_t> xbits;
 
   if (spec.type == nn::LayerType::kFullyConnected) {
-    const std::vector<std::int32_t> acc =
-        layer.mvm(std::span<const std::uint8_t>(qa.values), mode_);
+    const std::uint64_t key = make_call_key(noise_stream, 0);
+    std::vector<std::int32_t> acc;
+    if (scalar) {
+      acc = layer.mvm_scalar(std::span<const std::uint8_t>(qa.values), mode_,
+                             key);
+    } else {
+      acc.resize(static_cast<std::size_t>(spec.weight_cols()));
+      layer.mvm_into(std::span<const std::uint8_t>(qa.values), mode_, acc,
+                     xbits, key);
+    }
     tensor::Tensor out({spec.out_channels});
     for (std::int64_t j = 0; j < spec.out_channels; ++j) {
       out[j] = static_cast<float>(acc[static_cast<std::size_t>(j)]) * out_scale;
@@ -224,40 +426,112 @@ tensor::Tensor SimulatedModel::run_mappable(const MappedLayer& layer,
   const std::int64_t h = spec.in_height;
   const std::int64_t w = spec.in_width;
   tensor::Tensor out({spec.out_channels, oh, ow});
-  std::vector<std::uint8_t> column(
-      static_cast<std::size_t>(spec.weight_rows()));
-  for (std::int64_t oi = 0; oi < oh; ++oi) {
-    for (std::int64_t oj = 0; oj < ow; ++oj) {
-      std::size_t idx = 0;
+  const std::int64_t plane = oh * ow;
+  float* const out_base = out.data();
+  const auto fill_column = [&](std::int64_t oi, std::int64_t oj,
+                               std::uint8_t* col) {
+    const std::int64_t i0 = oi * spec.stride - spec.pad;
+    const std::int64_t j0 = oj * spec.stride - spec.pad;
+    if (i0 >= 0 && j0 >= 0 && i0 + k <= h && j0 + k <= w) {
+      // Interior window (every window when pad == 0): each kernel row is a
+      // contiguous k-byte slice of the activation plane.
+      for (std::int64_t ch = 0; ch < spec.in_channels; ++ch) {
+        const std::uint8_t* src =
+            qa.values.data() +
+            static_cast<std::size_t>((ch * h + i0) * w + j0);
+        for (std::int64_t ki = 0; ki < k; ++ki, src += w, col += k) {
+          std::memcpy(col, src, static_cast<std::size_t>(k));
+        }
+      }
+    } else {
       for (std::int64_t ch = 0; ch < spec.in_channels; ++ch) {
         for (std::int64_t ki = 0; ki < k; ++ki) {
-          for (std::int64_t kj = 0; kj < k; ++kj, ++idx) {
-            const std::int64_t ii = oi * spec.stride + ki - spec.pad;
-            const std::int64_t jj = oj * spec.stride + kj - spec.pad;
-            std::uint8_t v = 0;
-            if (ii >= 0 && ii < h && jj >= 0 && jj < w) {
-              v = qa.values[static_cast<std::size_t>((ch * h + ii) * w + jj)];
-            }
-            column[idx] = v;
+          for (std::int64_t kj = 0; kj < k; ++kj, ++col) {
+            const std::int64_t ii = i0 + ki;
+            const std::int64_t jj = j0 + kj;
+            *col = (ii >= 0 && ii < h && jj >= 0 && jj < w)
+                       ? qa.values[static_cast<std::size_t>(
+                             (ch * h + ii) * w + jj)]
+                       : std::uint8_t{0};
           }
         }
       }
-      const std::vector<std::int32_t> acc = layer.mvm(column, mode_);
+    }
+  };
+
+  // GEMM-shaped fast path (integer datapath, noise-free fabric): im2col a
+  // tile of output positions and push them through one batched MVM per
+  // crossbar. Integer sums are exact, so the results are bit-identical to
+  // the per-position loop below — only per-position call overhead goes.
+  if (!scalar && mode_ == DatapathMode::kInteger && !layer.read_noisy()) {
+    constexpr std::int64_t kTile = 96;
+    const std::int64_t positions = oh * ow;
+    const std::int64_t rows = spec.weight_rows();
+    const std::int64_t cols = spec.weight_cols();
+    const std::int64_t tile = std::min(kTile, positions);
+    std::vector<std::uint8_t> column(static_cast<std::size_t>(rows));
+    std::vector<std::uint8_t> cols_t(static_cast<std::size_t>(tile * rows));
+    std::vector<std::int32_t> accs_t(static_cast<std::size_t>(tile * cols));
+    for (std::int64_t p0 = 0; p0 < positions; p0 += kTile) {
+      const std::int64_t n = std::min(kTile, positions - p0);
+      for (std::int64_t t = 0; t < n; ++t) {
+        fill_column((p0 + t) / ow, (p0 + t) % ow, column.data());
+        for (std::int64_t i = 0; i < rows; ++i) {
+          cols_t[static_cast<std::size_t>(i * n + t)] =
+              column[static_cast<std::size_t>(i)];
+        }
+      }
+      layer.mvm_batch_into(
+          cols_t.data(), n,
+          std::span(accs_t.data(), static_cast<std::size_t>(n * cols)));
       for (std::int64_t co = 0; co < spec.out_channels; ++co) {
-        out.at(co, oi, oj) =
-            static_cast<float>(acc[static_cast<std::size_t>(co)]) * out_scale;
+        float* const op = out_base + co * plane + p0;
+        const std::int32_t* a = accs_t.data() + co * n;
+        for (std::int64_t t = 0; t < n; ++t) {
+          op[t] = static_cast<float>(a[t]) * out_scale;
+        }
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::uint8_t> column(
+      static_cast<std::size_t>(spec.weight_rows()));
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(spec.weight_cols()));
+  for (std::int64_t oi = 0; oi < oh; ++oi) {
+    for (std::int64_t oj = 0; oj < ow; ++oj) {
+      fill_column(oi, oj, column.data());
+      const std::uint64_t key =
+          make_call_key(noise_stream, static_cast<std::uint64_t>(oi * ow + oj));
+      float* const op = out_base + oi * ow + oj;
+      if (scalar) {
+        const std::vector<std::int32_t> acc_s =
+            layer.mvm_scalar(column, mode_, key);
+        for (std::int64_t co = 0; co < spec.out_channels; ++co) {
+          op[co * plane] =
+              static_cast<float>(acc_s[static_cast<std::size_t>(co)]) *
+              out_scale;
+        }
+      } else {
+        layer.mvm_into(column, mode_, acc, xbits, key);
+        for (std::int64_t co = 0; co < spec.out_channels; ++co) {
+          op[co * plane] =
+              static_cast<float>(acc[static_cast<std::size_t>(co)]) *
+              out_scale;
+        }
       }
     }
   }
   return out;
 }
 
-tensor::Tensor SimulatedModel::forward(const tensor::Tensor& input) const {
-  return forward_traced(input).output;
+tensor::Tensor SimulatedModel::forward(const tensor::Tensor& input,
+                                       std::uint64_t noise_stream) const {
+  return forward_traced(input, noise_stream).output;
 }
 
 SimulatedModel::ForwardTrace SimulatedModel::forward_traced(
-    const tensor::Tensor& input) const {
+    const tensor::Tensor& input, std::uint64_t noise_stream) const {
   const nn::NetworkSpec& spec = model_->spec();
   AUTOHET_CHECK(spec.sequential_runnable,
                 "network is not sequentially runnable (" + spec.name + ")");
@@ -268,7 +542,7 @@ SimulatedModel::ForwardTrace SimulatedModel::forward_traced(
   for (std::size_t i = 0; i < spec.layers.size(); ++i) {
     const nn::LayerSpec& layer = spec.layers[i];
     if (nn::is_mappable(layer.type)) {
-      x = run_mappable(layers_[mappable_idx++], x);
+      x = run_mappable(layers_[mappable_idx++], x, noise_stream);
       trace.mappable_outputs.push_back(x);  // pre-activation layer output
     } else {
       x = model_->forward_layer(i, x);
@@ -279,13 +553,92 @@ SimulatedModel::ForwardTrace SimulatedModel::forward_traced(
   return trace;
 }
 
+std::shared_ptr<const TrialFabricCache::IdealRefs>
+TrialFabricCache::ideal_refs(const WorkloadKey& key,
+                             const std::function<IdealRefs()>& build) {
+  std::shared_ptr<IdealSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!has_workload_ || !(key_ == key)) {
+      key_ = key;
+      has_workload_ = true;
+      ideal_slot_.reset();
+      trials_.clear();
+    }
+    if (!ideal_slot_) ideal_slot_ = std::make_shared<IdealSlot>();
+    slot = ideal_slot_;
+  }
+  // The build runs outside the map lock so concurrent calls for other slots
+  // are never serialized behind it; duplicate calls for *this* slot queue on
+  // the slot mutex and find the value filled.
+  std::lock_guard<std::mutex> fill(slot->m);
+  const bool hit = slot->value != nullptr;
+  if (!hit) slot->value = std::make_shared<const IdealRefs>(build());
+  std::lock_guard<std::mutex> lock(mutex_);
+  hit ? ++stats_.ideal_hits : ++stats_.ideal_builds;
+  return slot->value;
+}
+
+std::shared_ptr<const TrialFabricCache::TrialFabric>
+TrialFabricCache::trial_fabric(const FaultConfig& trial_faults,
+                               const std::function<TrialFabric()>& build) {
+  const TrialKey key{trial_faults.cell_bits, trial_faults.program_sigma,
+                     trial_faults.seed};
+  std::shared_ptr<TrialSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [k, s] : trials_) {
+      if (k == key) {
+        slot = s;
+        break;
+      }
+    }
+    if (!slot) {
+      // A different (cell_bits, sigma) generation can never hit again
+      // within this workload's sweep — drop stale fabrics eagerly.
+      std::erase_if(trials_, [&](const auto& entry) {
+        return entry.first.cell_bits != key.cell_bits ||
+               entry.first.program_sigma != key.program_sigma;
+      });
+      if (trials_.size() >= kMaxTrialSlots) trials_.clear();
+      slot = std::make_shared<TrialSlot>();
+      trials_.emplace_back(key, slot);
+    }
+  }
+  std::lock_guard<std::mutex> fill(slot->m);
+  const bool hit = slot->value != nullptr;
+  if (!hit) slot->value = std::make_shared<const TrialFabric>(build());
+  std::lock_guard<std::mutex> lock(mutex_);
+  hit ? ++stats_.trial_replays : ++stats_.trial_records;
+  return slot->value;
+}
+
+TrialFabricCache::Stats TrialFabricCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void TrialFabricCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  has_workload_ = false;
+  ideal_slot_.reset();
+  trials_.clear();
+}
+
 RobustnessReport monte_carlo_robustness(
     const nn::Model& model, const std::vector<mapping::CrossbarShape>& shapes,
     const FaultConfig& faults, const RobustnessOptions& options) {
   OBS_SPAN("mc_robustness");
   AUTOHET_CHECK(options.trials > 0 && options.samples > 0,
                 "robustness needs at least one trial and one sample");
+  AUTOHET_CHECK(options.threads >= 0, "threads must be non-negative");
   faults.validate();
+  const bool scalar = options.kernels == KernelPolicy::kScalarReference;
+  // The scalar baseline must measure the honest uncached path; the cache
+  // only ever accelerates the fast kernels.
+  TrialFabricCache* cache = scalar ? nullptr : options.cache;
+  const bool cache_trials =
+      cache != nullptr && FaultModel(faults).record_eligible();
 
   RobustnessReport report;
   report.trials = options.trials;
@@ -293,49 +646,134 @@ RobustnessReport monte_carlo_robustness(
   report.min_accuracy = 1.0;
 
   // The ideal fabric is the reference: agreement with it isolates device
-  // non-ideality from the (always present) 8-bit quantization error.
-  const SimulatedModel ideal(model, shapes, options.mode);
-  const nn::LayerSpec& first = model.spec().layers.front();
-  common::Rng img_rng(options.input_seed);
-  std::vector<tensor::Tensor> images;
-  std::vector<SimulatedModel::ForwardTrace> references;
-  std::vector<std::int64_t> reference_classes;
-  images.reserve(static_cast<std::size_t>(options.samples));
-  for (int s = 0; s < options.samples; ++s) {
-    images.push_back(nn::synthetic_image(img_rng, first.in_channels,
-                                         first.in_height, first.in_width));
-    references.push_back(ideal.forward_traced(images.back()));
-    reference_classes.push_back(tensor::argmax(references.back().output));
-  }
+  // non-ideality from the (always present) 8-bit quantization error. The
+  // references depend on no fault knob, so a cache shares one build across
+  // a sweep's whole rate × cell-bits grid.
+  const auto build_refs = [&]() {
+    TrialFabricCache::IdealRefs refs{
+        SimulatedModel(model, shapes, options.mode, {}, options.kernels),
+        {},
+        {},
+        {}};
+    const nn::LayerSpec& first = model.spec().layers.front();
+    common::Rng img_rng(options.input_seed);
+    refs.images.reserve(static_cast<std::size_t>(options.samples));
+    for (int s = 0; s < options.samples; ++s) {
+      refs.images.push_back(nn::synthetic_image(
+          img_rng, first.in_channels, first.in_height, first.in_width));
+      refs.references.push_back(refs.ideal.forward_traced(refs.images.back()));
+      refs.reference_classes.push_back(
+          tensor::argmax(refs.references.back().output));
+    }
+    return refs;
+  };
+  const std::shared_ptr<const TrialFabricCache::IdealRefs> refs =
+      cache != nullptr
+          ? cache->ideal_refs({&model, shapes, options.mode, options.samples,
+                               options.input_seed},
+                              build_refs)
+          : std::make_shared<const TrialFabricCache::IdealRefs>(build_refs());
+  const std::vector<tensor::Tensor>& images = refs->images;
+  const std::vector<SimulatedModel::ForwardTrace>& references =
+      refs->references;
+  const std::vector<std::int64_t>& reference_classes =
+      refs->reference_classes;
 
-  const std::size_t num_layers = ideal.mapped_layers().size();
+  const std::size_t num_layers = refs->ideal.mapped_layers().size();
   report.layer_error.assign(num_layers, 0.0);
-  double acc_sum = 0.0;
-  double acc_sq_sum = 0.0;
-  double logit_err_sum = 0.0;
-  for (int t = 0; t < options.trials; ++t) {
-    OBS_SPAN("fault_trial");
-    const SimulatedModel faulty(model, shapes, options.mode,
-                                faults.for_trial(static_cast<std::uint64_t>(t)));
-    report.fault_stats += faulty.fault_stats();
+
+  // Trials are independent (per-trial fault seeds) so they fan out across a
+  // pool; each records its per-sample terms so the reduction below can
+  // replay the serial accumulation order exactly — floating-point sums are
+  // order-sensitive, and the report must not depend on the thread count.
+  struct TrialResult {
+    FaultMapStats stats;
     int agree = 0;
+    std::vector<double> logit_err;   // per sample: max |logit diff|
+    std::vector<double> layer_err;   // samples × num_layers, row-major
+    double wall_ms = 0.0;
+  };
+  std::vector<TrialResult> trials(static_cast<std::size_t>(options.trials));
+  const auto run_trial = [&](std::size_t t) {
+    OBS_SPAN("fault_trial");
+    const auto t0 = std::chrono::steady_clock::now();
+    TrialResult& res = trials[t];
+    const FaultConfig trial_faults =
+        faults.for_trial(static_cast<std::uint64_t>(t));
+    // Fast path: clone the clean fabric and burn this trial's faults
+    // (bit-identical to a fresh build — both are pure functions of the
+    // seeds); with a cache, record the burn once and replay it per rate
+    // point. The scalar baseline reconstructs from scratch, as before.
+    const SimulatedModel faulty = [&]() -> SimulatedModel {
+      if (scalar) {
+        return SimulatedModel(model, shapes, options.mode, trial_faults,
+                              options.kernels);
+      }
+      if (cache_trials) {
+        const auto slot = cache->trial_fabric(trial_faults, [&] {
+          TrialBurnRecord rec;
+          SimulatedModel fabric =
+              refs->ideal.with_faults_recorded(trial_faults, rec);
+          return TrialFabricCache::TrialFabric{std::move(fabric),
+                                               std::move(rec)};
+        });
+        return slot->fabric.replay_faults(trial_faults, slot->record);
+      }
+      return refs->ideal.with_faults(trial_faults);
+    }();
+    res.stats = faulty.fault_stats();
+    res.logit_err.resize(static_cast<std::size_t>(options.samples));
+    res.layer_err.resize(static_cast<std::size_t>(options.samples) *
+                         num_layers);
     for (int s = 0; s < options.samples; ++s) {
       const auto si = static_cast<std::size_t>(s);
-      const auto trace = faulty.forward_traced(images[si]);
-      if (tensor::argmax(trace.output) == reference_classes[si]) ++agree;
-      logit_err_sum += tensor::max_abs_diff(trace.output,
-                                            references[si].output);
+      const auto trace =
+          faulty.forward_traced(images[si], /*noise_stream=*/si);
+      if (tensor::argmax(trace.output) == reference_classes[si]) ++res.agree;
+      res.logit_err[si] =
+          tensor::max_abs_diff(trace.output, references[si].output);
       for (std::size_t l = 0; l < num_layers; ++l) {
         const float ref_scale =
             std::max(1.0f, references[si].mappable_outputs[l].abs_max());
-        report.layer_error[l] +=
+        res.layer_err[si * num_layers + l] =
             tensor::max_abs_diff(trace.mappable_outputs[l],
                                  references[si].mappable_outputs[l]) /
             ref_scale;
       }
     }
+    res.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  };
+
+  int threads = options.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (!scalar && threads > 1 && options.trials > 1) {
+    common::ThreadPool pool(static_cast<std::size_t>(threads));
+    pool.parallel_for(0, trials.size(), run_trial);
+  } else {
+    for (std::size_t t = 0; t < trials.size(); ++t) run_trial(t);
+  }
+
+  // Ordered reduction: every accumulator sees its terms in the exact (t, s,
+  // l) order of the serial loop, so reports are byte-identical across
+  // thread counts and kernel policies.
+  double acc_sum = 0.0;
+  double acc_sq_sum = 0.0;
+  double logit_err_sum = 0.0;
+  for (const TrialResult& res : trials) {
+    report.fault_stats += res.stats;
+    for (int s = 0; s < options.samples; ++s) {
+      const auto si = static_cast<std::size_t>(s);
+      logit_err_sum += res.logit_err[si];
+      for (std::size_t l = 0; l < num_layers; ++l) {
+        report.layer_error[l] += res.layer_err[si * num_layers + l];
+      }
+    }
     const double accuracy =
-        static_cast<double>(agree) / static_cast<double>(options.samples);
+        static_cast<double>(res.agree) / static_cast<double>(options.samples);
     acc_sum += accuracy;
     acc_sq_sum += accuracy * accuracy;
     report.min_accuracy = std::min(report.min_accuracy, accuracy);
@@ -343,6 +781,7 @@ RobustnessReport monte_carlo_robustness(
     OBS_COUNTER_ADD("autohet_fault_trials_total", 1);
     OBS_HIST_RECORD("autohet_fault_trial_agreement_permille",
                     accuracy * 1000.0);
+    OBS_HIST_RECORD("autohet_mc_trial_ms", res.wall_ms);
   }
 
   const double n = static_cast<double>(options.trials);

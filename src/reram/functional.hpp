@@ -9,10 +9,21 @@
 // activations quantized to 8 bits per layer, exactly the datapath the
 // accelerator implements. Pooling layers run on the tile's pooling module
 // (plain float here).
+//
+// Two kernel policies exist: KernelPolicy::kFast (packed bit-plane kernels,
+// allocation-free accumulation, fast fault burn-in) and
+// KernelPolicy::kScalarReference (the retained per-cell datapaths and
+// per-crossbar partial vectors). They produce bit-identical numbers
+// (tested); the scalar policy is the equivalence oracle and the
+// speedup-measurement baseline.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "mapping/layer_mapping.hpp"
@@ -29,6 +40,26 @@ enum class DatapathMode {
   kInteger     ///< int32 GEMV shortcut (bit-exact to kBitSerial)
 };
 
+enum class KernelPolicy {
+  kFast,            ///< packed bit-plane kernels + fast fault burn-in
+  kScalarReference  ///< retained scalar datapaths (oracle / baseline)
+};
+
+/// One crossbar's recorded fault burn-in: the variation-only stats of the
+/// recording pass plus the stuck-draw candidates captured from the stream
+/// (see FaultModel::apply_recording).
+struct CrossbarBurnRecord {
+  FaultMapStats variation;
+  std::vector<StuckCandidate> hits;
+};
+
+/// One recorded trial burn across a whole fabric, indexed [layer][crossbar].
+/// Together with the post-variation fabric clone this replays the burn-in
+/// for any stuck-at rates within FaultModel::kRecordCap53.
+struct TrialBurnRecord {
+  std::vector<std::vector<CrossbarBurnRecord>> layers;
+};
+
 class MappedLayer {
  public:
   /// Quantizes `weight` ([Cout,Cin,k,k] or [out,in]) to 8 bits and programs
@@ -38,7 +69,8 @@ class MappedLayer {
   /// seed and `layer_id`), and MVMs sample the configured read noise.
   MappedLayer(const nn::LayerSpec& spec, const tensor::Tensor& weight,
               const mapping::CrossbarShape& shape,
-              const FaultModel* faults = nullptr, std::uint64_t layer_id = 0);
+              const FaultModel* faults = nullptr, std::uint64_t layer_id = 0,
+              KernelPolicy policy = KernelPolicy::kFast);
 
   /// Programs from an already-derived mapping geometry (a DeploymentPlan's
   /// frozen per-layer mapping) instead of re-deriving it from the shape.
@@ -46,17 +78,86 @@ class MappedLayer {
   /// — checked, so a stale plan cannot silently program a different layout.
   MappedLayer(const nn::LayerSpec& spec, const tensor::Tensor& weight,
               const mapping::LayerMapping& mapping,
-              const FaultModel* faults = nullptr, std::uint64_t layer_id = 0);
+              const FaultModel* faults = nullptr, std::uint64_t layer_id = 0,
+              KernelPolicy policy = KernelPolicy::kFast);
 
   const mapping::LayerMapping& mapping() const noexcept { return mapping_; }
   float weight_scale() const noexcept { return weight_scale_; }
   const nn::LayerSpec& spec() const noexcept { return spec_; }
+  KernelPolicy policy() const noexcept { return policy_; }
 
   /// Integer MVM of one unfolded input column (length Cin·k², 8-bit).
   /// Returns one int32 accumulation per output channel: partial sums from
-  /// the row blocks are merged by the adder tree.
+  /// the row blocks are merged by the adder tree. Convenience wrapper over
+  /// mvm_into (call_key 0).
   std::vector<std::int32_t> mvm(std::span<const std::uint8_t> input_column,
                                 DatapathMode mode) const;
+
+  /// Allocation-free MVM: writes the merged accumulation into `out`
+  /// (length weight_cols(), zero-filled here), accumulating row-block
+  /// partials directly in the caller's buffer — no per-crossbar vectors.
+  /// `xbits` is per-thread scratch for the packed input bit planes.
+  ///
+  /// `call_key` seeds this call's read-noise stream: noise is drawn from an
+  /// RNG derived from (fault seed, layer id, call_key, crossbar index), so
+  /// the method is const in the strict sense — concurrent forwards on one
+  /// fabric are race-free and deterministic. Callers that want independent
+  /// noise across MVMs pass distinct keys (SimulatedModel derives them from
+  /// the sample/noise stream and the output position); identical keys
+  /// reproduce identical noise. Ignored on noise-free fabrics.
+  void mvm_into(std::span<const std::uint8_t> input_column, DatapathMode mode,
+                std::span<std::int32_t> out,
+                std::vector<std::uint64_t>& xbits,
+                std::uint64_t call_key = 0) const;
+
+  /// Batched integer MVM over `count` input columns in transposed layout:
+  /// columns_t is weight_rows() × count row-major (input row i for every
+  /// column at columns_t[i·count ..]); accs_t is weight_cols() × count
+  /// (output col j for every column at accs_t[j·count ..], zero-filled
+  /// here). The batch dimension is innermost and contiguous, so the kernel
+  /// vectorizes even on narrow crossbars and the per-call overhead of
+  /// `count` separate mvm_into calls is amortized away. Integer sums are
+  /// exact — results are bit-identical to per-column mvm_into. Integer
+  /// datapath only, noise-free fabrics only (checked).
+  void mvm_batch_into(const std::uint8_t* columns_t, std::int64_t count,
+                      std::span<std::int32_t> accs_t) const;
+
+  /// True when this layer's fabric carries read noise (the per-call keyed
+  /// RNG path); batched MVMs are unavailable then.
+  bool read_noisy() const noexcept { return read_sigma_weights_ > 0.0; }
+
+  /// The retained pre-packing datapath: scalar kernels, one partial vector
+  /// per crossbar, merged into a freshly allocated output — the
+  /// KernelPolicy::kScalarReference path. Bit-identical to mvm_into.
+  std::vector<std::int32_t> mvm_scalar(
+      std::span<const std::uint8_t> input_column, DatapathMode mode,
+      std::uint64_t call_key = 0) const;
+
+  /// Packs every crossbar's weight bit planes (idempotent) so bit-serial /
+  /// multilevel MVMs take the AND+popcount kernels.
+  void prepare_packed();
+
+  /// Burns a fault model into the (clean) programmed arrays: the same
+  /// operation the fault-model constructor path performs, exposed so a
+  /// fabric clone can re-burn per-trial faults without re-quantizing and
+  /// re-programming the weights. `reference_path` forces the retained
+  /// per-cell burn-in kernel (bit-identical, slower).
+  void burn_faults(const FaultModel& faults, std::uint64_t layer_id,
+                   bool reference_path = false);
+
+  /// burn_faults variant that applies programming variation and *records*
+  /// the stuck-draw stream per crossbar instead of applying it (see
+  /// FaultModel::apply_recording). Fault stats hold the variation-only
+  /// counts until replay_faults completes the burn.
+  void burn_faults_recording(const FaultModel& faults, std::uint64_t layer_id,
+                             std::vector<CrossbarBurnRecord>& out);
+
+  /// Completes a recorded burn on this layer (a clone of the recording's
+  /// post-variation state): forces the recorded candidates that fall under
+  /// `faults`' stuck thresholds and installs exactly the fault stats and
+  /// read-noise streams burn_faults would have produced.
+  void replay_faults(const FaultModel& faults, std::uint64_t layer_id,
+                     const std::vector<CrossbarBurnRecord>& recorded);
 
   /// Perturbs every programmed cell with conductance variation of relative
   /// magnitude `sigma` (see LogicalCrossbar::apply_variation).
@@ -70,6 +171,7 @@ class MappedLayer {
   nn::LayerSpec spec_;
   mapping::LayerMapping mapping_;
   float weight_scale_ = 1.0f;
+  KernelPolicy policy_ = KernelPolicy::kFast;
   // Crossbar grid, row-major: crossbars_[rb * col_blocks + cb].
   std::vector<LogicalCrossbar> crossbars_;
   // Channel range [start, end) of each row block (kernel-aligned path) or
@@ -77,9 +179,11 @@ class MappedLayer {
   std::vector<std::pair<std::int64_t, std::int64_t>> row_ranges_;
   FaultMapStats fault_stats_;
   double read_sigma_weights_ = 0.0;  ///< per-read weight-LSB noise rms
-  /// Cycle-to-cycle read noise stream; advanced per MVM, seeded from the
-  /// fault seed and layer id so full forward passes stay deterministic.
-  mutable common::Rng read_rng_;
+  /// Base of the cycle-to-cycle read-noise stream, seeded from the fault
+  /// seed and layer id. Never advanced in place: each MVM derives a child
+  /// stream from (call_key, crossbar index), keeping const methods
+  /// genuinely read-only so concurrent forwards are safe.
+  common::Rng read_base_;
 };
 
 /// Whole-network functional simulation on the heterogeneous fabric.
@@ -94,7 +198,8 @@ class SimulatedModel {
   SimulatedModel(const nn::Model& model,
                  const std::vector<mapping::CrossbarShape>& shapes,
                  DatapathMode mode = DatapathMode::kInteger,
-                 const FaultConfig& faults = {});
+                 const FaultConfig& faults = {},
+                 KernelPolicy policy = KernelPolicy::kFast);
 
   /// Builds the fabric from a compiled DeploymentPlan: each mappable layer
   /// is programmed from the plan's frozen per-layer geometry and the plan's
@@ -102,10 +207,39 @@ class SimulatedModel {
   /// model first. Bit-identical to the shape-list constructor on the inputs
   /// the plan was compiled from.
   SimulatedModel(const nn::Model& model, const plan::DeploymentPlan& plan,
-                 DatapathMode mode = DatapathMode::kInteger);
+                 DatapathMode mode = DatapathMode::kInteger,
+                 KernelPolicy policy = KernelPolicy::kFast);
+
+  /// Clones this (clean) fabric and burns `faults` into the copy — the
+  /// quantization and weight-programming work is reused, only the fault
+  /// burn-in runs. Bit-identical to constructing a fresh SimulatedModel
+  /// with the same faults (the programmed cells and the fault RNG streams
+  /// are both pure functions of their seeds). Requires an ideal fabric.
+  SimulatedModel with_faults(const FaultConfig& faults) const;
+
+  /// with_faults variant that burns `faults`' programming variation while
+  /// *recording* the stuck-draw stream into `record`: the returned fabric is
+  /// the post-variation state, completed per-rate by replay_faults. Requires
+  /// an ideal source fabric and FaultModel(faults).record_eligible().
+  SimulatedModel with_faults_recorded(const FaultConfig& faults,
+                                      TrialBurnRecord& record) const;
+
+  /// Completes a recorded burn: clones this post-variation fabric (the
+  /// with_faults_recorded result) and forces the recorded candidates under
+  /// `faults`' stuck thresholds. Bit-identical to with_faults(faults) on
+  /// the original ideal fabric for any `faults` sharing the recording's RNG
+  /// stream — same seed, program_sigma and cell_bits, any stuck rates
+  /// within the recording cap (tested).
+  SimulatedModel replay_faults(const FaultConfig& faults,
+                               const TrialBurnRecord& record) const;
 
   /// Forward pass (CHW input). Requires a sequentially runnable network.
-  tensor::Tensor forward(const tensor::Tensor& input) const;
+  /// `noise_stream` selects the read-noise stream for this pass (see
+  /// MappedLayer::mvm_into); passes with equal streams are identical,
+  /// distinct streams draw independent noise. Irrelevant without read
+  /// noise. Concurrent forwards on one instance are safe.
+  tensor::Tensor forward(const tensor::Tensor& input,
+                         std::uint64_t noise_stream = 0) const;
 
   /// Forward pass that also captures each mappable layer's raw output
   /// (pre-activation) — the per-layer hooks the robustness metric compares
@@ -114,11 +248,13 @@ class SimulatedModel {
     tensor::Tensor output;
     std::vector<tensor::Tensor> mappable_outputs;
   };
-  ForwardTrace forward_traced(const tensor::Tensor& input) const;
+  ForwardTrace forward_traced(const tensor::Tensor& input,
+                              std::uint64_t noise_stream = 0) const;
 
   const std::vector<MappedLayer>& mapped_layers() const noexcept {
     return layers_;
   }
+  KernelPolicy policy() const noexcept { return policy_; }
 
   /// Aggregate stuck-at / variation counts over all layers (zero when the
   /// fabric is ideal).
@@ -131,12 +267,112 @@ class SimulatedModel {
 
  private:
   tensor::Tensor run_mappable(const MappedLayer& layer,
-                              const tensor::Tensor& input) const;
+                              const tensor::Tensor& input,
+                              std::uint64_t noise_stream) const;
 
   const nn::Model* model_;
   DatapathMode mode_;
   FaultModel fault_model_;
+  KernelPolicy policy_ = KernelPolicy::kFast;
   std::vector<MappedLayer> layers_;  // one per mappable layer
+};
+
+/// Cross-rate Monte-Carlo fabric cache (the trial-fabric cache).
+///
+/// FaultConfig::for_trial derives trial seeds from the base seed alone, and
+/// the burn-in stream consumes draws identically for every nonzero stuck
+/// rate (one uniform per physical cell — the thresholds move, the stream
+/// does not). Across a fault sweep's rate grid the per-trial RNG streams
+/// are therefore *identical*, and one recorded burn per (workload, trial)
+/// serves every rate point: the post-variation fabric is cached together
+/// with the sparse stuck-candidate list, and each rate point replays in a
+/// single clone-and-patch pass instead of re-burning millions of cells.
+/// The ideal reference fabric, its synthetic inputs and traced reference
+/// outputs (independent of every fault knob) are cached alongside and
+/// shared across the whole grid.
+///
+/// Reports stay byte-identical to the uncached path (tested); the cache is
+/// purely a wall-time optimization. Thread-safe. Holds one workload at a
+/// time — a new WorkloadKey drops all previous state, matching the sweep
+/// access pattern (all rate/cell-bits points of one configuration, then the
+/// next configuration).
+class TrialFabricCache {
+ public:
+  /// Everything that identifies one MC workload besides the fault config.
+  struct WorkloadKey {
+    const nn::Model* model = nullptr;
+    std::vector<mapping::CrossbarShape> shapes;
+    DatapathMode mode = DatapathMode::kInteger;
+    int samples = 0;
+    std::uint64_t input_seed = 0;
+    bool operator==(const WorkloadKey&) const = default;
+  };
+
+  /// Per-workload ideal references: the clean fabric, the synthetic inputs
+  /// and their traced reference outputs.
+  struct IdealRefs {
+    SimulatedModel ideal;
+    std::vector<tensor::Tensor> images;
+    std::vector<SimulatedModel::ForwardTrace> references;
+    std::vector<std::int64_t> reference_classes;
+  };
+
+  /// One recorded trial burn: the post-variation fabric plus the recorded
+  /// stuck candidates, replayable for any rates within the cap.
+  struct TrialFabric {
+    SimulatedModel fabric;
+    TrialBurnRecord record;
+  };
+
+  /// Returns the ideal-reference slot for `key`, building it via `build` on
+  /// first use of this workload (a different key evicts everything).
+  std::shared_ptr<const IdealRefs> ideal_refs(
+      const WorkloadKey& key, const std::function<IdealRefs()>& build);
+
+  /// Returns the recorded trial fabric for `trial_faults` (a for_trial-
+  /// derived, record-eligible config), recording via `build` on first use.
+  /// Keyed by (cell_bits, program_sigma, seed), so one recording per trial
+  /// serves every stuck-rate point of a sweep grid. Builds for distinct
+  /// trials proceed concurrently (per-slot locking).
+  std::shared_ptr<const TrialFabric> trial_fabric(
+      const FaultConfig& trial_faults,
+      const std::function<TrialFabric()>& build);
+
+  struct Stats {
+    std::uint64_t ideal_builds = 0;
+    std::uint64_t ideal_hits = 0;
+    std::uint64_t trial_records = 0;  ///< recording burns executed
+    std::uint64_t trial_replays = 0;  ///< cache hits replayed instead
+  };
+  Stats stats() const;
+  void clear();
+
+ private:
+  /// The fault knobs that pin a trial's burn-in RNG stream.
+  struct TrialKey {
+    int cell_bits = 0;
+    double program_sigma = 0.0;
+    std::uint64_t seed = 0;
+    bool operator==(const TrialKey&) const = default;
+  };
+  struct IdealSlot {
+    std::mutex m;
+    std::shared_ptr<const IdealRefs> value;
+  };
+  struct TrialSlot {
+    std::mutex m;
+    std::shared_ptr<const TrialFabric> value;
+  };
+  /// Hard slot cap: a sweep holds trials × one (cell_bits, sigma) generation
+  /// at a time; stale generations are evicted on insert.
+  static constexpr std::size_t kMaxTrialSlots = 64;
+
+  mutable std::mutex mutex_;  ///< guards the slot maps, not the builds
+  bool has_workload_ = false;
+  WorkloadKey key_;
+  std::shared_ptr<IdealSlot> ideal_slot_;
+  std::vector<std::pair<TrialKey, std::shared_ptr<TrialSlot>>> trials_;
+  Stats stats_;
 };
 
 /// Knobs of the Monte-Carlo robustness evaluation.
@@ -145,6 +381,22 @@ struct RobustnessOptions {
   int samples = 16;  ///< synthetic inputs evaluated per trial
   std::uint64_t input_seed = 0x1a9e5ULL;
   DatapathMode mode = DatapathMode::kInteger;
+  /// Worker threads for the trial fan-out: 1 = serial (default), 0 = one
+  /// per hardware thread, n > 1 = exactly n. Every thread count produces
+  /// byte-identical reports (trials are independently seeded and the
+  /// reduction replays the serial accumulation order).
+  int threads = 1;
+  /// kScalarReference runs the retained scalar kernels with per-trial
+  /// fabric reconstruction, always serially — the measurement baseline and
+  /// equivalence oracle for the fast path. Reports are bit-identical.
+  KernelPolicy kernels = KernelPolicy::kFast;
+  /// Optional cross-call fabric cache. When set, the ideal references are
+  /// shared across calls and — for record-eligible fault configs — trial
+  /// fabrics are recorded once and replayed per rate point. Reports stay
+  /// byte-identical to the uncached path (tested). Ignored by the scalar
+  /// baseline. EvaluationEngine::evaluate_robustness supplies its own
+  /// cache automatically.
+  TrialFabricCache* cache = nullptr;
 };
 
 /// Accuracy-under-faults over N seeded trials: for each trial a fresh
@@ -152,7 +404,8 @@ struct RobustnessOptions {
 /// synthetic inputs; accuracy is argmax agreement with the *ideal* fabric
 /// (isolating device non-ideality from quantization). Reports mean/stddev
 /// across trials plus each layer's mean relative output error.
-/// Deterministic: same model, shapes, faults and options ⇒ same report.
+/// Deterministic: same model, shapes, faults and options ⇒ same report,
+/// regardless of options.threads and options.kernels.
 RobustnessReport monte_carlo_robustness(
     const nn::Model& model, const std::vector<mapping::CrossbarShape>& shapes,
     const FaultConfig& faults, const RobustnessOptions& options = {});

@@ -1,0 +1,408 @@
+// Equivalence suite for the fast functional-simulation engine: packed
+// bit-plane kernels vs the retained scalar datapaths, the batched integer
+// GEMM kernel vs per-column MVMs, the fast fault burn-in vs the per-cell
+// reference, the record/replay trial-fabric path, and byte-identity of the
+// Monte-Carlo robustness reports across thread counts, kernel policies, and
+// the TrialFabricCache. Everything here is an exactness claim — EXPECT_EQ,
+// never near.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+#include "nn/model_zoo.hpp"
+#include "reram/crossbar.hpp"
+#include "reram/faults.hpp"
+#include "reram/functional.hpp"
+#include "tensor/ops.hpp"
+
+namespace autohet {
+namespace {
+
+using mapping::CrossbarShape;
+using reram::FaultConfig;
+using reram::FaultMapStats;
+using reram::FaultModel;
+using reram::KernelPolicy;
+using reram::LogicalCrossbar;
+using reram::RobustnessOptions;
+using reram::RobustnessReport;
+using reram::SimulatedModel;
+
+std::vector<std::int8_t> random_weights(common::Rng& rng, std::int64_t n) {
+  std::vector<std::int8_t> w(static_cast<std::size_t>(n));
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  return w;
+}
+
+std::vector<std::uint8_t> random_input(common::Rng& rng, std::int64_t n,
+                                       double zero_fraction = 0.25) {
+  std::vector<std::uint8_t> x(static_cast<std::size_t>(n));
+  for (auto& v : x) {
+    v = rng.uniform() < zero_fraction
+            ? std::uint8_t{0}
+            : static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return x;
+}
+
+void expect_stats_eq(const FaultMapStats& a, const FaultMapStats& b) {
+  EXPECT_EQ(a.physical_cells, b.physical_cells);
+  EXPECT_EQ(a.stuck_at_zero, b.stuck_at_zero);
+  EXPECT_EQ(a.stuck_at_one, b.stuck_at_one);
+  EXPECT_EQ(a.weights_changed, b.weights_changed);
+}
+
+bool reports_equal(const RobustnessReport& a, const RobustnessReport& b) {
+  return a.trials == b.trials && a.samples == b.samples &&
+         a.mean_accuracy == b.mean_accuracy &&
+         a.stddev_accuracy == b.stddev_accuracy &&
+         a.min_accuracy == b.min_accuracy && a.max_accuracy == b.max_accuracy &&
+         a.mean_logit_error == b.mean_logit_error &&
+         a.layer_error == b.layer_error &&
+         a.fault_stats.physical_cells == b.fault_stats.physical_cells &&
+         a.fault_stats.stuck_at_zero == b.fault_stats.stuck_at_zero &&
+         a.fault_stats.stuck_at_one == b.fault_stats.stuck_at_one &&
+         a.fault_stats.weights_changed == b.fault_stats.weights_changed;
+}
+
+// ---------------------------------------------------------------------------
+// Packed kernels vs retained scalar datapaths.
+
+struct KernelCase {
+  CrossbarShape shape;
+  std::int64_t rows, cols;  ///< programmed (used) region, possibly ragged
+};
+
+TEST(PackedKernels, MatchScalarOnRaggedShapes) {
+  common::Rng rng(123);
+  const KernelCase cases[] = {{{64, 64}, 64, 64},   {{72, 64}, 25, 6},
+                              {{128, 96}, 100, 96}, {{65, 33}, 65, 33},
+                              {{300, 40}, 123, 17}, {{64, 64}, 1, 1}};
+  for (const auto& c : cases) {
+    LogicalCrossbar xb(c.shape);
+    xb.program(random_weights(rng, c.rows * c.cols), c.rows, c.cols);
+    ASSERT_TRUE(xb.is_packed());
+    const auto x = random_input(rng, c.rows);
+    EXPECT_EQ(xb.mvm_bit_serial(x), xb.mvm_bit_serial_scalar(x));
+    EXPECT_EQ(xb.mvm_reference(x), xb.mvm_reference_scalar(x));
+    EXPECT_EQ(xb.mvm_bit_serial(x), xb.mvm_reference_scalar(x));
+    for (const int bits : {1, 2, 4, 8}) {
+      EXPECT_EQ(xb.mvm_multilevel(x, bits), xb.mvm_multilevel_scalar(x, bits));
+      EXPECT_EQ(xb.mvm_multilevel(x, bits), xb.mvm_reference_scalar(x));
+    }
+  }
+}
+
+TEST(PackedKernels, MatchScalarAfterFaultBurnAndVariation) {
+  common::Rng rng(7);
+  LogicalCrossbar xb({96, 80});
+  xb.program(random_weights(rng, 90 * 70), 90, 70);
+  FaultConfig fc;
+  fc.stuck_at_zero_rate = 0.01;
+  fc.stuck_at_one_rate = 0.01;
+  fc.program_sigma = 0.05;
+  fc.cell_bits = 2;
+  xb.apply_faults(FaultModel(fc), /*crossbar_id=*/3);
+  common::Rng vr(11);
+  xb.apply_variation(vr, 0.02);
+  const auto x = random_input(rng, 90);
+  EXPECT_EQ(xb.mvm_bit_serial(x), xb.mvm_bit_serial_scalar(x));
+  EXPECT_EQ(xb.mvm_reference(x), xb.mvm_reference_scalar(x));
+  EXPECT_EQ(xb.mvm_multilevel(x, 2), xb.mvm_multilevel_scalar(x, 2));
+  EXPECT_EQ(xb.mvm_multilevel(x, 2), xb.mvm_reference(x));
+}
+
+TEST(PackedKernels, BatchedReferenceMatchesPerColumn) {
+  common::Rng rng(42);
+  const KernelCase cases[] = {
+      {{72, 64}, 25, 6}, {{64, 64}, 64, 64}, {{130, 48}, 130, 31}};
+  for (const auto& c : cases) {
+    LogicalCrossbar xb(c.shape);
+    xb.program(random_weights(rng, c.rows * c.cols), c.rows, c.cols);
+    const std::int64_t batch = 13;
+    // Transposed input matrix: row i of the batch at cols_t[i*batch ..].
+    std::vector<std::uint8_t> cols_t(
+        static_cast<std::size_t>(c.rows * batch));
+    for (auto& v : cols_t) {
+      v = rng.uniform() < 0.3
+              ? std::uint8_t{0}
+              : static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    std::vector<std::int32_t> acc_t(static_cast<std::size_t>(c.cols * batch),
+                                    0);
+    xb.mvm_reference_batch_accum(cols_t.data(), batch, acc_t.data());
+    for (std::int64_t p = 0; p < batch; ++p) {
+      std::vector<std::uint8_t> column(static_cast<std::size_t>(c.rows));
+      for (std::int64_t i = 0; i < c.rows; ++i) {
+        column[static_cast<std::size_t>(i)] =
+            cols_t[static_cast<std::size_t>(i * batch + p)];
+      }
+      const auto expected = xb.mvm_reference(column);
+      for (std::int64_t j = 0; j < c.cols; ++j) {
+        EXPECT_EQ(acc_t[static_cast<std::size_t>(j * batch + p)],
+                  expected[static_cast<std::size_t>(j)])
+            << "col " << j << " batch " << p;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fast fault burn-in vs the per-cell reference implementation.
+
+TEST(FaultBurnIn, FastApplyMatchesReference) {
+  const std::int64_t rows = 60, cols = 52;
+  FaultConfig configs[4];
+  configs[0].stuck_at_zero_rate = 0.01;  // stuck-only
+  configs[0].stuck_at_one_rate = 0.005;
+  configs[1].program_sigma = 0.3;  // heavy variation-only
+  configs[2].stuck_at_zero_rate = 0.002;  // both, multi-level
+  configs[2].stuck_at_one_rate = 0.002;
+  configs[2].program_sigma = 0.01;
+  configs[3].stuck_at_zero_rate = 0.004;  // drift forces reference dispatch
+  configs[3].program_sigma = 0.02;
+  configs[3].drift_time_s = 1e5;
+  configs[3].drift_nu = 0.05;
+  for (FaultConfig fc : configs) {
+    for (const int bits : {1, 2, 4, 8}) {
+      fc.cell_bits = bits;
+      fc.seed = 0x1234 + static_cast<std::uint64_t>(bits);
+      const FaultModel model(fc);
+      common::Rng wrng(99);
+      const auto original = random_weights(wrng, rows * cols);
+      auto fast = original;
+      auto ref = original;
+      const FaultMapStats fast_stats =
+          model.apply(fast, rows, cols, cols, /*crossbar_id=*/17);
+      const FaultMapStats ref_stats =
+          model.apply_reference(ref, rows, cols, cols, /*crossbar_id=*/17);
+      EXPECT_EQ(fast, ref) << "bits=" << bits;
+      expect_stats_eq(fast_stats, ref_stats);
+    }
+  }
+}
+
+TEST(FaultBurnIn, RecordReplayMatchesDirectBurnAcrossRates) {
+  const std::int64_t rows = 48, cols = 40;
+  FaultConfig rec_fc;
+  rec_fc.stuck_at_zero_rate = 5e-3;
+  rec_fc.stuck_at_one_rate = 5e-3;
+  rec_fc.program_sigma = 0.01;
+  rec_fc.cell_bits = 2;
+  rec_fc.seed = 77;
+  const FaultModel rec_model(rec_fc);
+  ASSERT_TRUE(rec_model.record_eligible());
+  common::Rng wrng(5);
+  const auto original = random_weights(wrng, rows * cols);
+  auto post_var = original;
+  std::vector<reram::StuckCandidate> hits;
+  const FaultMapStats var_stats = rec_model.apply_recording(
+      post_var, rows, cols, cols, /*crossbar_id=*/9, hits);
+  // The recorded stream replays exactly for every nonzero rate pair: the
+  // thresholds move, the draw stream does not.
+  const double rate_pairs[][2] = {
+      {1e-4, 1e-4}, {5e-3, 5e-3}, {1e-2, 0.0}, {0.0, 1e-2}, {2e-2, 3e-2}};
+  for (const auto& rates : rate_pairs) {
+    FaultConfig fc = rec_fc;
+    fc.stuck_at_zero_rate = rates[0];
+    fc.stuck_at_one_rate = rates[1];
+    const FaultModel model(fc);
+    auto direct = original;
+    const FaultMapStats direct_stats =
+        model.apply(direct, rows, cols, cols, /*crossbar_id=*/9);
+    auto replayed = post_var;
+    const FaultMapStats delta =
+        model.replay_stuck(replayed, cols, cols, hits);
+    EXPECT_EQ(replayed, direct)
+        << "rates " << rates[0] << "/" << rates[1];
+    EXPECT_EQ(var_stats.physical_cells + delta.physical_cells,
+              direct_stats.physical_cells);
+    EXPECT_EQ(var_stats.stuck_at_zero + delta.stuck_at_zero,
+              direct_stats.stuck_at_zero);
+    EXPECT_EQ(var_stats.stuck_at_one + delta.stuck_at_one,
+              direct_stats.stuck_at_one);
+    EXPECT_EQ(var_stats.weights_changed + delta.weights_changed,
+              direct_stats.weights_changed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-fabric equivalence: fast kernels vs the scalar-reference policy.
+
+TEST(SimulatedModelKernels, FastForwardMatchesScalarReference) {
+  const nn::NetworkSpec net = nn::lenet5();
+  common::Rng wr(21);
+  const nn::Model model(net, wr);
+  const auto mappable = net.mappable_layers();
+  const std::vector<CrossbarShape> shapes(mappable.size(), {72, 64});
+  FaultConfig fc;
+  fc.stuck_at_zero_rate = 5e-4;
+  fc.stuck_at_one_rate = 5e-4;
+  fc.program_sigma = 0.01;
+  fc.cell_bits = 2;
+  common::Rng ir(4);
+  const nn::LayerSpec& first = net.layers.front();
+  const tensor::Tensor image =
+      nn::synthetic_image(ir, first.in_channels, first.in_height,
+                          first.in_width);
+  for (const auto mode :
+       {reram::DatapathMode::kInteger, reram::DatapathMode::kBitSerial}) {
+    const SimulatedModel fast(model, shapes, mode, fc);
+    const SimulatedModel scalar(model, shapes, mode, fc,
+                                KernelPolicy::kScalarReference);
+    const tensor::Tensor a = fast.forward(image);
+    const tensor::Tensor b = scalar.forward(image);
+    ASSERT_EQ(a.numel(), b.numel());
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo byte-identity: thread counts, kernel policy, fabric cache.
+
+RobustnessOptions small_mc() {
+  RobustnessOptions mc;
+  mc.trials = 3;
+  mc.samples = 4;
+  return mc;
+}
+
+TEST(MonteCarloIdentity, ThreadCountInvariance) {
+  const nn::NetworkSpec net = nn::lenet5();
+  common::Rng wr(21);
+  const nn::Model model(net, wr);
+  const std::vector<CrossbarShape> shapes(net.mappable_layers().size(),
+                                          {72, 64});
+  FaultConfig fc;
+  fc.stuck_at_zero_rate = 1e-3;
+  fc.stuck_at_one_rate = 1e-3;
+  fc.program_sigma = 0.01;
+  RobustnessOptions mc = small_mc();
+  mc.threads = 1;
+  const auto serial = reram::monte_carlo_robustness(model, shapes, fc, mc);
+  for (const int threads : {2, 8}) {
+    mc.threads = threads;
+    const auto parallel =
+        reram::monte_carlo_robustness(model, shapes, fc, mc);
+    EXPECT_TRUE(reports_equal(serial, parallel)) << threads << " threads";
+  }
+}
+
+TEST(MonteCarloIdentity, ScalarReferencePolicyInvariance) {
+  const nn::NetworkSpec net = nn::lenet5();
+  common::Rng wr(21);
+  const nn::Model model(net, wr);
+  const std::vector<CrossbarShape> shapes(net.mappable_layers().size(),
+                                          {72, 64});
+  FaultConfig fc;
+  fc.stuck_at_zero_rate = 2e-3;
+  fc.stuck_at_one_rate = 0.0;
+  fc.program_sigma = 0.02;
+  fc.cell_bits = 4;
+  RobustnessOptions mc = small_mc();
+  const auto fast = reram::monte_carlo_robustness(model, shapes, fc, mc);
+  mc.kernels = KernelPolicy::kScalarReference;
+  const auto scalar = reram::monte_carlo_robustness(model, shapes, fc, mc);
+  EXPECT_TRUE(reports_equal(fast, scalar));
+}
+
+TEST(MonteCarloIdentity, TrialFabricCacheInvariance) {
+  const nn::NetworkSpec net = nn::lenet5();
+  common::Rng wr(21);
+  const nn::Model model(net, wr);
+  const std::vector<CrossbarShape> shapes(net.mappable_layers().size(),
+                                          {72, 64});
+  reram::TrialFabricCache cache;
+  for (const int bits : {1, 4}) {
+    for (const double rate : {0.0, 1e-4, 5e-3}) {
+      FaultConfig fc;
+      fc.stuck_at_zero_rate = rate / 2;
+      fc.stuck_at_one_rate = rate / 2;
+      fc.program_sigma = 0.01;
+      fc.cell_bits = bits;
+      RobustnessOptions mc = small_mc();
+      mc.cache = &cache;
+      const auto cached = reram::monte_carlo_robustness(model, shapes, fc, mc);
+      mc.cache = nullptr;
+      const auto uncached =
+          reram::monte_carlo_robustness(model, shapes, fc, mc);
+      EXPECT_TRUE(reports_equal(cached, uncached))
+          << "bits=" << bits << " rate=" << rate;
+    }
+  }
+  // The sweep shape guarantees the cache actually recorded and replayed:
+  // per cell_bits, 3 trials record at the first nonzero rate and replay at
+  // the second; the rate-0 points bypass (their draw stream differs).
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.trial_records, 6u);
+  EXPECT_EQ(stats.trial_replays, 6u);
+  EXPECT_GT(stats.ideal_hits, 0u);
+}
+
+TEST(MonteCarloIdentity, ReadNoiseThreadInvariance) {
+  const nn::NetworkSpec net = nn::lenet5();
+  common::Rng wr(21);
+  const nn::Model model(net, wr);
+  const std::vector<CrossbarShape> shapes(net.mappable_layers().size(),
+                                          {72, 64});
+  FaultConfig fc;
+  fc.read_sigma = 0.05;
+  fc.program_sigma = 0.01;
+  RobustnessOptions mc = small_mc();
+  mc.threads = 1;
+  const auto serial = reram::monte_carlo_robustness(model, shapes, fc, mc);
+  mc.threads = 4;
+  const auto parallel = reram::monte_carlo_robustness(model, shapes, fc, mc);
+  EXPECT_TRUE(reports_equal(serial, parallel));
+}
+
+TEST(SimulatedModelKernels, ConcurrentForwardsAreDeterministic) {
+  // Shared const fabric, concurrent forwards with per-call noise streams —
+  // the race TSan hunts for; results must equal the serial run exactly.
+  const nn::NetworkSpec net = nn::lenet5();
+  common::Rng wr(21);
+  const nn::Model model(net, wr);
+  const std::vector<CrossbarShape> shapes(net.mappable_layers().size(),
+                                          {72, 64});
+  FaultConfig fc;
+  fc.read_sigma = 0.05;
+  fc.program_sigma = 0.01;
+  const SimulatedModel fabric(model, shapes, reram::DatapathMode::kInteger,
+                              fc);
+  common::Rng ir(4);
+  const nn::LayerSpec& first = net.layers.front();
+  const tensor::Tensor image =
+      nn::synthetic_image(ir, first.in_channels, first.in_height,
+                          first.in_width);
+  constexpr int kStreams = 4;
+  std::vector<tensor::Tensor> serial;
+  for (int s = 0; s < kStreams; ++s) {
+    serial.push_back(fabric.forward(image, static_cast<std::uint64_t>(s)));
+  }
+  std::vector<tensor::Tensor> concurrent(kStreams);
+  {
+    std::vector<std::thread> workers;
+    for (int s = 0; s < kStreams; ++s) {
+      workers.emplace_back([&, s] {
+        concurrent[static_cast<std::size_t>(s)] =
+            fabric.forward(image, static_cast<std::uint64_t>(s));
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  for (int s = 0; s < kStreams; ++s) {
+    const auto& a = serial[static_cast<std::size_t>(s)];
+    const auto& b = concurrent[static_cast<std::size_t>(s)];
+    ASSERT_EQ(a.numel(), b.numel());
+    for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace autohet
