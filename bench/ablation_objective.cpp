@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
 
   report::Table table({"Objective", "Utilization %", "Energy (nJ)",
                        "Area (um^2)", "Latency (ns)", "RUE"});
-  for (const auto [objective, name] :
+  for (const auto& [objective, name] :
        {std::pair{core::RewardObjective::kUtilizationPerEnergy,
                   "u/e (paper Eq. 2)"},
         std::pair{core::RewardObjective::kAreaAware, "u/(e*area)"},

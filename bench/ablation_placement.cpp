@@ -20,7 +20,7 @@ int main() {
     const std::vector<mapping::CrossbarShape> shapes(layers.size(), shape);
     const auto allocation =
         mapping::TileAllocator(4, false).allocate(layers, shapes);
-    for (const auto [policy, name] :
+    for (const auto& [policy, name] :
          {std::pair{reram::PlacementPolicy::kRowMajor, "row-major"},
           std::pair{reram::PlacementPolicy::kSnake, "snake"},
           std::pair{reram::PlacementPolicy::kHilbert, "hilbert"}}) {

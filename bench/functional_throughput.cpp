@@ -1,19 +1,26 @@
-// Functional-simulation throughput: packed vs scalar MVM kernels, fast vs
-// scalar forward plumbing, and Monte-Carlo robustness wall time — the perf
-// trajectory of the fast functional engine (DESIGN.md §7).
+// Functional-simulation throughput: packed vs scalar MVM kernels across
+// every dispatchable ISA variant, fast vs scalar forward plumbing (plus the
+// intra-forward row-block split), and Monte-Carlo robustness wall time —
+// the perf trajectory of the fast functional engine (DESIGN.md §7).
 //
-// Three levels are timed, each against its retained scalar baseline (the
-// pre-packing datapaths, kept precisely so this comparison stays honest):
+// Levels timed, each against its retained scalar baseline (the pre-packing
+// datapaths, kept precisely so this comparison stays honest):
 //   * raw crossbar kernels (bit-serial / multilevel / reference MVMs/s),
+//     with the bit-serial kernel additionally timed under every supported
+//     dispatch variant (portable/avx2/avx512) — the `dispatch` JSON section
+//     records the selected path and each variant's rate;
 //   * whole-network forwards (images/s, integer and bit-serial datapaths),
+//     plus the same forward split across row blocks / position tiles on a
+//     worker pool (bit-identical outputs, asserted);
 //   * the full fault_sweep Monte-Carlo workload — fault_sweep's three
-//     configurations (AutoHet search, best homogeneous, largest-candidate
-//     homogeneous) over its 15-point grid (3 cell-bits × 5 stuck rates,
+//     configurations over its 15-point grid (3 cell-bits × 5 stuck rates,
 //     σ=0.01, 5 trials × 12 samples), measured end-to-end through
-//     EvaluationEngine::evaluate_robustness. Fast kernels + recorded trial
-//     fabrics (TrialFabricCache) + parallel trials vs the scalar serial
-//     path; every point's report is byte-identical (asserted here and in
-//     CI).
+//     EvaluationEngine::evaluate_robustness. Every (variant, thread-count)
+//     combination's reports are byte-compared against the scalar serial
+//     reference (asserted here and in CI), and per config the parallel
+//     path must not lose to the serial one (`parallel_vs_serial`; on a
+//     single-hardware-thread host the parallel path runs the identical
+//     serial code, so the serial timing is reused and flagged).
 //
 // Emits BENCH_functional_throughput.json with every rate and ratio; the
 // headline `mc_speedup` field (aggregate scalar wall / aggregate fast wall
@@ -28,8 +35,11 @@
 #include <thread>
 
 #include "bench_common.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "reram/eval_engine.hpp"
 #include "reram/functional.hpp"
+#include "tensor/ops.hpp"
 
 using namespace autohet;
 
@@ -94,6 +104,15 @@ struct McTiming {
   double scalar_serial_ms = 0.0;
   double fast_serial_ms = 0.0;
   double fast_parallel_ms = 0.0;
+  bool parallel_reused_serial = false;
+  bool identical = false;
+};
+
+/// One (variant, threads) byte-identity verdict against the scalar serial
+/// reference, over all three configurations' full grids.
+struct VariantCheck {
+  std::string variant;
+  int threads = 0;  // 1 = serial, 0 = one per hardware thread
   bool identical = false;
 };
 
@@ -104,7 +123,11 @@ int main(int argc, char** argv) {
   const int hw_threads =
       static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   bench::print_header(
-      "Functional-simulation throughput (packed kernels, parallel MC)");
+      "Functional-simulation throughput (dispatched kernels, parallel MC)");
+
+  namespace rk = reram::kernels;
+  const rk::Variant selected = rk::active_variant();
+  const std::vector<rk::Variant> variants = rk::supported_variants();
 
   const nn::NetworkSpec net = nn::lenet5();
   common::Rng weight_rng(21);
@@ -127,6 +150,44 @@ int main(int argc, char** argv) {
   const auto time_kernel = [&](auto&& fn) {
     return calls_per_second([&] { sink = sink + fn().back(); });
   };
+
+  // Dispatch sweep: the bit-serial packed MVM under every supported
+  // variant. The packed result is checked against the scalar oracle per
+  // variant — a variant that vectorizes wrongly must fail here, not in CI.
+  struct VariantRate {
+    std::string name;
+    double bit_serial_per_s = 0.0;
+    double multilevel_per_s = 0.0;
+  };
+  std::vector<VariantRate> variant_rates;
+  const std::vector<std::int32_t> bit_serial_oracle =
+      xb.mvm_bit_serial_scalar(input);
+  const std::vector<std::int32_t> multilevel_oracle =
+      xb.mvm_multilevel_scalar(input, 2);
+  for (const rk::Variant v : variants) {
+    rk::set_variant(v);
+    AUTOHET_CHECK(xb.mvm_bit_serial(input) == bit_serial_oracle,
+                  std::string("bit-serial mismatch under variant ") +
+                      rk::variant_name(v));
+    AUTOHET_CHECK(xb.mvm_multilevel(input, 2) == multilevel_oracle,
+                  std::string("multilevel mismatch under variant ") +
+                      rk::variant_name(v));
+    VariantRate rate;
+    rate.name = rk::variant_name(v);
+    rate.bit_serial_per_s =
+        time_kernel([&] { return xb.mvm_bit_serial(input); });
+    rate.multilevel_per_s =
+        time_kernel([&] { return xb.mvm_multilevel(input, 2); });
+    variant_rates.push_back(rate);
+  }
+  rk::set_variant(selected);
+  double best_vs_portable = 1.0;
+  for (const auto& r : variant_rates) {
+    best_vs_portable = std::max(
+        best_vs_portable,
+        r.bit_serial_per_s / variant_rates.front().bit_serial_per_s);
+  }
+
   struct KernelRow {
     std::string name;
     double packed_per_s, scalar_per_s;
@@ -162,6 +223,8 @@ int main(int argc, char** argv) {
     double fast_per_s, scalar_per_s;
   };
   std::vector<ForwardRow> forwards;
+  double fwd_serial_per_s = 0.0;
+  double fwd_pool_per_s = 0.0;
   {
     const reram::SimulatedModel fast_int(model, shapes,
                                          reram::DatapathMode::kInteger);
@@ -183,6 +246,19 @@ int main(int argc, char** argv) {
          calls_per_second([&] { fsink = fsink + fast_bits.forward(image)[0]; }),
          calls_per_second(
              [&] { fsink = fsink + scalar_bits.forward(image)[0]; }, 400.0)});
+
+    // Intra-forward row-block / position-tile split: one sample spread over
+    // the whole pool. Integer partials reassociate exactly, so the pooled
+    // forward must be bit-identical to the serial one.
+    common::ThreadPool fwd_pool(static_cast<std::size_t>(hw_threads));
+    const tensor::Tensor serial_out = fast_int.forward(image);
+    const tensor::Tensor pooled_out = fast_int.forward(image, 0, &fwd_pool);
+    AUTOHET_CHECK(tensor::max_abs_diff(serial_out, pooled_out) == 0.0f,
+                  "pooled forward diverged from the serial forward");
+    fwd_serial_per_s =
+        calls_per_second([&] { fsink = fsink + fast_int.forward(image)[0]; });
+    fwd_pool_per_s = calls_per_second(
+        [&] { fsink = fsink + fast_int.forward(image, 0, &fwd_pool)[0]; });
   }
 
   // --- Monte-Carlo wall time on the fault_sweep workload ----------------
@@ -233,9 +309,9 @@ int main(int argc, char** argv) {
   };
   const auto best_grid = [&](const McConfig& cfg,
                              const reram::RobustnessOptions& opts,
-                             Reports* out) {
+                             Reports* out, int reps) {
     double best = 0.0;
-    for (int rep = 0; rep < mc_reps; ++rep) {
+    for (int rep = 0; rep < reps; ++rep) {
       const double wall = grid_wall(cfg, opts, rep == 0 ? out : nullptr);
       if (rep == 0 || wall < best) best = wall;
     }
@@ -245,40 +321,108 @@ int main(int argc, char** argv) {
   reram::RobustnessOptions mc;
   mc.trials = kMcTrials;
   mc.samples = kMcSamples;
-  std::vector<McTiming> mc_rows;
-  bool mc_identical = true;
-  double scalar_total = 0.0, serial_total = 0.0, parallel_total = 0.0;
-  for (const McConfig& cfg : mc_configs) {
-    McTiming row;
-    row.config = cfg.name;
-    Reports ref_reports, fast_reports, par_reports;
+  // With a single hardware thread the parallel path runs the identical
+  // serial code (the MC gate needs threads > 1 *and* workers to help), so
+  // re-timing it would only measure noise — reuse the serial wall time.
+  const bool reuse_serial_for_parallel = hw_threads <= 1;
+
+  // Scalar serial reference, once per configuration (the expensive leg).
+  std::vector<Reports> ref_reports(mc_configs.size());
+  std::vector<double> scalar_ms(mc_configs.size(), 0.0);
+  for (std::size_t c = 0; c < mc_configs.size(); ++c) {
     reram::RobustnessOptions scalar_opts = mc;
     scalar_opts.kernels = reram::KernelPolicy::kScalarReference;
-    row.scalar_serial_ms = best_grid(cfg, scalar_opts, &ref_reports);
-    reram::RobustnessOptions serial_opts = mc;
-    serial_opts.threads = 1;
-    row.fast_serial_ms = best_grid(cfg, serial_opts, &fast_reports);
-    reram::RobustnessOptions parallel_opts = mc;
-    parallel_opts.threads = 0;  // one worker per hardware thread
-    row.fast_parallel_ms = best_grid(cfg, parallel_opts, &par_reports);
-    row.identical = fast_reports.size() == ref_reports.size() &&
-                    par_reports.size() == ref_reports.size();
-    for (std::size_t i = 0; row.identical && i < ref_reports.size(); ++i) {
-      row.identical = reports_equal(ref_reports[i], fast_reports[i]) &&
-                      reports_equal(ref_reports[i], par_reports[i]);
-    }
-    mc_identical = mc_identical && row.identical;
-    scalar_total += row.scalar_serial_ms;
-    serial_total += row.fast_serial_ms;
-    parallel_total += row.fast_parallel_ms;
-    mc_rows.push_back(row);
+    scalar_ms[c] =
+        best_grid(mc_configs[c], scalar_opts, &ref_reports[c], mc_reps);
   }
+
+  // Every supported variant, serial and parallel, byte-compared against the
+  // scalar reference. The selected variant's timings (with best-of reps and
+  // the parallel ≤ serial gate) become the headline rows.
+  std::vector<McTiming> mc_rows;
+  std::vector<VariantCheck> variant_checks;
+  bool mc_identical = true;
+  double scalar_total = 0.0, serial_total = 0.0, parallel_total = 0.0;
+  for (const rk::Variant v : variants) {
+    rk::set_variant(v);
+    const bool is_selected = v == selected;
+    bool serial_ok = true;
+    bool parallel_ok = true;
+    for (std::size_t c = 0; c < mc_configs.size(); ++c) {
+      const McConfig& cfg = mc_configs[c];
+      McTiming row;
+      row.config = cfg.name;
+      row.scalar_serial_ms = scalar_ms[c];
+      Reports fast_reports, par_reports;
+      reram::RobustnessOptions serial_opts = mc;
+      serial_opts.threads = 1;
+      reram::RobustnessOptions parallel_opts = mc;
+      parallel_opts.threads = 0;  // one worker per hardware thread
+      const int reps = is_selected ? mc_reps : 1;
+      row.fast_serial_ms = best_grid(cfg, serial_opts, &fast_reports, reps);
+      if (reuse_serial_for_parallel) {
+        row.fast_parallel_ms = row.fast_serial_ms;
+        row.parallel_reused_serial = true;
+        par_reports = fast_reports;
+      } else {
+        row.fast_parallel_ms =
+            best_grid(cfg, parallel_opts, &par_reports, reps);
+        // Satellite gate: intra-trial chunking must keep the parallel path
+        // at least at parity per configuration. Re-time once before
+        // failing — a single scheduling hiccup is not a regression.
+        if (is_selected &&
+            row.fast_parallel_ms > 1.05 * row.fast_serial_ms) {
+          row.fast_serial_ms =
+              best_grid(cfg, serial_opts, nullptr, reps);
+          row.fast_parallel_ms =
+              best_grid(cfg, parallel_opts, nullptr, reps);
+          AUTOHET_CHECK(
+              row.fast_parallel_ms <= 1.05 * row.fast_serial_ms,
+              "parallel MC slower than serial for " + cfg.name);
+        }
+      }
+      row.identical = fast_reports.size() == ref_reports[c].size() &&
+                      par_reports.size() == ref_reports[c].size();
+      for (std::size_t i = 0; row.identical && i < ref_reports[c].size();
+           ++i) {
+        row.identical = reports_equal(ref_reports[c][i], fast_reports[i]) &&
+                        reports_equal(ref_reports[c][i], par_reports[i]);
+      }
+      serial_ok = serial_ok && row.identical;
+      parallel_ok = parallel_ok && row.identical;
+      mc_identical = mc_identical && row.identical;
+      if (is_selected) {
+        scalar_total += row.scalar_serial_ms;
+        serial_total += row.fast_serial_ms;
+        parallel_total += row.fast_parallel_ms;
+        mc_rows.push_back(row);
+      }
+    }
+    variant_checks.push_back({rk::variant_name(v), 1, serial_ok});
+    variant_checks.push_back({rk::variant_name(v), 0, parallel_ok});
+  }
+  rk::set_variant(selected);
+  AUTOHET_CHECK(mc_identical,
+                "fast Monte-Carlo reports diverged from the scalar serial "
+                "reference");
   // Headline gate: aggregate wall time of the whole workload (all three
   // configurations × 15 grid points), scalar serial vs fast parallel.
   const double mc_speedup = scalar_total / parallel_total;
-  const double parallel_ratio = serial_total / parallel_total;
+  const double parallel_ratio = parallel_total / serial_total;
 
   // --- Report ------------------------------------------------------------
+  report::Table dispatch_table({"Variant", "Bit-serial MVM/s",
+                                "Multilevel MVM/s", "Selected"});
+  for (const auto& r : variant_rates) {
+    dispatch_table.add_row({r.name,
+                            report::format_fixed(r.bit_serial_per_s, 0),
+                            report::format_fixed(r.multilevel_per_s, 0),
+                            r.name == rk::variant_name(selected) ? "yes"
+                                                                 : ""});
+  }
+  dispatch_table.print(std::cout);
+  std::cout << '\n';
+
   report::Table table({"Level", "Variant", "Fast", "Scalar", "Speedup"});
   for (const auto& k : kernels) {
     table.add_row({"kernel (MVM/s)", k.name,
@@ -292,6 +436,10 @@ int main(int argc, char** argv) {
                    report::format_fixed(f.scalar_per_s, 1),
                    report::format_fixed(f.fast_per_s / f.scalar_per_s, 2)});
   }
+  table.add_row({"forward (img/s)", "integer+pool",
+                 report::format_fixed(fwd_pool_per_s, 1),
+                 report::format_fixed(fwd_serial_per_s, 1),
+                 report::format_fixed(fwd_pool_per_s / fwd_serial_per_s, 2)});
   for (const auto& m : mc_rows) {
     table.add_row({"MC grid (ms)", m.config,
                    report::format_fixed(m.fast_parallel_ms, 1),
@@ -300,7 +448,10 @@ int main(int argc, char** argv) {
                        m.scalar_serial_ms / m.fast_parallel_ms, 2)});
   }
   table.print(std::cout);
-  std::cout << "\nMC speedup (fault_sweep workload aggregate, fast parallel "
+  std::cout << "\nKernel dispatch: " << rk::variant_name(selected)
+            << " (best vs portable "
+            << report::format_fixed(best_vs_portable, 2) << "x)\n"
+            << "MC speedup (fault_sweep workload aggregate, fast parallel "
             << "vs scalar serial): " << report::format_fixed(mc_speedup, 2)
             << "x, reports identical: " << (mc_identical ? "yes" : "NO")
             << "\n";
@@ -309,8 +460,28 @@ int main(int argc, char** argv) {
   json << "{\n  \"benchmark\": \"functional_throughput\",\n"
        << "  \"model\": \"lenet5\",\n"
        << "  \"hardware_threads\": " << hw_threads << ",\n"
-       << "  \"mc_reps\": " << mc_reps << ",\n  \"kernels\": [";
+       << "  \"mc_reps\": " << mc_reps << ",\n  \"dispatch\": {\n"
+       << "    \"selected\": \"" << rk::variant_name(selected) << "\",\n"
+       << "    \"supported\": [";
   bool first_row = true;
+  for (const rk::Variant v : variants) {
+    json << (first_row ? "" : ", ") << '"' << rk::variant_name(v) << '"';
+    first_row = false;
+  }
+  json << "],\n    \"variants\": [";
+  first_row = true;
+  for (const auto& r : variant_rates) {
+    json << (first_row ? "\n" : ",\n") << "      {\"name\": \"" << r.name
+         << "\", \"bit_serial_mvms_per_s\": " << r.bit_serial_per_s
+         << ", \"multilevel_mvms_per_s\": " << r.multilevel_per_s
+         << ", \"vs_portable\": "
+         << r.bit_serial_per_s / variant_rates.front().bit_serial_per_s
+         << "}";
+    first_row = false;
+  }
+  json << "\n    ],\n    \"best_vs_portable\": " << best_vs_portable
+       << "\n  },\n  \"kernels\": [";
+  first_row = true;
   for (const auto& k : kernels) {
     json << (first_row ? "\n" : ",\n") << "    {\"name\": \"" << k.name
          << "\", \"shape\": \"288x256\", \"packed_mvms_per_s\": "
@@ -327,7 +498,11 @@ int main(int argc, char** argv) {
          << ", \"speedup\": " << f.fast_per_s / f.scalar_per_s << "}";
     first_row = false;
   }
-  json << "\n  ],\n  \"monte_carlo\": {\n"
+  json << "\n  ],\n  \"row_block_split\": {\n"
+       << "    \"pool_threads\": " << hw_threads << ",\n"
+       << "    \"serial_images_per_s\": " << fwd_serial_per_s << ",\n"
+       << "    \"pool_images_per_s\": " << fwd_pool_per_s << ",\n"
+       << "    \"identical\": true\n  },\n  \"monte_carlo\": {\n"
        << "    \"workload\": \"fault_sweep\",\n"
        << "    \"episodes\": " << episodes << ",\n"
        << "    \"cell_bits\": [1, 2, 4],\n"
@@ -343,7 +518,20 @@ int main(int argc, char** argv) {
          << ", \"fast_serial_ms\": " << m.fast_serial_ms
          << ", \"fast_parallel_ms\": " << m.fast_parallel_ms
          << ", \"speedup\": " << m.scalar_serial_ms / m.fast_parallel_ms
+         << ", \"parallel_vs_serial\": "
+         << m.fast_parallel_ms / m.fast_serial_ms
+         << ", \"parallel_reused_serial\": "
+         << (m.parallel_reused_serial ? "true" : "false")
          << ", \"reports_identical\": " << (m.identical ? "true" : "false")
+         << "}";
+    first_row = false;
+  }
+  json << "\n    ],\n    \"variant_checks\": [";
+  first_row = true;
+  for (const auto& vc : variant_checks) {
+    json << (first_row ? "\n" : ",\n") << "      {\"variant\": \""
+         << vc.variant << "\", \"threads\": " << vc.threads
+         << ", \"reports_identical\": " << (vc.identical ? "true" : "false")
          << "}";
     first_row = false;
   }

@@ -36,7 +36,7 @@ int main() {
   chip.banks = 1;
   chip.bank.tile_rows = 64;  // a small edge-class chip: 4096 tiles
   chip.bank.tile_cols = 64;
-  for (const auto [scope, name] :
+  for (const auto& [scope, name] :
        {std::pair{mapping::SharingScope::kNone, "none"},
         std::pair{mapping::SharingScope::kPerModel, "per-model"},
         std::pair{mapping::SharingScope::kCrossModel, "cross-model"}}) {

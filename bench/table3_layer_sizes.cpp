@@ -23,8 +23,12 @@ int main(int argc, char** argv) {
   report::Table table({"Layer", "Spec", "Base", "+He", "+Hy"});
   const auto layers = net.mappable_layers();
   for (std::size_t k = 0; k < layers.size(); ++k) {
+    // += instead of "L" + to_string(...): GCC 12 -Wrestrict false positive
+    // on the inlined temporary-string operator+ chain (PR105329).
+    std::string label = "L";
+    label += std::to_string(k + 1);
     table.add_row(
-        {"L" + std::to_string(k + 1), layers[k].to_string(),
+        {label, layers[k].to_string(),
          square_env.candidates()[base.actions[k]].name(),
          square_env.candidates()[he.best_actions[k]].name(),
          hy_env.candidates()[hy.best_actions[k]].name()});

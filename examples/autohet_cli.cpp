@@ -27,6 +27,7 @@
 #include "nn/model_zoo.hpp"
 #include "obs/session.hpp"
 #include "reram/functional.hpp"
+#include "reram/kernels/kernels.hpp"
 #include "report/serialize.hpp"
 #include "report/table.hpp"
 #include "tensor/ops.hpp"
@@ -220,6 +221,21 @@ int run_describe(const common::ArgParser& args) {
   return 0;
 }
 
+int run_kernels(const common::ArgParser&) {
+  // CI's dispatch smoke parses this table to learn which variants the host
+  // can run, then re-invokes the kernel tests with each one forced.
+  const reram::kernels::Variant active = reram::kernels::active_variant();
+  report::Table table({"Variant", "Supported", "Active"});
+  for (int v = 0; v < reram::kernels::kVariantCount; ++v) {
+    const auto variant = static_cast<reram::kernels::Variant>(v);
+    table.add_row({reram::kernels::variant_name(variant),
+                   reram::kernels::supported(variant) ? "yes" : "no",
+                   variant == active ? "yes" : ""});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 int run_baselines(const common::ArgParser& args) {
   const auto net = nn::network_by_name(model_or(args, "vgg16"));
   const auto env = build_env(args, net);
@@ -249,8 +265,8 @@ int main(int argc, char** argv) {
       "autohet_cli",
       "AutoHet heterogeneous ReRAM accelerator driver: RL search, strategy "
       "evaluation, and homogeneous baselines.");
-  args.add_positional("command",
-                      "search | evaluate | replay | baselines | describe");
+  args.add_positional(
+      "command", "search | evaluate | replay | baselines | describe | kernels");
   args.add_option("model", "",
                   "lenet5 | alexnet | vgg16 | resnet152 (default: vgg16; "
                   "'evaluate' defaults to the strategy file's network)");
@@ -283,6 +299,10 @@ int main(int argc, char** argv) {
   args.add_option("eval-threads", "0",
                   "worker threads for batched hardware evaluation "
                   "(0 = serial)");
+  args.add_option("kernel", "",
+                  "force the kernel ISA variant: portable | avx2 | avx512 "
+                  "(default: best supported; equivalent to AUTOHET_KERNEL; "
+                  "results are bit-identical across variants)");
   args.add_flag("no-tile-shared", "disable the tile-shared allocation");
   obs::add_cli_options(args);
 
@@ -303,12 +323,20 @@ int main(int argc, char** argv) {
   }
   try {
     obs::ObsSession session(args);
+    if (const std::string kernel = args.option("kernel"); !kernel.empty()) {
+      reram::kernels::Variant v;
+      AUTOHET_CHECK(reram::kernels::variant_from_name(kernel, &v),
+                    "unknown kernel variant: " + kernel +
+                        " (use portable|avx2|avx512)");
+      reram::kernels::set_variant(v);  // hard error when unsupported
+    }
     const std::string command = args.positional("command");
     if (command == "search") return run_search(args);
     if (command == "evaluate") return run_evaluate(args);
     if (command == "replay") return run_replay(args);
     if (command == "baselines") return run_baselines(args);
     if (command == "describe") return run_describe(args);
+    if (command == "kernels") return run_kernels(args);
     std::cerr << "unknown command: " << command << "\n\n"
               << args.help_text();
     return 2;

@@ -112,9 +112,12 @@ Strategy Strategy::from_text(const std::string& text) {
       header_seen = true;
       continue;
     }
-    AUTOHET_CHECK(key == "L" + std::to_string(expected_layer),
-                  at_line(line_no) + "expected L" +
-                      std::to_string(expected_layer) + ", got: " + key);
+    // Built with += rather than "L" + to_string(...): GCC 12's -Wrestrict
+    // false-fires on the inlined temporary-string operator+ chain (PR105329).
+    std::string expected_key = "L";
+    expected_key += std::to_string(expected_layer);
+    AUTOHET_CHECK(key == expected_key, at_line(line_no) + "expected " +
+                                           expected_key + ", got: " + key);
     strategy.shapes.push_back(parse_shape(value, line_no));
     ++expected_layer;
   }

@@ -48,18 +48,55 @@ void ThreadPool::wait() {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
-  const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, workers_.size());
-  const std::size_t step = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * step;
-    const std::size_t hi = std::min(end, lo + step);
-    if (lo >= hi) break;
-    submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    });
+  // Per-call state on the caller's stack, shared with the helper tasks via
+  // shared_ptr (a helper may still be waking up after the call returned).
+  // The caller claims and runs items itself, so the call completes even if
+  // no worker ever picks a helper up — the property that makes nested and
+  // concurrent parallel_for calls deadlock-free.
+  struct State {
+    std::atomic<std::size_t> next;
+    std::size_t end;
+    const std::function<void(std::size_t)>* fn;
+    std::atomic<std::size_t> done{0};
+    std::size_t total;
+    std::mutex m;
+    std::condition_variable cv;
+  };
+  auto st = std::make_shared<State>();
+  st->next.store(begin, std::memory_order_relaxed);
+  st->end = end;
+  st->fn = &fn;
+  st->total = end - begin;
+
+  const auto drain = [](const std::shared_ptr<State>& s) {
+    std::size_t ran = 0;
+    for (;;) {
+      const std::size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->end) break;
+      (*s->fn)(i);
+      ++ran;
+    }
+    if (ran == 0) return;
+    // The finisher (done == total) must notify under the lock so the caller
+    // cannot miss the wake-up between its predicate check and its wait.
+    if (s->done.fetch_add(ran, std::memory_order_acq_rel) + ran == s->total) {
+      std::lock_guard<std::mutex> lock(s->m);
+      s->cv.notify_all();
+    }
+  };
+
+  // The caller handles one item's worth of work itself, so at most n - 1
+  // helpers are useful; capping at the worker count bounds queue traffic.
+  const std::size_t helpers =
+      std::min(workers_.size(), st->total - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([st, drain] { drain(st); });
   }
-  wait();
+  drain(st);
+  std::unique_lock<std::mutex> lock(st->m);
+  st->cv.wait(lock, [&] {
+    return st->done.load(std::memory_order_acquire) == st->total;
+  });
 }
 
 void ThreadPool::worker_loop() {

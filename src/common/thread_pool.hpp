@@ -2,8 +2,16 @@
 //
 // Used by the search drivers to evaluate independent accelerator
 // configurations concurrently (e.g. the homogeneous baseline sweep and the
-// search-time benchmark). Work items must be independent; the pool provides
-// no ordering guarantees beyond wait()/parallel_for joining all tasks.
+// search-time benchmark), and by the functional simulator to split one
+// forward pass across row blocks / position tiles. Work items must be
+// independent; the pool provides no ordering guarantees beyond
+// wait()/parallel_for joining all tasks.
+//
+// parallel_for is safe to call concurrently from several threads and to
+// nest (a pool task may itself call parallel_for on the same pool): each
+// call owns its iteration state, the calling thread participates in
+// draining its own items, and completion is tracked per call — never
+// through the pool-global task count.
 //
 // Instrumented (src/obs): queue depth is exported as the
 // `autohet_pool_queue_depth` gauge and a `pool_queue_depth` trace counter
@@ -11,6 +19,7 @@
 // `autohet_pool_task_latency_ns` histogram.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -37,11 +46,17 @@ class ThreadPool {
   /// terminate the program (there is no result channel to carry them).
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Do not call from
+  /// inside a pool task (it would count itself); use parallel_for for
+  /// nested fan-out.
   void wait();
 
   /// Runs fn(i) for i in [begin, end) across the pool and blocks until done.
-  /// Iterations are distributed in contiguous chunks.
+  /// The caller drains items too, so progress is guaranteed even when every
+  /// worker is busy — which makes nested and concurrent calls safe (and the
+  /// single-worker pool degrade to a plain loop on the calling thread).
+  /// Items are claimed one at a time from a shared cursor, so a slow item
+  /// never holds a whole pre-carved chunk hostage.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 

@@ -5,8 +5,53 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
+#include "reram/kernels/kernels.hpp"
 
 namespace autohet::reram {
+
+namespace {
+
+/// Packs the 8 input bit planes of one sample into xbits[xb * words + w]
+/// (bit i of plane xb = bit xb of input[i * stride]). `stride` is the
+/// element distance between consecutive rows of this sample: 1 for a
+/// contiguous input vector, `count` for one column of a transposed
+/// rows × count batch.
+void pack_planes(const std::uint8_t* input, std::int64_t rows,
+                 std::int64_t stride, std::int64_t words,
+                 std::uint64_t* xbits) {
+  std::fill_n(xbits, static_cast<std::size_t>(8 * words), std::uint64_t{0});
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const std::uint8_t x = input[i * stride];
+    if (x == 0) continue;
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    const std::int64_t word = i >> 6;
+    for (int xb = 0; xb < 8; ++xb) {
+      if ((x >> xb) & 1u) xbits[xb * words + word] |= bit;
+    }
+  }
+}
+
+/// popx[s*8 + xb] and refs[s] for `count` packed samples: the per-plane
+/// popcounts feed the multilevel sign-plane complement, and the reference
+/// term 128·Σx falls out of them for free (Σ_i x[i] = Σ_xb 2^xb·popcount).
+void fill_multilevel_terms(const std::uint64_t* xbits, std::int64_t count,
+                           std::int64_t words, std::int64_t* popx,
+                           std::int64_t* refs) {
+  const auto& ops = kernels::ops();
+  for (std::int64_t s = 0; s < count; ++s) {
+    std::int64_t sum = 0;
+    for (int xb = 0; xb < 8; ++xb) {
+      const std::int64_t n =
+          ops.popcount_words(xbits + (s * 8 + xb) * words, words);
+      popx[s * 8 + xb] = n;
+      sum += n << xb;
+    }
+    refs[s] = 128 * sum;
+  }
+}
+
+}  // namespace
 
 LogicalCrossbar::LogicalCrossbar(mapping::CrossbarShape shape)
     : shape_(shape),
@@ -82,37 +127,17 @@ void LogicalCrossbar::repack() {
   }
 }
 
-std::int64_t LogicalCrossbar::pack_input(
-    std::span<const std::uint8_t> input,
-    std::vector<std::uint64_t>& xbits) const {
-  const auto rows = static_cast<std::int64_t>(input.size());
-  const std::int64_t words_used = (rows + 63) / 64;
-  xbits.assign(static_cast<std::size_t>(8 * words_used), 0);
-  for (std::int64_t i = 0; i < rows; ++i) {
-    const std::uint8_t x = input[static_cast<std::size_t>(i)];
-    if (x == 0) continue;
-    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
-    const std::int64_t word = i >> 6;
-    for (int xb = 0; xb < 8; ++xb) {
-      if ((x >> xb) & 1u) {
-        xbits[static_cast<std::size_t>(xb * words_used + word)] |= bit;
-      }
-    }
-  }
-  return words_used;
-}
-
 std::vector<std::int32_t> LogicalCrossbar::mvm_bit_serial(
     std::span<const std::uint8_t> input) const {
   std::vector<std::int32_t> acc(static_cast<std::size_t>(cols_used_), 0);
-  thread_local std::vector<std::uint64_t> xbits;
-  mvm_bit_serial_accum(input, acc.data(), xbits);
+  thread_local kernels::KernelScratch scratch;
+  mvm_bit_serial_accum(input, acc.data(), scratch);
   return acc;
 }
 
 void LogicalCrossbar::mvm_bit_serial_accum(
     std::span<const std::uint8_t> input, std::int32_t* out,
-    std::vector<std::uint64_t>& xbits) const {
+    kernels::KernelScratch& scratch) const {
   AUTOHET_CHECK(static_cast<std::int64_t>(input.size()) == rows_used_,
                 "input length must equal rows_used");
   if (packed_.empty()) {
@@ -138,26 +163,17 @@ void LogicalCrossbar::mvm_bit_serial_accum(
     }
     return;
   }
-  const std::int64_t words_used = pack_input(input, xbits);
   // One AND+popcount pass per (weight plane, column, input plane): the 64
-  // wordline passes of the scalar path collapse into words_used word ops.
-  for (int wb = 0; wb < 8; ++wb) {
-    const std::int64_t neg = (wb == 7) ? -1 : 1;
-    for (std::int64_t j = 0; j < cols_used_; ++j) {
-      const std::uint64_t* p = plane(wb, j);
-      std::int64_t shifted = 0;  // Σ_xb 2^xb · bitline(xb) — exact in int64
-      for (int xb = 0; xb < 8; ++xb) {
-        const std::uint64_t* x =
-            xbits.data() + static_cast<std::size_t>(xb * words_used);
-        std::int64_t bitline = 0;
-        for (std::int64_t w = 0; w < words_used; ++w) {
-          bitline += std::popcount(x[w] & p[w]);
-        }
-        shifted += bitline << xb;
-      }
-      out[j] += static_cast<std::int32_t>(neg * (shifted << wb));
-    }
-  }
+  // wordline passes of the scalar path collapse into words word ops, run by
+  // the dispatched kernel variant (count == 1 keeps acc_t[j·1+0] == out[j]).
+  const std::int64_t words = (rows_used_ + 63) / 64;
+  std::uint64_t* xbits =
+      scratch.input_planes(static_cast<std::size_t>(8 * words));
+  pack_planes(input.data(), rows_used_, 1, words, xbits);
+  kernels::ops().bit_serial_mvm(packed_.data(), shape_.cols, packed_words_,
+                                cols_used_, words, xbits, 1, out);
+  OBS_COUNTER_ADD("autohet_kernel_bit_serial_words_total",
+                  64 * cols_used_ * words);
 }
 
 std::vector<std::int32_t> LogicalCrossbar::mvm_bit_serial_scalar(
@@ -193,14 +209,14 @@ std::vector<std::int32_t> LogicalCrossbar::mvm_bit_serial_scalar(
 std::vector<std::int32_t> LogicalCrossbar::mvm_multilevel(
     std::span<const std::uint8_t> input, int cell_bits) const {
   std::vector<std::int32_t> acc(static_cast<std::size_t>(cols_used_), 0);
-  thread_local std::vector<std::uint64_t> xbits;
-  mvm_multilevel_accum(input, cell_bits, acc.data(), xbits);
+  thread_local kernels::KernelScratch scratch;
+  mvm_multilevel_accum(input, cell_bits, acc.data(), scratch);
   return acc;
 }
 
 void LogicalCrossbar::mvm_multilevel_accum(
     std::span<const std::uint8_t> input, int cell_bits, std::int32_t* out,
-    std::vector<std::uint64_t>& xbits) const {
+    kernels::KernelScratch& scratch) const {
   AUTOHET_CHECK(cell_bits > 0 && cell_bits <= 8 && 8 % cell_bits == 0,
                 "cell_bits must divide 8");
   AUTOHET_CHECK(static_cast<std::int64_t>(input.size()) == rows_used_,
@@ -218,40 +234,20 @@ void LogicalCrossbar::mvm_multilevel_accum(
   // and its complement for k = 7 (v = w ^ 0x80 on the uint8 pattern), so
   // Σ_p 2^{p·b}·level_p = Σ_k 2^k·bit_k and the result is independent of
   // cell_bits. popcount(x & ~p7) = popcount(x) − popcount(x & p7) keeps the
-  // complement implicit (input bits past rows_used are zero in x).
-  std::int64_t ref = 0;
-  for (std::int64_t i = 0; i < rows_used_; ++i) {
-    ref += 128 * static_cast<std::int64_t>(input[static_cast<std::size_t>(i)]);
-  }
-  const std::int64_t words_used = pack_input(input, xbits);
-  std::int64_t popx[8];
-  for (int xb = 0; xb < 8; ++xb) {
-    const std::uint64_t* x =
-        xbits.data() + static_cast<std::size_t>(xb * words_used);
-    std::int64_t n = 0;
-    for (std::int64_t w = 0; w < words_used; ++w) n += std::popcount(x[w]);
-    popx[xb] = n;
-  }
-  for (int k = 0; k < 8; ++k) {
-    for (std::int64_t j = 0; j < cols_used_; ++j) {
-      const std::uint64_t* p = plane(k, j);
-      std::int64_t shifted = 0;  // Σ_xb 2^xb · bitline(xb)
-      for (int xb = 0; xb < 8; ++xb) {
-        const std::uint64_t* x =
-            xbits.data() + static_cast<std::size_t>(xb * words_used);
-        std::int64_t bitline = 0;
-        for (std::int64_t w = 0; w < words_used; ++w) {
-          bitline += std::popcount(x[w] & p[w]);
-        }
-        if (k == 7) bitline = popx[xb] - bitline;
-        shifted += bitline << xb;
-      }
-      out[j] += static_cast<std::int32_t>(shifted << k);
-    }
-  }
-  for (std::int64_t j = 0; j < cols_used_; ++j) {
-    out[j] -= static_cast<std::int32_t>(ref);
-  }
+  // complement implicit (input bits past rows_used are zero in x); the
+  // per-plane popcounts and the 128·Σx reference term are caller-computed
+  // once and handed to the dispatched kernel.
+  const std::int64_t words = (rows_used_ + 63) / 64;
+  std::uint64_t* xbits =
+      scratch.input_planes(static_cast<std::size_t>(8 * words));
+  pack_planes(input.data(), rows_used_, 1, words, xbits);
+  std::int64_t* terms = scratch.sample_terms(9);  // popx[0..8) + refs[0]
+  fill_multilevel_terms(xbits, 1, words, terms, terms + 8);
+  kernels::ops().multilevel_mvm(packed_.data(), shape_.cols, packed_words_,
+                                cols_used_, words, xbits, 1, terms, terms + 8,
+                                out);
+  OBS_COUNTER_ADD("autohet_kernel_multilevel_words_total",
+                  64 * cols_used_ * words);
 }
 
 std::vector<std::int32_t> LogicalCrossbar::mvm_multilevel_scalar(
@@ -415,19 +411,48 @@ void LogicalCrossbar::mvm_reference_accum(std::span<const std::uint8_t> input,
 void LogicalCrossbar::mvm_reference_batch_accum(const std::uint8_t* inputs_t,
                                                 std::int64_t count,
                                                 std::int32_t* acc_t) const {
-  const std::int64_t stride = shape_.cols;
-  for (std::int64_t i = 0; i < rows_used_; ++i) {
-    const std::uint8_t* xs = inputs_t + i * count;
-    const std::int8_t* row = cells_.data() + i * stride;
-    for (std::int64_t j = 0; j < cols_used_; ++j) {
-      const std::int32_t w = row[j];
-      if (w == 0) continue;  // a zero cell contributes exactly zero
-      std::int32_t* a = acc_t + j * count;
-      for (std::int64_t p = 0; p < count; ++p) {
-        a[p] += w * static_cast<std::int32_t>(xs[p]);
-      }
-    }
+  kernels::ops().reference_batch(cells_.data(), shape_.cols, rows_used_,
+                                 cols_used_, inputs_t, count, acc_t);
+  OBS_COUNTER_ADD("autohet_kernel_reference_macs_total",
+                  rows_used_ * cols_used_ * count);
+}
+
+void LogicalCrossbar::mvm_bit_serial_batch_accum(
+    const std::uint8_t* inputs_t, std::int64_t count, std::int32_t* acc_t,
+    kernels::KernelScratch& scratch) const {
+  AUTOHET_CHECK(is_packed(), "batched packed MVM requires packed planes");
+  const std::int64_t words = (rows_used_ + 63) / 64;
+  std::uint64_t* xbits =
+      scratch.input_planes(static_cast<std::size_t>(count * 8 * words));
+  for (std::int64_t s = 0; s < count; ++s) {
+    pack_planes(inputs_t + s, rows_used_, count, words, xbits + s * 8 * words);
   }
+  kernels::ops().bit_serial_mvm(packed_.data(), shape_.cols, packed_words_,
+                                cols_used_, words, xbits, count, acc_t);
+  OBS_COUNTER_ADD("autohet_kernel_bit_serial_words_total",
+                  64 * cols_used_ * words * count);
+}
+
+void LogicalCrossbar::mvm_multilevel_batch_accum(
+    const std::uint8_t* inputs_t, std::int64_t count, int cell_bits,
+    std::int32_t* acc_t, kernels::KernelScratch& scratch) const {
+  AUTOHET_CHECK(cell_bits > 0 && cell_bits <= 8 && 8 % cell_bits == 0,
+                "cell_bits must divide 8");
+  AUTOHET_CHECK(is_packed(), "batched packed MVM requires packed planes");
+  const std::int64_t words = (rows_used_ + 63) / 64;
+  std::uint64_t* xbits =
+      scratch.input_planes(static_cast<std::size_t>(count * 8 * words));
+  for (std::int64_t s = 0; s < count; ++s) {
+    pack_planes(inputs_t + s, rows_used_, count, words, xbits + s * 8 * words);
+  }
+  std::int64_t* terms =
+      scratch.sample_terms(static_cast<std::size_t>(count * 9));
+  fill_multilevel_terms(xbits, count, words, terms, terms + count * 8);
+  kernels::ops().multilevel_mvm(packed_.data(), shape_.cols, packed_words_,
+                                cols_used_, words, xbits, count, terms,
+                                terms + count * 8, acc_t);
+  OBS_COUNTER_ADD("autohet_kernel_multilevel_words_total",
+                  64 * cols_used_ * words * count);
 }
 
 std::vector<std::int32_t> LogicalCrossbar::mvm_reference(

@@ -29,6 +29,7 @@
 #include "common/rng.hpp"
 #include "mapping/crossbar_shape.hpp"
 #include "reram/faults.hpp"
+#include "reram/kernels/kernels.hpp"
 
 namespace autohet::reram {
 
@@ -90,15 +91,15 @@ class LogicalCrossbar {
 
   /// Allocation-free variants: accumulate into out[0 .. cols_used) on top of
   /// whatever is already there (the adder-tree merge happens in the caller's
-  /// buffer directly). `xbits` is caller-owned scratch for the packed input
-  /// bit planes, resized as needed — pass a per-thread buffer to keep the
-  /// hot loop allocation-free.
+  /// buffer directly). `scratch` is caller-owned kernel scratch (packed
+  /// input planes, per-sample terms), grown as needed — pass a per-thread
+  /// instance to keep the hot loop allocation-free.
   void mvm_bit_serial_accum(std::span<const std::uint8_t> input,
                             std::int32_t* out,
-                            std::vector<std::uint64_t>& xbits) const;
+                            kernels::KernelScratch& scratch) const;
   void mvm_multilevel_accum(std::span<const std::uint8_t> input, int cell_bits,
                             std::int32_t* out,
-                            std::vector<std::uint64_t>& xbits) const;
+                            kernels::KernelScratch& scratch) const;
   void mvm_reference_accum(std::span<const std::uint8_t> input,
                            std::int32_t* out) const;
   /// Batched reference accumulate over `count` input columns in transposed
@@ -113,6 +114,19 @@ class LogicalCrossbar {
   void mvm_reference_batch_accum(const std::uint8_t* inputs_t,
                                  std::int64_t count,
                                  std::int32_t* acc_t) const;
+  /// Batched packed MVMs over `count` input columns in the same transposed
+  /// layout as mvm_reference_batch_accum (inputs_t rows_used × count,
+  /// acc_t cols_used × count). All `count` samples' input planes are packed
+  /// once and run through a single kernel dispatch, so the indirect-call and
+  /// weight-plane traffic amortize over the batch. Require is_packed();
+  /// bit-identical to `count` separate single-sample accum calls.
+  void mvm_bit_serial_batch_accum(const std::uint8_t* inputs_t,
+                                  std::int64_t count, std::int32_t* acc_t,
+                                  kernels::KernelScratch& scratch) const;
+  void mvm_multilevel_batch_accum(const std::uint8_t* inputs_t,
+                                  std::int64_t count, int cell_bits,
+                                  std::int32_t* acc_t,
+                                  kernels::KernelScratch& scratch) const;
   void mvm_read_noisy_accum(std::span<const std::uint8_t> input,
                             common::Rng& rng, double weight_sigma,
                             std::int32_t* out) const;
@@ -165,11 +179,6 @@ class LogicalCrossbar {
     return packed_.data() +
            static_cast<std::size_t>((bit * shape_.cols + col) * packed_words_);
   }
-  /// Packs the 8 input bit planes of `input` into xbits (8 × words_used
-  /// uint64 words, bit i of plane xb = bit xb of input[i]).
-  std::int64_t pack_input(std::span<const std::uint8_t> input,
-                          std::vector<std::uint64_t>& xbits) const;
-
   mapping::CrossbarShape shape_;
   std::int64_t rows_used_ = 0;
   std::int64_t cols_used_ = 0;

@@ -366,6 +366,14 @@ RobustnessReport EvaluationEngine::evaluate_robustness(
   if (effective.threads == 1 && config_.threads > 1) {
     effective.threads = static_cast<int>(config_.threads);
   }
+  // Hand the engine's shared pool to the MC fan-out so repeated robustness
+  // calls (fault sweeps) don't spawn a fresh set of workers per call.
+  if (effective.pool == nullptr && effective.threads > 1 &&
+      config_.threads > 0) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!pool_) pool_ = std::make_unique<common::ThreadPool>(config_.threads);
+    effective.pool = pool_.get();
+  }
   // Sweeps that revisit one configuration across fault grids reuse the
   // engine's trial-fabric cache (byte-identical reports, see
   // TrialFabricCache); callers can still pass their own cache.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <thread>
 
 #include "common/error.hpp"
@@ -161,14 +162,14 @@ std::vector<std::int32_t> MappedLayer::mvm(
     std::span<const std::uint8_t> input_column, DatapathMode mode) const {
   std::vector<std::int32_t> out(
       static_cast<std::size_t>(spec_.weight_cols()), 0);
-  thread_local std::vector<std::uint64_t> xbits;
-  mvm_into(input_column, mode, out, xbits, /*call_key=*/0);
+  thread_local kernels::KernelScratch scratch;
+  mvm_into(input_column, mode, out, scratch, /*call_key=*/0);
   return out;
 }
 
 void MappedLayer::mvm_into(std::span<const std::uint8_t> input_column,
                            DatapathMode mode, std::span<std::int32_t> out,
-                           std::vector<std::uint64_t>& xbits,
+                           kernels::KernelScratch& scratch,
                            std::uint64_t call_key) const {
   AUTOHET_CHECK(
       static_cast<std::int64_t>(input_column.size()) == spec_.weight_rows(),
@@ -178,41 +179,52 @@ void MappedLayer::mvm_into(std::span<const std::uint8_t> input_column,
       "output span length mismatch");
   OBS_COUNTER_ADD("autohet_functional_mvm_total", 1);
   std::fill(out.begin(), out.end(), 0);
+  for (std::int64_t rb = 0; rb < mapping_.row_blocks; ++rb) {
+    mvm_row_block_accum(rb, input_column, mode, out.data(), scratch, call_key);
+  }
+}
+
+void MappedLayer::mvm_row_block_accum(std::int64_t rb,
+                                      std::span<const std::uint8_t>
+                                          input_column,
+                                      DatapathMode mode, std::int32_t* out,
+                                      kernels::KernelScratch& scratch,
+                                      std::uint64_t call_key) const {
   const bool noisy = read_sigma_weights_ > 0.0;
   // One child derivation per call keeps concurrent forwards deterministic
-  // without mutating shared state (the old advanced-in-place stream raced).
+  // without mutating shared state (the old advanced-in-place stream raced);
+  // Rng::child is pure, so deriving per row block repeats the same stream.
   const common::Rng call_base =
       noisy ? read_base_.child(call_key) : common::Rng();
   const std::int64_t cb_count = mapping_.col_blocks;
-  for (std::int64_t rb = 0; rb < mapping_.row_blocks; ++rb) {
-    const auto [r0, r1] = row_ranges_[static_cast<std::size_t>(rb)];
-    const std::span<const std::uint8_t> slice =
-        input_column.subspan(static_cast<std::size_t>(r0),
-                             static_cast<std::size_t>(r1 - r0));
-    for (std::int64_t cb = 0; cb < cb_count; ++cb) {
-      const std::size_t idx = static_cast<std::size_t>(rb * cb_count + cb);
-      const auto& xb = crossbars_[idx];
-      // Adder tree: row-block partials accumulate straight into the output
-      // slice for this column block — no per-crossbar partial vectors.
-      std::int32_t* outp = out.data() + cb * mapping_.shape.cols;
-      if (mode == DatapathMode::kBitSerial) {
-        xb.mvm_bit_serial_accum(slice, outp, xbits);
-      } else if (noisy) {
-        // Read variation is sampled at MVM time (per read, per sensed
-        // cell); it requires the integer datapath — SimulatedModel
-        // enforces that.
-        common::Rng rng = call_base.child(static_cast<std::uint64_t>(idx));
-        xb.mvm_read_noisy_accum(slice, rng, read_sigma_weights_, outp);
-      } else {
-        xb.mvm_reference_accum(slice, outp);
-      }
+  const auto [r0, r1] = row_ranges_[static_cast<std::size_t>(rb)];
+  const std::span<const std::uint8_t> slice =
+      input_column.subspan(static_cast<std::size_t>(r0),
+                           static_cast<std::size_t>(r1 - r0));
+  for (std::int64_t cb = 0; cb < cb_count; ++cb) {
+    const std::size_t idx = static_cast<std::size_t>(rb * cb_count + cb);
+    const auto& xb = crossbars_[idx];
+    // Adder tree: row-block partials accumulate straight into the output
+    // slice for this column block — no per-crossbar partial vectors.
+    std::int32_t* outp = out + cb * mapping_.shape.cols;
+    if (mode == DatapathMode::kBitSerial) {
+      xb.mvm_bit_serial_accum(slice, outp, scratch);
+    } else if (noisy) {
+      // Read variation is sampled at MVM time (per read, per sensed
+      // cell); it requires the integer datapath — SimulatedModel
+      // enforces that.
+      common::Rng rng = call_base.child(static_cast<std::uint64_t>(idx));
+      xb.mvm_read_noisy_accum(slice, rng, read_sigma_weights_, outp);
+    } else {
+      xb.mvm_reference_accum(slice, outp);
     }
   }
 }
 
 void MappedLayer::mvm_batch_into(const std::uint8_t* columns_t,
-                                 std::int64_t count,
-                                 std::span<std::int32_t> accs_t) const {
+                                 std::int64_t count, DatapathMode mode,
+                                 std::span<std::int32_t> accs_t,
+                                 kernels::KernelScratch& scratch) const {
   const std::int64_t cols = spec_.weight_cols();
   AUTOHET_CHECK(static_cast<std::int64_t>(accs_t.size()) == count * cols,
                 "accumulator span must be weight_cols x count");
@@ -227,9 +239,14 @@ void MappedLayer::mvm_batch_into(const std::uint8_t* columns_t,
     (void)r1;
     for (std::int64_t cb = 0; cb < cb_count; ++cb) {
       const std::size_t idx = static_cast<std::size_t>(rb * cb_count + cb);
-      crossbars_[idx].mvm_reference_batch_accum(
-          columns_t + r0 * count, count,
-          accs_t.data() + cb * mapping_.shape.cols * count);
+      std::int32_t* acc = accs_t.data() + cb * mapping_.shape.cols * count;
+      if (mode == DatapathMode::kBitSerial) {
+        crossbars_[idx].mvm_bit_serial_batch_accum(columns_t + r0 * count,
+                                                   count, acc, scratch);
+      } else {
+        crossbars_[idx].mvm_reference_batch_accum(columns_t + r0 * count,
+                                                  count, acc);
+      }
     }
   }
 }
@@ -387,7 +404,7 @@ SimulatedModel SimulatedModel::replay_faults(
 
 tensor::Tensor SimulatedModel::run_mappable(
     const MappedLayer& layer, const tensor::Tensor& input,
-    std::uint64_t noise_stream) const {
+    std::uint64_t noise_stream, common::ThreadPool* pool) const {
   const nn::LayerSpec& spec = layer.spec();
   // Quantize the whole activation tensor once (8-bit, unsigned: inputs are
   // post-ReLU or raw non-negative pixels).
@@ -398,18 +415,40 @@ tensor::Tensor SimulatedModel::run_mappable(
       /*bits=*/8);
   const float out_scale = layer.weight_scale() * qa.scale;
   const bool scalar = policy_ == KernelPolicy::kScalarReference;
-  thread_local std::vector<std::uint64_t> xbits;
+  if (scalar) pool = nullptr;  // the baseline stays honestly serial
+  thread_local kernels::KernelScratch scratch;
 
   if (spec.type == nn::LayerType::kFullyConnected) {
     const std::uint64_t key = make_call_key(noise_stream, 0);
+    const std::int64_t cols = spec.weight_cols();
+    const std::int64_t rbs = layer.row_block_count();
     std::vector<std::int32_t> acc;
     if (scalar) {
       acc = layer.mvm_scalar(std::span<const std::uint8_t>(qa.values), mode_,
                              key);
+    } else if (pool != nullptr && rbs > 1) {
+      // Row-block split: each block's partial lands in its own slice, then
+      // the slices merge in block order — exact integer sums, so the result
+      // is bit-identical to the serial accumulation for any pool size.
+      std::vector<std::int32_t> partials(
+          static_cast<std::size_t>(rbs * cols), 0);
+      const std::span<const std::uint8_t> col_span(qa.values);
+      pool->parallel_for(0, static_cast<std::size_t>(rbs), [&](std::size_t rb) {
+        thread_local kernels::KernelScratch rb_scratch;
+        layer.mvm_row_block_accum(
+            static_cast<std::int64_t>(rb), col_span, mode_,
+            partials.data() + static_cast<std::int64_t>(rb) * cols, rb_scratch,
+            key);
+      });
+      acc.assign(static_cast<std::size_t>(cols), 0);
+      for (std::int64_t rb = 0; rb < rbs; ++rb) {
+        const std::int32_t* p = partials.data() + rb * cols;
+        for (std::int64_t j = 0; j < cols; ++j) acc[j] += p[j];
+      }
     } else {
-      acc.resize(static_cast<std::size_t>(spec.weight_cols()));
+      acc.resize(static_cast<std::size_t>(cols));
       layer.mvm_into(std::span<const std::uint8_t>(qa.values), mode_, acc,
-                     xbits, key);
+                     scratch, key);
     }
     tensor::Tensor out({spec.out_channels});
     for (std::int64_t j = 0; j < spec.out_channels; ++j) {
@@ -459,46 +498,67 @@ tensor::Tensor SimulatedModel::run_mappable(
     }
   };
 
-  // GEMM-shaped fast path (integer datapath, noise-free fabric): im2col a
-  // tile of output positions and push them through one batched MVM per
-  // crossbar. Integer sums are exact, so the results are bit-identical to
-  // the per-position loop below — only per-position call overhead goes.
-  if (!scalar && mode_ == DatapathMode::kInteger && !layer.read_noisy()) {
+  // GEMM-shaped fast path (integer or bit-serial datapath, noise-free
+  // fabric): im2col a tile of output positions and push them through one
+  // batched MVM per crossbar. Integer sums are exact, so the results are
+  // bit-identical to the per-position loop below — only per-position call
+  // overhead goes. Tiles write disjoint output slices, so a pool runs them
+  // concurrently with no reduction step at all.
+  if (!scalar && !layer.read_noisy()) {
     constexpr std::int64_t kTile = 96;
     const std::int64_t positions = oh * ow;
     const std::int64_t rows = spec.weight_rows();
     const std::int64_t cols = spec.weight_cols();
-    const std::int64_t tile = std::min(kTile, positions);
-    std::vector<std::uint8_t> column(static_cast<std::size_t>(rows));
-    std::vector<std::uint8_t> cols_t(static_cast<std::size_t>(tile * rows));
-    std::vector<std::int32_t> accs_t(static_cast<std::size_t>(tile * cols));
-    for (std::int64_t p0 = 0; p0 < positions; p0 += kTile) {
+    const std::int64_t tiles = (positions + kTile - 1) / kTile;
+    const auto run_tile = [&](std::size_t tile_idx) {
+      thread_local kernels::KernelScratch tile_scratch;
+      const std::int64_t p0 = static_cast<std::int64_t>(tile_idx) * kTile;
       const std::int64_t n = std::min(kTile, positions - p0);
+      std::uint8_t* column =
+          tile_scratch.column(static_cast<std::size_t>(rows));
+      std::uint8_t* cols_t =
+          tile_scratch.columns_t(static_cast<std::size_t>(n * rows));
+      std::int32_t* accs_t =
+          tile_scratch.accs_t(static_cast<std::size_t>(n * cols));
       for (std::int64_t t = 0; t < n; ++t) {
-        fill_column((p0 + t) / ow, (p0 + t) % ow, column.data());
+        fill_column((p0 + t) / ow, (p0 + t) % ow, column);
         for (std::int64_t i = 0; i < rows; ++i) {
           cols_t[static_cast<std::size_t>(i * n + t)] =
               column[static_cast<std::size_t>(i)];
         }
       }
       layer.mvm_batch_into(
-          cols_t.data(), n,
-          std::span(accs_t.data(), static_cast<std::size_t>(n * cols)));
+          cols_t, n, mode_,
+          std::span(accs_t, static_cast<std::size_t>(n * cols)),
+          tile_scratch);
       for (std::int64_t co = 0; co < spec.out_channels; ++co) {
         float* const op = out_base + co * plane + p0;
-        const std::int32_t* a = accs_t.data() + co * n;
+        const std::int32_t* a = accs_t + co * n;
         for (std::int64_t t = 0; t < n; ++t) {
           op[t] = static_cast<float>(a[t]) * out_scale;
         }
+      }
+    };
+    if (pool != nullptr && tiles > 1) {
+      pool->parallel_for(0, static_cast<std::size_t>(tiles), run_tile);
+    } else {
+      for (std::int64_t t = 0; t < tiles; ++t) {
+        run_tile(static_cast<std::size_t>(t));
       }
     }
     return out;
   }
 
-  std::vector<std::uint8_t> column(
-      static_cast<std::size_t>(spec.weight_rows()));
-  std::vector<std::int32_t> acc(static_cast<std::size_t>(spec.weight_cols()));
-  for (std::int64_t oi = 0; oi < oh; ++oi) {
+  // Per-position fallback (read-noisy fabrics and the scalar baseline).
+  // The read-noise stream is keyed on the output position, not on
+  // execution order, so parallel rows reproduce the serial pass exactly.
+  const auto run_row = [&](std::size_t oi_idx) {
+    const auto oi = static_cast<std::int64_t>(oi_idx);
+    thread_local kernels::KernelScratch row_scratch;
+    std::vector<std::uint8_t> column(
+        static_cast<std::size_t>(spec.weight_rows()));
+    std::vector<std::int32_t> acc(
+        static_cast<std::size_t>(spec.weight_cols()));
     for (std::int64_t oj = 0; oj < ow; ++oj) {
       fill_column(oi, oj, column.data());
       const std::uint64_t key =
@@ -513,7 +573,7 @@ tensor::Tensor SimulatedModel::run_mappable(
               out_scale;
         }
       } else {
-        layer.mvm_into(column, mode_, acc, xbits, key);
+        layer.mvm_into(column, mode_, acc, row_scratch, key);
         for (std::int64_t co = 0; co < spec.out_channels; ++co) {
           op[co * plane] =
               static_cast<float>(acc[static_cast<std::size_t>(co)]) *
@@ -521,17 +581,26 @@ tensor::Tensor SimulatedModel::run_mappable(
         }
       }
     }
+  };
+  if (pool != nullptr && oh > 1) {
+    pool->parallel_for(0, static_cast<std::size_t>(oh), run_row);
+  } else {
+    for (std::int64_t oi = 0; oi < oh; ++oi) {
+      run_row(static_cast<std::size_t>(oi));
+    }
   }
   return out;
 }
 
 tensor::Tensor SimulatedModel::forward(const tensor::Tensor& input,
-                                       std::uint64_t noise_stream) const {
-  return forward_traced(input, noise_stream).output;
+                                       std::uint64_t noise_stream,
+                                       common::ThreadPool* pool) const {
+  return forward_traced(input, noise_stream, pool).output;
 }
 
 SimulatedModel::ForwardTrace SimulatedModel::forward_traced(
-    const tensor::Tensor& input, std::uint64_t noise_stream) const {
+    const tensor::Tensor& input, std::uint64_t noise_stream,
+    common::ThreadPool* pool) const {
   const nn::NetworkSpec& spec = model_->spec();
   AUTOHET_CHECK(spec.sequential_runnable,
                 "network is not sequentially runnable (" + spec.name + ")");
@@ -542,7 +611,7 @@ SimulatedModel::ForwardTrace SimulatedModel::forward_traced(
   for (std::size_t i = 0; i < spec.layers.size(); ++i) {
     const nn::LayerSpec& layer = spec.layers[i];
     if (nn::is_mappable(layer.type)) {
-      x = run_mappable(layers_[mappable_idx++], x, noise_stream);
+      x = run_mappable(layers_[mappable_idx++], x, noise_stream, pool);
       trace.mappable_outputs.push_back(x);  // pre-activation layer output
     } else {
       x = model_->forward_layer(i, x);
@@ -551,6 +620,95 @@ SimulatedModel::ForwardTrace SimulatedModel::forward_traced(
   }
   trace.output = std::move(x);
   return trace;
+}
+
+std::vector<SimulatedModel::ForwardTrace> SimulatedModel::forward_traced_batch(
+    std::span<const tensor::Tensor> inputs, std::uint64_t noise_stream0,
+    common::ThreadPool* pool) const {
+  const nn::NetworkSpec& spec = model_->spec();
+  AUTOHET_CHECK(spec.sequential_runnable,
+                "network is not sequentially runnable (" + spec.name + ")");
+  const auto count = static_cast<std::int64_t>(inputs.size());
+  std::vector<ForwardTrace> traces(inputs.size());
+  if (count == 0) return traces;
+  const bool scalar = policy_ == KernelPolicy::kScalarReference;
+  if (scalar) pool = nullptr;  // the baseline stays honestly serial
+  for (auto& t : traces) t.mappable_outputs.reserve(layers_.size());
+
+  std::vector<tensor::Tensor> xs(inputs.begin(), inputs.end());
+  std::size_t mappable_idx = 0;
+  for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+    const nn::LayerSpec& layer_spec = spec.layers[i];
+    if (nn::is_mappable(layer_spec.type)) {
+      const MappedLayer& layer = layers_[mappable_idx++];
+      const bool batch_fc =
+          !scalar && count > 1 &&
+          layer_spec.type == nn::LayerType::kFullyConnected &&
+          !layer.read_noisy();
+      if (batch_fc) {
+        // All samples through one batched MVM per crossbar. Quantization is
+        // per sample (its own scale), so packing the quantized columns
+        // transposed and scaling each sample's integer outputs by its own
+        // out_scale reproduces the per-sample path bit for bit.
+        const std::int64_t rows = layer_spec.weight_rows();
+        const std::int64_t cols = layer_spec.weight_cols();
+        thread_local kernels::KernelScratch scratch;
+        std::vector<nn::QuantizedActivations> qas;
+        qas.reserve(static_cast<std::size_t>(count));
+        for (std::int64_t s = 0; s < count; ++s) {
+          qas.push_back(nn::quantize_activations(
+              xs[static_cast<std::size_t>(s)].reshaped(
+                  {xs[static_cast<std::size_t>(s)].numel()}),
+              /*bits=*/8));
+        }
+        std::uint8_t* cols_t =
+            scratch.columns_t(static_cast<std::size_t>(rows * count));
+        for (std::int64_t r = 0; r < rows; ++r) {
+          for (std::int64_t s = 0; s < count; ++s) {
+            cols_t[static_cast<std::size_t>(r * count + s)] =
+                qas[static_cast<std::size_t>(s)]
+                    .values[static_cast<std::size_t>(r)];
+          }
+        }
+        std::int32_t* accs_t =
+            scratch.accs_t(static_cast<std::size_t>(cols * count));
+        layer.mvm_batch_into(
+            cols_t, count, mode_,
+            std::span(accs_t, static_cast<std::size_t>(cols * count)),
+            scratch);
+        for (std::int64_t s = 0; s < count; ++s) {
+          const auto si = static_cast<std::size_t>(s);
+          const float out_scale = layer.weight_scale() * qas[si].scale;
+          tensor::Tensor out({layer_spec.out_channels});
+          for (std::int64_t j = 0; j < layer_spec.out_channels; ++j) {
+            out[j] = static_cast<float>(
+                         accs_t[static_cast<std::size_t>(j * count + s)]) *
+                     out_scale;
+          }
+          xs[si] = std::move(out);
+          traces[si].mappable_outputs.push_back(xs[si]);
+        }
+      } else {
+        for (std::int64_t s = 0; s < count; ++s) {
+          const auto si = static_cast<std::size_t>(s);
+          xs[si] = run_mappable(layer, xs[si],
+                                noise_stream0 + static_cast<std::uint64_t>(s),
+                                pool);
+          traces[si].mappable_outputs.push_back(xs[si]);
+        }
+      }
+    } else {
+      for (auto& x : xs) x = model_->forward_layer(i, x);
+    }
+    if (layer_spec.relu_after) {
+      for (auto& x : xs) tensor::relu_inplace(x);
+    }
+  }
+  for (std::int64_t s = 0; s < count; ++s) {
+    traces[static_cast<std::size_t>(s)].output =
+        std::move(xs[static_cast<std::size_t>(s)]);
+  }
+  return traces;
 }
 
 std::shared_ptr<const TrialFabricCache::IdealRefs>
@@ -682,54 +840,74 @@ RobustnessReport monte_carlo_robustness(
   const std::size_t num_layers = refs->ideal.mapped_layers().size();
   report.layer_error.assign(num_layers, 0.0);
 
-  // Trials are independent (per-trial fault seeds) so they fan out across a
-  // pool; each records its per-sample terms so the reduction below can
-  // replay the serial accumulation order exactly — floating-point sums are
-  // order-sensitive, and the report must not depend on the thread count.
+  // The parallel unit is a (trial, sample-chunk) item, not a whole trial:
+  // splitting trials into chunks of a few samples keeps every worker busy
+  // even when trials ≈ threads or trials == 1, and each sample writes its
+  // own result slot so the reduction below can replay the serial
+  // accumulation order exactly — floating-point sums are order-sensitive,
+  // and the report must not depend on the thread count.
+  constexpr int kSampleChunk = 4;
+  const int chunks_per_trial =
+      (options.samples + kSampleChunk - 1) / kSampleChunk;
   struct TrialResult {
     FaultMapStats stats;
-    int agree = 0;
-    std::vector<double> logit_err;   // per sample: max |logit diff|
-    std::vector<double> layer_err;   // samples × num_layers, row-major
-    double wall_ms = 0.0;
+    std::vector<char> agree;        // per sample: argmax matched reference
+    std::vector<double> logit_err;  // per sample: max |logit diff|
+    std::vector<double> layer_err;  // samples × num_layers, row-major
+    double wall_ms = 0.0;           // build + sum of this trial's chunks
   };
   std::vector<TrialResult> trials(static_cast<std::size_t>(options.trials));
-  const auto run_trial = [&](std::size_t t) {
-    OBS_SPAN("fault_trial");
-    const auto t0 = std::chrono::steady_clock::now();
-    TrialResult& res = trials[t];
-    const FaultConfig trial_faults =
-        faults.for_trial(static_cast<std::uint64_t>(t));
-    // Fast path: clone the clean fabric and burn this trial's faults
-    // (bit-identical to a fresh build — both are pure functions of the
-    // seeds); with a cache, record the burn once and replay it per rate
-    // point. The scalar baseline reconstructs from scratch, as before.
-    const SimulatedModel faulty = [&]() -> SimulatedModel {
-      if (scalar) {
-        return SimulatedModel(model, shapes, options.mode, trial_faults,
-                              options.kernels);
-      }
-      if (cache_trials) {
-        const auto slot = cache->trial_fabric(trial_faults, [&] {
-          TrialBurnRecord rec;
-          SimulatedModel fabric =
-              refs->ideal.with_faults_recorded(trial_faults, rec);
-          return TrialFabricCache::TrialFabric{std::move(fabric),
-                                               std::move(rec)};
-        });
-        return slot->fabric.replay_faults(trial_faults, slot->record);
-      }
-      return refs->ideal.with_faults(trial_faults);
-    }();
-    res.stats = faulty.fault_stats();
+  for (auto& res : trials) {
+    res.agree.assign(static_cast<std::size_t>(options.samples), 0);
     res.logit_err.resize(static_cast<std::size_t>(options.samples));
     res.layer_err.resize(static_cast<std::size_t>(options.samples) *
                          num_layers);
-    for (int s = 0; s < options.samples; ++s) {
+  }
+
+  // Phase A body: build one trial's faulty fabric. Cloning the clean fabric
+  // and burning this trial's faults is bit-identical to a fresh build (both
+  // are pure functions of the seeds); with a cache, the burn is recorded
+  // once and replayed per rate point. The scalar baseline reconstructs from
+  // scratch, as before.
+  const auto build_fabric = [&](std::size_t t) -> SimulatedModel {
+    const FaultConfig trial_faults =
+        faults.for_trial(static_cast<std::uint64_t>(t));
+    if (scalar) {
+      return SimulatedModel(model, shapes, options.mode, trial_faults,
+                            options.kernels);
+    }
+    if (cache_trials) {
+      const auto slot = cache->trial_fabric(trial_faults, [&] {
+        TrialBurnRecord rec;
+        SimulatedModel fabric =
+            refs->ideal.with_faults_recorded(trial_faults, rec);
+        return TrialFabricCache::TrialFabric{std::move(fabric),
+                                             std::move(rec)};
+      });
+      return slot->fabric.replay_faults(trial_faults, slot->record);
+    }
+    return refs->ideal.with_faults(trial_faults);
+  };
+
+  // Phase B body: run one chunk of samples through an already-built trial
+  // fabric. Sample s keeps noise stream s and its own result slots, so
+  // chunks of one trial can run concurrently — and forward_traced_batch is
+  // bit-identical to per-sample forward_traced. Returns the chunk's wall
+  // time so the per-trial total can be folded deterministically later.
+  const auto run_chunk = [&](const SimulatedModel& faulty, TrialResult& res,
+                             int c, common::ThreadPool* pool) -> double {
+    const auto t0 = std::chrono::steady_clock::now();
+    const int s0 = c * kSampleChunk;
+    const int s1 = std::min(options.samples, s0 + kSampleChunk);
+    const auto traces = faulty.forward_traced_batch(
+        std::span(images).subspan(static_cast<std::size_t>(s0),
+                                  static_cast<std::size_t>(s1 - s0)),
+        /*noise_stream0=*/static_cast<std::uint64_t>(s0), pool);
+    for (int s = s0; s < s1; ++s) {
       const auto si = static_cast<std::size_t>(s);
-      const auto trace =
-          faulty.forward_traced(images[si], /*noise_stream=*/si);
-      if (tensor::argmax(trace.output) == reference_classes[si]) ++res.agree;
+      const auto& trace = traces[static_cast<std::size_t>(s - s0)];
+      res.agree[si] =
+          tensor::argmax(trace.output) == reference_classes[si] ? 1 : 0;
       res.logit_err[si] =
           tensor::max_abs_diff(trace.output, references[si].output);
       for (std::size_t l = 0; l < num_layers; ++l) {
@@ -741,20 +919,76 @@ RobustnessReport monte_carlo_robustness(
             ref_scale;
       }
     }
-    res.wall_ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
   };
 
   int threads = options.threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  if (!scalar && threads > 1 && options.trials > 1) {
-    common::ThreadPool pool(static_cast<std::size_t>(threads));
-    pool.parallel_for(0, trials.size(), run_trial);
+  // Chunking makes the parallel path worthwhile even for a single trial
+  // with enough samples; intra-forward row-block/tile splitting (the pool
+  // handed down to forward_traced_batch) covers the rest, so threads > 1
+  // alone justifies the parallel path — even for a lone trial and sample.
+  const bool parallel = !scalar && threads > 1;
+  if (parallel) {
+    std::optional<common::ThreadPool> local_pool;
+    common::ThreadPool* pool = options.pool;
+    if (pool == nullptr) {
+      local_pool.emplace(static_cast<std::size_t>(threads));
+      pool = &*local_pool;
+    }
+    // Trials are processed in generations: phase A builds a block of trial
+    // fabrics concurrently, phase B fans the block's flattened
+    // (trial, chunk) items across the pool. Blocking bounds peak fabric
+    // memory at ~block fabrics instead of options.trials.
+    const std::size_t block =
+        std::max<std::size_t>(pool->size(), 8);
+    const auto n_trials = static_cast<std::size_t>(options.trials);
+    for (std::size_t b0 = 0; b0 < n_trials; b0 += block) {
+      const std::size_t b1 = std::min(n_trials, b0 + block);
+      std::vector<std::optional<SimulatedModel>> fabrics(b1 - b0);
+      std::vector<double> build_ms(b1 - b0, 0.0);
+      pool->parallel_for(b0, b1, [&](std::size_t t) {
+        OBS_SPAN("fault_trial_build");
+        const auto t0 = std::chrono::steady_clock::now();
+        fabrics[t - b0].emplace(build_fabric(t));
+        trials[t].stats = fabrics[t - b0]->fault_stats();
+        build_ms[t - b0] = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+      });
+      const auto cpt = static_cast<std::size_t>(chunks_per_trial);
+      std::vector<double> chunk_ms((b1 - b0) * cpt, 0.0);
+      pool->parallel_for(0, (b1 - b0) * cpt, [&](std::size_t item) {
+        OBS_SPAN("fault_trial_chunk");
+        const std::size_t t = b0 + item / cpt;
+        const int c = static_cast<int>(item % cpt);
+        chunk_ms[item] = run_chunk(*fabrics[t - b0], trials[t], c, pool);
+      });
+      for (std::size_t t = b0; t < b1; ++t) {
+        double ms = build_ms[t - b0];
+        for (std::size_t c = 0; c < cpt; ++c) {
+          ms += chunk_ms[(t - b0) * cpt + c];
+        }
+        trials[t].wall_ms = ms;
+      }
+    }
   } else {
-    for (std::size_t t = 0; t < trials.size(); ++t) run_trial(t);
+    for (std::size_t t = 0; t < trials.size(); ++t) {
+      OBS_SPAN("fault_trial");
+      const auto t0 = std::chrono::steady_clock::now();
+      const SimulatedModel faulty = build_fabric(t);
+      trials[t].stats = faulty.fault_stats();
+      for (int c = 0; c < chunks_per_trial; ++c) {
+        run_chunk(faulty, trials[t], c, /*pool=*/nullptr);
+      }
+      trials[t].wall_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+    }
   }
 
   // Ordered reduction: every accumulator sees its terms in the exact (t, s,
@@ -765,15 +999,17 @@ RobustnessReport monte_carlo_robustness(
   double logit_err_sum = 0.0;
   for (const TrialResult& res : trials) {
     report.fault_stats += res.stats;
+    int agree = 0;
     for (int s = 0; s < options.samples; ++s) {
       const auto si = static_cast<std::size_t>(s);
+      agree += res.agree[si];
       logit_err_sum += res.logit_err[si];
       for (std::size_t l = 0; l < num_layers; ++l) {
         report.layer_error[l] += res.layer_err[si * num_layers + l];
       }
     }
     const double accuracy =
-        static_cast<double>(res.agree) / static_cast<double>(options.samples);
+        static_cast<double>(agree) / static_cast<double>(options.samples);
     acc_sum += accuracy;
     acc_sq_sum += accuracy * accuracy;
     report.min_accuracy = std::min(report.min_accuracy, accuracy);

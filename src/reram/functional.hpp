@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "mapping/layer_mapping.hpp"
 #include "mapping/plan.hpp"
 #include "nn/model.hpp"
@@ -96,7 +97,7 @@ class MappedLayer {
   /// Allocation-free MVM: writes the merged accumulation into `out`
   /// (length weight_cols(), zero-filled here), accumulating row-block
   /// partials directly in the caller's buffer — no per-crossbar vectors.
-  /// `xbits` is per-thread scratch for the packed input bit planes.
+  /// `scratch` is per-thread kernel scratch (packed input planes etc.).
   ///
   /// `call_key` seeds this call's read-noise stream: noise is drawn from an
   /// RNG derived from (fault seed, layer id, call_key, crossbar index), so
@@ -106,25 +107,44 @@ class MappedLayer {
   /// the sample/noise stream and the output position); identical keys
   /// reproduce identical noise. Ignored on noise-free fabrics.
   void mvm_into(std::span<const std::uint8_t> input_column, DatapathMode mode,
-                std::span<std::int32_t> out,
-                std::vector<std::uint64_t>& xbits,
+                std::span<std::int32_t> out, kernels::KernelScratch& scratch,
                 std::uint64_t call_key = 0) const;
 
-  /// Batched integer MVM over `count` input columns in transposed layout:
+  /// Batched MVM over `count` input columns in transposed layout:
   /// columns_t is weight_rows() × count row-major (input row i for every
   /// column at columns_t[i·count ..]); accs_t is weight_cols() × count
   /// (output col j for every column at accs_t[j·count ..], zero-filled
   /// here). The batch dimension is innermost and contiguous, so the kernel
   /// vectorizes even on narrow crossbars and the per-call overhead of
-  /// `count` separate mvm_into calls is amortized away. Integer sums are
-  /// exact — results are bit-identical to per-column mvm_into. Integer
-  /// datapath only, noise-free fabrics only (checked).
+  /// `count` separate mvm_into calls is amortized away. Supports the
+  /// integer datapath (batched GEMM kernel) and the bit-serial datapath
+  /// (all samples' packed input planes pushed through one dispatched
+  /// AND+popcount kernel; requires prepare_packed()). Integer sums are
+  /// exact — results are bit-identical to per-column mvm_into. Noise-free
+  /// fabrics only (checked).
   void mvm_batch_into(const std::uint8_t* columns_t, std::int64_t count,
-                      std::span<std::int32_t> accs_t) const;
+                      DatapathMode mode, std::span<std::int32_t> accs_t,
+                      kernels::KernelScratch& scratch) const;
 
   /// True when this layer's fabric carries read noise (the per-call keyed
   /// RNG path); batched MVMs are unavailable then.
   bool read_noisy() const noexcept { return read_sigma_weights_ > 0.0; }
+
+  /// Number of row blocks in the mapping — the intra-MVM parallel axis: a
+  /// row block's partial sums touch only its own crossbars, so distinct
+  /// blocks can run concurrently and merge by exact integer addition.
+  std::int64_t row_block_count() const noexcept { return mapping_.row_blocks; }
+
+  /// Accumulates row block `rb`'s partial MVM into `out` (length
+  /// weight_cols(), NOT zero-filled — accumulates on top). mvm_into equals
+  /// zero-fill + this for rb = 0 .. row_block_count()-1 in any order (the
+  /// read-noise stream is keyed per crossbar, not per execution order, so
+  /// even noisy partials are order-free).
+  void mvm_row_block_accum(std::int64_t rb,
+                           std::span<const std::uint8_t> input_column,
+                           DatapathMode mode, std::int32_t* out,
+                           kernels::KernelScratch& scratch,
+                           std::uint64_t call_key = 0) const;
 
   /// The retained pre-packing datapath: scalar kernels, one partial vector
   /// per crossbar, merged into a freshly allocated output — the
@@ -238,8 +258,15 @@ class SimulatedModel {
   /// MappedLayer::mvm_into); passes with equal streams are identical,
   /// distinct streams draw independent noise. Irrelevant without read
   /// noise. Concurrent forwards on one instance are safe.
+  ///
+  /// A non-null `pool` splits each mappable layer's work across the pool
+  /// *within* this single forward: conv position tiles and FC row blocks
+  /// run as independent integer partials, so a lone trial can use every
+  /// worker. Integer sums reassociate exactly — outputs are bit-identical
+  /// to the serial pass for every pool size.
   tensor::Tensor forward(const tensor::Tensor& input,
-                         std::uint64_t noise_stream = 0) const;
+                         std::uint64_t noise_stream = 0,
+                         common::ThreadPool* pool = nullptr) const;
 
   /// Forward pass that also captures each mappable layer's raw output
   /// (pre-activation) — the per-layer hooks the robustness metric compares
@@ -249,7 +276,18 @@ class SimulatedModel {
     std::vector<tensor::Tensor> mappable_outputs;
   };
   ForwardTrace forward_traced(const tensor::Tensor& input,
-                              std::uint64_t noise_stream = 0) const;
+                              std::uint64_t noise_stream = 0,
+                              common::ThreadPool* pool = nullptr) const;
+
+  /// Traced forward over a batch of inputs (sample i uses noise stream
+  /// `noise_stream0 + i`). Fully-connected layers on a noise-free fast-path
+  /// fabric run all samples through one batched MVM per layer (per-sample
+  /// activation scales are applied after the exact integer accumulation);
+  /// everything else runs per sample. Results are bit-identical to calling
+  /// forward_traced(inputs[i], noise_stream0 + i) one sample at a time.
+  std::vector<ForwardTrace> forward_traced_batch(
+      std::span<const tensor::Tensor> inputs, std::uint64_t noise_stream0 = 0,
+      common::ThreadPool* pool = nullptr) const;
 
   const std::vector<MappedLayer>& mapped_layers() const noexcept {
     return layers_;
@@ -268,7 +306,8 @@ class SimulatedModel {
  private:
   tensor::Tensor run_mappable(const MappedLayer& layer,
                               const tensor::Tensor& input,
-                              std::uint64_t noise_stream) const;
+                              std::uint64_t noise_stream,
+                              common::ThreadPool* pool) const;
 
   const nn::Model* model_;
   DatapathMode mode_;
@@ -397,6 +436,13 @@ struct RobustnessOptions {
   /// baseline. EvaluationEngine::evaluate_robustness supplies its own
   /// cache automatically.
   TrialFabricCache* cache = nullptr;
+  /// Optional externally owned worker pool for the parallel fan-out. When
+  /// null and threads > 1, a pool of `threads` workers is created for the
+  /// call; when set, `pool` is used as-is (its size wins over `threads`
+  /// for actual concurrency — `threads` still gates whether the parallel
+  /// path is taken at all). EvaluationEngine passes its shared pool so MC
+  /// calls don't re-spawn workers. Reports stay byte-identical either way.
+  common::ThreadPool* pool = nullptr;
 };
 
 /// Accuracy-under-faults over N seeded trials: for each trial a fresh

@@ -1,0 +1,113 @@
+// Shared loop bodies for the per-ISA kernel variants (included by each
+// variant's translation unit so the whole body compiles under that unit's
+// ISA flags). A variant supplies a Core with three primitives:
+//
+//   static std::int64_t and_popcount(const std::uint64_t* x,
+//                                    const std::uint64_t* p,
+//                                    std::int64_t words);
+//   static std::int64_t weighted_and_popcount(const std::uint64_t* x8,
+//                                             const std::uint64_t* p,
+//                                             std::int64_t words);
+//   static std::int64_t popcount(const std::uint64_t* x, std::int64_t words);
+//   static void madd(std::int32_t* acc, const std::uint8_t* xs,
+//                    std::int32_t w, std::int64_t count);
+//
+// weighted_and_popcount processes all 8 input bit planes of one sample
+// against one weight-plane column in a single call, returning
+// Σ_xb popcount(x8[xb·words..] & p) << xb. Crossbar columns are short
+// (words = ceil(rows/64) is single digits for every candidate shape), so
+// folding the 8 plane passes into one call lets a SIMD core keep its
+// vector accumulator live across the whole column and pay ONE horizontal
+// reduction per (weight plane, column, sample) instead of eight — that,
+// not the word loop, is where the small-column cycles go.
+//
+// and the templates below instantiate the kernel loops over it. Every
+// primitive returns/accumulates exact integers, so all instantiations are
+// bit-identical — the loop *structure* is shared precisely so a variant can
+// only differ in how it counts bits and multiplies bytes, never in what it
+// sums.
+//
+// This file is an .inl, not a header: it must only ever be included from
+// the kernels/*.cpp variant units (after <cstdint> and kernels.hpp).
+
+namespace autohet::reram::kernels::detail {
+
+template <typename Core>
+void bit_serial_mvm_impl(const std::uint64_t* planes, std::int64_t plane_cols,
+                         std::int64_t col_words, std::int64_t cols,
+                         std::int64_t words, const std::uint64_t* xbits,
+                         std::int64_t count, std::int32_t* acc_t) {
+  // One AND+popcount pass per (weight plane, column, sample, input plane).
+  // Weight plane 7 is the two's-complement sign plane (value -2^7); the
+  // Σ_xb 2^xb · bitline sum is exact in int64 before the final int32
+  // accumulate, exactly as the retained scalar datapath computes it.
+  for (int wb = 0; wb < 8; ++wb) {
+    const std::int64_t neg = (wb == 7) ? -1 : 1;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const std::uint64_t* p = planes + (wb * plane_cols + j) * col_words;
+      for (std::int64_t s = 0; s < count; ++s) {
+        const std::int64_t shifted =
+            Core::weighted_and_popcount(xbits + s * 8 * words, p, words);
+        acc_t[j * count + s] +=
+            static_cast<std::int32_t>(neg * (shifted << wb));
+      }
+    }
+  }
+}
+
+template <typename Core>
+void multilevel_mvm_impl(const std::uint64_t* planes, std::int64_t plane_cols,
+                         std::int64_t col_words, std::int64_t cols,
+                         std::int64_t words, const std::uint64_t* xbits,
+                         std::int64_t count, const std::int64_t* popx,
+                         const std::int64_t* refs, std::int32_t* acc_t) {
+  // Offset-binary: bit k of v = w + 128 is weight plane k for k < 7 and the
+  // complement of the sign plane for k = 7 (v = w ^ 0x80), kept implicit via
+  // popcount(x & ~p7) = popcount(x) - popcount(x & p7). The 128·Σx reference
+  // column is subtracted once per (column, sample) at the end.
+  for (int k = 0; k < 8; ++k) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const std::uint64_t* p = planes + (k * plane_cols + j) * col_words;
+      for (std::int64_t s = 0; s < count; ++s) {
+        std::int64_t shifted = Core::weighted_and_popcount(
+            xbits + s * 8 * words, p, words);
+        if (k == 7) {
+          // Σ_xb (popx − bitline) << xb, with the bitline sum already
+          // folded: subtract it from the weighted input popcounts.
+          std::int64_t pw = 0;
+          for (int xb = 0; xb < 8; ++xb) pw += popx[s * 8 + xb] << xb;
+          shifted = pw - shifted;
+        }
+        acc_t[j * count + s] += static_cast<std::int32_t>(shifted << k);
+      }
+    }
+  }
+  for (std::int64_t j = 0; j < cols; ++j) {
+    for (std::int64_t s = 0; s < count; ++s) {
+      acc_t[j * count + s] -= static_cast<std::int32_t>(refs[s]);
+    }
+  }
+}
+
+template <typename Core>
+void reference_batch_impl(const std::int8_t* cells, std::int64_t row_stride,
+                          std::int64_t rows, std::int64_t cols,
+                          const std::uint8_t* inputs_t, std::int64_t count,
+                          std::int32_t* acc_t) {
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const std::uint8_t* xs = inputs_t + i * count;
+    const std::int8_t* row = cells + i * row_stride;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const std::int32_t w = row[j];
+      if (w == 0) continue;  // a zero cell contributes exactly zero
+      Core::madd(acc_t + j * count, xs, w, count);
+    }
+  }
+}
+
+template <typename Core>
+std::int64_t popcount_words_impl(const std::uint64_t* x, std::int64_t words) {
+  return Core::popcount(x, words);
+}
+
+}  // namespace autohet::reram::kernels::detail

@@ -27,7 +27,7 @@ namespace {
 typedef double v8df __attribute__((vector_size(64)));
 
 inline v8df splat8(double x) noexcept {
-  return (v8df){x, x, x, x, x, x, x, x};
+  return v8df{x, x, x, x, x, x, x, x};
 }
 inline v8df load8(const double* p) noexcept {
   v8df v;

@@ -12,11 +12,13 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/model.hpp"
 #include "nn/model_zoo.hpp"
 #include "reram/crossbar.hpp"
 #include "reram/faults.hpp"
 #include "reram/functional.hpp"
+#include "reram/kernels/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace autohet {
@@ -149,6 +151,170 @@ TEST(PackedKernels, BatchedReferenceMatchesPerColumn) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch variants: every compiled-and-supported ISA variant must agree
+// with the scalar oracle on randomized ragged shapes (tails that are not a
+// multiple of 64 rows exercise the masked/partial word paths). Variants the
+// host cannot run are skipped, not silently passed.
+
+namespace rk = reram::kernels;
+
+class KernelVariantTest : public ::testing::TestWithParam<rk::Variant> {
+ protected:
+  void SetUp() override {
+    if (!rk::supported(GetParam())) {
+      GTEST_SKIP() << "variant " << rk::variant_name(GetParam())
+                   << " not compiled in or not supported by this CPU";
+    }
+    previous_ = rk::active_variant();
+    rk::set_variant(GetParam());
+  }
+  void TearDown() override {
+    if (!IsSkipped()) rk::set_variant(previous_);
+  }
+
+ private:
+  rk::Variant previous_ = rk::Variant::kPortable;
+};
+
+TEST_P(KernelVariantTest, RandomRaggedShapesMatchScalar) {
+  common::Rng rng(0xbeef ^ static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 12; ++trial) {
+    // Rows straddle the 64-bit word boundaries: 1..320 hits every tail
+    // length; cols stay small enough to keep the scalar oracle cheap.
+    const auto rows = static_cast<std::int64_t>(rng.uniform_int(1, 320));
+    const auto cols = static_cast<std::int64_t>(rng.uniform_int(1, 96));
+    const CrossbarShape shape{
+        rows + static_cast<std::int64_t>(rng.uniform_int(0, 40)),
+        cols + static_cast<std::int64_t>(rng.uniform_int(0, 24))};
+    LogicalCrossbar xb(shape);
+    xb.program(random_weights(rng, rows * cols), rows, cols);
+    ASSERT_TRUE(xb.is_packed());
+    const auto x = random_input(rng, rows);
+    EXPECT_EQ(xb.mvm_bit_serial(x), xb.mvm_bit_serial_scalar(x))
+        << "rows=" << rows << " cols=" << cols;
+    EXPECT_EQ(xb.mvm_reference(x), xb.mvm_reference_scalar(x))
+        << "rows=" << rows << " cols=" << cols;
+    for (const int bits : {1, 2, 4, 8}) {
+      EXPECT_EQ(xb.mvm_multilevel(x, bits), xb.mvm_multilevel_scalar(x, bits))
+          << "rows=" << rows << " cols=" << cols << " bits=" << bits;
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, BatchedPackedMatchesPerColumn) {
+  common::Rng rng(0xcafe ^ static_cast<std::uint64_t>(GetParam()));
+  const KernelCase cases[] = {
+      {{72, 64}, 25, 6}, {{64, 64}, 64, 64}, {{130, 48}, 130, 31},
+      {{300, 40}, 257, 17}};
+  rk::KernelScratch scratch;  // reused across cases: growth-only contract
+  for (const auto& c : cases) {
+    LogicalCrossbar xb(c.shape);
+    xb.program(random_weights(rng, c.rows * c.cols), c.rows, c.cols);
+    ASSERT_TRUE(xb.is_packed());
+    const std::int64_t batch = 7;
+    std::vector<std::uint8_t> cols_t(static_cast<std::size_t>(c.rows * batch));
+    for (auto& v : cols_t) {
+      v = rng.uniform() < 0.3
+              ? std::uint8_t{0}
+              : static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    std::vector<std::int32_t> bs_t(static_cast<std::size_t>(c.cols * batch),
+                                   0);
+    std::vector<std::int32_t> ml_t(static_cast<std::size_t>(c.cols * batch),
+                                   0);
+    xb.mvm_bit_serial_batch_accum(cols_t.data(), batch, bs_t.data(), scratch);
+    xb.mvm_multilevel_batch_accum(cols_t.data(), batch, /*cell_bits=*/2,
+                                  ml_t.data(), scratch);
+    for (std::int64_t p = 0; p < batch; ++p) {
+      std::vector<std::uint8_t> column(static_cast<std::size_t>(c.rows));
+      for (std::int64_t i = 0; i < c.rows; ++i) {
+        column[static_cast<std::size_t>(i)] =
+            cols_t[static_cast<std::size_t>(i * batch + p)];
+      }
+      const auto expected_bs = xb.mvm_bit_serial(column);
+      const auto expected_ml = xb.mvm_multilevel(column, 2);
+      for (std::int64_t j = 0; j < c.cols; ++j) {
+        EXPECT_EQ(bs_t[static_cast<std::size_t>(j * batch + p)],
+                  expected_bs[static_cast<std::size_t>(j)])
+            << "bit-serial col " << j << " batch " << p;
+        EXPECT_EQ(ml_t[static_cast<std::size_t>(j * batch + p)],
+                  expected_ml[static_cast<std::size_t>(j)])
+            << "multilevel col " << j << " batch " << p;
+      }
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, ForwardMatchesScalarReference) {
+  const nn::NetworkSpec net = nn::lenet5();
+  common::Rng wr(21);
+  const nn::Model model(net, wr);
+  const std::vector<CrossbarShape> shapes(net.mappable_layers().size(),
+                                          {72, 64});
+  common::Rng ir(4);
+  const nn::LayerSpec& first = net.layers.front();
+  const tensor::Tensor image = nn::synthetic_image(
+      ir, first.in_channels, first.in_height, first.in_width);
+  for (const auto mode :
+       {reram::DatapathMode::kInteger, reram::DatapathMode::kBitSerial}) {
+    const SimulatedModel fast(model, shapes, mode);
+    const SimulatedModel scalar(model, shapes, mode, {},
+                                KernelPolicy::kScalarReference);
+    const tensor::Tensor a = fast.forward(image);
+    const tensor::Tensor b = scalar.forward(image);
+    ASSERT_EQ(a.numel(), b.numel());
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, KernelVariantTest,
+                         ::testing::Values(rk::Variant::kPortable,
+                                           rk::Variant::kAvx2,
+                                           rk::Variant::kAvx512),
+                         [](const auto& param_info) {
+                           return std::string(
+                               rk::variant_name(param_info.param));
+                         });
+
+TEST(KernelDispatch, SupportedVariantsListsPortableFirst) {
+  const auto variants = rk::supported_variants();
+  ASSERT_FALSE(variants.empty());
+  EXPECT_EQ(variants.front(), rk::Variant::kPortable);
+  for (const rk::Variant v : variants) EXPECT_TRUE(rk::supported(v));
+}
+
+TEST(KernelDispatch, VariantNamesRoundTrip) {
+  for (int i = 0; i < rk::kVariantCount; ++i) {
+    const auto v = static_cast<rk::Variant>(i);
+    rk::Variant parsed;
+    ASSERT_TRUE(rk::variant_from_name(rk::variant_name(v), &parsed));
+    EXPECT_EQ(parsed, v);
+  }
+  rk::Variant parsed;
+  EXPECT_FALSE(rk::variant_from_name("neon", &parsed));
+  EXPECT_FALSE(rk::variant_from_name("", &parsed));
+}
+
+TEST(KernelScratch, BuffersGrowMonotonicallyAndAreReusable) {
+  rk::KernelScratch scratch;
+  std::uint64_t* p64 = scratch.input_planes(64);
+  std::memset(p64, 0, 64 * sizeof(std::uint64_t));
+  // A smaller request must not shrink or move the buffer.
+  EXPECT_EQ(scratch.input_planes(16), p64);
+  std::uint8_t* c = scratch.column(100);
+  EXPECT_EQ(scratch.column(50), c);
+  std::int32_t* a = scratch.accs_t(32);
+  EXPECT_EQ(scratch.accs_t(32), a);
+  std::int64_t* t = scratch.sample_terms(9);
+  EXPECT_EQ(scratch.sample_terms(4), t);
+  // Distinct buffer families never alias.
+  EXPECT_NE(static_cast<void*>(scratch.column(8)),
+            static_cast<void*>(scratch.columns_t(8)));
 }
 
 // ---------------------------------------------------------------------------
@@ -360,6 +526,149 @@ TEST(MonteCarloIdentity, ReadNoiseThreadInvariance) {
   mc.threads = 4;
   const auto parallel = reram::monte_carlo_robustness(model, shapes, fc, mc);
   EXPECT_TRUE(reports_equal(serial, parallel));
+}
+
+TEST(SimulatedModelKernels, PooledForwardMatchesSerial) {
+  // Intra-forward parallelism (FC row blocks + conv position tiles) must be
+  // bit-identical to the serial pass: integer partials reassociate exactly,
+  // and the read-noise streams are keyed by position, not execution order.
+  const nn::NetworkSpec net = nn::lenet5();
+  common::Rng wr(21);
+  const nn::Model model(net, wr);
+  const std::vector<CrossbarShape> shapes(net.mappable_layers().size(),
+                                          {72, 64});
+  common::Rng ir(4);
+  const nn::LayerSpec& first = net.layers.front();
+  const tensor::Tensor image = nn::synthetic_image(
+      ir, first.in_channels, first.in_height, first.in_width);
+  FaultConfig noisy;
+  noisy.read_sigma = 0.05;
+  noisy.program_sigma = 0.01;
+  common::ThreadPool pool(4);
+  struct Case {
+    reram::DatapathMode mode;
+    FaultConfig faults;
+  };
+  const Case cases[] = {{reram::DatapathMode::kInteger, {}},
+                        {reram::DatapathMode::kBitSerial, {}},
+                        {reram::DatapathMode::kInteger, noisy}};
+  for (const auto& c : cases) {
+    const SimulatedModel fabric(model, shapes, c.mode, c.faults);
+    const tensor::Tensor serial = fabric.forward(image, /*noise_stream=*/3);
+    const tensor::Tensor pooled =
+        fabric.forward(image, /*noise_stream=*/3, &pool);
+    ASSERT_EQ(serial.numel(), pooled.numel());
+    for (std::int64_t i = 0; i < serial.numel(); ++i) {
+      EXPECT_EQ(serial[i], pooled[i])
+          << "mode " << static_cast<int>(c.mode) << " i " << i;
+    }
+  }
+}
+
+TEST(SimulatedModelKernels, BatchedTracedForwardMatchesPerSample) {
+  const nn::NetworkSpec net = nn::lenet5();
+  common::Rng wr(21);
+  const nn::Model model(net, wr);
+  const std::vector<CrossbarShape> shapes(net.mappable_layers().size(),
+                                          {72, 64});
+  common::Rng ir(4);
+  const nn::LayerSpec& first = net.layers.front();
+  std::vector<tensor::Tensor> images;
+  for (int s = 0; s < 5; ++s) {
+    images.push_back(nn::synthetic_image(ir, first.in_channels,
+                                         first.in_height, first.in_width));
+  }
+  FaultConfig noisy;
+  noisy.read_sigma = 0.05;
+  FaultConfig stuck;
+  stuck.stuck_at_zero_rate = 1e-3;
+  stuck.stuck_at_one_rate = 1e-3;
+  stuck.program_sigma = 0.01;
+  struct Case {
+    reram::DatapathMode mode;
+    FaultConfig faults;
+  };
+  // Noise-free cases take the batched-FC fast path; the read-noisy case
+  // exercises the per-sample fallback with per-sample noise streams.
+  const Case cases[] = {{reram::DatapathMode::kInteger, {}},
+                        {reram::DatapathMode::kBitSerial, {}},
+                        {reram::DatapathMode::kInteger, stuck},
+                        {reram::DatapathMode::kInteger, noisy}};
+  for (const auto& c : cases) {
+    const SimulatedModel fabric(model, shapes, c.mode, c.faults);
+    const std::uint64_t stream0 = 11;
+    const auto batched = fabric.forward_traced_batch(images, stream0);
+    ASSERT_EQ(batched.size(), images.size());
+    for (std::size_t s = 0; s < images.size(); ++s) {
+      const auto single = fabric.forward_traced(
+          images[s], stream0 + static_cast<std::uint64_t>(s));
+      ASSERT_EQ(batched[s].output.numel(), single.output.numel());
+      for (std::int64_t i = 0; i < single.output.numel(); ++i) {
+        EXPECT_EQ(batched[s].output[i], single.output[i])
+            << "mode " << static_cast<int>(c.mode) << " sample " << s;
+      }
+      ASSERT_EQ(batched[s].mappable_outputs.size(),
+                single.mappable_outputs.size());
+      for (std::size_t l = 0; l < single.mappable_outputs.size(); ++l) {
+        EXPECT_EQ(tensor::max_abs_diff(batched[s].mappable_outputs[l],
+                                       single.mappable_outputs[l]),
+                  0.0f)
+            << "mode " << static_cast<int>(c.mode) << " sample " << s
+            << " layer " << l;
+      }
+    }
+  }
+}
+
+TEST(MonteCarloIdentity, SingleTrialThreadInvariance) {
+  // One trial, many threads: the (trial, sample-chunk) fan-out plus the
+  // intra-forward split must still reproduce the serial report exactly.
+  const nn::NetworkSpec net = nn::lenet5();
+  common::Rng wr(21);
+  const nn::Model model(net, wr);
+  const std::vector<CrossbarShape> shapes(net.mappable_layers().size(),
+                                          {72, 64});
+  FaultConfig fc;
+  fc.stuck_at_zero_rate = 1e-3;
+  fc.stuck_at_one_rate = 1e-3;
+  fc.program_sigma = 0.01;
+  RobustnessOptions mc;
+  mc.trials = 1;
+  mc.samples = 6;
+  mc.threads = 1;
+  const auto serial = reram::monte_carlo_robustness(model, shapes, fc, mc);
+  mc.threads = 4;
+  const auto parallel = reram::monte_carlo_robustness(model, shapes, fc, mc);
+  EXPECT_TRUE(reports_equal(serial, parallel));
+  // A single sample still goes through the pool (intra-forward split only).
+  mc.samples = 1;
+  mc.threads = 1;
+  const auto serial1 = reram::monte_carlo_robustness(model, shapes, fc, mc);
+  mc.threads = 4;
+  const auto parallel1 = reram::monte_carlo_robustness(model, shapes, fc, mc);
+  EXPECT_TRUE(reports_equal(serial1, parallel1));
+}
+
+TEST(MonteCarloIdentity, ExternalPoolInvariance) {
+  // A caller-owned pool (the EvaluationEngine path) must not change the
+  // report relative to the internally created pool or the serial run.
+  const nn::NetworkSpec net = nn::lenet5();
+  common::Rng wr(21);
+  const nn::Model model(net, wr);
+  const std::vector<CrossbarShape> shapes(net.mappable_layers().size(),
+                                          {72, 64});
+  FaultConfig fc;
+  fc.stuck_at_zero_rate = 1e-3;
+  fc.stuck_at_one_rate = 0.0;
+  fc.program_sigma = 0.02;
+  RobustnessOptions mc = small_mc();
+  mc.threads = 1;
+  const auto serial = reram::monte_carlo_robustness(model, shapes, fc, mc);
+  common::ThreadPool pool(3);
+  mc.threads = 2;  // gates the parallel path; the pool's size wins
+  mc.pool = &pool;
+  const auto pooled = reram::monte_carlo_robustness(model, shapes, fc, mc);
+  EXPECT_TRUE(reports_equal(serial, pooled));
 }
 
 TEST(SimulatedModelKernels, ConcurrentForwardsAreDeterministic) {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -76,6 +77,55 @@ TEST(ThreadPool, SizeReportsWorkerCount) {
   EXPECT_EQ(pool.size(), 6u);
   common::ThreadPool defaulted(0);
   EXPECT_GE(defaulted.size(), 1u);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  // A pool task fanning out on its own pool must not deadlock even when
+  // every worker is already busy: each parallel_for's caller drains its own
+  // items. Exercised with more outer items than workers.
+  common::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 16, [&](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 8 * 16);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelForCompletes) {
+  common::ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 4, [&](std::size_t) {
+      pool.parallel_for(0, 4, [&](std::size_t) { counter.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(counter.load(), 4 * 4 * 4);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallsAreIndependent) {
+  // Several external threads driving parallel_for on one shared pool at
+  // once: per-call completion tracking must keep each call's join exact
+  // (the pool-global in_flight_ count would intermix them).
+  common::ThreadPool pool(2);
+  constexpr int kCallers = 4;
+  constexpr int kItems = 200;
+  std::vector<std::atomic<int>> counts(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.parallel_for(0, kItems, [&, c](std::size_t) {
+        counts[static_cast<std::size_t>(c)].fetch_add(1);
+      });
+      // parallel_for returned, so THIS caller's items are all done — even
+      // while the other callers are still running theirs.
+      EXPECT_EQ(counts[static_cast<std::size_t>(c)].load(), kItems);
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(c)].load(), kItems);
+  }
 }
 
 TEST(ThreadPool, DestructorJoinsWithPendingWork) {
