@@ -4,6 +4,7 @@
 //                        --plan-out plan.json
 //   autohet_cli evaluate --model vgg16 --strategy strategy.txt
 //   autohet_cli replay   --plan-in plan.json --report-json report.json
+//   autohet_cli profile  --plan-in plan.json --profile-out profile.json
 //   autohet_cli baselines --model alexnet
 //
 // `search` runs the RL search and writes the winning strategy in the Fig. 6
@@ -11,8 +12,10 @@
 // compiled DeploymentPlan as JSON; `evaluate` loads a strategy file,
 // compiles it to a plan and reports its hardware metrics; `replay` loads a
 // saved plan and re-runs hardware evaluation, functional inference and
-// robustness Monte Carlo without searching or re-mapping; `baselines`
-// prints the homogeneous sweep.
+// robustness Monte Carlo without searching or re-mapping; `profile` replays
+// a plan with the attribution profiler on and prints a top-N hotspot table
+// (per-tile/crossbar energy, MVM, and write attribution in profile.json);
+// `baselines` prints the homogeneous sweep.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,6 +31,8 @@
 #include "obs/session.hpp"
 #include "reram/functional.hpp"
 #include "reram/kernels/kernels.hpp"
+#include "reram/scheduler.hpp"
+#include "report/profile_report.hpp"
 #include "report/serialize.hpp"
 #include "report/table.hpp"
 #include "tensor/ops.hpp"
@@ -215,6 +220,71 @@ int run_replay(const common::ArgParser& args) {
   return 0;
 }
 
+int run_profile(const common::ArgParser& args, obs::ObsSession& session) {
+  const std::string path = args.option("plan-in");
+  AUTOHET_CHECK(!path.empty(), "profile needs --plan-in <plan.json>");
+  std::ifstream file(path);
+  AUTOHET_CHECK(file.good(), "cannot open plan file: " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const plan::DeploymentPlan plan = report::read_plan_json(buffer.str());
+
+  // The profiler records regardless of --profile-out: the hotspot table
+  // needs the counts even when no JSON sink is configured.
+  obs::Profiler::global().enable();
+  obs::Profiler::global().reset();
+
+  const auto report = plan::evaluate_plan(plan);
+  const std::int64_t batch = args.option_int("batch");
+  const auto schedule = reram::schedule_batch(plan, batch);
+
+  // Optional functional replay feeds executed-MVM and programming-write
+  // attribution; same seeded weights/images as `replay` so the two commands
+  // describe the same deployment.
+  const auto samples = args.option_int("functional-samples");
+  const auto trials = args.option_int("mc-trials");
+  if (samples > 0 || trials > 0) {
+    const auto net = nn::network_by_name(plan.network);
+    AUTOHET_CHECK(net.sequential_runnable,
+                  plan.network + " is not sequentially runnable");
+    common::Rng weight_rng(3);
+    const nn::Model model(net, weight_rng);
+    const nn::LayerSpec& input = net.layers.front();
+    if (samples > 0) {
+      const reram::SimulatedModel fabric(model, plan);
+      common::Rng img_rng(4);
+      for (std::int64_t s = 0; s < samples; ++s) {
+        const auto img = nn::synthetic_image(img_rng, input.in_channels,
+                                             input.in_height, input.in_width);
+        (void)fabric.forward(img);
+      }
+    }
+    if (trials > 0) {
+      reram::RobustnessOptions opts;
+      opts.trials = static_cast<int>(trials);
+      opts.samples = 4;
+      opts.threads = static_cast<int>(args.option_int("mc-threads"));
+      (void)reram::monte_carlo_robustness(model, plan, opts);
+    }
+  }
+
+  const report::PlanProfile profile = report::build_plan_profile(
+      plan, report, schedule, obs::Profiler::global().snapshot(), batch);
+  report::merge_profile_into_trace(profile);
+
+  // Claim --profile-out from the session: the full per-plan report goes
+  // there instead of the generic raw-records dump the session would write.
+  if (const std::string out = session.take_profile_out(); !out.empty()) {
+    std::ofstream pf(out);
+    AUTOHET_CHECK(pf.good(), "cannot open profile file: " + out);
+    report::write_profile_json(pf, profile);
+    std::cout << "attribution profile written to " << out << "\n\n";
+  }
+  print_hotspot_table(std::cout, profile,
+                      static_cast<int>(args.option_int("top")));
+  return 0;
+}
+
 int run_describe(const common::ArgParser& args) {
   const auto net = nn::network_by_name(model_or(args, "vgg16"));
   nn::describe(net, std::cout);
@@ -266,7 +336,8 @@ int main(int argc, char** argv) {
       "AutoHet heterogeneous ReRAM accelerator driver: RL search, strategy "
       "evaluation, and homogeneous baselines.");
   args.add_positional(
-      "command", "search | evaluate | replay | baselines | describe | kernels");
+      "command",
+      "search | evaluate | replay | profile | baselines | describe | kernels");
   args.add_option("model", "",
                   "lenet5 | alexnet | vgg16 | resnet152 (default: vgg16; "
                   "'evaluate' defaults to the strategy file's network)");
@@ -279,23 +350,28 @@ int main(int argc, char** argv) {
   args.add_option("csv", "", "write per-episode search history CSV");
   args.add_option("strategy", "", "strategy file for 'evaluate'");
   args.add_option("plan-in", "",
-                  "saved DeploymentPlan JSON for 'replay' (mutually "
-                  "exclusive with the search-configuration options)");
+                  "saved DeploymentPlan JSON for 'replay'/'profile' "
+                  "(mutually exclusive with the search-configuration "
+                  "options)");
+  args.add_option("batch", "8",
+                  "'profile': images in the analyzed batch schedule");
+  args.add_option("top", "10",
+                  "'profile': hotspot-table rows (0 = all layers)");
   args.add_option("plan-out", "",
                   "'search': also write the compiled DeploymentPlan JSON");
   args.add_option("report-json", "",
                   "'search'/'replay': write the winner's / replayed "
                   "NetworkReport as JSON (byte-comparable across the two)");
   args.add_option("functional-samples", "0",
-                  "'replay': run functional inference on this many synthetic "
-                  "images (0 = skip)");
+                  "'replay'/'profile': run functional inference on this many "
+                  "synthetic images (0 = skip)");
   args.add_option("mc-trials", "0",
-                  "'replay': robustness Monte-Carlo trials under the plan's "
-                  "fault config (0 = skip)");
+                  "'replay'/'profile': robustness Monte-Carlo trials under "
+                  "the plan's fault config (0 = skip)");
   args.add_option("mc-threads", "1",
-                  "'replay': worker threads for the Monte-Carlo trials "
-                  "(1 = serial, 0 = one per hardware thread; the report is "
-                  "byte-identical at any value)");
+                  "'replay'/'profile': worker threads for the Monte-Carlo "
+                  "trials (1 = serial, 0 = one per hardware thread; the "
+                  "report is byte-identical at any value)");
   args.add_option("eval-threads", "0",
                   "worker threads for batched hardware evaluation "
                   "(0 = serial)");
@@ -334,6 +410,7 @@ int main(int argc, char** argv) {
     if (command == "search") return run_search(args);
     if (command == "evaluate") return run_evaluate(args);
     if (command == "replay") return run_replay(args);
+    if (command == "profile") return run_profile(args, session);
     if (command == "baselines") return run_baselines(args);
     if (command == "describe") return run_describe(args);
     if (command == "kernels") return run_kernels(args);

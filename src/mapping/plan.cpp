@@ -6,6 +6,7 @@
 
 #include "autohet/strategy.hpp"
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace autohet::plan {
 
@@ -200,6 +201,8 @@ DeploymentPlan compile_plan(const nn::NetworkSpec& model,
 }
 
 reram::NetworkReport evaluate_plan(const DeploymentPlan& plan) {
+  OBS_SPAN("evaluate_plan");
+  OBS_PROFILE_RECORD(obs::ProfileKind::kPlanEval, -1, 0, 1);
   plan.validate();
   return reram::evaluate_allocation(plan.layers, plan.allocation, plan.accel);
 }

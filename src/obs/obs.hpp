@@ -13,6 +13,7 @@
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 #if !defined(AUTOHET_OBS_DISABLED)
@@ -70,6 +71,20 @@
     }                                                                    \
   } while (false)
 
+/// Adds `delta` to the attribution profiler's (kind, layer, unit) counter
+/// (no-op unless the profiler is enabled — one relaxed load otherwise).
+#define OBS_PROFILE_RECORD(kind, layer, unit, delta)                     \
+  do {                                                                   \
+    ::autohet::obs::Profiler& obs_profiler_ref =                         \
+        ::autohet::obs::Profiler::global();                              \
+    if (obs_profiler_ref.enabled()) {                                    \
+      obs_profiler_ref.record((kind),                                    \
+                              static_cast<std::int64_t>(layer),          \
+                              static_cast<std::int64_t>(unit),           \
+                              static_cast<std::uint64_t>(delta));        \
+    }                                                                    \
+  } while (false)
+
 #else  // AUTOHET_OBS_DISABLED
 
 #define OBS_SPAN(name) ((void)0)
@@ -78,5 +93,6 @@
 #define OBS_HIST_RECORD(name, value) ((void)0)
 #define OBS_SCOPED_LATENCY(name) ((void)0)
 #define OBS_TRACE_COUNTER(name, value) ((void)0)
+#define OBS_PROFILE_RECORD(kind, layer, unit, delta) ((void)0)
 
 #endif  // AUTOHET_OBS_DISABLED

@@ -1,0 +1,92 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace autohet::obs {
+
+const char* profile_kind_name(ProfileKind kind) noexcept {
+  switch (kind) {
+    case ProfileKind::kAnalyticEval:
+      return "analytic_eval";
+    case ProfileKind::kPlanEval:
+      return "plan_eval";
+    case ProfileKind::kFunctionalMvm:
+      return "functional_mvm";
+    case ProfileKind::kProgramWrite:
+      return "program_write";
+    case ProfileKind::kMcTrial:
+      return "mc_trial";
+    case ProfileKind::kScheduleTask:
+      return "schedule_task";
+    case ProfileKind::kStageBusyNs:
+      return "stage_busy_ns";
+  }
+  return "unknown";
+}
+
+std::uint64_t ProfileSnapshot::total(ProfileKind kind) const noexcept {
+  std::uint64_t sum = 0;
+  for (const ProfileRecord& r : records) {
+    if (r.kind == kind) sum += r.value;
+  }
+  return sum;
+}
+
+std::uint64_t ProfileSnapshot::layer_total(ProfileKind kind,
+                                           std::int64_t layer) const noexcept {
+  std::uint64_t sum = 0;
+  for (const ProfileRecord& r : records) {
+    if (r.kind == kind && r.layer == layer) sum += r.value;
+  }
+  return sum;
+}
+
+std::uint64_t ProfileSnapshot::value(ProfileKind kind, std::int64_t layer,
+                                     std::int64_t unit) const noexcept {
+  for (const ProfileRecord& r : records) {
+    if (r.kind == kind && r.layer == layer && r.unit == unit) return r.value;
+  }
+  return 0;
+}
+
+Profiler& Profiler::global() {
+  static Profiler instance;
+  return instance;
+}
+
+void Profiler::record(ProfileKind kind, std::int64_t layer, std::int64_t unit,
+                      std::uint64_t delta) {
+  Shard& shard = shards_[detail::shard_index()];
+  const Key key{static_cast<std::uint8_t>(kind), layer, unit};
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.counts[key] += delta;
+}
+
+ProfileSnapshot Profiler::snapshot() const {
+  // Merge into one map first: the per-shard maps are already sorted, and
+  // std::map::operator[] keeps the union sorted by (kind, layer, unit),
+  // so the result is independent of which thread recorded what.
+  std::map<Key, std::uint64_t> merged;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, value] : shard.counts) merged[key] += value;
+  }
+  ProfileSnapshot snap;
+  snap.records.reserve(merged.size());
+  for (const auto& [key, value] : merged) {
+    snap.records.push_back(ProfileRecord{static_cast<ProfileKind>(key.kind),
+                                         key.layer, key.unit, value});
+  }
+  return snap;
+}
+
+void Profiler::reset() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.counts.clear();
+  }
+}
+
+}  // namespace autohet::obs

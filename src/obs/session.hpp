@@ -24,7 +24,9 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "report/profile_report.hpp"
 #include "report/serialize.hpp"
 
 namespace autohet::obs {
@@ -33,10 +35,12 @@ struct Options {
   std::string metrics_out;  ///< exposition path; ".json" suffix => JSON
   std::string trace_out;    ///< Chrome trace_event JSON path
   std::string episode_log;  ///< per-episode JSONL path
+  std::string profile_out;  ///< attribution-profiler JSON path
   std::string log_level;    ///< debug|info|warn|error|off; empty = keep
 };
 
-/// Registers --metrics-out, --trace-out, --episode-log, --log-level.
+/// Registers --metrics-out, --trace-out, --episode-log, --profile-out,
+/// --log-level.
 inline void add_cli_options(common::ArgParser& args) {
   args.add_option("metrics-out", "",
                   "write a metrics exposition here on exit (Prometheus text; "
@@ -46,6 +50,10 @@ inline void add_cli_options(common::ArgParser& args) {
                   "chrome://tracing or ui.perfetto.dev)");
   args.add_option("episode-log", "",
                   "write per-episode search telemetry as JSON lines");
+  args.add_option("profile-out", "",
+                  "enable the attribution profiler and write its JSON here "
+                  "on exit (the profile subcommand writes the full per-plan "
+                  "report instead)");
   args.add_option("log-level", "",
                   "minimum log level: debug|info|warn|error|off");
 }
@@ -55,6 +63,7 @@ inline Options options_from_cli(const common::ArgParser& args) {
   opts.metrics_out = args.option("metrics-out");
   opts.trace_out = args.option("trace-out");
   opts.episode_log = args.option("episode-log");
+  opts.profile_out = args.option("profile-out");
   opts.log_level = args.option("log-level");
   return opts;
 }
@@ -85,6 +94,7 @@ inline Options options_from_argv(int argc, const char* const* argv) {
     if (match(i, "metrics-out", &opts.metrics_out)) continue;
     if (match(i, "trace-out", &opts.trace_out)) continue;
     if (match(i, "episode-log", &opts.episode_log)) continue;
+    if (match(i, "profile-out", &opts.profile_out)) continue;
     if (match(i, "log-level", &opts.log_level)) continue;
   }
   return opts;
@@ -125,14 +135,38 @@ class ObsSession {
     }
     metrics_out_ = opts.metrics_out;
     trace_out_ = opts.trace_out;
+    profile_out_ = opts.profile_out;
     if (!metrics_out_.empty()) set_metrics_enabled(true);
     if (!trace_out_.empty()) Tracer::global().enable();
+    if (!profile_out_.empty()) Profiler::global().enable();
     if (!opts.episode_log.empty()) EventLog::global().open(opts.episode_log);
+  }
+
+  /// Claims the --profile-out path: returns it and prevents flush() from
+  /// writing the generic raw-records file there. The profile subcommand
+  /// uses this to write the full per-plan report to the same path instead.
+  std::string take_profile_out() {
+    std::string path = profile_out_;
+    profile_out_.clear();
+    return path;
   }
 
   /// Writes the configured outputs now. Idempotent: each path is written
   /// at most once per configure().
   void flush() {
+    // Account trace-ring overflow before the metrics snapshot below so the
+    // counter reaches the exposition file. flush() runs both explicitly and
+    // from the destructor, so only the delta since the last flush is added.
+    const std::uint64_t dropped = Tracer::global().dropped_events();
+    if (dropped > dropped_accounted_) {
+      Registry::global()
+          .counter("autohet_trace_dropped_events")
+          .add(dropped - dropped_accounted_);
+      common::log_warn("trace ring overflow: ", dropped - dropped_accounted_,
+                       " events dropped (raise span granularity or flush "
+                       "more often)");
+      dropped_accounted_ = dropped;
+    }
     if (!metrics_out_.empty()) {
       std::ofstream file(metrics_out_);
       AUTOHET_CHECK(file.good(), "cannot open metrics file: " + metrics_out_);
@@ -150,6 +184,12 @@ class ObsSession {
       Tracer::global().write_chrome_trace(file);
       trace_out_.clear();
     }
+    if (!profile_out_.empty()) {
+      std::ofstream file(profile_out_);
+      AUTOHET_CHECK(file.good(), "cannot open profile file: " + profile_out_);
+      report::write_profile_records_json(file, Profiler::global().snapshot());
+      profile_out_.clear();
+    }
     EventLog::global().close();
   }
 
@@ -163,11 +203,14 @@ class ObsSession {
   static void touch_globals() {
     Registry::global();
     Tracer::global();
+    Profiler::global();
     EventLog::global();
   }
 
   std::string metrics_out_;
   std::string trace_out_;
+  std::string profile_out_;
+  std::uint64_t dropped_accounted_ = 0;
 };
 
 }  // namespace autohet::obs

@@ -71,10 +71,14 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
 void Tracer::record(const TraceEvent& ev) { local_buffer().push(ev); }
 
 void Tracer::counter(const char* name, double value) {
+  counter_at(name, ns_since_start(), value);
+}
+
+void Tracer::counter_at(const char* name, std::uint64_t ts_ns, double value) {
   if (!enabled()) return;
   TraceEvent ev;
   ev.name = name;
-  ev.ts_ns = ns_since_start();
+  ev.ts_ns = ts_ns;
   ev.value = value;
   ev.tid = thread_index();
   ev.ph = 'C';

@@ -58,6 +58,11 @@ class Tracer {
   /// disabled). `name` must be a literal.
   void counter(const char* name, double value);
 
+  /// Like counter(), but with an explicit timestamp instead of the wall
+  /// clock — used to merge simulated-time tracks (schedule occupancy)
+  /// into the same trace stream.
+  void counter_at(const char* name, std::uint64_t ts_ns, double value);
+
   /// Appends a complete span event (used by ScopedSpan).
   void span(const char* name, std::uint64_t start_ns, std::uint64_t end_ns,
             std::uint32_t depth);

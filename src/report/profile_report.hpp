@@ -1,0 +1,133 @@
+// Attribution-profile construction and emission.
+//
+// obs/profile.hpp records *what happened* as flat (kind, layer, unit)
+// counters; this layer joins that snapshot with the structures only the
+// deployment side knows — the plan's frozen allocation (layer → tile →
+// crossbar placement), the analytic NetworkReport (energy split by
+// component, latency decomposition), and the batch schedule (occupancy
+// timeline) — into one PlanProfile, then emits it three ways:
+//
+//   * write_profile_json: deterministic profile.json (fixed key order,
+//     shortest-round-trip doubles) — byte-identical across runs, thread
+//     counts, and kernel variants; schema documented in DESIGN.md §5b;
+//   * print_hotspot_table: the `autohet_cli profile` top-N table;
+//   * merge_profile_into_trace: schedule-occupancy counter tracks emitted
+//     into the global tracer so --trace-out carries simulated-time rows
+//     next to the wall-clock spans.
+//
+// The totals section is copied verbatim from the NetworkReport, so the
+// profile's total energy always matches the analytic report exactly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mapping/plan.hpp"
+#include "obs/profile.hpp"
+#include "reram/hardware_model.hpp"
+#include "reram/scheduler.hpp"
+#include "reram/stats.hpp"
+
+namespace autohet::report {
+
+/// Per-crossbar programming-write attribution (layer-local crossbar index
+/// in row-major (row_block, col_block) order).
+struct CrossbarActivity {
+  std::int64_t crossbar = 0;
+  std::uint64_t program_writes = 0;
+};
+
+/// One layer's attribution row.
+struct LayerProfile {
+  std::int64_t layer = 0;
+  std::string shape;        ///< crossbar type, e.g. "128x64"
+  std::int64_t tiles = 0;   ///< exclusive tiles before sharing
+  std::int64_t crossbars = 0;
+  double utilization = 0.0;
+  std::int64_t mvms_analytic = 0;    ///< per inference (hardware model)
+  std::uint64_t mvms_executed = 0;   ///< functional-sim MVMs recorded
+  std::uint64_t program_writes = 0;  ///< recorded cell writes (sum below)
+  std::vector<CrossbarActivity> crossbar_activity;
+  reram::EnergyBreakdown energy;
+  double energy_share = 0.0;  ///< of the network total, in [0, 1]
+  double latency_ns = 0.0;    ///< analytic per-inference latency
+  reram::LayerLatencyTerms latency_terms;  ///< per-MVM decomposition
+  std::string bottleneck;     ///< "compute" | "adc" | "noc"
+  double busy_ns = 0.0;       ///< summed task time in the batch schedule
+  double busy_fraction = 0.0; ///< busy_ns / makespan (idle = 1 - this)
+};
+
+/// One occupant layer's share of a tile.
+struct TileOccupant {
+  std::int64_t layer = 0;
+  std::int64_t crossbars = 0;        ///< logical crossbars held here
+  double energy_nj = 0.0;            ///< layer energy × crossbar share
+  std::uint64_t program_writes = 0;  ///< writes into this tile's crossbars
+};
+
+/// One physical tile's attribution row (tile-id order, released included).
+struct TileProfile {
+  std::int64_t tile = 0;
+  std::string shape;
+  std::int64_t empty_crossbars = 0;
+  bool released = false;
+  double energy_nj = 0.0;  ///< sum of occupant shares
+  double busy_ns = 0.0;    ///< max over occupant layers' busy_ns
+  std::vector<TileOccupant> occupants;
+};
+
+/// Occupancy step function over simulated time: `active` pipeline stages
+/// after time `t_ns` (task starts +1, finishes -1; simultaneous events
+/// coalesce into one point).
+struct TimelinePoint {
+  double t_ns = 0.0;
+  std::int64_t active = 0;
+};
+
+/// The joined attribution profile of one deployed plan.
+struct PlanProfile {
+  std::string network;
+  std::int64_t batch = 0;  ///< images in the analyzed schedule
+  reram::NetworkReport totals;  ///< verbatim analytic report
+  double makespan_ns = 0.0;
+  double steady_throughput = 0.0;  ///< inferences/s from the schedule
+  std::vector<LayerProfile> layers;
+  std::vector<TileProfile> tiles;
+  std::vector<TimelinePoint> timeline;
+  // Whole-run counters from the recorded snapshot.
+  std::uint64_t plan_evals = 0;
+  std::uint64_t analytic_layer_evals = 0;
+  std::uint64_t mc_trials = 0;
+  std::uint64_t mvms_executed = 0;
+  std::uint64_t program_writes = 0;
+};
+
+/// Joins a recorded snapshot with the plan's allocation, its analytic
+/// report, and a batch schedule. Pure and deterministic: equal inputs
+/// produce equal profiles.
+PlanProfile build_plan_profile(const plan::DeploymentPlan& plan,
+                               const reram::NetworkReport& report,
+                               const reram::ScheduleReport& schedule,
+                               const obs::ProfileSnapshot& recorded,
+                               std::int64_t batch);
+
+/// Deterministic profile.json ("autohet-profile" version 1).
+void write_profile_json(std::ostream& os, const PlanProfile& profile);
+
+/// Raw recorded counters as JSON — the generic --profile-out sink for
+/// binaries that have no plan context at flush time (benches, search).
+void write_profile_records_json(std::ostream& os,
+                                const obs::ProfileSnapshot& snapshot);
+
+/// Top-N hotspot table (layers by energy) plus totals, for the CLI.
+void print_hotspot_table(std::ostream& os, const PlanProfile& profile,
+                         int top_n);
+
+/// Emits the occupancy timeline and per-stage busy fractions as counter
+/// tracks on the global tracer (simulated-time timestamps). No-op when
+/// tracing is disabled.
+void merge_profile_into_trace(const PlanProfile& profile);
+
+}  // namespace autohet::report

@@ -172,6 +172,10 @@ void write_metrics_json(std::ostream& os,
          << ", \"count\": " << cumulative << '}';
       first = false;
     }
+    // Terminal +Inf bucket (mirrors the Prometheus exposition above) so a
+    // consumer can compute quantiles without knowing the bucket layout.
+    os << (first ? "" : ", ") << "{\"le\": \"+Inf\", \"count\": " << h.count
+       << '}';
     os << "]}";
   }
   os << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";

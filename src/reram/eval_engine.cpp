@@ -245,6 +245,7 @@ NetworkReport EvaluationEngine::evaluate(
 
 NetworkReport EvaluationEngine::evaluate(
     const plan::DeploymentPlan& plan) const {
+  OBS_PROFILE_RECORD(obs::ProfileKind::kPlanEval, -1, 0, 1);
   plan.validate();
   AUTOHET_CHECK(plan.accel == accel_,
                 "plan was compiled for a different accelerator config");

@@ -93,6 +93,8 @@ MappedLayer::MappedLayer(const nn::LayerSpec& spec,
           xb.program_cell(r - r0, c - c0, wq(r, c));
         }
       }
+      OBS_PROFILE_RECORD(obs::ProfileKind::kProgramWrite, layer_id,
+                         rb * cb_count + cb, (r1 - r0) * (c1 - c0));
       crossbars_.push_back(std::move(xb));
     }
   }
@@ -406,6 +408,8 @@ tensor::Tensor SimulatedModel::run_mappable(
     const MappedLayer& layer, const tensor::Tensor& input,
     std::uint64_t noise_stream, common::ThreadPool* pool) const {
   const nn::LayerSpec& spec = layer.spec();
+  OBS_PROFILE_RECORD(obs::ProfileKind::kFunctionalMvm,
+                     &layer - layers_.data(), 0, spec.mvm_count());
   // Quantize the whole activation tensor once (8-bit, unsigned: inputs are
   // post-ReLU or raw non-negative pixels).
   const nn::QuantizedActivations qa = nn::quantize_activations(
@@ -676,6 +680,8 @@ std::vector<SimulatedModel::ForwardTrace> SimulatedModel::forward_traced_batch(
             cols_t, count, mode_,
             std::span(accs_t, static_cast<std::size_t>(cols * count)),
             scratch);
+        OBS_PROFILE_RECORD(obs::ProfileKind::kFunctionalMvm,
+                           mappable_idx - 1, 0, count);
         for (std::int64_t s = 0; s < count; ++s) {
           const auto si = static_cast<std::size_t>(s);
           const float out_scale = layer.weight_scale() * qas[si].scale;
@@ -1015,6 +1021,7 @@ RobustnessReport monte_carlo_robustness(
     report.min_accuracy = std::min(report.min_accuracy, accuracy);
     report.max_accuracy = std::max(report.max_accuracy, accuracy);
     OBS_COUNTER_ADD("autohet_fault_trials_total", 1);
+    OBS_PROFILE_RECORD(obs::ProfileKind::kMcTrial, -1, 0, 1);
     OBS_HIST_RECORD("autohet_fault_trial_agreement_permille",
                     accuracy * 1000.0);
     OBS_HIST_RECORD("autohet_mc_trial_ms", res.wall_ms);

@@ -3,9 +3,28 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "reram/components.hpp"
 
 namespace autohet::reram {
+
+LayerLatencyTerms layer_latency_terms(const mapping::LayerMapping& m,
+                                      std::int64_t tiles_spanned,
+                                      const DeviceParams& params) noexcept {
+  const double rows = static_cast<double>(m.shape.rows);
+  const double read_cycle_ns =
+      params.base_cycle_ns + params.wire_delay_ns_per_row * rows;
+  const double merge_levels =
+      ceil_log2(m.row_blocks) + ceil_log2(params.bit_planes());
+  LayerLatencyTerms terms;
+  terms.compute_ns = params.input_cycles() * read_cycle_ns;
+  // ADC sharing serializes the conversions of the muxed bitlines.
+  terms.adc_ns =
+      params.adc_latency_ns * static_cast<double>(params.adc_share);
+  terms.merge_ns = params.merge_latency_ns * merge_levels;
+  terms.bus_ns = params.bus_latency_ns * ceil_log2(tiles_spanned);
+  return terms;
+}
 
 LayerReport evaluate_layer(const nn::LayerSpec& layer,
                            const mapping::LayerMapping& m,
@@ -24,7 +43,6 @@ LayerReport evaluate_layer(const nn::LayerSpec& layer,
 
   const double planes = params.bit_planes();
   const double cycles = params.input_cycles();
-  const double rows = static_cast<double>(m.shape.rows);
   const double mvms = static_cast<double>(layer.mvm_count());
 
   // ---- energy (nJ) ----
@@ -57,17 +75,8 @@ LayerReport evaluate_layer(const nn::LayerSpec& layer,
       mvms * buffer_bytes * params.buffer_rw_energy_pj * kPjToNj;
 
   // ---- latency (ns) ----
-  const double read_cycle_ns =
-      params.base_cycle_ns + params.wire_delay_ns_per_row * rows;
-  const double merge_levels =
-      ceil_log2(m.row_blocks) + ceil_log2(params.bit_planes());
-  // ADC sharing serializes the conversions of the muxed bitlines.
-  const double per_mvm_ns =
-      cycles * read_cycle_ns +
-      params.adc_latency_ns * static_cast<double>(params.adc_share) +
-      params.merge_latency_ns * merge_levels +
-      params.bus_latency_ns * ceil_log2(tiles_spanned);
-  report.latency_ns = mvms * per_mvm_ns;
+  report.latency_ns =
+      mvms * layer_latency_terms(m, tiles_spanned, params).per_mvm_ns();
   return report;
 }
 
@@ -82,6 +91,7 @@ NetworkReport evaluate_allocation(const std::vector<nn::LayerSpec>& layers,
   layer_vuln.reserve(layers.size());
   for (std::size_t i = 0; i < layers.size(); ++i) {
     const auto& layer_alloc = alloc.layers[i];
+    OBS_PROFILE_RECORD(obs::ProfileKind::kAnalyticEval, i, 0, 1);
     LayerReport lr = evaluate_layer(layers[i], layer_alloc.mapping,
                                     layer_alloc.tiles_allocated,
                                     config.device, config.faults);

@@ -84,6 +84,29 @@ inline TileAreaContribution tile_area_contribution(
   return a;
 }
 
+/// Per-MVM latency decomposition of the model above. The terms are kept
+/// separate so the attribution profiler can classify a layer as
+/// compute- / ADC- / NoC-bound; their left-to-right sum in per_mvm_ns()
+/// is the exact expression evaluate_layer uses (same association, so the
+/// refactor is bit-identical to the historical inline computation).
+struct LayerLatencyTerms {
+  double compute_ns = 0.0;  ///< input cycles × (base + wire·rows)
+  double adc_ns = 0.0;      ///< ADC drain serialized over muxed bitlines
+  double merge_ns = 0.0;    ///< adder-tree merge levels
+  double bus_ns = 0.0;      ///< inter-tile bus hops
+
+  double per_mvm_ns() const noexcept {
+    return compute_ns + adc_ns + merge_ns + bus_ns;
+  }
+  /// On-chip network share (merge tree + inter-tile bus).
+  double noc_ns() const noexcept { return merge_ns + bus_ns; }
+};
+
+/// Latency decomposition for one mapped layer (see LayerLatencyTerms).
+LayerLatencyTerms layer_latency_terms(const mapping::LayerMapping& m,
+                                      std::int64_t tiles_spanned,
+                                      const DeviceParams& params) noexcept;
+
 /// Evaluates one layer mapped with the given geometry. `tiles_spanned` is
 /// the number of tiles the layer occupies (affects the inter-tile merge
 /// latency term). A non-ideal `faults` config fills in the closed-form

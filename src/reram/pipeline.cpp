@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace autohet::reram {
 
 PipelineReport evaluate_pipeline(const plan::DeploymentPlan& plan,
                                  const std::vector<std::int64_t>& replication) {
+  OBS_SPAN("evaluate_pipeline");
   plan.validate();
   AUTOHET_CHECK(replication.empty() || replication.size() == plan.layers.size(),
                 "replication must be empty or one entry per layer");
@@ -47,6 +49,7 @@ PipelineReport evaluate_pipeline(
 
 std::vector<std::int64_t> balance_replication(const plan::DeploymentPlan& plan,
                                               std::int64_t extra_tile_budget) {
+  OBS_SPAN("balance_replication");
   plan.validate();
   AUTOHET_CHECK(extra_tile_budget >= 0, "budget must be non-negative");
 

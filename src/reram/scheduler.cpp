@@ -1,14 +1,17 @@
 #include "reram/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace autohet::reram {
 
 ScheduleReport schedule_batch(const plan::DeploymentPlan& plan,
                               std::int64_t batch,
                               const std::vector<std::int64_t>& replication) {
+  OBS_SPAN("schedule_batch");
   plan.validate();
   AUTOHET_CHECK(batch > 0, "batch must be positive");
   AUTOHET_CHECK(replication.empty() || replication.size() == plan.layers.size(),
@@ -67,6 +70,10 @@ ScheduleReport schedule_batch(const plan::DeploymentPlan& plan,
         report.makespan_ns > 0.0
             ? stage_busy[static_cast<std::size_t>(k)] / report.makespan_ns
             : 0.0);
+    OBS_PROFILE_RECORD(obs::ProfileKind::kScheduleTask, k, 0, batch);
+    OBS_PROFILE_RECORD(
+        obs::ProfileKind::kStageBusyNs, k, 0,
+        std::llround(stage_busy[static_cast<std::size_t>(k)]));
   }
   return report;
 }

@@ -285,6 +285,20 @@ TEST_F(TracerTest, SpansFromMultipleThreadsKeepTheirThreadIds) {
   EXPECT_NE(events[0].tid, events[1].tid);
 }
 
+TEST_F(TracerTest, CounterAtRecordsExplicitSimulatedTimestamp) {
+  // counter_at() stamps the caller-supplied (simulated) time instead of the
+  // wall clock, so schedule-occupancy tracks land at their model timestamps.
+  obs::Tracer::global().counter_at("sim_track", 123456789, 3.0);
+  obs::Tracer::global().counter_at("sim_track", 987654321, 0.0);
+  const auto events = obs::Tracer::global().snapshot_events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ph, 'C');
+  EXPECT_EQ(events[0].ts_ns, 123456789u);
+  EXPECT_EQ(events[0].value, 3.0);
+  EXPECT_EQ(events[1].ts_ns, 987654321u);
+  EXPECT_EQ(events[1].value, 0.0);
+}
+
 // ------------------------------------------------------------- exposition --
 
 TEST(Exposition, PrometheusTextContainsTypedSeries) {
@@ -334,6 +348,69 @@ TEST(Exposition, JsonFormIsStructurallyValid) {
   EXPECT_NE(json.find("\"demo_total\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"demo_hist\""), std::string::npos);
   EXPECT_NE(json.find("{\"le\": 1, \"count\": 4}"), std::string::npos);
+}
+
+TEST(Exposition, JsonHistogramTerminatesWithInfBucket) {
+  obs::MetricsSnapshot snap;
+  obs::MetricsSnapshot::HistogramSample h;
+  h.name = "demo_hist";
+  h.buckets[0] = 1;
+  h.buckets[3] = 2;
+  h.count = 3;
+  h.sum = 10;
+  snap.histograms.push_back(h);
+
+  std::ostringstream oss;
+  report::write_metrics_json(oss, snap);
+  const std::string json = oss.str();
+  EXPECT_TRUE(json_brackets_balance(json)) << json;
+  // The bucket list mirrors the Prometheus exposition: it is terminated by
+  // an explicit +Inf bucket carrying the cumulative sample count, so a
+  // consumer can recover the total without knowing the bucket layout.
+  const std::string inf_bucket = "{\"le\": \"+Inf\", \"count\": 3}";
+  const auto pos = json.find(inf_bucket);
+  ASSERT_NE(pos, std::string::npos) << json;
+  EXPECT_EQ(json.find("{\"le\":", pos + 1), std::string::npos)
+      << "+Inf must be the last bucket";
+}
+
+TEST(Exposition, PrometheusAndJsonAgreeOnRecordedHistogram) {
+  // Round-trip: record through the real sharded histogram, then render both
+  // exposition formats and check they describe the same distribution.
+  obs::Histogram hist;
+  hist.record(0);
+  hist.record(6);
+  hist.record(6);
+  hist.record(1u << 20);
+
+  obs::MetricsSnapshot snap;
+  obs::MetricsSnapshot::HistogramSample h;
+  h.name = "roundtrip_ns";
+  h.buckets = hist.buckets();
+  h.count = hist.count();
+  h.sum = hist.sum();
+  snap.histograms.push_back(h);
+
+  std::ostringstream prom_os;
+  report::write_metrics_prometheus(prom_os, snap);
+  const std::string prom = prom_os.str();
+  std::ostringstream json_os;
+  report::write_metrics_json(json_os, snap);
+  const std::string json = json_os.str();
+
+  // Both expositions carry the same cumulative +Inf count and total sum.
+  EXPECT_NE(prom.find("roundtrip_ns_bucket{le=\"+Inf\"} 4"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("roundtrip_ns_sum " + std::to_string(hist.sum())),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("roundtrip_ns_count 4"), std::string::npos) << prom;
+  EXPECT_NE(json.find("{\"le\": \"+Inf\", \"count\": 4}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"count\": 4, \"sum\": " + std::to_string(hist.sum())),
+            std::string::npos)
+      << json;
 }
 
 // -------------------------------------------------------- CLI and session --
@@ -454,6 +531,43 @@ TEST(ObsCli, SessionFlushWritesAllConfiguredFiles) {
   std::filesystem::remove(metrics_json_path);
   std::filesystem::remove(trace_path);
   std::filesystem::remove(episode_path);
+}
+
+TEST(ObsCli, SessionFlushSurfacesDroppedTraceEvents) {
+  const std::filesystem::path dir = ::testing::TempDir();
+  const std::string metrics_path = (dir / "obs_test_dropped.prom").string();
+  const std::string trace_path = (dir / "obs_test_dropped_trace.json").string();
+
+  obs::Tracer::global().clear_for_testing();
+  {
+    obs::Options opts;
+    opts.metrics_out = metrics_path;
+    opts.trace_out = trace_path;
+    obs::ObsSession session(opts);
+    // Overflow this thread's ring (1 << 16 events) by exactly five events so
+    // the wrap-around is visible and countable.
+    for (int i = 0; i < (1 << 16) + 5; ++i) {
+      obs::Tracer::global().counter("obs_test_overflow", i);
+    }
+    EXPECT_EQ(obs::Tracer::global().dropped_events(), 5u);
+    // Repeated flushes must account only the delta, not re-add the total.
+    session.flush();
+    session.flush();
+  }  // destructor flushes a third time
+
+  std::ifstream metrics(metrics_path);
+  ASSERT_TRUE(metrics.good());
+  std::stringstream text;
+  text << metrics.rdbuf();
+  EXPECT_NE(text.str().find("autohet_trace_dropped_events 5"),
+            std::string::npos)
+      << text.str();
+
+  obs::set_metrics_enabled(false);
+  obs::Tracer::global().disable();
+  obs::Tracer::global().clear_for_testing();
+  std::filesystem::remove(metrics_path);
+  std::filesystem::remove(trace_path);
 }
 
 // ----------------------------------------------------------- bit identity --
