@@ -76,6 +76,24 @@ MANIFEST = [
     ("BENCH_fault_sweep.json",
      "series.[name=AutoHet (RL)].points.[1].stuck_cells",
      "exact", 0.0, False),
+    # -- serving_sim: multi-tenant serving under swap pressure -------------
+    # The serving report is fully deterministic (fixed-shape plans, seeded
+    # traffic, simulated clock), so counts, percentiles, and energies gate
+    # exactly; only the host wall-clock simulation rate gets slack.
+    ("BENCH_serving.json", "totals.requests", "exact", 0.0, False),
+    ("BENCH_serving.json", "totals.batches", "exact", 0.0, False),
+    ("BENCH_serving.json", "totals.swap_ins", "exact", 0.0, False),
+    ("BENCH_serving.json", "totals.evictions", "exact", 0.0, False),
+    ("BENCH_serving.json", "totals.sustained_qps", "exact", 1e-12, False),
+    ("BENCH_serving.json", "totals.latency_ms.p50", "exact", 1e-12, False),
+    ("BENCH_serving.json", "totals.latency_ms.p99", "exact", 1e-12, False),
+    ("BENCH_serving.json", "totals.energy_per_request_nj",
+     "exact", 1e-12, False),
+    ("BENCH_serving.json", "models.[network=LeNet5].latency_ms.p99",
+     "exact", 1e-12, False),
+    ("BENCH_serving.json", "models.[network=AlexNet].latency_ms.p99",
+     "exact", 1e-12, False),
+    ("BENCH_serving_host.json", "sim_requests_per_s", "min", 0.50, True),
 ]
 
 _SELECTOR = re.compile(r"^\[(.+?)=(.+)\]$")

@@ -5,6 +5,8 @@
 //   autohet_cli evaluate --model vgg16 --strategy strategy.txt
 //   autohet_cli replay   --plan-in plan.json --report-json report.json
 //   autohet_cli profile  --plan-in plan.json --profile-out profile.json
+//   autohet_cli serve    --plan-in a.json --plan-in b.json
+//                        --serving-json BENCH_serving.json --trace-out t.json
 //   autohet_cli baselines --model alexnet
 //
 // `search` runs the RL search and writes the winning strategy in the Fig. 6
@@ -15,9 +17,13 @@
 // robustness Monte Carlo without searching or re-mapping; `profile` replays
 // a plan with the attribution profiler on and prints a top-N hotspot table
 // (per-tile/crossbar energy, MVM, and write attribution in profile.json);
-// `baselines` prints the homogeneous sweep.
+// `serve` keeps several saved plans resident on one fabric and replays a
+// seeded synthetic request stream against them in simulated time, printing
+// per-model latency percentiles and writing the deterministic serving
+// report; `baselines` prints the homogeneous sweep.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "autohet/baselines.hpp"
@@ -35,6 +41,8 @@
 #include "report/profile_report.hpp"
 #include "report/serialize.hpp"
 #include "report/table.hpp"
+#include "serve/serialize.hpp"
+#include "serve/simulator.hpp"
 #include "tensor/ops.hpp"
 
 using namespace autohet;
@@ -79,6 +87,14 @@ void print_report(const std::string& name, const reram::NetworkReport& r) {
 std::string model_or(const common::ArgParser& args,
                      const std::string& fallback) {
   return args.option("model").empty() ? fallback : args.option("model");
+}
+
+plan::DeploymentPlan load_plan(const std::string& path) {
+  std::ifstream file(path);
+  AUTOHET_CHECK(file.good(), "cannot open plan file: " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return report::read_plan_json(buffer.str());
 }
 
 int run_search(const common::ArgParser& args) {
@@ -159,11 +175,7 @@ int run_evaluate(const common::ArgParser& args) {
 int run_replay(const common::ArgParser& args) {
   const std::string path = args.option("plan-in");
   AUTOHET_CHECK(!path.empty(), "replay needs --plan-in <plan.json>");
-  std::ifstream file(path);
-  AUTOHET_CHECK(file.good(), "cannot open plan file: " + path);
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-  const plan::DeploymentPlan plan = report::read_plan_json(buffer.str());
+  const plan::DeploymentPlan plan = load_plan(path);
 
   std::cout << "replaying plan for " << plan.network << " ("
             << plan.layers.size() << " layers, "
@@ -223,11 +235,7 @@ int run_replay(const common::ArgParser& args) {
 int run_profile(const common::ArgParser& args, obs::ObsSession& session) {
   const std::string path = args.option("plan-in");
   AUTOHET_CHECK(!path.empty(), "profile needs --plan-in <plan.json>");
-  std::ifstream file(path);
-  AUTOHET_CHECK(file.good(), "cannot open plan file: " + path);
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-  const plan::DeploymentPlan plan = report::read_plan_json(buffer.str());
+  const plan::DeploymentPlan plan = load_plan(path);
 
   // The profiler records regardless of --profile-out: the hotspot table
   // needs the counts even when no JSON sink is configured.
@@ -285,6 +293,136 @@ int run_profile(const common::ArgParser& args, obs::ObsSession& session) {
   return 0;
 }
 
+int run_serve(const common::ArgParser& args) {
+  const std::vector<std::string>& paths = args.option_list("plan-in");
+  AUTOHET_CHECK(!paths.empty(),
+                "serve needs at least one --plan-in <plan.json> "
+                "(repeat the option for each resident model)");
+  std::vector<plan::DeploymentPlan> plans;
+  plans.reserve(paths.size());
+  for (const std::string& path : paths) plans.push_back(load_plan(path));
+
+  serve::FabricConfig fabric_config;
+  fabric_config.tile_capacity = args.option_int("tile-capacity");
+  fabric_config.eviction =
+      serve::eviction_policy_from_name(args.option("eviction"));
+  fabric_config.scope = serve::sharing_scope_from_name(args.option("sharing"));
+  fabric_config.functional = args.flag("serve-functional");
+
+  const std::int64_t threads = args.option_int("serve-threads");
+  std::optional<common::ThreadPool> pool;
+  if (threads != 1) {
+    pool.emplace(threads == 0 ? 0 : static_cast<std::size_t>(threads));
+  }
+  serve::ServingFabric fabric(std::move(plans), fabric_config,
+                              pool ? &*pool : nullptr);
+
+  serve::BatchingConfig batching;
+  batching.max_batch = args.option_int("max-batch");
+  batching.max_wait_ns = args.option_double("max-wait-us") * 1e3;
+
+  serve::TrafficTrace trace;
+  if (const std::string in = args.option("traffic-in"); !in.empty()) {
+    std::ifstream tf(in);
+    AUTOHET_CHECK(tf.good(), "cannot open traffic trace: " + in);
+    std::stringstream buffer;
+    buffer << tf.rdbuf();
+    trace = serve::read_trace_json(buffer.str());
+    AUTOHET_CHECK(trace.num_models == fabric.model_count(),
+                  "traffic trace covers " +
+                      std::to_string(trace.num_models) + " models but " +
+                      std::to_string(fabric.model_count()) +
+                      " plans were loaded");
+  } else {
+    serve::TrafficConfig tc;
+    tc.seed = static_cast<std::uint64_t>(args.option_int("traffic-seed"));
+    tc.profile = serve::rate_profile_from_name(args.option("traffic-profile"));
+    tc.zipf_s = args.option_double("zipf");
+    double qps = args.option_double("qps");
+    if (qps <= 0.0) {
+      // Auto rate: ~70% of the popularity-weighted full-batch service
+      // capacity, i.e. a loaded-but-stable operating point.
+      const std::vector<double> weights =
+          serve::zipf_weights(fabric.model_count(), tc.zipf_s);
+      double weighted_ns_per_request = 0.0;
+      for (std::int64_t m = 0; m < fabric.model_count(); ++m) {
+        const auto schedule =
+            reram::schedule_batch(fabric.model_plan(m), batching.max_batch);
+        weighted_ns_per_request +=
+            weights[static_cast<std::size_t>(m)] * schedule.makespan_ns /
+            static_cast<double>(batching.max_batch);
+      }
+      qps = 0.7 * 1e9 / weighted_ns_per_request;
+    }
+    tc.mean_qps = qps;
+    tc.duration_s =
+        static_cast<double>(args.option_int("requests")) / tc.mean_qps;
+    trace = serve::generate_trace(tc, fabric.model_count());
+  }
+  if (const std::string out = args.option("traffic-out"); !out.empty()) {
+    std::ofstream tf(out);
+    AUTOHET_CHECK(tf.good(), "cannot open traffic file: " + out);
+    serve::write_trace_json(tf, trace);
+    std::cout << "traffic trace written to " << out << "\n\n";
+  }
+
+  const serve::ServingReport rep =
+      serve::simulate(fabric, batching, trace, pool ? &*pool : nullptr);
+  serve::merge_serving_into_trace(rep, obs::Tracer::global());
+
+  std::cout << "served " << rep.total_requests << " requests ("
+            << serve::rate_profile_name(trace.config.profile)
+            << " arrivals, mean "
+            << report::format_fixed(trace.config.mean_qps, 1) << " qps, Zipf "
+            << report::format_fixed(trace.config.zipf_s, 2) << ") across "
+            << fabric.model_count() << " resident models\n\n";
+
+  report::Table table({"Model", "Network", "Requests", "p50 ms", "p95 ms",
+                       "p99 ms", "Swap-ins", "nJ/req"});
+  for (std::size_t m = 0; m < rep.models.size(); ++m) {
+    const serve::ModelServingStats& s = rep.models[m];
+    table.add_row({std::to_string(m), s.network, std::to_string(s.requests),
+                   report::format_fixed(s.latency.p50_ms, 3),
+                   report::format_fixed(s.latency.p95_ms, 3),
+                   report::format_fixed(s.latency.p99_ms, 3),
+                   std::to_string(s.swap_ins),
+                   report::format_sci(s.energy_per_request_nj, 3)});
+  }
+  table.add_row({"all", "-", std::to_string(rep.total_requests),
+                 report::format_fixed(rep.latency.p50_ms, 3),
+                 report::format_fixed(rep.latency.p95_ms, 3),
+                 report::format_fixed(rep.latency.p99_ms, 3),
+                 std::to_string(rep.swap_ins),
+                 report::format_sci(rep.energy_per_request_nj, 3)});
+  table.print(std::cout);
+
+  report::Table totals({"Metric", "Value"});
+  totals.add_row({"sustained qps",
+                  report::format_fixed(rep.sustained_qps, 1)});
+  totals.add_row({"mean batch", report::format_fixed(rep.mean_batch, 2)});
+  totals.add_row({"peak queue depth",
+                  std::to_string(rep.peak_queue_depth)});
+  totals.add_row({"accelerator busy %",
+                  report::format_fixed(rep.accel_busy_fraction * 100.0, 1)});
+  totals.add_row({"swap-ins / evictions",
+                  std::to_string(rep.swap_ins) + " / " +
+                      std::to_string(rep.evictions)});
+  totals.add_row({"inference energy (nJ)",
+                  report::format_sci(rep.inference_energy_nj, 3)});
+  totals.add_row({"programming energy (nJ)",
+                  report::format_sci(rep.programming_energy_nj, 3)});
+  std::cout << '\n';
+  totals.print(std::cout);
+
+  if (const std::string out = args.option("serving-json"); !out.empty()) {
+    std::ofstream sf(out);
+    AUTOHET_CHECK(sf.good(), "cannot open serving report file: " + out);
+    serve::write_serving_json(sf, rep);
+    std::cout << "\nserving report written to " << out << '\n';
+  }
+  return 0;
+}
+
 int run_describe(const common::ArgParser& args) {
   const auto net = nn::network_by_name(model_or(args, "vgg16"));
   nn::describe(net, std::cout);
@@ -335,9 +473,9 @@ int main(int argc, char** argv) {
       "autohet_cli",
       "AutoHet heterogeneous ReRAM accelerator driver: RL search, strategy "
       "evaluation, and homogeneous baselines.");
-  args.add_positional(
-      "command",
-      "search | evaluate | replay | profile | baselines | describe | kernels");
+  args.add_positional("command",
+                      "search | evaluate | replay | profile | serve | "
+                      "baselines | describe | kernels");
   args.add_option("model", "",
                   "lenet5 | alexnet | vgg16 | resnet152 (default: vgg16; "
                   "'evaluate' defaults to the strategy file's network)");
@@ -349,10 +487,11 @@ int main(int argc, char** argv) {
   args.add_option("out", "", "write the learned strategy to this file");
   args.add_option("csv", "", "write per-episode search history CSV");
   args.add_option("strategy", "", "strategy file for 'evaluate'");
-  args.add_option("plan-in", "",
-                  "saved DeploymentPlan JSON for 'replay'/'profile' "
-                  "(mutually exclusive with the search-configuration "
-                  "options)");
+  args.add_multi_option("plan-in",
+                        "saved DeploymentPlan JSON for 'replay'/'profile'/"
+                        "'serve'; repeat for each model 'serve' should keep "
+                        "resident (mutually exclusive with the "
+                        "search-configuration options)");
   args.add_option("batch", "8",
                   "'profile': images in the analyzed batch schedule");
   args.add_option("top", "10",
@@ -380,6 +519,46 @@ int main(int argc, char** argv) {
                   "(default: best supported; equivalent to AUTOHET_KERNEL; "
                   "results are bit-identical across variants)");
   args.add_flag("no-tile-shared", "disable the tile-shared allocation");
+  args.add_option("requests", "2000",
+                  "'serve': target request count of the generated traffic "
+                  "(the trace horizon is requests / qps)");
+  args.add_option("qps", "0",
+                  "'serve': mean arrival rate (0 = auto, ~70% of the "
+                  "popularity-weighted service capacity)");
+  args.add_option("traffic-profile", "constant",
+                  "'serve': arrival-rate profile: constant | bursty | "
+                  "diurnal");
+  args.add_option("traffic-seed", "42", "'serve': traffic generator seed");
+  args.add_option("zipf", "1",
+                  "'serve': Zipf popularity exponent over the resident "
+                  "models (0 = uniform)");
+  args.add_option("max-batch", "8",
+                  "'serve': largest batch the admission policy dispatches");
+  args.add_option("max-wait-us", "200",
+                  "'serve': longest a queued request waits before its "
+                  "model's batch dispatches anyway (microseconds)");
+  args.add_option("tile-capacity", "0",
+                  "'serve': tile budget of the resident set (0 = unbounded; "
+                  "a tight budget forces eviction + re-programming swaps)");
+  args.add_option("eviction", "lru", "'serve': eviction policy: lru | lfu");
+  args.add_option("sharing", "cross-model",
+                  "'serve': residency-footprint tile sharing scope: none | "
+                  "per-model | cross-model");
+  args.add_option("serve-threads", "1",
+                  "'serve': worker threads for the schedule-table precompute "
+                  "(0 = one per hardware thread; the report is "
+                  "byte-identical at any value)");
+  args.add_option("traffic-in", "",
+                  "'serve': replay this saved traffic trace JSON instead of "
+                  "generating one");
+  args.add_option("traffic-out", "",
+                  "'serve': save the generated traffic trace JSON "
+                  "(replayable via --traffic-in)");
+  args.add_option("serving-json", "",
+                  "'serve': write the deterministic serving report JSON");
+  args.add_flag("serve-functional",
+                "'serve': program a real simulated fabric on every swap-in "
+                "(requires sequentially runnable networks)");
   obs::add_cli_options(args);
 
   std::string error;
@@ -411,6 +590,7 @@ int main(int argc, char** argv) {
     if (command == "evaluate") return run_evaluate(args);
     if (command == "replay") return run_replay(args);
     if (command == "profile") return run_profile(args, session);
+    if (command == "serve") return run_serve(args);
     if (command == "baselines") return run_baselines(args);
     if (command == "describe") return run_describe(args);
     if (command == "kernels") return run_kernels(args);

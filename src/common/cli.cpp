@@ -30,6 +30,15 @@ void ArgParser::add_option(const std::string& name,
   options_[name] = std::move(opt);
 }
 
+void ArgParser::add_multi_option(const std::string& name,
+                                 const std::string& help) {
+  AUTOHET_CHECK(!options_.contains(name), "duplicate option: " + name);
+  Option opt;
+  opt.is_multi = true;
+  opt.help = help;
+  options_[name] = std::move(opt);
+}
+
 void ArgParser::add_positional(const std::string& name,
                                const std::string& help) {
   AUTOHET_CHECK(required_positionals_ == positional_names_.size(),
@@ -86,6 +95,7 @@ bool ArgParser::parse(int argc, const char* const* argv, std::string* error) {
         }
         opt.value = argv[++i];
       }
+      if (opt.is_multi && !opt.is_flag) opt.values.push_back(opt.value);
       opt.seen = true;
       continue;
     }
@@ -139,6 +149,14 @@ const std::string& ArgParser::option(const std::string& name) const {
   return it->second.value;
 }
 
+const std::vector<std::string>& ArgParser::option_list(
+    const std::string& name) const {
+  const auto it = options_.find(name);
+  AUTOHET_CHECK(it != options_.end() && it->second.is_multi,
+                "unknown repeatable option: " + name);
+  return it->second.values;
+}
+
 std::int64_t ArgParser::option_int(const std::string& name) const {
   const std::string& text = option(name);
   try {
@@ -189,7 +207,11 @@ std::string ArgParser::help_text() const {
   oss << "\noptions:\n";
   for (const auto& [name, opt] : options_) {
     oss << "  --" << name;
-    if (!opt.is_flag) oss << " <value> (default: " << opt.default_value << ')';
+    if (opt.is_multi) {
+      oss << " <value> (repeatable)";
+    } else if (!opt.is_flag) {
+      oss << " <value> (default: " << opt.default_value << ')';
+    }
     oss << "\n      " << opt.help << '\n';
   }
   return oss.str();

@@ -21,6 +21,10 @@ class ArgParser {
   /// Registers a valued option with a default.
   void add_option(const std::string& name, const std::string& default_value,
                   const std::string& help);
+  /// Registers a repeatable valued option (--plan-in a.json --plan-in
+  /// b.json). option() returns the last occurrence; option_list() all of
+  /// them in order.
+  void add_multi_option(const std::string& name, const std::string& help);
   /// Registers a named positional argument (required, in order).
   void add_positional(const std::string& name, const std::string& help);
   /// Registers an optional positional argument with a default. Optional
@@ -46,6 +50,9 @@ class ArgParser {
                                const std::vector<std::string>& conflicts,
                                std::string* error) const;
   const std::string& option(const std::string& name) const;
+  /// Every occurrence of a repeatable option, in command-line order (empty
+  /// when the option was never supplied).
+  const std::vector<std::string>& option_list(const std::string& name) const;
   std::int64_t option_int(const std::string& name) const;
   double option_double(const std::string& name) const;
   const std::string& positional(const std::string& name) const;
@@ -56,8 +63,10 @@ class ArgParser {
   struct Option {
     std::string default_value;
     std::string value;
+    std::vector<std::string> values;  ///< every occurrence (multi options)
     std::string help;
     bool is_flag = false;
+    bool is_multi = false;
     bool seen = false;
   };
   std::string program_;

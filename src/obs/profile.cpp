@@ -22,6 +22,8 @@ const char* profile_kind_name(ProfileKind kind) noexcept {
       return "schedule_task";
     case ProfileKind::kStageBusyNs:
       return "stage_busy_ns";
+    case ProfileKind::kModelSwap:
+      return "model_swap";
   }
   return "unknown";
 }

@@ -37,9 +37,10 @@ enum class ProfileKind : std::uint8_t {
   kMcTrial = 4,        ///< Monte-Carlo trials completed (layer/unit -1/0)
   kScheduleTask = 5,   ///< batch-schedule tasks issued to stage `layer`
   kStageBusyNs = 6,    ///< rounded busy nanoseconds of pipeline stage `layer`
+  kModelSwap = 7,      ///< serving fabric programmed model `layer` (unit 0)
 };
 
-inline constexpr std::size_t kProfileKindCount = 7;
+inline constexpr std::size_t kProfileKindCount = 8;
 
 /// Stable lower_snake_case name used in JSON output.
 const char* profile_kind_name(ProfileKind kind) noexcept;

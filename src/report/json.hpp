@@ -1,0 +1,48 @@
+#pragma once
+
+/// Minimal deterministic JSON support shared by every layer that persists
+/// artifacts (DeploymentPlan save/replay, traffic traces, serving reports).
+/// The repo deliberately has no external JSON dependency: the writer side is
+/// hand-formatted per document (fixed key order, round-trip doubles via
+/// format_double_json, 64-bit ids as decimal strings) and this header is the
+/// reader side — a recursive-descent parser plus typed accessors that raise
+/// AUTOHET_CHECK errors naming the offending key.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace autohet::report {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string scalar;  ///< raw number token, or decoded string
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  /// Object member lookup; raises on a missing key.
+  const JsonValue& at(const std::string& key) const;
+  bool has(const std::string& key) const;
+};
+
+/// Parses `text` as a single JSON document (trailing content is an error).
+JsonValue parse_json(std::string_view text);
+
+/// Typed accessors. `key` is only used in error messages so callers get
+/// "JSON key 'seed' must be a decimal string" instead of a bare type error.
+double as_double(const JsonValue& v, const std::string& key);
+std::int64_t as_int(const JsonValue& v, const std::string& key);
+std::uint64_t as_u64_string(const JsonValue& v, const std::string& key);
+bool as_bool(const JsonValue& v, const std::string& key);
+std::string as_string(const JsonValue& v, const std::string& key);
+const std::vector<JsonValue>& as_array(const JsonValue& v,
+                                       const std::string& key);
+
+/// Escapes a string for embedding inside a JSON string literal.
+std::string json_escape(const std::string& s);
+
+}  // namespace autohet::report

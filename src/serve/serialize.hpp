@@ -1,0 +1,24 @@
+// Deterministic JSON persistence for the serving layer: traffic traces
+// (save -> replay byte-identical) and ServingReports (`BENCH_serving.json`).
+// Same conventions as report/serialize.hpp — fixed key order, shortest
+// round-trip doubles, 64-bit seeds as decimal strings, no wall-clock or
+// host-dependent fields — so `cmp` over two same-seed runs is a valid test.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "serve/simulator.hpp"
+#include "serve/traffic.hpp"
+
+namespace autohet::serve {
+
+void write_trace_json(std::ostream& os, const TrafficTrace& trace);
+TrafficTrace read_trace_json(const std::string& text);
+
+void write_serving_json(std::ostream& os, const ServingReport& report);
+
+/// write_serving_json into a string (determinism checks, tests).
+std::string serving_json_string(const ServingReport& report);
+
+}  // namespace autohet::serve

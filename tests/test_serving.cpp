@@ -1,0 +1,428 @@
+// Tests for the multi-tenant serving layer (src/serve/): residency under
+// swap pressure (LRU/LFU victim choice, tile budgets, bit-identical
+// re-programming), the discrete-event simulator's batching/latency/energy
+// accounting, determinism of the serving report across runs and thread
+// counts, and the profiler join (swap counts vs recorded events).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "mapping/plan.hpp"
+#include "nn/model.hpp"
+#include "nn/model_zoo.hpp"
+#include "obs/profile.hpp"
+#include "reram/functional.hpp"
+#include "serve/serialize.hpp"
+#include "serve/simulator.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace autohet;
+
+/// LeNet5 compiled under `name` with uniform 72x64 crossbars. Using a
+/// distinct name per instance keeps the multi-model footprint bookkeeping
+/// honest when several copies share one fabric.
+plan::DeploymentPlan lenet_plan(const std::string& name = "lenet5") {
+  const auto net = nn::lenet5();
+  const auto layers = net.mappable_layers();
+  const std::vector<mapping::CrossbarShape> shapes(layers.size(), {72, 64});
+  reram::AcceleratorConfig accel;
+  accel.tile_shared = true;
+  return plan::compile_plan(name, layers, shapes, accel);
+}
+
+std::vector<plan::DeploymentPlan> named_plans(int count) {
+  std::vector<plan::DeploymentPlan> plans;
+  for (int m = 0; m < count; ++m) {
+    plans.push_back(lenet_plan("tenant" + std::to_string(m)));
+  }
+  return plans;
+}
+
+/// A hand-written trace: one request per (model, arrival) pair, in order.
+serve::TrafficTrace manual_trace(
+    std::int64_t num_models,
+    const std::vector<std::pair<std::int64_t, double>>& arrivals) {
+  serve::TrafficTrace trace;
+  trace.num_models = num_models;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    trace.requests.push_back({static_cast<std::int64_t>(i),
+                              arrivals[i].first, arrivals[i].second});
+  }
+  return trace;
+}
+
+serve::TrafficTrace generated_trace(std::int64_t num_models,
+                                    double duration_s = 0.2) {
+  // ~1000 qps keeps LeNet5 comfortably under saturation, so queues drain
+  // and the popularity flips between models actually reach the fabric
+  // (an overloaded head queue would monopolize the accelerator instead).
+  serve::TrafficConfig config;
+  config.seed = 7;
+  config.duration_s = duration_s;
+  config.mean_qps = 1000.0;
+  config.profile = serve::RateProfile::kBursty;
+  return serve::generate_trace(config, num_models);
+}
+
+// -------------------------------------------------------------- residency --
+
+TEST(ServingFabric, ColdLoadCountsAsSwapIn) {
+  serve::FabricConfig config;
+  serve::ServingFabric fabric(named_plans(2), config);
+  EXPECT_FALSE(fabric.resident(0));
+  const serve::AdmitResult first = fabric.admit(0);
+  EXPECT_TRUE(first.swapped_in);
+  EXPECT_TRUE(first.evicted.empty());
+  EXPECT_GT(first.program_latency_ns, 0.0);
+  EXPECT_GT(first.program_energy_nj, 0.0);
+  EXPECT_TRUE(fabric.resident(0));
+  EXPECT_EQ(fabric.swap_in_count(0), 1);
+
+  // Resident hits are free.
+  const serve::AdmitResult again = fabric.admit(0);
+  EXPECT_FALSE(again.swapped_in);
+  EXPECT_EQ(again.program_latency_ns, 0.0);
+  EXPECT_EQ(fabric.swap_in_count(0), 1);
+
+  // Unbounded budget: the second model joins without evicting anyone.
+  const serve::AdmitResult second = fabric.admit(1);
+  EXPECT_TRUE(second.swapped_in);
+  EXPECT_TRUE(second.evicted.empty());
+  EXPECT_EQ(fabric.resident_models(),
+            (std::vector<std::int64_t>{0, 1}));
+}
+
+TEST(ServingFabric, ProgramCostMatchesProgrammingModel) {
+  serve::FabricConfig config;
+  serve::ServingFabric fabric(named_plans(1), config);
+  const reram::ProgrammingReport expected = reram::evaluate_programming(
+      fabric.model_plan(0).allocation, fabric.model_plan(0).accel.device,
+      config.programming, fabric.model_plan(0).accel.faults);
+  const serve::AdmitResult result = fabric.admit(0);
+  EXPECT_EQ(result.program_latency_ns, expected.latency_ns);
+  EXPECT_EQ(result.program_energy_nj, expected.energy_nj);
+}
+
+TEST(ServingFabric, RejectsBudgetSmallerThanOneModel) {
+  serve::FabricConfig config;
+  config.tile_capacity = 1;
+  EXPECT_THROW(serve::ServingFabric(named_plans(1), config),
+               std::invalid_argument);
+}
+
+TEST(ServingFabric, LruEvictsLeastRecentlyUsed) {
+  // Budget exactly two identical models (sharing off => additive
+  // footprints), three tenants competing.
+  serve::FabricConfig config;
+  config.scope = mapping::SharingScope::kNone;
+  serve::ServingFabric probe(named_plans(3), config);
+  config.tile_capacity = 2 * probe.standalone_tiles(0);
+
+  serve::ServingFabric fabric(named_plans(3), config);
+  fabric.admit(0);
+  fabric.admit(1);
+  fabric.admit(0);  // 1 is now the least recently used
+  const serve::AdmitResult result = fabric.admit(2);
+  EXPECT_TRUE(result.swapped_in);
+  EXPECT_EQ(result.evicted, (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(fabric.resident_models(),
+            (std::vector<std::int64_t>{0, 2}));
+  EXPECT_EQ(fabric.eviction_count(1), 1);
+  EXPECT_LE(fabric.resident_tiles(), config.tile_capacity);
+}
+
+TEST(ServingFabric, LfuEvictsLeastFrequentlyUsed) {
+  serve::FabricConfig config;
+  config.scope = mapping::SharingScope::kNone;
+  config.eviction = serve::EvictionPolicy::kLfu;
+  serve::ServingFabric probe(named_plans(3), config);
+  config.tile_capacity = 2 * probe.standalone_tiles(0);
+
+  serve::ServingFabric fabric(named_plans(3), config);
+  fabric.admit(0);
+  fabric.admit(0);
+  fabric.admit(1);  // used once, while 0 was used twice
+  const serve::AdmitResult result = fabric.admit(2);
+  EXPECT_EQ(result.evicted, (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(fabric.resident_models(),
+            (std::vector<std::int64_t>{0, 2}));
+}
+
+TEST(ServingFabric, CrossModelSharingShrinksResidentFootprint) {
+  // The whole point of co-residency on a tile-shared fabric: two models
+  // packed together must not cost more than the sum of their standalone
+  // footprints (and with cross-model sharing they typically cost less).
+  serve::FabricConfig config;
+  serve::ServingFabric fabric(named_plans(2), config);
+  fabric.admit(0);
+  fabric.admit(1);
+  EXPECT_LE(fabric.resident_tiles(),
+            fabric.standalone_tiles(0) + fabric.standalone_tiles(1));
+}
+
+TEST(ServingFabric, ReprogrammedModelMatchesFreshFabricBitForBit) {
+  // Functional mode under a one-model budget: 0 is programmed, evicted by
+  // 1, then re-programmed. Its outputs must equal both its pre-eviction
+  // outputs and a fresh compile_plan fabric, exactly.
+  const auto net = nn::lenet5();
+  const auto layers = net.mappable_layers();
+  const std::vector<mapping::CrossbarShape> shapes(layers.size(), {72, 64});
+  reram::AcceleratorConfig accel;
+  accel.tile_shared = true;
+  std::vector<plan::DeploymentPlan> plans;
+  plans.push_back(plan::compile_plan(net.name, layers, shapes, accel));
+  plans.push_back(plan::compile_plan(net.name, layers, shapes, accel));
+
+  serve::FabricConfig config;
+  config.functional = true;
+  config.scope = mapping::SharingScope::kNone;
+  serve::ServingFabric probe(plans, config);
+  config.tile_capacity = probe.standalone_tiles(0);
+
+  serve::ServingFabric fabric(plans, config);
+  common::Rng img_rng(4);
+  const nn::LayerSpec& input = net.layers.front();
+  const tensor::Tensor image = nn::synthetic_image(
+      img_rng, input.in_channels, input.in_height, input.in_width);
+
+  fabric.admit(0);
+  ASSERT_NE(fabric.resident_fabric(0), nullptr);
+  const tensor::Tensor before = fabric.resident_fabric(0)->forward(image);
+
+  const serve::AdmitResult evicting = fabric.admit(1);
+  EXPECT_EQ(evicting.evicted, (std::vector<std::int64_t>{0}));
+  EXPECT_EQ(fabric.resident_fabric(0), nullptr);
+
+  const serve::AdmitResult back = fabric.admit(0);
+  EXPECT_TRUE(back.swapped_in);
+  ASSERT_NE(fabric.resident_fabric(0), nullptr);
+  const tensor::Tensor after = fabric.resident_fabric(0)->forward(image);
+  EXPECT_EQ(tensor::max_abs_diff(before, after), 0.0f);
+
+  ASSERT_NE(fabric.model_weights(0), nullptr);
+  const reram::SimulatedModel fresh(*fabric.model_weights(0),
+                                    fabric.model_plan(0));
+  EXPECT_EQ(tensor::max_abs_diff(fresh.forward(image), after), 0.0f);
+}
+
+// -------------------------------------------------------------- batching --
+
+TEST(ServingSim, FullBatchesDispatchImmediately) {
+  serve::ServingFabric fabric(named_plans(1), {});
+  serve::BatchingConfig batching;
+  batching.max_batch = 4;
+  batching.max_wait_ns = 1e12;  // never time out: only fullness dispatches
+  const serve::TrafficTrace trace = manual_trace(
+      1, {{0, 0.0}, {0, 0.0}, {0, 0.0}, {0, 0.0},
+          {0, 0.0}, {0, 0.0}, {0, 0.0}, {0, 0.0}});
+  const serve::ServingReport report =
+      serve::simulate(fabric, batching, trace);
+  EXPECT_EQ(report.total_requests, 8);
+  EXPECT_EQ(report.total_batches, 2);
+  EXPECT_DOUBLE_EQ(report.mean_batch, 4.0);
+  EXPECT_EQ(report.models[0].requests, 8);
+  // Depth is sampled per simulated instant: the 8 arrivals and the first
+  // pickup share t=0, so the observed peak is the 4 left waiting.
+  EXPECT_EQ(report.peak_queue_depth, 4);
+}
+
+TEST(ServingSim, MaxWaitFlushesPartialBatches) {
+  serve::ServingFabric fabric(named_plans(1), {});
+  serve::BatchingConfig batching;
+  batching.max_batch = 8;
+  batching.max_wait_ns = 1000.0;
+  // Two requests far apart: each times out alone.
+  const serve::TrafficTrace trace = manual_trace(1, {{0, 0.0}, {0, 1e9}});
+  const serve::ServingReport report =
+      serve::simulate(fabric, batching, trace);
+  EXPECT_EQ(report.total_batches, 2);
+  EXPECT_DOUBLE_EQ(report.mean_batch, 1.0);
+}
+
+TEST(ServingSim, LatencyIncludesQueueingAndProgramming) {
+  // Second model's first batch pays its swap-in programming latency; every
+  // latency is at least the batch-1 compute time.
+  serve::ServingFabric fabric(named_plans(2), {});
+  serve::BatchingConfig batching;
+  batching.max_batch = 1;
+  const serve::TrafficTrace trace = manual_trace(2, {{0, 0.0}, {1, 0.0}});
+  const serve::ServingReport report =
+      serve::simulate(fabric, batching, trace);
+  const double compute_ms = fabric.model_report(0).latency_ns / 1e6;
+  const double program_ms = fabric.program_cost(0).latency_ns / 1e6;
+  EXPECT_GE(report.models[0].latency.p50_ms, compute_ms);
+  // Model 1 waited for model 0's batch and paid its own programming.
+  EXPECT_GE(report.models[1].latency.p50_ms, compute_ms + program_ms);
+  EXPECT_EQ(report.swap_ins, 2);
+}
+
+// ------------------------------------------------- accounting + percentiles --
+
+TEST(ServingSim, PercentilesAreNearestRank) {
+  std::vector<double> sorted;
+  for (int i = 1; i <= 100; ++i) sorted.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(serve::percentile(sorted, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(sorted, 95.0), 95.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(sorted, 99.0), 99.0);
+  EXPECT_DOUBLE_EQ(serve::percentile(sorted, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(serve::percentile({3.5}, 99.0), 3.5);
+  EXPECT_DOUBLE_EQ(serve::percentile({}, 50.0), 0.0);
+
+  const serve::LatencySummary summary =
+      serve::summarize_latencies({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(summary.p50_ms, 2.0);
+  EXPECT_DOUBLE_EQ(summary.max_ms, 4.0);
+  EXPECT_DOUBLE_EQ(summary.mean_ms, 2.5);
+}
+
+TEST(ServingSim, EnergyConservationAndLatencyOrdering) {
+  serve::FabricConfig config;
+  config.scope = mapping::SharingScope::kNone;
+  serve::ServingFabric probe(named_plans(2), config);
+  config.tile_capacity = probe.standalone_tiles(0);  // one resident at a time
+
+  serve::ServingFabric fabric(named_plans(2), config);
+  const serve::ServingReport report =
+      serve::simulate(fabric, {}, generated_trace(2));
+  ASSERT_GT(report.total_requests, 0);
+  EXPECT_GT(report.sustained_qps, 0.0);
+  EXPECT_GT(report.swap_ins, 2);  // the tight budget forces re-programming
+
+  EXPECT_LE(report.latency.p50_ms, report.latency.p95_ms);
+  EXPECT_LE(report.latency.p95_ms, report.latency.p99_ms);
+  EXPECT_LE(report.latency.p99_ms, report.latency.max_ms);
+
+  // Exact conservation: inference is the index-ordered per-model sum, the
+  // total is inference + programming — reproducible from the JSON.
+  double inference = 0.0;
+  std::int64_t requests = 0;
+  for (const serve::ModelServingStats& m : report.models) {
+    EXPECT_EQ(m.inference_energy_nj,
+              static_cast<double>(m.requests) * m.energy_per_request_nj);
+    inference += m.inference_energy_nj;
+    requests += m.requests;
+  }
+  EXPECT_EQ(inference, report.inference_energy_nj);
+  EXPECT_EQ(report.total_energy_nj,
+            report.inference_energy_nj + report.programming_energy_nj);
+  EXPECT_EQ(requests, report.total_requests);
+  EXPECT_GT(report.programming_energy_nj, 0.0);
+}
+
+TEST(ServingSim, QueueTimelineStartsAndDrainsToZero) {
+  serve::ServingFabric fabric(named_plans(2), {});
+  const serve::ServingReport report =
+      serve::simulate(fabric, {}, generated_trace(2, 0.005));
+  ASSERT_FALSE(report.queue_timeline.empty());
+  EXPECT_GT(report.queue_timeline.front().queue_depth, 0);
+  EXPECT_EQ(report.queue_timeline.back().queue_depth, 0);
+  ASSERT_FALSE(report.busy_timeline.empty());
+  for (const serve::ServingReport::BusyInterval& b : report.busy_timeline) {
+    EXPECT_LE(b.start_ns, b.program_until_ns);
+    EXPECT_LT(b.program_until_ns, b.finish_ns);
+  }
+}
+
+// ------------------------------------------------------------ determinism --
+
+TEST(ServingSim, ReportByteIdenticalAcrossRunsAndThreads) {
+  serve::FabricConfig config;
+  config.scope = mapping::SharingScope::kNone;
+  serve::ServingFabric probe(named_plans(2), config);
+  config.tile_capacity = probe.standalone_tiles(0);
+  const serve::TrafficTrace trace = generated_trace(2);
+
+  const std::string serial = serve::serving_json_string(
+      serve::simulate(named_plans(2), config, {}, trace, /*threads=*/1));
+  const std::string rerun = serve::serving_json_string(
+      serve::simulate(named_plans(2), config, {}, trace, /*threads=*/1));
+  const std::string pooled = serve::serving_json_string(
+      serve::simulate(named_plans(2), config, {}, trace, /*threads=*/0));
+  EXPECT_EQ(serial, rerun);
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(ServingSim, RejectsTraceWithWrongModelCount) {
+  serve::ServingFabric fabric(named_plans(2), {});
+  const serve::TrafficTrace trace = manual_trace(3, {{2, 0.0}});
+  EXPECT_THROW(serve::simulate(fabric, {}, trace), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- profiler --
+
+#if !defined(AUTOHET_OBS_DISABLED)
+
+/// RAII: enabled + empty profiler for the test body, disabled after.
+class ScopedProfiler {
+ public:
+  ScopedProfiler() {
+    obs::Profiler::global().reset();
+    obs::Profiler::global().enable();
+  }
+  ~ScopedProfiler() {
+    obs::Profiler::global().disable();
+    obs::Profiler::global().reset();
+  }
+};
+
+TEST(ServingSim, SwapCountsMatchProfilerRecords) {
+  // Functional fabric under a one-model budget: every swap-in emits one
+  // kModelSwap record and re-programs the model's crossbars, so the
+  // profiler totals must reproduce the report's swap counters exactly.
+  const auto net = nn::lenet5();
+  const auto layers = net.mappable_layers();
+  const std::vector<mapping::CrossbarShape> shapes(layers.size(), {72, 64});
+  reram::AcceleratorConfig accel;
+  accel.tile_shared = true;
+  std::vector<plan::DeploymentPlan> plans;
+  plans.push_back(plan::compile_plan(net.name, layers, shapes, accel));
+  plans.push_back(plan::compile_plan(net.name, layers, shapes, accel));
+
+  serve::FabricConfig config;
+  config.functional = true;
+  config.scope = mapping::SharingScope::kNone;
+  serve::ServingFabric probe(plans, config);
+  config.tile_capacity = probe.standalone_tiles(0);
+
+  // Writes one full programming pass issues for this plan.
+  std::uint64_t writes_per_program = 0;
+  {
+    ScopedProfiler profiler;
+    common::Rng weight_rng(3);
+    const nn::Model model(net, weight_rng);
+    const reram::SimulatedModel fresh(model, plans[0]);
+    writes_per_program = obs::Profiler::global().snapshot().total(
+        obs::ProfileKind::kProgramWrite);
+  }
+  ASSERT_GT(writes_per_program, 0u);
+
+  ScopedProfiler profiler;
+  serve::ServingFabric fabric(plans, config);
+  serve::BatchingConfig batching;
+  batching.max_batch = 1;
+  // Strict 0/1 alternation, spaced far beyond any programming + compute
+  // time so each batch drains before the next arrival: every batch misses.
+  const serve::TrafficTrace trace = manual_trace(
+      2, {{0, 0.0}, {1, 1e9}, {0, 2e9}, {1, 3e9}, {0, 4e9}, {1, 5e9}});
+  const serve::ServingReport report =
+      serve::simulate(fabric, batching, trace);
+  EXPECT_EQ(report.swap_ins, 6);
+  EXPECT_EQ(report.evictions, 5);
+
+  const obs::ProfileSnapshot snapshot = obs::Profiler::global().snapshot();
+  EXPECT_EQ(snapshot.total(obs::ProfileKind::kModelSwap),
+            static_cast<std::uint64_t>(report.swap_ins));
+  EXPECT_EQ(snapshot.total(obs::ProfileKind::kProgramWrite),
+            static_cast<std::uint64_t>(report.swap_ins) *
+                writes_per_program);
+}
+
+#endif  // !defined(AUTOHET_OBS_DISABLED)
+
+}  // namespace

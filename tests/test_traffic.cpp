@@ -1,0 +1,247 @@
+// Tests for the seeded synthetic traffic generator (src/serve/traffic.*)
+// and its JSON persistence: seeded determinism, Poisson inter-arrival
+// statistics, rate-profile mean preservation, Zipf popularity ranking, and
+// save -> replay byte-identity of the trace JSON.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "serve/serialize.hpp"
+#include "serve/traffic.hpp"
+
+namespace {
+
+using namespace autohet;
+
+serve::TrafficConfig base_config() {
+  serve::TrafficConfig config;
+  config.seed = 42;
+  config.duration_s = 2.0;
+  config.mean_qps = 5000.0;
+  return config;
+}
+
+std::vector<std::int64_t> model_counts(const serve::TrafficTrace& trace) {
+  std::vector<std::int64_t> counts(
+      static_cast<std::size_t>(trace.num_models), 0);
+  for (const serve::Request& r : trace.requests) {
+    ++counts[static_cast<std::size_t>(r.model)];
+  }
+  return counts;
+}
+
+// ------------------------------------------------------------ generation --
+
+TEST(Traffic, SameSeedSameTrace) {
+  const serve::TrafficConfig config = base_config();
+  const serve::TrafficTrace a = serve::generate_trace(config, 3);
+  const serve::TrafficTrace b = serve::generate_trace(config, 3);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].id, b.requests[i].id);
+    EXPECT_EQ(a.requests[i].model, b.requests[i].model);
+    EXPECT_EQ(a.requests[i].arrival_ns, b.requests[i].arrival_ns);
+  }
+}
+
+TEST(Traffic, DifferentSeedDifferentTrace) {
+  serve::TrafficConfig config = base_config();
+  const serve::TrafficTrace a = serve::generate_trace(config, 3);
+  config.seed = 43;
+  const serve::TrafficTrace b = serve::generate_trace(config, 3);
+  bool differs = a.requests.size() != b.requests.size();
+  for (std::size_t i = 0; !differs && i < a.requests.size(); ++i) {
+    differs = a.requests[i].arrival_ns != b.requests[i].arrival_ns ||
+              a.requests[i].model != b.requests[i].model;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Traffic, ArrivalsSortedInHorizonWithSequentialIds) {
+  const serve::TrafficTrace trace = serve::generate_trace(base_config(), 4);
+  const double horizon_ns = base_config().duration_s * 1e9;
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const serve::Request& r = trace.requests[i];
+    EXPECT_EQ(r.id, static_cast<std::int64_t>(i));
+    EXPECT_GE(r.arrival_ns, 0.0);
+    EXPECT_LT(r.arrival_ns, horizon_ns);
+    EXPECT_GE(r.model, 0);
+    EXPECT_LT(r.model, 4);
+    if (i > 0) {
+      EXPECT_GE(r.arrival_ns, trace.requests[i - 1].arrival_ns);
+    }
+  }
+}
+
+TEST(Traffic, PoissonInterArrivalMeanMatchesRate) {
+  // Constant profile: inter-arrival times are Exp(mean_qps); with ~10k
+  // arrivals the sample mean lands within a few percent of 1/rate.
+  const serve::TrafficConfig config = base_config();
+  const serve::TrafficTrace trace = serve::generate_trace(config, 1);
+  ASSERT_GT(trace.requests.size(), 1000u);
+  const double span_ns = trace.requests.back().arrival_ns -
+                         trace.requests.front().arrival_ns;
+  const double mean_gap_ns =
+      span_ns / static_cast<double>(trace.requests.size() - 1);
+  const double expected_ns = 1e9 / config.mean_qps;
+  EXPECT_NEAR(mean_gap_ns, expected_ns, 0.05 * expected_ns);
+}
+
+TEST(Traffic, RequestCountTracksMeanRateForEveryProfile) {
+  // All three profiles preserve the configured mean, so the total count
+  // stays near qps * duration regardless of the shape.
+  for (const serve::RateProfile profile :
+       {serve::RateProfile::kConstant, serve::RateProfile::kBursty,
+        serve::RateProfile::kDiurnal}) {
+    serve::TrafficConfig config = base_config();
+    config.profile = profile;
+    const serve::TrafficTrace trace = serve::generate_trace(config, 2);
+    const double expected = config.mean_qps * config.duration_s;
+    EXPECT_NEAR(static_cast<double>(trace.requests.size()), expected,
+                0.1 * expected)
+        << serve::rate_profile_name(profile);
+  }
+}
+
+TEST(Traffic, RateProfilesPreserveMeanAndRespectPeak) {
+  for (const serve::RateProfile profile :
+       {serve::RateProfile::kConstant, serve::RateProfile::kBursty,
+        serve::RateProfile::kDiurnal}) {
+    serve::TrafficConfig config = base_config();
+    config.profile = profile;
+    const double peak = serve::peak_rate(config);
+    const int steps = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < steps; ++i) {
+      const double t =
+          (static_cast<double>(i) + 0.5) * config.duration_s / steps;
+      const double rate = serve::rate_at(config, t);
+      EXPECT_GE(rate, 0.0);
+      EXPECT_LE(rate, peak + 1e-9);
+      sum += rate;
+    }
+    EXPECT_NEAR(sum / steps, config.mean_qps, 0.01 * config.mean_qps)
+        << serve::rate_profile_name(profile);
+  }
+}
+
+TEST(Traffic, BurstyRateIsOnOffSquareWave) {
+  serve::TrafficConfig config = base_config();
+  config.profile = serve::RateProfile::kBursty;
+  const double on = config.mean_qps * config.burst_factor;
+  EXPECT_DOUBLE_EQ(serve::rate_at(config, 0.01), on);  // in the burst
+  const double off_rate = serve::rate_at(config, 0.05);
+  EXPECT_LT(off_rate, config.mean_qps);  // compensating trough
+  EXPECT_DOUBLE_EQ(serve::peak_rate(config), on);
+}
+
+// ------------------------------------------------------------ popularity --
+
+TEST(Traffic, ZipfWeightsNormalizedAndDecreasing) {
+  const std::vector<double> w = serve::zipf_weights(5, 1.0);
+  ASSERT_EQ(w.size(), 5u);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    sum += w[i];
+    if (i > 0) {
+      EXPECT_LT(w[i], w[i - 1]);
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // s = 0 degenerates to uniform.
+  for (const double u : serve::zipf_weights(4, 0.0)) {
+    EXPECT_NEAR(u, 0.25, 1e-12);
+  }
+}
+
+TEST(Traffic, ZipfPopularityRankingHolds) {
+  serve::TrafficConfig config = base_config();
+  config.zipf_s = 1.0;
+  const serve::TrafficTrace trace = serve::generate_trace(config, 4);
+  const std::vector<std::int64_t> counts = model_counts(trace);
+  // Counts must fall with rank, and each share must land near its Zipf
+  // weight (10k samples => a few percent of the total).
+  for (std::size_t m = 1; m < counts.size(); ++m) {
+    EXPECT_LT(counts[m], counts[m - 1]) << "rank " << m;
+  }
+  const std::vector<double> w = serve::zipf_weights(4, config.zipf_s);
+  const auto total = static_cast<double>(trace.requests.size());
+  for (std::size_t m = 0; m < counts.size(); ++m) {
+    EXPECT_NEAR(static_cast<double>(counts[m]) / total, w[m], 0.03)
+        << "rank " << m;
+  }
+}
+
+// ------------------------------------------------------------ validation --
+
+TEST(Traffic, ValidateRejectsBadConfigs) {
+  serve::TrafficConfig config = base_config();
+  config.mean_qps = 0.0;
+  EXPECT_THROW(serve::generate_trace(config, 1), std::invalid_argument);
+
+  config = base_config();
+  config.duration_s = -1.0;
+  EXPECT_THROW(serve::generate_trace(config, 1), std::invalid_argument);
+
+  config = base_config();
+  config.profile = serve::RateProfile::kBursty;
+  config.burst_factor = 10.0;
+  config.burst_fraction = 0.5;  // factor * fraction > 1: mean not preservable
+  EXPECT_THROW(serve::generate_trace(config, 1), std::invalid_argument);
+
+  config = base_config();
+  config.profile = serve::RateProfile::kDiurnal;
+  config.diurnal_depth = 1.5;  // rate would go negative
+  EXPECT_THROW(serve::generate_trace(config, 1), std::invalid_argument);
+
+  EXPECT_THROW(serve::generate_trace(base_config(), 0),
+               std::invalid_argument);
+}
+
+TEST(Traffic, ProfileNamesRoundTrip) {
+  for (const serve::RateProfile profile :
+       {serve::RateProfile::kConstant, serve::RateProfile::kBursty,
+        serve::RateProfile::kDiurnal}) {
+    EXPECT_EQ(serve::rate_profile_from_name(serve::rate_profile_name(profile)),
+              profile);
+  }
+  EXPECT_THROW(serve::rate_profile_from_name("hourly"),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- persistence --
+
+TEST(Traffic, TraceJsonSaveReplayByteIdentical) {
+  serve::TrafficConfig config = base_config();
+  config.profile = serve::RateProfile::kDiurnal;
+  config.zipf_s = 0.8;
+  const serve::TrafficTrace trace = serve::generate_trace(config, 3);
+
+  std::ostringstream first;
+  serve::write_trace_json(first, trace);
+  const serve::TrafficTrace replayed = serve::read_trace_json(first.str());
+  std::ostringstream second;
+  serve::write_trace_json(second, replayed);
+  EXPECT_EQ(first.str(), second.str());
+
+  ASSERT_EQ(replayed.requests.size(), trace.requests.size());
+  EXPECT_EQ(replayed.num_models, trace.num_models);
+  EXPECT_EQ(replayed.config.seed, trace.config.seed);
+  EXPECT_EQ(replayed.config.profile, trace.config.profile);
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    EXPECT_EQ(replayed.requests[i].id, trace.requests[i].id);
+    EXPECT_EQ(replayed.requests[i].model, trace.requests[i].model);
+    EXPECT_EQ(replayed.requests[i].arrival_ns,
+              trace.requests[i].arrival_ns);
+  }
+}
+
+TEST(Traffic, TraceJsonRejectsGarbage) {
+  EXPECT_THROW(serve::read_trace_json("not json"), std::invalid_argument);
+  EXPECT_THROW(serve::read_trace_json("{\"format\": \"autohet-plan\"}"),
+               std::invalid_argument);
+}
+
+}  // namespace
