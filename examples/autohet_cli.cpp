@@ -7,6 +7,8 @@
 //   autohet_cli profile  --plan-in plan.json --profile-out profile.json
 //   autohet_cli serve    --plan-in a.json --plan-in b.json
 //                        --serving-json BENCH_serving.json --trace-out t.json
+//   autohet_cli graph    --network resnet152 --dot-out resnet152.dot
+//                        --plan-out plan.json --check-skeleton
 //   autohet_cli baselines --model alexnet
 //
 // `search` runs the RL search and writes the winning strategy in the Fig. 6
@@ -20,7 +22,11 @@
 // `serve` keeps several saved plans resident on one fabric and replays a
 // seeded synthetic request stream against them in simulated time, printing
 // per-model latency percentiles and writing the deterministic serving
-// report; `baselines` prints the homogeneous sweep.
+// report; `graph` builds a DAG computation graph from the model zoo, prints
+// its node/edge/shape summary, optionally emits deterministic Graphviz and
+// a compiled v2 plan, and can cross-check the graph evaluation against the
+// legacy linear path over its conv/FC skeleton; `baselines` prints the
+// homogeneous sweep.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -194,6 +200,32 @@ int run_replay(const common::ArgParser& args) {
   // random initialization the functional examples use.
   const auto samples = args.option_int("functional-samples");
   const auto trials = args.option_int("mc-trials");
+  if (plan.has_graph() && samples > 0) {
+    // DAG plans carry their graph; functional replay executes it on the
+    // fabric (residual adds in exact integer arithmetic).
+    common::Rng weight_rng(3);
+    const nn::Model model(plan.graph.skeleton(), weight_rng);
+    const reram::SimulatedModel fabric(model, plan);
+    const nn::TensorShape& in = plan.graph.nodes().front().shape;
+    common::Rng img_rng(4);
+    int agree = 0;
+    for (std::int64_t s = 0; s < samples; ++s) {
+      const auto img =
+          nn::synthetic_image(img_rng, in.channels, in.height, in.width);
+      if (tensor::argmax(model.forward_graph(plan.graph, img)) ==
+          tensor::argmax(fabric.forward_graph(plan.graph, img))) {
+        ++agree;
+      }
+    }
+    std::cout << "functional graph inference: " << agree << '/' << samples
+              << " argmax agreement with float reference\n";
+  }
+  if (plan.has_graph()) {
+    AUTOHET_CHECK(trials == 0,
+                  "robustness MC replays the linear path; it is not "
+                  "available for DAG (v2) plans yet");
+    return 0;
+  }
   if (samples > 0 || trials > 0) {
     const auto net = nn::network_by_name(plan.network);
     AUTOHET_CHECK(net.sequential_runnable,
@@ -251,7 +283,23 @@ int run_profile(const common::ArgParser& args, obs::ObsSession& session) {
   // describe the same deployment.
   const auto samples = args.option_int("functional-samples");
   const auto trials = args.option_int("mc-trials");
-  if (samples > 0 || trials > 0) {
+  if (plan.has_graph() && samples > 0) {
+    common::Rng weight_rng(3);
+    const nn::Model model(plan.graph.skeleton(), weight_rng);
+    const reram::SimulatedModel fabric(model, plan);
+    const nn::TensorShape& in = plan.graph.nodes().front().shape;
+    common::Rng img_rng(4);
+    for (std::int64_t s = 0; s < samples; ++s) {
+      const auto img =
+          nn::synthetic_image(img_rng, in.channels, in.height, in.width);
+      (void)fabric.forward_graph(plan.graph, img);
+    }
+  }
+  if (plan.has_graph()) {
+    AUTOHET_CHECK(trials == 0,
+                  "robustness MC replays the linear path; it is not "
+                  "available for DAG (v2) plans yet");
+  } else if (samples > 0 || trials > 0) {
     const auto net = nn::network_by_name(plan.network);
     AUTOHET_CHECK(net.sequential_runnable,
                   plan.network + " is not sequentially runnable");
@@ -423,6 +471,130 @@ int run_serve(const common::ArgParser& args) {
   return 0;
 }
 
+// The "layers": [...] section of a serialized NetworkReport — the mappable
+// per-layer reports, rendered field-for-field. Comparing these strings
+// between a graph evaluation and the legacy linear path over the same
+// conv/FC skeleton proves the tentpole bit-identity contract end to end.
+std::string report_layers_section(const reram::NetworkReport& r) {
+  std::ostringstream os;
+  report::write_network_report_json(os, r);
+  const std::string s = os.str();
+  const std::size_t start = s.find("\"layers\": [");
+  const std::size_t end = s.find("\n  ],");
+  AUTOHET_CHECK(start != std::string::npos && end != std::string::npos &&
+                    end > start,
+                "malformed network report serialization");
+  return s.substr(start, end - start);
+}
+
+int run_graph(const common::ArgParser& args) {
+  const std::string name = args.option("network");
+  AUTOHET_CHECK(!name.empty(), "graph needs --network <name>");
+  const nn::Graph graph = nn::graph_by_name(name);
+
+  std::int64_t residual_adds = 0;
+  std::int64_t concats = 0;
+  std::int64_t activations = 0;
+  std::int64_t gaps = 0;
+  std::int64_t pools = 0;
+  for (const nn::GraphNode& node : graph.nodes()) {
+    switch (node.kind) {
+      case nn::OpKind::kResidualAdd: ++residual_adds; break;
+      case nn::OpKind::kConcat: ++concats; break;
+      case nn::OpKind::kActivation: ++activations; break;
+      case nn::OpKind::kGlobalAvgPool: ++gaps; break;
+      case nn::OpKind::kLayer:
+        if (!nn::is_mappable(node.layer.type)) ++pools;
+        break;
+      case nn::OpKind::kInput: break;
+    }
+  }
+  const std::vector<nn::LayerSpec> mappable = graph.mappable_layers();
+  report::Table table({"Metric", "Value"});
+  table.add_row({"graph", graph.name()});
+  table.add_row({"nodes", std::to_string(graph.node_count())});
+  table.add_row({"edges", std::to_string(graph.edge_count())});
+  table.add_row({"mappable layers (conv/fc)",
+                 std::to_string(mappable.size())});
+  table.add_row({"pooling layers", std::to_string(pools)});
+  table.add_row({"residual adds", std::to_string(residual_adds)});
+  table.add_row({"concats", std::to_string(concats)});
+  table.add_row({"activations", std::to_string(activations)});
+  table.add_row({"global avg pools", std::to_string(gaps)});
+  table.add_row({"chain-shaped", graph.is_chain() ? "yes" : "no"});
+  table.add_row({"input shape", graph.nodes().front().shape.to_string()});
+  table.add_row(
+      {"output shape",
+       graph.nodes()[static_cast<std::size_t>(graph.output_node())]
+           .shape.to_string()});
+  table.print(std::cout);
+
+  if (const std::string out = args.option("dot-out"); !out.empty()) {
+    std::ofstream file(out);
+    AUTOHET_CHECK(file.good(), "cannot open dot file: " + out);
+    nn::write_graph_dot(file, graph);
+    std::cout << "\nGraphviz graph written to " << out << '\n';
+  }
+
+  const std::string plan_out = args.option("plan-out");
+  const std::string skeleton_out = args.option("skeleton-plan-out");
+  const bool check_skeleton = args.flag("check-skeleton");
+  if (plan_out.empty() && skeleton_out.empty() && !check_skeleton) return 0;
+
+  // A fixed uniform shape keeps the compiled plan deterministic without
+  // running a search; plans meant for deployment come from `search`.
+  const std::vector<mapping::CrossbarShape> shapes(
+      mappable.size(), mapping::CrossbarShape{128, 128});
+  reram::AcceleratorConfig accel;
+  accel.tile_shared = !args.flag("no-tile-shared");
+  accel.pes_per_tile = args.option_int("pes-per-tile");
+  const plan::DeploymentPlan graph_plan =
+      plan::compile_plan(graph, shapes, accel);
+  if (!plan_out.empty()) {
+    std::ofstream file(plan_out);
+    AUTOHET_CHECK(file.good(), "cannot open plan file: " + plan_out);
+    report::write_plan_json(file, graph_plan);
+    std::cout << "\nv2 graph plan written to " << plan_out << '\n';
+  }
+  const plan::DeploymentPlan skeleton_plan =
+      plan::compile_plan(graph.name(), mappable, shapes, accel);
+  if (!skeleton_out.empty()) {
+    std::ofstream file(skeleton_out);
+    AUTOHET_CHECK(file.good(), "cannot open plan file: " + skeleton_out);
+    report::write_plan_json(file, skeleton_plan);
+    std::cout << "\nv1 skeleton plan written to " << skeleton_out << '\n';
+  }
+  if (check_skeleton) {
+    const reram::NetworkReport graph_report =
+        plan::evaluate_plan(graph_plan);
+    const reram::NetworkReport skeleton_report =
+        plan::evaluate_plan(skeleton_plan);
+    AUTOHET_CHECK(report_layers_section(graph_report) ==
+                      report_layers_section(skeleton_report),
+                  "graph per-layer reports diverge from the legacy linear "
+                  "path over the same skeleton");
+    AUTOHET_CHECK(graph_report.utilization == skeleton_report.utilization &&
+                      graph_report.occupied_tiles ==
+                          skeleton_report.occupied_tiles &&
+                      graph_report.empty_crossbars ==
+                          skeleton_report.empty_crossbars,
+                  "graph allocation metrics diverge from the legacy linear "
+                  "path");
+    double op_energy_nj = 0.0;
+    double op_latency_ns = 0.0;
+    for (const reram::GraphOpReport& op : graph_report.graph_ops) {
+      op_energy_nj += op.energy.total_nj();
+      op_latency_ns += op.latency_ns;
+    }
+    std::cout << "\nskeleton check passed: " << mappable.size()
+              << " mappable layers field-identical to the linear path; "
+              << graph_report.graph_ops.size() << " graph ops add "
+              << report::format_sci(op_energy_nj, 3) << " nJ / "
+              << report::format_sci(op_latency_ns, 3) << " ns\n";
+  }
+  return 0;
+}
+
 int run_describe(const common::ArgParser& args) {
   const auto net = nn::network_by_name(model_or(args, "vgg16"));
   nn::describe(net, std::cout);
@@ -474,7 +646,7 @@ int main(int argc, char** argv) {
       "AutoHet heterogeneous ReRAM accelerator driver: RL search, strategy "
       "evaluation, and homogeneous baselines.");
   args.add_positional("command",
-                      "search | evaluate | replay | profile | serve | "
+                      "search | evaluate | replay | profile | serve | graph | "
                       "baselines | describe | kernels");
   args.add_option("model", "",
                   "lenet5 | alexnet | vgg16 | resnet152 (default: vgg16; "
@@ -497,7 +669,20 @@ int main(int argc, char** argv) {
   args.add_option("top", "10",
                   "'profile': hotspot-table rows (0 = all layers)");
   args.add_option("plan-out", "",
-                  "'search': also write the compiled DeploymentPlan JSON");
+                  "'search': also write the compiled DeploymentPlan JSON; "
+                  "'graph': write the compiled v2 graph plan");
+  args.add_option("network", "",
+                  "'graph': DAG network to build: resnet152 | cifar-resnet | "
+                  "any zoo chain (wrapped as a chain graph)");
+  args.add_option("dot-out", "",
+                  "'graph': write the deterministic Graphviz rendering");
+  args.add_option("skeleton-plan-out", "",
+                  "'graph': also write a v1 plan over the conv/FC skeleton "
+                  "(same shapes/accel as the v2 plan)");
+  args.add_flag("check-skeleton",
+                "'graph': assert the graph evaluation's per-layer reports "
+                "are field-identical to the legacy linear path over the "
+                "same skeleton");
   args.add_option("report-json", "",
                   "'search'/'replay': write the winner's / replayed "
                   "NetworkReport as JSON (byte-comparable across the two)");
@@ -591,6 +776,7 @@ int main(int argc, char** argv) {
     if (command == "replay") return run_replay(args);
     if (command == "profile") return run_profile(args, session);
     if (command == "serve") return run_serve(args);
+    if (command == "graph") return run_graph(args);
     if (command == "baselines") return run_baselines(args);
     if (command == "describe") return run_describe(args);
     if (command == "kernels") return run_kernels(args);

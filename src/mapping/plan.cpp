@@ -1,5 +1,6 @@
 #include "mapping/plan.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cctype>
 #include <utility>
@@ -66,10 +67,23 @@ std::vector<mapping::CrossbarShape> DeploymentPlan::shapes() const {
 }
 
 void DeploymentPlan::validate() const {
-  AUTOHET_CHECK(version == kPlanVersion,
+  AUTOHET_CHECK(version == kPlanVersion || version == kPlanVersionGraph,
                 "unsupported plan version " + std::to_string(version) +
                     " (this build understands v" +
-                    std::to_string(kPlanVersion) + ")");
+                    std::to_string(kPlanVersion) + " and v" +
+                    std::to_string(kPlanVersionGraph) + ")");
+  if (version == kPlanVersion) {
+    AUTOHET_CHECK(graph.nodes().empty(),
+                  "v1 plans must not carry a computation graph");
+  } else {
+    graph.validate();
+    AUTOHET_CHECK(graph.mappable_layers() == layers,
+                  "plan graph's mappable layers do not match the plan's "
+                  "layer snapshot");
+    AUTOHET_CHECK(network.empty() || same_network_name(network, graph.name()),
+                  "plan graph names '" + graph.name() + "', not '" + network +
+                      "'");
+  }
   accel.validate();
   AUTOHET_CHECK(!layers.empty(), "plan has no layers");
   AUTOHET_CHECK(layers.size() == allocation.layers.size(),
@@ -200,11 +214,127 @@ DeploymentPlan compile_plan(const nn::NetworkSpec& model,
                       accel);
 }
 
+DeploymentPlan compile_plan(const nn::Graph& graph,
+                            const std::vector<mapping::CrossbarShape>& shapes,
+                            const reram::AcceleratorConfig& accel) {
+  graph.validate();
+  DeploymentPlan plan =
+      compile_plan(graph.name(), graph.mappable_layers(), shapes, accel);
+  plan.version = kPlanVersionGraph;
+  plan.graph = graph;
+  return plan;
+}
+
 reram::NetworkReport evaluate_plan(const DeploymentPlan& plan) {
   OBS_SPAN("evaluate_plan");
   OBS_PROFILE_RECORD(obs::ProfileKind::kPlanEval, -1, 0, 1);
   plan.validate();
+  if (plan.has_graph()) {
+    return reram::evaluate_graph_allocation(plan.graph, plan.allocation,
+                                            plan.accel);
+  }
   return reram::evaluate_allocation(plan.layers, plan.allocation, plan.accel);
+}
+
+PlanDataflow plan_dataflow(const DeploymentPlan& plan) {
+  PlanDataflow flow;
+  const std::size_t n = plan.layers.size();
+  flow.deps.resize(n);
+  flow.tail_delay_ns.assign(n, 0.0);
+  if (!plan.has_graph()) {
+    // v1 linear chain: layer k waits on layer k-1 with zero extra delay —
+    // the historical implicit index-ordering, expressed as edges.
+    for (std::size_t k = 1; k < n; ++k) {
+      flow.deps[k] = {{static_cast<std::int64_t>(k) - 1, 0.0}};
+    }
+    return flow;
+  }
+
+  const nn::Graph& graph = plan.graph;
+  const auto& nodes = graph.nodes();
+  const std::size_t node_count = nodes.size();
+
+  // Vector-unit latency of each non-mappable op node; 0 for everything the
+  // v1 path also treats as free (inputs, mappable layers, pooling layers).
+  std::vector<double> op_latency(node_count, 0.0);
+  for (std::size_t id = 0; id < node_count; ++id) {
+    const nn::GraphNode& node = nodes[id];
+    if (node.kind == nn::OpKind::kInput || node.kind == nn::OpKind::kLayer) {
+      continue;
+    }
+    op_latency[id] = reram::evaluate_graph_op(
+                         graph, static_cast<std::int64_t>(id),
+                         plan.accel.device)
+                         .latency_ns;
+  }
+
+  // Mappable ordinal of each node (-1 otherwise), in graph order.
+  std::vector<std::int64_t> ordinal(node_count, -1);
+  {
+    std::int64_t next = 0;
+    for (std::size_t id = 0; id < node_count; ++id) {
+      if (nn::is_mappable(nodes[id])) ordinal[id] = next++;
+    }
+  }
+
+  // Forward pass: frontier[id] maps each nearest mappable ancestor to the
+  // max summed op delay between that ancestor's output and node id's
+  // output. A mappable node resets the frontier to itself.
+  std::vector<std::vector<LayerDep>> frontier(node_count);
+  auto merge_into = [](std::vector<LayerDep>& into, std::int64_t layer,
+                       double delay) {
+    for (LayerDep& d : into) {
+      if (d.layer == layer) {
+        d.delay_ns = std::max(d.delay_ns, delay);
+        return;
+      }
+    }
+    into.push_back({layer, delay});
+  };
+  for (std::size_t id = 0; id < node_count; ++id) {
+    const nn::GraphNode& node = nodes[id];
+    if (nn::is_mappable(node)) {
+      // Dependencies of this layer: the merged input frontiers.
+      std::vector<LayerDep> deps;
+      for (const std::int64_t in : node.inputs) {
+        for (const LayerDep& d : frontier[static_cast<std::size_t>(in)]) {
+          merge_into(deps, d.layer, d.delay_ns);
+        }
+      }
+      std::sort(deps.begin(), deps.end(),
+                [](const LayerDep& a, const LayerDep& b) {
+                  return a.layer < b.layer;
+                });
+      flow.deps[static_cast<std::size_t>(ordinal[id])] = std::move(deps);
+      frontier[id] = {{ordinal[id], 0.0}};
+      continue;
+    }
+    for (const std::int64_t in : node.inputs) {
+      for (const LayerDep& d : frontier[static_cast<std::size_t>(in)]) {
+        merge_into(frontier[id], d.layer, d.delay_ns + op_latency[id]);
+      }
+    }
+  }
+
+  // Backward pass: tail[id] = max op delay from node id's output to the
+  // graph output along mappable-free paths (a downstream mappable layer is
+  // a scheduled stage of its own and cuts the path).
+  std::vector<double> tail(node_count, 0.0);
+  for (std::size_t id = node_count; id-- > 0;) {
+    const nn::GraphNode& node = nodes[id];
+    if (nn::is_mappable(node)) continue;
+    for (const std::int64_t in : node.inputs) {
+      tail[static_cast<std::size_t>(in)] =
+          std::max(tail[static_cast<std::size_t>(in)],
+                   tail[id] + op_latency[id]);
+    }
+  }
+  for (std::size_t id = 0; id < node_count; ++id) {
+    if (ordinal[id] >= 0) {
+      flow.tail_delay_ns[static_cast<std::size_t>(ordinal[id])] = tail[id];
+    }
+  }
+  return flow;
 }
 
 std::vector<LayerCost> plan_layer_costs(const DeploymentPlan& plan) {

@@ -38,6 +38,7 @@
 #include "mapping/crossbar_shape.hpp"
 #include "mapping/layer_mapping.hpp"
 #include "mapping/tile_allocator.hpp"
+#include "nn/graph.hpp"
 #include "nn/layer.hpp"
 #include "reram/hardware_model.hpp"
 
@@ -47,8 +48,14 @@ struct Strategy;  // autohet/strategy.hpp; full include only in plan.cpp
 
 namespace autohet::plan {
 
-/// Plan IR version; bump when the structure (and its JSON schema) changes.
+/// Plan IR version of linear-chain plans (the original schema; still fully
+/// supported, serialized byte-identically to every historical document).
 inline constexpr int kPlanVersion = 1;
+/// Plan IR version of plans compiled from a DAG computation graph
+/// (nn::Graph): same payload as v1 plus the embedded graph, whose
+/// non-mappable ops are accounted by evaluate_plan and whose edges drive
+/// the scheduler/pipeline dataflow.
+inline constexpr int kPlanVersionGraph = 2;
 
 /// Order-independent fingerprint of a fault configuration, stored in the
 /// plan so a replayed artifact can prove it was compiled under the same
@@ -68,6 +75,13 @@ struct DeploymentPlan {
   /// The frozen physical layout: per-layer mapping geometry, tile states
   /// after the (optional) tile-shared pass, and Algorithm 1's combMap.
   mapping::AllocationResult allocation;
+  /// v2 (kPlanVersionGraph) only: the DAG computation graph the plan was
+  /// compiled from. Its mappable layers equal `layers` in order. Empty
+  /// (zero nodes) for v1 linear-chain plans.
+  nn::Graph graph;
+
+  /// True when the plan carries a computation graph (version >= 2).
+  bool has_graph() const noexcept { return version >= kPlanVersionGraph; }
 
   /// The per-layer crossbar shapes (the strategy the plan was compiled
   /// from), recovered from the stored mappings.
@@ -101,6 +115,15 @@ DeploymentPlan compile_plan(const nn::NetworkSpec& model,
                             const core::Strategy& strategy,
                             const reram::AcceleratorConfig& accel);
 
+/// Compiles a DAG computation graph: maps the graph's mappable subset with
+/// the same allocator as the chain path (one shape per mappable layer, in
+/// graph.mappable_layers() order) and embeds the graph in a v2 plan. For a
+/// chain-shaped graph the allocation — and every downstream report — is
+/// bit-identical to compiling graph.linearize() through the v1 path.
+DeploymentPlan compile_plan(const nn::Graph& graph,
+                            const std::vector<mapping::CrossbarShape>& shapes,
+                            const reram::AcceleratorConfig& accel);
+
 /// Hardware report of a compiled plan; bit-identical to `evaluate_network`
 /// on the inputs the plan was compiled from (same per-layer reports, same
 /// tile-id-order area aggregation, same utilization division). Validates
@@ -115,6 +138,31 @@ struct LayerCost {
   std::int64_t tiles = 0;
 };
 std::vector<LayerCost> plan_layer_costs(const DeploymentPlan& plan);
+
+/// One dataflow edge into a mappable layer: the producing mappable layer
+/// and the summed vector-unit latency of the non-mappable ops (residual
+/// adds, concats, activations, pools) on the path between them.
+struct LayerDep {
+  std::int64_t layer = 0;
+  double delay_ns = 0.0;
+};
+
+/// The dataflow the scheduler/pipeline consume instead of implicit
+/// index-ordering. For v1 linear-chain plans this is exactly the chain:
+/// deps[k] = {{k-1, 0.0}} and every tail delay is 0, which keeps the
+/// schedule arithmetic bit-identical to the historical k-1 rule. For v2
+/// graph plans the edges come from the graph, with non-mappable op
+/// latencies (evaluate_graph_op) as inter-stage delays.
+struct PlanDataflow {
+  /// Per mappable layer (graph order): its producing mappable layers, each
+  /// with the non-mappable-op delay on the connecting path (max over
+  /// parallel paths), sorted by producer index.
+  std::vector<std::vector<LayerDep>> deps;
+  /// Per mappable layer: the non-mappable-op delay from its output to the
+  /// graph output along layer-free paths (0 when none exists).
+  std::vector<double> tail_delay_ns;
+};
+PlanDataflow plan_dataflow(const DeploymentPlan& plan);
 
 /// Case-insensitive network-name comparison used by plan/strategy checks
 /// (network_by_name is case-insensitive, so names compare likewise).

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "nn/graph.hpp"
 #include "nn/layer.hpp"
 #include "tensor/tensor.hpp"
 
@@ -35,6 +36,15 @@ class Model {
   /// without the trailing ReLU. Pools are executed directly; CONV/FC use the
   /// stored weights.
   tensor::Tensor forward_layer(std::size_t layer_index,
+                               const tensor::Tensor& input) const;
+
+  /// Float forward pass over a DAG `graph` whose kLayer skeleton equals
+  /// spec().layers (checked) — the weights programmed for layer j serve the
+  /// j-th kLayer node. Residual adds, concats, standalone activations and
+  /// global average pools run in plain float; this is the numerical
+  /// reference for SimulatedModel::forward_graph. For chain graphs it is
+  /// bit-identical to forward().
+  tensor::Tensor forward_graph(const Graph& graph,
                                const tensor::Tensor& input) const;
 
  private:

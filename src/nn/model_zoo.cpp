@@ -122,6 +122,106 @@ NetworkSpec resnet152() {
   return net;
 }
 
+namespace {
+
+/// Appends one residual bottleneck stage to the graph builder. The conv
+/// insertion order (reduce, spatial, expand, then the first block's
+/// projection) matches append_bottleneck_stage exactly, so the graph's
+/// mappable layer order equals the legacy chain's.
+std::int64_t append_graph_bottleneck_stage(GraphBuilder& builder,
+                                           std::int64_t in, std::int64_t& in_c,
+                                           std::int64_t& h, std::int64_t& w,
+                                           std::int64_t width, int blocks,
+                                           std::int64_t first_stride) {
+  const std::int64_t out_c = 4 * width;
+  for (int b = 0; b < blocks; ++b) {
+    const std::int64_t stride = (b == 0) ? first_stride : 1;
+    const std::int64_t reduce =
+        builder.layer(in, make_conv(in_c, width, 1, 1, 0, h, w));
+    const std::int64_t spatial =
+        builder.layer(reduce, make_conv(width, width, 3, stride, 1, h, w));
+    const std::int64_t oh = (h + 2 - 3) / stride + 1;
+    const std::int64_t ow = (w + 2 - 3) / stride + 1;
+    const std::int64_t expand = builder.layer(
+        spatial, make_conv(width, out_c, 1, 1, 0, oh, ow, /*relu=*/false));
+    std::int64_t shortcut = in;
+    if (b == 0) {
+      shortcut = builder.layer(
+          in, make_conv(in_c, out_c, 1, stride, 0, h, w, /*relu=*/false));
+    }
+    in = builder.activation(builder.residual_add(expand, shortcut));
+    h = oh;
+    w = ow;
+    in_c = out_c;
+  }
+  return in;
+}
+
+}  // namespace
+
+Graph resnet152_graph() {
+  GraphBuilder builder("ResNet152");
+  std::int64_t c = 3, h = 224, w = 224;
+  std::int64_t cur = builder.input(c, h, w);
+  cur = builder.layer(cur, make_conv(c, 64, 7, 2, 3, h, w));
+  c = 64;
+  h = 112;
+  w = 112;
+  cur = builder.layer(cur, make_maxpool(c, 2, 2, h, w));
+  h = 56;
+  w = 56;
+  cur = append_graph_bottleneck_stage(builder, cur, c, h, w, /*width=*/64,
+                                      /*blocks=*/3, 1);
+  cur = append_graph_bottleneck_stage(builder, cur, c, h, w, /*width=*/128,
+                                      /*blocks=*/8, 2);
+  cur = append_graph_bottleneck_stage(builder, cur, c, h, w, /*width=*/256,
+                                      /*blocks=*/36, 2);
+  cur = append_graph_bottleneck_stage(builder, cur, c, h, w, /*width=*/512,
+                                      /*blocks=*/3, 2);
+  cur = builder.global_avg_pool(cur);
+  builder.layer(cur, make_fc(2048, 1000, /*relu=*/false));
+  return builder.build();
+}
+
+Graph cifar_resnet_graph() {
+  GraphBuilder builder("CifarResNet");
+  std::int64_t cur = builder.input(3, 32, 32);
+  cur = builder.layer(cur, make_conv(3, 16, 3, 1, 1, 32, 32));
+  // Identity block: two 3x3 convs, shortcut straight from the stem.
+  {
+    const std::int64_t c1 =
+        builder.layer(cur, make_conv(16, 16, 3, 1, 1, 32, 32));
+    const std::int64_t c2 = builder.layer(
+        c1, make_conv(16, 16, 3, 1, 1, 32, 32, /*relu=*/false));
+    cur = builder.activation(builder.residual_add(c2, cur));
+  }
+  // Downsampling block: strided 3x3 pair with a 1x1 projection shortcut.
+  {
+    const std::int64_t c1 =
+        builder.layer(cur, make_conv(16, 32, 3, 2, 1, 32, 32));
+    const std::int64_t c2 = builder.layer(
+        c1, make_conv(32, 32, 3, 1, 1, 16, 16, /*relu=*/false));
+    const std::int64_t proj = builder.layer(
+        cur, make_conv(16, 32, 1, 2, 0, 32, 32, /*relu=*/false));
+    cur = builder.activation(builder.residual_add(c2, proj));
+  }
+  cur = builder.global_avg_pool(cur);
+  builder.layer(cur, make_fc(32, 10, /*relu=*/false));
+  return builder.build();
+}
+
+Graph graph_by_name(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char ch) { return std::tolower(ch); });
+  if (lower == "resnet152" || lower == "resnet") return resnet152_graph();
+  if (lower == "cifar-resnet" || lower == "cifar_resnet" ||
+      lower == "cifarresnet") {
+    return cifar_resnet_graph();
+  }
+  return graph_from_network(network_by_name(lower));
+}
+
 NetworkSpec network_by_name(std::string_view name) {
   std::string lower(name);
   std::transform(lower.begin(), lower.end(), lower.begin(),

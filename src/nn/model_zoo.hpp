@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "nn/graph.hpp"
 #include "nn/layer.hpp"
 
 namespace autohet::nn {
@@ -44,5 +45,27 @@ NetworkSpec network_by_name(std::string_view name);
 
 /// All three paper workloads, in the order the paper reports them.
 std::vector<NetworkSpec> paper_workloads();
+
+/// ResNet152 as a true residual DAG: the same Table 2 bottleneck inventory
+/// as resnet152(), but with the shortcut wiring, residual adds and
+/// post-add ReLUs made explicit, and the final 7x7 average pool expressed
+/// as a global_avg_pool graph op. The mappable layers appear in exactly
+/// the order resnet152().mappable_layers() lists them (per block: reduce,
+/// spatial, expand, then the first block's projection), so plans, reports
+/// and tile allocations line up layer-for-layer with the legacy chain
+/// skeleton; only relu_after differs (expand/projection convs feed the
+/// residual add pre-activation).
+Graph resnet152_graph();
+
+/// A small CIFAR-shaped residual network (stem conv, one identity block,
+/// one strided projection block, global average pool, FC-10). Small enough
+/// to run the functional crossbar datapath end-to-end through the DAG
+/// executor in tests and examples.
+Graph cifar_resnet_graph();
+
+/// Looks a graph up by case-insensitive name. "resnet152" and
+/// "cifar-resnet" return the residual DAGs above; "lenet5", "alexnet" and
+/// "vgg16" return their legacy chains wrapped via graph_from_network.
+Graph graph_by_name(std::string_view name);
 
 }  // namespace autohet::nn

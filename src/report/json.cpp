@@ -12,7 +12,8 @@ const JsonValue& JsonValue::at(const std::string& key) const {
   for (const auto& [k, v] : members) {
     if (k == key) return v;
   }
-  AUTOHET_CHECK(false, "missing JSON key: " + key);
+  AUTOHET_CHECK(false, "missing JSON key: " + key + " (object at line " +
+                           std::to_string(line) + ")");
   return *this;  // unreachable
 }
 
@@ -38,13 +39,14 @@ class JsonParser {
 
  private:
   std::string err(const std::string& what) const {
-    return "JSON parse error at offset " + std::to_string(pos_) + ": " + what;
+    return "JSON parse error at line " + std::to_string(line_) + ": " + what;
   }
 
   void skip_ws() {
     while (pos_ < text_.size() &&
            (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
             text_[pos_] == '\r')) {
+      if (text_[pos_] == '\n') ++line_;
       ++pos_;
     }
   }
@@ -75,10 +77,12 @@ class JsonParser {
     if (c == '"') {
       JsonValue v;
       v.kind = JsonValue::Kind::kString;
+      v.line = line_;
       v.scalar = parse_string();
       return v;
     }
     JsonValue v;
+    v.line = line_;
     if (consume_literal("true")) {
       v.kind = JsonValue::Kind::kBool;
       v.boolean = true;
@@ -96,6 +100,7 @@ class JsonParser {
     expect('{');
     JsonValue v;
     v.kind = JsonValue::Kind::kObject;
+    v.line = line_;
     if (peek() == '}') {
       ++pos_;
       return v;
@@ -118,6 +123,7 @@ class JsonParser {
     expect('[');
     JsonValue v;
     v.kind = JsonValue::Kind::kArray;
+    v.line = line_;
     if (peek() == ']') {
       ++pos_;
       return v;
@@ -139,6 +145,7 @@ class JsonParser {
     while (pos_ < text_.size() && text_[pos_] != '"') {
       char c = text_[pos_++];
       if (c != '\\') {
+        if (c == '\n') ++line_;
         out += c;
         continue;
       }
@@ -185,12 +192,14 @@ class JsonParser {
     AUTOHET_CHECK(pos_ > start, err("expected a JSON value"));
     JsonValue v;
     v.kind = JsonValue::Kind::kNumber;
+    v.line = line_;
     v.scalar = std::string(text_.substr(start, pos_ - start));
     return v;
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int line_ = 1;
 };
 
 }  // namespace
@@ -201,46 +210,54 @@ JsonValue parse_json(std::string_view text) {
 
 double as_double(const JsonValue& v, const std::string& key) {
   AUTOHET_CHECK(v.kind == JsonValue::Kind::kNumber,
-                "JSON key '" + key + "' must be a number");
+                "JSON key '" + key + "' must be a number (line " +
+                    std::to_string(v.line) + ")");
   return std::strtod(v.scalar.c_str(), nullptr);
 }
 
 std::int64_t as_int(const JsonValue& v, const std::string& key) {
   AUTOHET_CHECK(v.kind == JsonValue::Kind::kNumber,
-                "JSON key '" + key + "' must be a number");
+                "JSON key '" + key + "' must be a number (line " +
+                    std::to_string(v.line) + ")");
   char* end = nullptr;
   const std::int64_t value = std::strtoll(v.scalar.c_str(), &end, 10);
   AUTOHET_CHECK(end != nullptr && *end == '\0',
-                "JSON key '" + key + "' must be an integer");
+                "JSON key '" + key + "' must be an integer (line " +
+                    std::to_string(v.line) + ")");
   return value;
 }
 
 std::uint64_t as_u64_string(const JsonValue& v, const std::string& key) {
   AUTOHET_CHECK(v.kind == JsonValue::Kind::kString,
-                "JSON key '" + key + "' must be a decimal string");
+                "JSON key '" + key + "' must be a decimal string (line " +
+                    std::to_string(v.line) + ")");
   char* end = nullptr;
   const std::uint64_t value = std::strtoull(v.scalar.c_str(), &end, 10);
   AUTOHET_CHECK(end != nullptr && *end == '\0' && !v.scalar.empty(),
-                "JSON key '" + key + "' must be a decimal string");
+                "JSON key '" + key + "' must be a decimal string (line " +
+                    std::to_string(v.line) + ")");
   return value;
 }
 
 bool as_bool(const JsonValue& v, const std::string& key) {
   AUTOHET_CHECK(v.kind == JsonValue::Kind::kBool,
-                "JSON key '" + key + "' must be a boolean");
+                "JSON key '" + key + "' must be a boolean (line " +
+                    std::to_string(v.line) + ")");
   return v.boolean;
 }
 
 std::string as_string(const JsonValue& v, const std::string& key) {
   AUTOHET_CHECK(v.kind == JsonValue::Kind::kString,
-                "JSON key '" + key + "' must be a string");
+                "JSON key '" + key + "' must be a string (line " +
+                    std::to_string(v.line) + ")");
   return v.scalar;
 }
 
 const std::vector<JsonValue>& as_array(const JsonValue& v,
                                        const std::string& key) {
   AUTOHET_CHECK(v.kind == JsonValue::Kind::kArray,
-                "JSON key '" + key + "' must be an array");
+                "JSON key '" + key + "' must be an array (line " +
+                    std::to_string(v.line) + ")");
   return v.items;
 }
 

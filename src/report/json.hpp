@@ -19,6 +19,10 @@ namespace autohet::report {
 struct JsonValue {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
   Kind kind = Kind::kNull;
+  /// 1-based line of the value's first token in the parsed document; kept
+  /// so semantic errors (wrong type, bad version, missing key) can point
+  /// back into the file the way parse errors do.
+  int line = 1;
   bool boolean = false;
   std::string scalar;  ///< raw number token, or decoded string
   std::vector<JsonValue> items;

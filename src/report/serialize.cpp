@@ -5,11 +5,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
+#include <stdexcept>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "nn/graph.hpp"
 #include "report/json.hpp"
 #include "report/table.hpp"
 
@@ -211,8 +213,10 @@ nn::LayerType layer_type_from_name(const std::string& name) {
   return nn::LayerType::kConv;
 }
 
+// `with_vector_unit` gates the v2-only vector functional unit keys so v1
+// documents stay byte-identical to every historical plan JSON.
 void write_device_json(std::ostream& os, const reram::DeviceParams& d,
-                       const char* indent) {
+                       const char* indent, bool with_vector_unit) {
   const auto f = [](double v) { return format_double_json(v); };
   os << "{\n"
      << indent << "  \"weight_bits\": " << d.weight_bits << ",\n"
@@ -242,8 +246,15 @@ void write_device_json(std::ostream& os, const reram::DeviceParams& d,
      << ",\n"
      << indent << "  \"adc_latency_ns\": " << f(d.adc_latency_ns) << ",\n"
      << indent << "  \"merge_latency_ns\": " << f(d.merge_latency_ns) << ",\n"
-     << indent << "  \"bus_latency_ns\": " << f(d.bus_latency_ns) << '\n'
-     << indent << '}';
+     << indent << "  \"bus_latency_ns\": " << f(d.bus_latency_ns);
+  if (with_vector_unit) {
+    os << ",\n"
+       << indent << "  \"vector_lanes\": " << d.vector_lanes << ",\n"
+       << indent << "  \"vector_op_energy_pj\": " << f(d.vector_op_energy_pj)
+       << ",\n"
+       << indent << "  \"vector_cycle_ns\": " << f(d.vector_cycle_ns);
+  }
+  os << '\n' << indent << '}';
 }
 
 void write_faults_json(std::ostream& os, const reram::FaultConfig& fc,
@@ -269,6 +280,45 @@ void write_energy_json(std::ostream& os, const reram::EnergyBreakdown& e) {
      << ", \"cell_nj\": " << f(e.cell_nj)
      << ", \"shift_add_nj\": " << f(e.shift_add_nj)
      << ", \"buffer_nj\": " << f(e.buffer_nj) << '}';
+}
+
+void write_layer_spec_json(std::ostream& os, const nn::LayerSpec& l) {
+  os << "{\"type\": \"" << layer_type_name(l.type)
+     << "\", \"in_channels\": " << l.in_channels
+     << ", \"out_channels\": " << l.out_channels << ", \"kernel\": "
+     << l.kernel << ", \"stride\": " << l.stride << ", \"pad\": " << l.pad
+     << ", \"in_height\": " << l.in_height << ", \"in_width\": " << l.in_width
+     << ", \"relu_after\": " << (l.relu_after ? "true" : "false") << '}';
+}
+
+// One node object per line, keyed by kind/name/inputs plus the kind-specific
+// payload (input shape, or the embedded layer spec). Shapes of non-input
+// nodes are re-inferred by the GraphBuilder on read, so the document stays
+// minimal and tamper-evident.
+void write_graph_json(std::ostream& os, const nn::Graph& graph) {
+  os << "{\n    \"name\": \"" << json_escape(graph.name()) << "\",\n"
+     << "    \"nodes\": [";
+  const std::vector<nn::GraphNode>& nodes = graph.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const nn::GraphNode& n = nodes[i];
+    os << (i == 0 ? "\n" : ",\n") << "      {\"kind\": \""
+       << nn::op_kind_name(n.kind) << "\", \"name\": \""
+       << json_escape(n.name) << "\", \"inputs\": [";
+    for (std::size_t o = 0; o < n.inputs.size(); ++o) {
+      os << (o == 0 ? "" : ", ") << n.inputs[o];
+    }
+    os << ']';
+    if (n.kind == nn::OpKind::kInput) {
+      os << ", \"channels\": " << n.shape.channels
+         << ", \"height\": " << n.shape.height
+         << ", \"width\": " << n.shape.width;
+    } else if (n.kind == nn::OpKind::kLayer) {
+      os << ", \"layer\": ";
+      write_layer_spec_json(os, n.layer);
+    }
+    os << '}';
+  }
+  os << "\n    ]\n  }";
 }
 
 #define AUTOHET_READ_D(obj, target, field) \
@@ -300,6 +350,13 @@ reram::DeviceParams read_device(const JsonValue& obj) {
   AUTOHET_READ_D(obj, d, adc_latency_ns);
   AUTOHET_READ_D(obj, d, merge_latency_ns);
   AUTOHET_READ_D(obj, d, bus_latency_ns);
+  // Vector-unit keys only exist in v2 documents; v1 plans predate the
+  // vector functional unit and get the defaults.
+  if (obj.has("vector_lanes")) AUTOHET_READ_I(obj, d, vector_lanes);
+  if (obj.has("vector_op_energy_pj")) {
+    AUTOHET_READ_D(obj, d, vector_op_energy_pj);
+  }
+  if (obj.has("vector_cycle_ns")) AUTOHET_READ_D(obj, d, vector_cycle_ns);
   return d;
 }
 
@@ -344,6 +401,73 @@ mapping::LayerMapping read_mapping(const JsonValue& obj) {
   return m;
 }
 
+// Replays the serialized node list through a GraphBuilder so every wiring
+// and shape rule is re-checked; a tampered document fails with the JSON
+// line of the offending node appended to the builder's message.
+nn::Graph read_graph(const JsonValue& obj) {
+  nn::GraphBuilder builder(as_string(obj.at("name"), "name"));
+  for (const JsonValue& n : as_array(obj.at("nodes"), "nodes")) {
+    const JsonValue& kind_v = n.at("kind");
+    nn::OpKind kind = nn::OpKind::kInput;
+    try {
+      kind = nn::op_kind_from_name(as_string(kind_v, "kind"));
+    } catch (const std::invalid_argument& e) {
+      AUTOHET_CHECK(false, std::string(e.what()) + " (line " +
+                               std::to_string(kind_v.line) + ")");
+    }
+    std::vector<std::int64_t> inputs;
+    for (const JsonValue& v : as_array(n.at("inputs"), "inputs")) {
+      inputs.push_back(as_int(v, "inputs[]"));
+    }
+    const auto arity = [&](std::size_t want) {
+      AUTOHET_CHECK(inputs.size() == want,
+                    std::string(nn::op_kind_name(kind)) + " node takes " +
+                        std::to_string(want) + " input(s), got " +
+                        std::to_string(inputs.size()));
+    };
+    try {
+      switch (kind) {
+        case nn::OpKind::kInput:
+          arity(0);
+          builder.input(as_int(n.at("channels"), "channels"),
+                        as_int(n.at("height"), "height"),
+                        as_int(n.at("width"), "width"));
+          break;
+        case nn::OpKind::kLayer:
+          arity(1);
+          builder.layer(inputs[0], read_layer(n.at("layer")));
+          break;
+        case nn::OpKind::kResidualAdd:
+          arity(2);
+          builder.residual_add(inputs[0], inputs[1]);
+          break;
+        case nn::OpKind::kConcat:
+          builder.concat(inputs);
+          break;
+        case nn::OpKind::kActivation:
+          arity(1);
+          builder.activation(inputs[0]);
+          break;
+        case nn::OpKind::kGlobalAvgPool:
+          arity(1);
+          builder.global_avg_pool(inputs[0]);
+          break;
+      }
+      builder.rename_last(as_string(n.at("name"), "name"));
+    } catch (const std::invalid_argument& e) {
+      AUTOHET_CHECK(false, std::string(e.what()) + " (graph node at line " +
+                               std::to_string(n.line) + ")");
+    }
+  }
+  try {
+    return builder.build();
+  } catch (const std::invalid_argument& e) {
+    AUTOHET_CHECK(false, std::string(e.what()) + " (graph at line " +
+                             std::to_string(obj.line) + ")");
+  }
+  return nn::Graph{};  // unreachable
+}
+
 #undef AUTOHET_READ_D
 #undef AUTOHET_READ_I
 
@@ -360,21 +484,21 @@ void write_plan_json(std::ostream& os, const plan::DeploymentPlan& plan) {
      << "    \"tile_shared\": "
      << (plan.accel.tile_shared ? "true" : "false") << ",\n"
      << "    \"device\": ";
-  write_device_json(os, plan.accel.device, "    ");
+  write_device_json(os, plan.accel.device, "    ", plan.has_graph());
   os << ",\n    \"faults\": ";
   write_faults_json(os, plan.accel.faults, "    ");
   os << "\n  },\n  \"layers\": [";
   for (std::size_t i = 0; i < plan.layers.size(); ++i) {
-    const nn::LayerSpec& l = plan.layers[i];
-    os << (i == 0 ? "\n" : ",\n") << "    {\"type\": \""
-       << layer_type_name(l.type) << "\", \"in_channels\": " << l.in_channels
-       << ", \"out_channels\": " << l.out_channels
-       << ", \"kernel\": " << l.kernel << ", \"stride\": " << l.stride
-       << ", \"pad\": " << l.pad << ", \"in_height\": " << l.in_height
-       << ", \"in_width\": " << l.in_width << ", \"relu_after\": "
-       << (l.relu_after ? "true" : "false") << '}';
+    os << (i == 0 ? "\n" : ",\n") << "    ";
+    write_layer_spec_json(os, plan.layers[i]);
   }
-  os << "\n  ],\n  \"allocation\": {\n"
+  os << "\n  ],";
+  if (plan.has_graph()) {
+    os << "\n  \"graph\": ";
+    write_graph_json(os, plan.graph);
+    os << ',';
+  }
+  os << "\n  \"allocation\": {\n"
      << "    \"xbs_per_tile\": " << plan.allocation.xbs_per_tile << ",\n"
      << "    \"layers\": [";
   for (std::size_t i = 0; i < plan.allocation.layers.size(); ++i) {
@@ -429,7 +553,13 @@ plan::DeploymentPlan read_plan_json(const std::string& text) {
                 "not an autohet-plan document");
 
   plan::DeploymentPlan plan;
-  plan.version = static_cast<int>(as_int(doc.at("version"), "version"));
+  const JsonValue& version_v = doc.at("version");
+  plan.version = static_cast<int>(as_int(version_v, "version"));
+  AUTOHET_CHECK(plan.version == plan::kPlanVersion ||
+                    plan.version == plan::kPlanVersionGraph,
+                "unsupported plan version " + std::to_string(plan.version) +
+                    " (this build understands v1 and v2) (line " +
+                    std::to_string(version_v.line) + ")");
   plan.network = as_string(doc.at("network"), "network");
   plan.fault_fingerprint =
       as_u64_string(doc.at("fault_fingerprint"), "fault_fingerprint");
@@ -442,6 +572,14 @@ plan::DeploymentPlan read_plan_json(const std::string& text) {
 
   for (const JsonValue& l : as_array(doc.at("layers"), "layers")) {
     plan.layers.push_back(read_layer(l));
+  }
+
+  if (plan.version >= plan::kPlanVersionGraph) {
+    plan.graph = read_graph(doc.at("graph"));
+  } else if (doc.has("graph")) {
+    AUTOHET_CHECK(false,
+                  "v1 plan must not carry a graph section (line " +
+                      std::to_string(doc.at("graph").line) + ")");
   }
 
   const JsonValue& alloc = doc.at("allocation");
@@ -497,7 +635,22 @@ void write_network_report_json(std::ostream& os,
     os << ", \"latency_ns\": " << f(lr.latency_ns)
        << ", \"fault_vulnerability\": " << f(lr.fault_vulnerability) << '}';
   }
-  os << "\n  ],\n  \"energy\": ";
+  os << "\n  ],";
+  // Chain-shaped networks have no non-mappable graph ops; omitting the
+  // empty array keeps their reports byte-identical to pre-graph builds.
+  if (!report.graph_ops.empty()) {
+    os << "\n  \"graph_ops\": [";
+    for (std::size_t k = 0; k < report.graph_ops.size(); ++k) {
+      const reram::GraphOpReport& g = report.graph_ops[k];
+      os << (k == 0 ? "\n" : ",\n") << "    {\"node\": " << g.node
+         << ", \"op\": \"" << g.op << "\", \"elements\": " << g.elements
+         << ", \"bytes_moved\": " << g.bytes_moved << ", \"energy\": ";
+      write_energy_json(os, g.energy);
+      os << ", \"latency_ns\": " << f(g.latency_ns) << '}';
+    }
+    os << "\n  ],";
+  }
+  os << "\n  \"energy\": ";
   write_energy_json(os, report.energy);
   os << ",\n  \"area\": {\"crossbar_um2\": " << f(report.area.crossbar_um2)
      << ", \"adc_um2\": " << f(report.area.adc_um2)

@@ -54,6 +54,16 @@ struct DeviceParams {
   double merge_latency_ns = 5.0;      ///< per adder-tree level
   double bus_latency_ns = 10.0;       ///< per inter-tile merge level
 
+  // ---- vector functional unit (NEON-style graph-op accounting) ----
+  // Non-mappable graph ops (residual add, concat, standalone activation,
+  // global average pool) execute on a digital SIMD vector unit beside the
+  // crossbars, the way NEON accounts nonlinear ops on a ReRAM fabric,
+  // instead of being assumed free. Chain-shaped networks contain no such
+  // ops, so these knobs never influence a legacy linear-chain report.
+  int vector_lanes = 32;              ///< elementwise ops per vector cycle
+  double vector_op_energy_pj = 0.08;  ///< per elementwise ALU op
+  double vector_cycle_ns = 1.0;       ///< vector-unit cycle time
+
   /// Physical 1-bit crossbars per logical crossbar (8 by default).
   int bit_planes() const noexcept { return weight_bits / cell_bits; }
   /// Bit-serial input cycles per MVM (8 by default).
@@ -68,6 +78,9 @@ struct DeviceParams {
                   "input_bits must be a positive multiple of dac_bits");
     AUTOHET_CHECK(adc_resolution_bits > 0, "ADC resolution must be positive");
     AUTOHET_CHECK(adc_share >= 1, "adc_share must be >= 1");
+    AUTOHET_CHECK(vector_lanes >= 1 && vector_op_energy_pj >= 0.0 &&
+                      vector_cycle_ns >= 0.0,
+                  "invalid vector functional unit parameters");
   }
 
   bool operator==(const DeviceParams&) const = default;

@@ -626,6 +626,133 @@ SimulatedModel::ForwardTrace SimulatedModel::forward_traced(
   return trace;
 }
 
+namespace {
+
+/// Vector-unit residual add: both operands quantized to a shared symmetric
+/// 8-bit grid, summed in int32 (exact), dequantized once. Deterministic and
+/// order-free — the accelerator's SIMD unit computes the same sums.
+tensor::Tensor residual_add_exact(const tensor::Tensor& a,
+                                  const tensor::Tensor& b) {
+  AUTOHET_CHECK(a.numel() == b.numel(),
+                "residual add operands must have equal element counts");
+  tensor::Tensor out(a.shape());
+  const float absmax = std::max(a.abs_max(), b.abs_max());
+  if (absmax == 0.0f) return out;  // both zero
+  const float scale = absmax / 127.0f;
+  const float inv = 127.0f / absmax;
+  for (std::int64_t j = 0; j < out.numel(); ++j) {
+    const auto qa = static_cast<std::int32_t>(std::lroundf(a[j] * inv));
+    const auto qb = static_cast<std::int32_t>(std::lroundf(b[j] * inv));
+    out[j] = static_cast<float>(qa + qb) * scale;
+  }
+  return out;
+}
+
+}  // namespace
+
+SimulatedModel::ForwardTrace SimulatedModel::forward_graph_traced(
+    const nn::Graph& graph, const tensor::Tensor& input,
+    std::uint64_t noise_stream, common::ThreadPool* pool) const {
+  AUTOHET_CHECK(graph.skeleton().layers == model_->spec().layers,
+                "graph '" + graph.name() +
+                    "' skeleton does not match the model this fabric was "
+                    "programmed from");
+  const std::vector<nn::GraphNode>& nodes = graph.nodes();
+  AUTOHET_CHECK(!nodes.empty(), "cannot run an empty graph");
+
+  // Fan-out buffering: consumer refcounts release each intermediate tensor
+  // after its last read, so memory tracks the live frontier, not the graph.
+  std::vector<std::int64_t> uses(nodes.size(), 0);
+  for (const nn::GraphNode& node : nodes) {
+    for (const std::int64_t in : node.inputs) {
+      ++uses[static_cast<std::size_t>(in)];
+    }
+  }
+  const std::int64_t out_id = graph.output_node();
+  ++uses[static_cast<std::size_t>(out_id)];
+
+  ForwardTrace trace;
+  trace.mappable_outputs.reserve(layers_.size());
+  std::vector<tensor::Tensor> values(nodes.size());
+  std::size_t mappable_idx = 0;
+  std::size_t skeleton_idx = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const nn::GraphNode& node = nodes[i];
+    tensor::Tensor v;
+    switch (node.kind) {
+      case nn::OpKind::kInput:
+        AUTOHET_CHECK(input.numel() == node.shape.numel(),
+                      "input tensor does not match graph input shape " +
+                          node.shape.to_string());
+        v = input;
+        break;
+      case nn::OpKind::kLayer: {
+        const tensor::Tensor& x =
+            values[static_cast<std::size_t>(node.inputs[0])];
+        if (nn::is_mappable(node.layer.type)) {
+          v = run_mappable(layers_[mappable_idx++], x, noise_stream, pool);
+          trace.mappable_outputs.push_back(v);  // pre-activation output
+        } else {
+          v = model_->forward_layer(skeleton_idx, x);
+        }
+        ++skeleton_idx;
+        if (node.layer.relu_after) tensor::relu_inplace(v);
+        break;
+      }
+      case nn::OpKind::kResidualAdd:
+        v = residual_add_exact(
+            values[static_cast<std::size_t>(node.inputs[0])],
+            values[static_cast<std::size_t>(node.inputs[1])]);
+        break;
+      case nn::OpKind::kActivation:
+        v = values[static_cast<std::size_t>(node.inputs[0])];
+        tensor::relu_inplace(v);
+        break;
+      case nn::OpKind::kGlobalAvgPool: {
+        const tensor::Tensor& x =
+            values[static_cast<std::size_t>(node.inputs[0])];
+        const std::int64_t channels = node.shape.channels;
+        const std::int64_t plane = x.numel() / channels;
+        v = tensor::Tensor({channels, 1, 1});
+        for (std::int64_t c = 0; c < channels; ++c) {
+          float sum = 0.0f;
+          for (std::int64_t p = 0; p < plane; ++p) sum += x[c * plane + p];
+          v[c] = sum / static_cast<float>(plane);
+        }
+        break;
+      }
+      case nn::OpKind::kConcat: {
+        v = tensor::Tensor(
+            {node.shape.channels, node.shape.height, node.shape.width});
+        std::int64_t off = 0;
+        for (const std::int64_t in : node.inputs) {
+          const tensor::Tensor& x = values[static_cast<std::size_t>(in)];
+          for (std::int64_t j = 0; j < x.numel(); ++j) v[off + j] = x[j];
+          off += x.numel();
+        }
+        break;
+      }
+    }
+    values[i] = std::move(v);
+    for (const std::int64_t in : node.inputs) {
+      if (--uses[static_cast<std::size_t>(in)] == 0) {
+        values[static_cast<std::size_t>(in)] = tensor::Tensor();
+      }
+    }
+  }
+  AUTOHET_CHECK(mappable_idx == layers_.size(),
+                "graph mappable count does not match the programmed fabric");
+  trace.output = std::move(values[static_cast<std::size_t>(out_id)]);
+  return trace;
+}
+
+tensor::Tensor SimulatedModel::forward_graph(const nn::Graph& graph,
+                                             const tensor::Tensor& input,
+                                             std::uint64_t noise_stream,
+                                             common::ThreadPool* pool) const {
+  return forward_graph_traced(graph, input, noise_stream, pool).output;
+}
+
 std::vector<SimulatedModel::ForwardTrace> SimulatedModel::forward_traced_batch(
     std::span<const tensor::Tensor> inputs, std::uint64_t noise_stream0,
     common::ThreadPool* pool) const {

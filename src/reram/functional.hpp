@@ -279,6 +279,25 @@ class SimulatedModel {
                               std::uint64_t noise_stream = 0,
                               common::ThreadPool* pool = nullptr) const;
 
+  /// DAG forward pass: executes `graph` (whose kLayer skeleton must equal
+  /// the model's spec().layers — checked) on the crossbar fabric. Mappable
+  /// nodes run through their MappedLayer exactly as in forward_traced;
+  /// pooling nodes run on the tile's pooling module; residual adds execute
+  /// on the vector unit in *exact integer arithmetic* (both operands
+  /// quantized to a shared symmetric 8-bit grid, summed in int32, one
+  /// dequantization); concat/activation/global-avg-pool are elementwise or
+  /// exact-copy ops. Intermediate tensors are held only until their last
+  /// consumer reads them (fan-out buffering). For chain graphs the result
+  /// is bit-identical to forward_traced on the same inputs.
+  ForwardTrace forward_graph_traced(const nn::Graph& graph,
+                                    const tensor::Tensor& input,
+                                    std::uint64_t noise_stream = 0,
+                                    common::ThreadPool* pool = nullptr) const;
+  tensor::Tensor forward_graph(const nn::Graph& graph,
+                               const tensor::Tensor& input,
+                               std::uint64_t noise_stream = 0,
+                               common::ThreadPool* pool = nullptr) const;
+
   /// Traced forward over a batch of inputs (sample i uses noise stream
   /// `noise_stream0 + i`). Fully-connected layers on a noise-free fast-path
   /// fabric run all samples through one batched MVM per layer (per-sample

@@ -1,5 +1,6 @@
 #include "reram/hardware_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -119,6 +120,75 @@ NetworkReport evaluate_allocation(const std::vector<nn::LayerSpec>& layers,
   report.empty_crossbars = alloc.empty_crossbars();
 
   report.utilization = alloc.system_utilization();
+  return report;
+}
+
+GraphOpReport evaluate_graph_op(const nn::Graph& graph, std::int64_t node_id,
+                                const DeviceParams& params) {
+  AUTOHET_CHECK(node_id >= 0 && node_id < graph.node_count(),
+                "graph op node id out of range");
+  const nn::GraphNode& node =
+      graph.nodes()[static_cast<std::size_t>(node_id)];
+  AUTOHET_CHECK(node.kind != nn::OpKind::kInput &&
+                    node.kind != nn::OpKind::kLayer,
+                "evaluate_graph_op expects a non-mappable op node");
+
+  std::int64_t reads = 0;
+  for (const std::int64_t in : node.inputs) {
+    reads += graph.nodes()[static_cast<std::size_t>(in)].shape.numel();
+  }
+  const std::int64_t writes = node.shape.numel();
+  // ALU work: one op per output element for adds and activations, one per
+  // accumulated input element for the global average pool; concat is pure
+  // data movement through the tile buffers.
+  std::int64_t alu_ops = 0;
+  switch (node.kind) {
+    case nn::OpKind::kResidualAdd:
+    case nn::OpKind::kActivation:
+      alu_ops = writes;
+      break;
+    case nn::OpKind::kGlobalAvgPool:
+      alu_ops = reads;
+      break;
+    case nn::OpKind::kConcat:
+      alu_ops = 0;
+      break;
+    case nn::OpKind::kInput:
+    case nn::OpKind::kLayer:
+      break;  // unreachable (checked above)
+  }
+
+  GraphOpReport report;
+  report.node = node_id;
+  report.op = nn::op_kind_name(node.kind);
+  report.elements = alu_ops;
+  report.bytes_moved = reads + writes;  // 8-bit activations: 1 byte each
+  report.energy.shift_add_nj = static_cast<double>(alu_ops) *
+                               params.vector_op_energy_pj * kPjToNj;
+  report.energy.buffer_nj = static_cast<double>(report.bytes_moved) *
+                            params.buffer_rw_energy_pj * kPjToNj;
+  const double work = static_cast<double>(std::max(alu_ops, reads));
+  report.latency_ns =
+      std::ceil(work / static_cast<double>(params.vector_lanes)) *
+      params.vector_cycle_ns;
+  return report;
+}
+
+NetworkReport evaluate_graph_allocation(const nn::Graph& graph,
+                                        const mapping::AllocationResult& alloc,
+                                        const AcceleratorConfig& config) {
+  NetworkReport report =
+      evaluate_allocation(graph.mappable_layers(), alloc, config);
+  for (std::int64_t id = 0; id < graph.node_count(); ++id) {
+    const nn::GraphNode& node = graph.nodes()[static_cast<std::size_t>(id)];
+    if (node.kind == nn::OpKind::kInput || node.kind == nn::OpKind::kLayer) {
+      continue;
+    }
+    GraphOpReport op = evaluate_graph_op(graph, id, config.device);
+    report.energy += op.energy;
+    report.latency_ns += op.latency_ns;
+    report.graph_ops.push_back(std::move(op));
+  }
   return report;
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "mapping/tile_allocator.hpp"
+#include "nn/graph.hpp"
 #include "nn/layer.hpp"
 #include "reram/device_params.hpp"
 #include "reram/faults.hpp"
@@ -126,6 +127,29 @@ LayerReport evaluate_layer(const nn::LayerSpec& layer,
 NetworkReport evaluate_allocation(const std::vector<nn::LayerSpec>& layers,
                                   const mapping::AllocationResult& alloc,
                                   const AcceleratorConfig& config);
+
+/// NEON-style accounting of one non-mappable graph op (residual add,
+/// concat, activation, global average pool) on the tile vector unit:
+///   ALU ops    — one per output element (adds/ReLUs) or per input element
+///                (global-avg-pool accumulation); concat moves data only;
+///   traffic    — one byte per 8-bit operand read plus result written,
+///                charged at the tile-buffer energy;
+///   latency    — ceil(max(ALU ops, operand reads) / vector_lanes) vector
+///                cycles.
+/// Energy lands in the shift_add (ALU) and buffer components so RUE and
+/// the energy total see it without new breakdown classes. `node_id` must
+/// name a non-mappable op node (not kInput / kLayer).
+GraphOpReport evaluate_graph_op(const nn::Graph& graph, std::int64_t node_id,
+                                const DeviceParams& params);
+
+/// Evaluates a DAG network over a frozen allocation of its mappable
+/// layers: evaluate_allocation over graph.mappable_layers(), plus one
+/// GraphOpReport per non-mappable op folded into the energy/latency
+/// totals. Chain graphs have no such ops, so their result is bit-identical
+/// to evaluate_allocation on the linearized chain.
+NetworkReport evaluate_graph_allocation(const nn::Graph& graph,
+                                        const mapping::AllocationResult& alloc,
+                                        const AcceleratorConfig& config);
 
 /// Evaluates a whole network: maps each mappable layer with its assigned
 /// shape, runs the tile allocator (tile-based or tile-shared per `config`),

@@ -14,8 +14,12 @@ PipelineReport evaluate_pipeline(const plan::DeploymentPlan& plan,
   AUTOHET_CHECK(replication.empty() || replication.size() == plan.layers.size(),
                 "replication must be empty or one entry per layer");
   const std::vector<plan::LayerCost> costs = plan::plan_layer_costs(plan);
+  // Graph dependency edges; for v1 chains the critical-path recursion
+  // below reduces to the historical left-to-right interval sum exactly.
+  const plan::PlanDataflow flow = plan::plan_dataflow(plan);
   PipelineReport report;
   report.stages.reserve(costs.size());
+  std::vector<double> fill(costs.size(), 0.0);
   for (std::size_t k = 0; k < costs.size(); ++k) {
     const std::int64_t rep = replication.empty() ? 1 : replication[k];
     AUTOHET_CHECK(rep >= 1, "replication factors must be >= 1");
@@ -27,7 +31,15 @@ PipelineReport evaluate_pipeline(const plan::DeploymentPlan& plan,
     stage.extra_tiles = (rep - 1) * costs[k].tiles;
     report.bottleneck_interval_ns =
         std::max(report.bottleneck_interval_ns, stage.interval_ns);
-    report.fill_latency_ns += stage.interval_ns;
+    // First-inference fill latency along the dependency critical path.
+    double ready = 0.0;
+    for (const plan::LayerDep& dep : flow.deps[k]) {
+      ready = std::max(
+          ready, fill[static_cast<std::size_t>(dep.layer)] + dep.delay_ns);
+    }
+    fill[k] = ready + stage.interval_ns;
+    report.fill_latency_ns =
+        std::max(report.fill_latency_ns, fill[k] + flow.tail_delay_ns[k]);
     report.total_extra_tiles += stage.extra_tiles;
     report.stages.push_back(stage);
   }

@@ -28,6 +28,9 @@ ScheduleReport schedule_batch(const plan::DeploymentPlan& plan,
         costs[static_cast<std::size_t>(k)].latency_ns /
         static_cast<double>(rep);
   }
+  // Graph dependency edges (for v1 chains: exactly the historical k-1
+  // rule with zero delay, so the arithmetic below is bit-identical).
+  const plan::PlanDataflow flow = plan::plan_dataflow(plan);
 
   ScheduleReport report;
   report.tasks.resize(static_cast<std::size_t>(batch * n));
@@ -35,10 +38,12 @@ ScheduleReport schedule_batch(const plan::DeploymentPlan& plan,
   for (std::int64_t i = 0; i < batch; ++i) {
     for (std::int64_t k = 0; k < n; ++k) {
       double start = 0.0;
-      if (k > 0) {
-        start = std::max(
-            start,
-            report.task(i, k - 1, n).finish_ns);  // dataflow dependency
+      for (const plan::LayerDep& dep :
+           flow.deps[static_cast<std::size_t>(k)]) {
+        // Dataflow dependency: every producing layer's output, plus the
+        // vector-unit delay of the non-mappable ops on the path.
+        start = std::max(start, report.task(i, dep.layer, n).finish_ns +
+                                    dep.delay_ns);
       }
       if (i > 0) {
         start = std::max(start, report.task(i - 1, k, n).start_ns +
@@ -52,7 +57,9 @@ ScheduleReport schedule_batch(const plan::DeploymentPlan& plan,
       t.finish_ns = start + interval[static_cast<std::size_t>(k)];
       stage_busy[static_cast<std::size_t>(k)] +=
           interval[static_cast<std::size_t>(k)];
-      report.makespan_ns = std::max(report.makespan_ns, t.finish_ns);
+      report.makespan_ns = std::max(
+          report.makespan_ns,
+          t.finish_ns + flow.tail_delay_ns[static_cast<std::size_t>(k)]);
     }
   }
   if (batch > 1) {

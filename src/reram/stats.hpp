@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mapping/crossbar_shape.hpp"
@@ -66,9 +67,26 @@ struct LayerReport {
   double fault_vulnerability = 0.0;
 };
 
+/// One non-mappable graph op (residual add, concat, standalone activation,
+/// global average pool) accounted NEON-style on the tile vector unit.
+/// Only DAG-shaped networks have these: chain graphs produce none, so
+/// legacy linear-chain reports carry an empty list and unchanged totals.
+struct GraphOpReport {
+  std::int64_t node = 0;         ///< node id in the computation graph
+  std::string op;                ///< nn::op_kind_name of the node
+  std::int64_t elements = 0;     ///< elementwise ALU work items
+  std::int64_t bytes_moved = 0;  ///< operand + result buffer traffic
+  EnergyBreakdown energy;        ///< shift_add (ALU) + buffer components
+  double latency_ns = 0.0;
+};
+
 /// Whole-network hardware report for one inference pass.
 struct NetworkReport {
   std::vector<LayerReport> layers;
+  /// Non-mappable graph ops of a DAG network, in topological node order;
+  /// their energy/latency are already folded into the totals below. Empty
+  /// for chain-shaped (legacy linear) networks.
+  std::vector<GraphOpReport> graph_ops;
   EnergyBreakdown energy;
   AreaBreakdown area;
   double latency_ns = 0.0;            ///< sum of layer latencies

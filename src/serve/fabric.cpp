@@ -106,8 +106,13 @@ ServingFabric::ServingFabric(std::vector<plan::DeploymentPlan> plans,
 
   if (config_.functional) {
     for (std::size_t m = 0; m < n; ++m) {
-      const nn::NetworkSpec net = nn::network_by_name(plans_[m].network);
-      AUTOHET_CHECK(net.sequential_runnable,
+      // DAG (v2) plans carry their graph; the model builds over the graph's
+      // conv/FC skeleton and swap-ins program the same fabric either way.
+      const nn::NetworkSpec net =
+          plans_[m].has_graph()
+              ? plans_[m].graph.skeleton()
+              : nn::network_by_name(plans_[m].network);
+      AUTOHET_CHECK(net.sequential_runnable || plans_[m].has_graph(),
                     "functional serving requires a sequentially runnable "
                     "network: " + plans_[m].network);
       common::Rng weight_rng(config_.weight_seed);

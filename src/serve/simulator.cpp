@@ -191,7 +191,14 @@ ServingReport simulate(ServingFabric& fabric, const BatchingConfig& batching,
       for (std::size_t m = 0; m < num_models; ++m) {
         if (queues[m].empty()) continue;
         const double t = dispatch_time(m);
-        if (t < best_t) {
+        // Under overload every ready queue ties at accel_free_ns; breaking
+        // the tie by model index would starve high-index tenants until the
+        // low-index queue drained. Oldest waiting head wins instead.
+        const bool wins =
+            t < best_t ||
+            (t == best_t && queues[m].front().arrival_ns <
+                                queues[best_m].front().arrival_ns);
+        if (wins) {
           best_t = t;
           best_m = m;
         }

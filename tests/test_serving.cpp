@@ -245,6 +245,39 @@ TEST(ServingSim, MaxWaitFlushesPartialBatches) {
   EXPECT_DOUBLE_EQ(report.mean_batch, 1.0);
 }
 
+TEST(ServingSim, OverloadedDispatchDoesNotStarveHighIndexModels) {
+  // Regression: when several models are ready the moment the accelerator
+  // frees up, their dispatch times all tie and the tie used to break by
+  // lowest model index — under sustained overload from model 0, model 1's
+  // lone request would sit queued until model 0's queue fully drained.
+  // The tie now breaks by oldest head-of-queue arrival, so model 1 is
+  // served as soon as its request is the oldest one waiting.
+  serve::ServingFabric fabric(named_plans(2), {});
+  serve::BatchingConfig batching;
+  batching.max_batch = 4;
+  batching.max_wait_ns = 1.0;  // every queue is always dispatch-ready
+  // 40 model-0 requests starting at t=0, 1ns apart, with model 1's lone
+  // request landing mid-flood at t=5: everything is queued long before the
+  // first batch finishes, so model 0's queue never empties until the very
+  // end of the simulation. Arrivals must stay time-sorted in the trace.
+  std::vector<std::pair<std::int64_t, double>> arrivals;
+  for (int i = 0; i < 5; ++i) arrivals.push_back({0, 1.0 * i});
+  arrivals.push_back({1, 5.0});
+  for (int i = 6; i < 41; ++i) arrivals.push_back({0, 1.0 * i});
+  const serve::ServingReport report =
+      serve::simulate(fabric, batching, manual_trace(2, arrivals));
+
+  // Every request completes, including the would-be-starved one.
+  EXPECT_EQ(report.total_requests, 41);
+  EXPECT_EQ(report.models[1].requests, 1);
+  EXPECT_EQ(report.models[1].batches, 1);
+  // Model 1's request drains early (it is the oldest head after the first
+  // model-0 batch dispatches), instead of finishing dead last behind all
+  // ten model-0 batches as the index tie-break forced.
+  EXPECT_LT(report.models[1].latency.max_ms,
+            report.models[0].latency.p50_ms);
+}
+
 TEST(ServingSim, LatencyIncludesQueueingAndProgramming) {
   // Second model's first batch pays its swap-in programming latency; every
   // latency is at least the batch-1 compute time.
