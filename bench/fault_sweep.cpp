@@ -10,15 +10,24 @@
 // conductance window, so the same physical defect rate costs more accuracy
 // at 4 bits/cell than at 1 bit/cell (the A(b) amplification; DESIGN.md §6).
 //
-// Emits BENCH_fault_sweep.json: one series per configuration, one point per
-// (stuck-at rate, cell_bits) with accuracy mean/stddev/min, the analytic
-// vulnerability (the search-reward proxy), and the burned-in fault counts.
+// Emits BENCH_fault_sweep.json: one series per configuration with its
+// chosen per-layer tile shapes (identical series are explainable from the
+// JSON alone), one point per (stuck-at rate, cell_bits) with accuracy
+// mean/stddev/min and its 95% Wilson CI, the analytic vulnerability (the
+// search-reward proxy), the burned-in fault counts, and the Monte-Carlo
+// trials run/saved under the active budget.
 //
-// Usage: fault_sweep [episodes] [mc_threads]
+// Usage: fault_sweep [episodes] [mc_threads] [budget]
 //   episodes   — search budget (default 60)
 //   mc_threads — Monte-Carlo trial parallelism: 1 = serial, 0 = one per
 //                hardware thread (default). The emitted JSON is
 //                byte-identical at every thread count (CI diffs it).
+//   budget     — "fixed" (default: every point runs kTrials trials; the
+//                historical byte-identical output) or "adaptive"
+//                (sequential early stopping per DESIGN.md §10; decisive
+//                points stop at the min-trial clamp, uncertain points run
+//                up to the cap; writes BENCH_fault_sweep_adaptive.json).
+#include <cstring>
 #include <fstream>
 
 #include "bench_common.hpp"
@@ -35,6 +44,12 @@ constexpr int kCellBits[] = {1, 2, 4};
 constexpr double kProgramSigma = 0.01;
 constexpr int kTrials = 5;
 constexpr int kSamples = 12;
+/// Adaptive budget: a larger requested cap than the fixed product, paid
+/// only where the accuracy CI stays wide — the grid's decisive points
+/// (rate 0, low rates) stop at the min-trial clamp.
+constexpr int kAdaptiveMaxTrials = 15;
+constexpr int kAdaptiveMinTrials = 2;
+constexpr double kAdaptiveCi = 0.1;
 
 reram::FaultConfig point_config(double stuck_rate, int cell_bits) {
   reram::FaultConfig faults;
@@ -51,9 +66,14 @@ int main(int argc, char** argv) {
   const int episodes = bench::episodes_from_args(argc, argv, 60);
   int mc_threads = 0;  // one worker per hardware thread
   if (argc > 2 && argv[2][0] != '-') mc_threads = std::atoi(argv[2]);
+  bool adaptive = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "adaptive") == 0) adaptive = true;
+  }
   bench::print_header("Fault sweep — accuracy vs stuck-at rate × cell bits "
                       "(LeNet-5, " + std::to_string(episodes) +
-                      " search rounds)");
+                      " search rounds, " +
+                      (adaptive ? "adaptive" : "fixed") + " MC budget)");
 
   const nn::NetworkSpec net = nn::lenet5();
   common::Rng weight_rng(21);
@@ -85,22 +105,45 @@ int main(int argc, char** argv) {
   mc.trials = kTrials;
   mc.samples = kSamples;
   mc.threads = mc_threads;
+  if (adaptive) {
+    mc.budget.mode = reram::RobustnessBudget::Mode::kAdaptive;
+    mc.budget.ci_halfwidth = kAdaptiveCi;
+    mc.budget.min_trials = kAdaptiveMinTrials;
+    mc.budget.max_trials = kAdaptiveMaxTrials;
+    mc.budget.chunk_trials = 1;
+  }
+
+  std::int64_t trials_requested_total = 0;
+  std::int64_t trials_run_total = 0;
 
   report::Table table({"Configuration", "Stuck rate", "Cell bits",
-                       "Accuracy mean±σ", "Min", "Analytic vuln"});
-  std::ofstream json("BENCH_fault_sweep.json");
+                       "Accuracy mean±σ", "Min", "Trials", "Analytic vuln"});
+  const std::string out_name = adaptive ? "BENCH_fault_sweep_adaptive.json"
+                                        : "BENCH_fault_sweep.json";
+  std::ofstream json(out_name);
   json << "{\n  \"benchmark\": \"fault_sweep\",\n  \"model\": \"lenet5\",\n"
        << "  \"episodes\": " << episodes << ",\n"
        << "  \"trials\": " << kTrials << ",\n"
        << "  \"samples\": " << kSamples << ",\n"
        << "  \"program_sigma\": " << kProgramSigma << ",\n"
-       << "  \"series\": [";
+       << "  \"budget\": {\"mode\": \""
+       << (adaptive ? "adaptive" : "fixed") << "\"";
+  if (adaptive) {
+    json << ", \"ci_halfwidth\": " << kAdaptiveCi
+         << ", \"min_trials\": " << kAdaptiveMinTrials
+         << ", \"max_trials\": " << kAdaptiveMaxTrials;
+  }
+  json << "},\n  \"series\": [";
   bool first_series = true;
   for (const auto& config : configs) {
     std::vector<mapping::CrossbarShape> shapes;
     for (std::size_t a : config.actions) shapes.push_back(candidates[a]);
     json << (first_series ? "\n" : ",\n")
-         << "    {\"name\": \"" << config.name << "\", \"points\": [";
+         << "    {\"name\": \"" << config.name << "\", \"tile_shapes\": [";
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      json << (i == 0 ? "" : ", ") << '"' << shapes[i].name() << '"';
+    }
+    json << "], \"points\": [";
     first_series = false;
     bool first_point = true;
     for (const int cell_bits : kCellBits) {
@@ -108,6 +151,8 @@ int main(int argc, char** argv) {
         const reram::FaultConfig faults = point_config(rate, cell_bits);
         const auto report = env.engine().evaluate_robustness(
             model, config.actions, faults, mc);
+        trials_requested_total += report.trials_requested;
+        trials_run_total += report.trials;
         const double vuln = reram::analytic_network_vulnerability(
             env.layers(), shapes, faults);
         table.add_row(
@@ -116,6 +161,8 @@ int main(int argc, char** argv) {
              report::format_fixed(report.mean_accuracy, 3) + " ± " +
                  report::format_fixed(report.stddev_accuracy, 3),
              report::format_fixed(report.min_accuracy, 3),
+             std::to_string(report.trials) + "/" +
+                 std::to_string(report.trials_requested),
              report::format_fixed(vuln, 4)});
         json << (first_point ? "\n" : ",\n")
              << "      {\"stuck_rate\": " << rate
@@ -123,20 +170,36 @@ int main(int argc, char** argv) {
              << ", \"accuracy_mean\": " << report.mean_accuracy
              << ", \"accuracy_stddev\": " << report.stddev_accuracy
              << ", \"accuracy_min\": " << report.min_accuracy
+             << ", \"accuracy_ci_lower\": " << report.accuracy_ci_lower
+             << ", \"accuracy_ci_upper\": " << report.accuracy_ci_upper
              << ", \"mean_logit_error\": " << report.mean_logit_error
              << ", \"analytic_vulnerability\": " << vuln
              << ", \"stuck_cells\": "
              << report.fault_stats.stuck_at_zero +
                     report.fault_stats.stuck_at_one
              << ", \"weights_changed\": "
-             << report.fault_stats.weights_changed << "}";
+             << report.fault_stats.weights_changed
+             << ", \"mc_trials_run\": " << report.trials
+             << ", \"mc_trials_saved\": "
+             << report.trials_requested - report.trials << "}";
         first_point = false;
       }
     }
     json << "\n    ]}";
   }
-  json << "\n  ]\n}\n";
+  const double savings_ratio =
+      trials_run_total > 0
+          ? static_cast<double>(trials_requested_total) /
+                static_cast<double>(trials_run_total)
+          : 1.0;
+  json << "\n  ],\n"
+       << "  \"mc_trials_requested_total\": " << trials_requested_total
+       << ",\n  \"mc_trials_run_total\": " << trials_run_total
+       << ",\n  \"mc_savings_ratio\": " << savings_ratio << "\n}\n";
   table.print(std::cout);
-  std::cout << "\nWrote BENCH_fault_sweep.json\n";
+  std::cout << "\nMC trials: " << trials_run_total << " run / "
+            << trials_requested_total << " requested (savings "
+            << report::format_fixed(savings_ratio, 2) << "x)\n"
+            << "Wrote " << out_name << "\n";
   return 0;
 }

@@ -97,6 +97,51 @@ int main(int argc, char** argv) {
             << report::format_fixed(kEvals / parallel, 0) << "/s across "
             << pool.size() << " threads\n";
 
+  // ---- robustness-aware search overhead (LeNet-5) ----
+  // The kRobustnessAware objective with a measured Monte-Carlo reward runs
+  // a budgeted fault-injection evaluation inside the search loop. The
+  // adaptive budget plus the engine's robustness memo must keep that search
+  // within ~2x the plain Eq. 2 wall clock (the gated `mc_over_plain`).
+  constexpr int kRobustEpisodes = 500;
+  const nn::NetworkSpec lenet = nn::lenet5();
+  common::Rng lenet_rng(21);
+  const nn::Model lenet_model(lenet, lenet_rng);
+  core::EnvConfig plain_cfg;
+  plain_cfg.candidates = mapping::hybrid_candidates();
+  plain_cfg.accel = bench::paper_accel(/*tile_shared=*/true);
+  const core::CrossbarEnv plain_env(lenet.mappable_layers(), plain_cfg);
+  const auto plain_start = std::chrono::steady_clock::now();
+  const auto plain_result = bench::run_search(plain_env, kRobustEpisodes);
+  const double plain_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    plain_start)
+          .count();
+
+  core::EnvConfig mc_cfg = plain_cfg;
+  mc_cfg.objective = core::RewardObjective::kRobustnessAware;
+  mc_cfg.accel.faults.stuck_at_zero_rate = 5e-4;
+  mc_cfg.accel.faults.stuck_at_one_rate = 5e-4;
+  mc_cfg.accel.faults.program_sigma = 0.01;
+  mc_cfg.accel.faults.cell_bits = 2;
+  mc_cfg.mc_reward_model = &lenet_model;
+  const core::CrossbarEnv mc_env(lenet.mappable_layers(), mc_cfg);
+  const auto mc_start = std::chrono::steady_clock::now();
+  const auto mc_result = bench::run_search(mc_env, kRobustEpisodes);
+  const double mc_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    mc_start)
+          .count();
+  const auto rob_memo = mc_env.engine().robustness_cache_stats();
+  const double mc_over_plain =
+      plain_seconds > 0.0 ? mc_seconds / plain_seconds : 0.0;
+  std::cout << "\nRobustness-aware search (LeNet-5, " << kRobustEpisodes
+            << " rounds): plain " << report::format_fixed(plain_seconds, 3)
+            << "s, measured-MC reward " << report::format_fixed(mc_seconds, 3)
+            << "s (" << report::format_fixed(mc_over_plain, 2)
+            << "x), MC memo hit rate "
+            << report::format_fixed(100.0 * rob_memo.hit_rate(), 1) << "% ("
+            << rob_memo.hits << " hits / " << rob_memo.misses << " misses)\n";
+
   // ---- machine-readable summary ----
   std::ofstream json("BENCH_search_time.json");
   json << "{\n"
@@ -127,6 +172,18 @@ int main(int argc, char** argv) {
        << "    \"learning_seconds\": " << kBaseline.learning_seconds << ",\n"
        << "    \"serial_evals_per_second\": "
        << kBaseline.serial_evals_per_second << "\n"
+       << "  },\n"
+       << "  \"robust_search\": {\n"
+       << "    \"model\": \"lenet5\",\n"
+       << "    \"episodes\": " << kRobustEpisodes << ",\n"
+       << "    \"plain_seconds\": " << plain_seconds << ",\n"
+       << "    \"mc_seconds\": " << mc_seconds << ",\n"
+       << "    \"mc_over_plain\": " << mc_over_plain << ",\n"
+       << "    \"plain_best_reward\": " << plain_result.best_reward << ",\n"
+       << "    \"mc_best_reward\": " << mc_result.best_reward << ",\n"
+       << "    \"mc_memo_hits\": " << rob_memo.hits << ",\n"
+       << "    \"mc_memo_misses\": " << rob_memo.misses << ",\n"
+       << "    \"mc_memo_hit_rate\": " << rob_memo.hit_rate() << "\n"
        << "  }";
   if (episodes == kBaseline.episodes && total > 0.0) {
     json << ",\n  \"speedup_total\": " << kBaseline.total_seconds / total

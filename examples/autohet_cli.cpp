@@ -178,6 +178,20 @@ int run_evaluate(const common::ArgParser& args) {
   return 0;
 }
 
+/// Applies the adaptive Monte-Carlo budget flags: --mc-ci switches the
+/// trial budget to sequential early stopping at that CI half-width, and
+/// --mc-max-trials caps the adaptive spend (0 = --mc-trials). Without
+/// --mc-ci the budget stays fixed — reports byte-identical to older builds.
+void apply_mc_budget(reram::RobustnessOptions& opts,
+                     const common::ArgParser& args) {
+  const double ci = args.option_double("mc-ci");
+  if (ci <= 0.0) return;
+  opts.budget.mode = reram::RobustnessBudget::Mode::kAdaptive;
+  opts.budget.ci_halfwidth = ci;
+  opts.budget.max_trials =
+      static_cast<int>(args.option_int("mc-max-trials"));
+}
+
 int run_replay(const common::ArgParser& args) {
   const std::string path = args.option("plan-in");
   AUTOHET_CHECK(!path.empty(), "replay needs --plan-in <plan.json>");
@@ -253,12 +267,25 @@ int run_replay(const common::ArgParser& args) {
       opts.trials = static_cast<int>(trials);
       opts.samples = 4;
       opts.threads = static_cast<int>(args.option_int("mc-threads"));
+      apply_mc_budget(opts, args);
       const auto rob = reram::monte_carlo_robustness(model, plan, opts);
       std::cout << "robustness MC: accuracy "
                 << report::format_fixed(rob.mean_accuracy * 100.0, 1)
                 << "% +/- "
                 << report::format_fixed(rob.stddev_accuracy * 100.0, 1)
-                << "% over " << trials << " trials\n";
+                << "% (95% CI ["
+                << report::format_fixed(rob.accuracy_ci_lower * 100.0, 1)
+                << "%, "
+                << report::format_fixed(rob.accuracy_ci_upper * 100.0, 1)
+                << "%]) over " << rob.trials << '/' << rob.trials_requested
+                << " trials"
+                << (rob.early_stopped
+                        ? " (early stop, " +
+                              std::to_string(rob.trials_requested -
+                                             rob.trials) +
+                              " saved)"
+                        : "")
+                << '\n';
     }
   }
   return 0;
@@ -320,6 +347,7 @@ int run_profile(const common::ArgParser& args, obs::ObsSession& session) {
       opts.trials = static_cast<int>(trials);
       opts.samples = 4;
       opts.threads = static_cast<int>(args.option_int("mc-threads"));
+      apply_mc_budget(opts, args);
       (void)reram::monte_carlo_robustness(model, plan, opts);
     }
   }
@@ -696,6 +724,13 @@ int main(int argc, char** argv) {
                   "'replay'/'profile': worker threads for the Monte-Carlo "
                   "trials (1 = serial, 0 = one per hardware thread; the "
                   "report is byte-identical at any value)");
+  args.add_option("mc-ci", "0",
+                  "'replay'/'profile': adaptive Monte-Carlo budget — stop "
+                  "trials once the accuracy CI half-width is <= this "
+                  "(0 = fixed budget, byte-identical reports)");
+  args.add_option("mc-max-trials", "0",
+                  "'replay'/'profile': trial cap for the adaptive budget "
+                  "(0 = --mc-trials); ignored without --mc-ci");
   args.add_option("eval-threads", "0",
                   "worker threads for batched hardware evaluation "
                   "(0 = serial)");

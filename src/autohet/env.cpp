@@ -117,6 +117,22 @@ plan::DeploymentPlan CrossbarEnv::compile(
                             config_.accel);
 }
 
+double CrossbarEnv::reward(const reram::NetworkReport& report,
+                           const std::vector<std::size_t>& action_indices)
+    const {
+  if (config_.objective != RewardObjective::kRobustnessAware ||
+      config_.mc_reward_model == nullptr || config_.accel.faults.ideal()) {
+    return reward(report);
+  }
+  const double e = report.energy.total_nj();
+  if (e <= 0.0) return 0.0;
+  const double base = report.utilization / (e / config_.energy_scale_nj);
+  const reram::RobustnessReport rob = engine_->evaluate_robustness_cached(
+      *config_.mc_reward_model, action_indices, config_.accel.faults,
+      config_.mc_reward_options);
+  return base * rob.mean_accuracy;
+}
+
 double CrossbarEnv::reward(const reram::NetworkReport& report) const {
   const double e = report.energy.total_nj();
   if (e <= 0.0) return 0.0;

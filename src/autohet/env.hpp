@@ -45,6 +45,28 @@ enum class RewardObjective {
   kRobustnessAware
 };
 
+/// The in-search Monte-Carlo budget: a deliberately small adaptive spend
+/// (the memo amortizes revisits, the CI target keeps decisive allocations
+/// at the minimum) tuned so a robustness-aware search stays within ~2× the
+/// plain-reward wall clock (bench/search_time.cpp tracks the ratio).
+inline reram::RobustnessOptions default_search_mc_options() {
+  reram::RobustnessOptions mc;
+  mc.trials = 2;
+  mc.samples = 6;
+  mc.budget.mode = reram::RobustnessBudget::Mode::kAdaptive;
+  // Loose on purpose: one all-agree trial (6/6, Wilson half-width ≈ 0.20)
+  // already stops, so decisive allocations cost a single fabric burn. The
+  // reward only needs a coarse robustness signal — report-grade CIs come
+  // from evaluate_robustness with a real budget.
+  mc.budget.ci_halfwidth = 0.2;
+  mc.budget.min_trials = 1;
+  mc.budget.chunk_trials = 1;
+  // Serial on purpose: at this budget a call is one or two forwards, and
+  // spawning a per-call worker pool costs more than it saves.
+  mc.threads = 1;
+  return mc;
+}
+
 struct EnvConfig {
   std::vector<mapping::CrossbarShape> candidates;  ///< the action space
   reram::AcceleratorConfig accel;
@@ -59,6 +81,16 @@ struct EnvConfig {
   /// evaluate_batch (0 = serial).
   std::size_t eval_memo_capacity = 4096;
   std::size_t eval_threads = 0;
+  /// Measured robustness in the reward loop. When non-null and the
+  /// objective is kRobustnessAware (with a non-ideal accel.faults), each
+  /// episode's analytic (1 − v) factor is replaced by the *measured*
+  /// Monte-Carlo accuracy of this model on the episode's allocation, via
+  /// the engine's budgeted+memoized evaluate_robustness_cached under
+  /// `mc_reward_options`. Null (the default) keeps the analytic proxy and
+  /// leaves every existing reward bit-identical. The model must outlive
+  /// the environment and match its mappable layers.
+  const nn::Model* mc_reward_model = nullptr;
+  reram::RobustnessOptions mc_reward_options = default_search_mc_options();
 };
 
 inline constexpr int kStateDim = 10;  // paper Table 1
@@ -118,6 +150,14 @@ class CrossbarEnv {
 
   /// Eq. 2 reward from a hardware report (utilization over scaled energy).
   double reward(const reram::NetworkReport& report) const;
+
+  /// Reward with the episode's allocation in hand: identical to
+  /// reward(report) unless a `mc_reward_model` is configured under the
+  /// kRobustnessAware objective, in which case the analytic vulnerability
+  /// factor is replaced by the measured (budgeted, memoized) Monte-Carlo
+  /// accuracy of that allocation — robustness in the search loop.
+  double reward(const reram::NetworkReport& report,
+                const std::vector<std::size_t>& action_indices) const;
 
  private:
   std::vector<nn::LayerSpec> layers_;

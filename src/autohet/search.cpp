@@ -90,7 +90,9 @@ EpisodeRecord AutoHetSearch::run_episode(
   }
   result.simulator_seconds += seconds_since(sim_start);
 
-  record.reward = env_.reward(record.report);
+  // The actions-aware overload: identical to reward(report) unless the env
+  // carries an in-search Monte-Carlo robustness model (kRobustnessAware).
+  record.reward = env_.reward(record.report, record.actions);
   record.utilization = record.report.utilization;
   record.energy_nj = record.report.energy.total_nj();
   record.rue = record.report.rue();

@@ -82,9 +82,16 @@ void write_robustness_json(std::ostream& os, const std::string& name,
                            const reram::RobustnessReport& report) {
   os << "{\n  \"name\": \"" << name << "\",\n"
      << "  \"trials\": " << report.trials << ",\n"
+     << "  \"trials_requested\": " << report.trials_requested << ",\n"
+     << "  \"early_stopped\": "
+     << (report.early_stopped ? "true" : "false") << ",\n"
      << "  \"samples\": " << report.samples << ",\n"
      << "  \"accuracy_mean\": " << format_fixed(report.mean_accuracy, 6)
      << ",\n"
+     << "  \"accuracy_ci_lower\": "
+     << format_fixed(report.accuracy_ci_lower, 6) << ",\n"
+     << "  \"accuracy_ci_upper\": "
+     << format_fixed(report.accuracy_ci_upper, 6) << ",\n"
      << "  \"accuracy_stddev\": " << format_fixed(report.stddev_accuracy, 6)
      << ",\n"
      << "  \"accuracy_min\": " << format_fixed(report.min_accuracy, 6)

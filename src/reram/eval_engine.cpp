@@ -1,6 +1,7 @@
 #include "reram/eval_engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <utility>
 
@@ -382,9 +383,90 @@ RobustnessReport EvaluationEngine::evaluate_robustness(
   return monte_carlo_robustness(model, shapes, faults, effective);
 }
 
+std::size_t EvaluationEngine::RobustnessKeyHash::operator()(
+    const RobustnessKey& k) const noexcept {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  const auto mix_d = [&mix](double d) {
+    mix(std::bit_cast<std::uint64_t>(d));
+  };
+  mix(reinterpret_cast<std::uintptr_t>(k.model));
+  for (std::size_t a : k.actions) mix(a);
+  mix_d(k.faults.stuck_at_zero_rate);
+  mix_d(k.faults.stuck_at_one_rate);
+  mix_d(k.faults.program_sigma);
+  mix_d(k.faults.read_sigma);
+  mix_d(k.faults.drift_time_s);
+  mix_d(k.faults.drift_nu);
+  mix(static_cast<std::uint64_t>(k.faults.cell_bits));
+  mix(k.faults.seed);
+  mix(static_cast<std::uint64_t>(k.trials));
+  mix(static_cast<std::uint64_t>(k.samples));
+  mix(k.input_seed);
+  mix(static_cast<std::uint64_t>(k.mode));
+  mix(static_cast<std::uint64_t>(k.kernels));
+  mix(static_cast<std::uint64_t>(k.budget.mode));
+  mix_d(k.budget.ci_halfwidth);
+  mix(static_cast<std::uint64_t>(k.budget.min_trials));
+  mix(static_cast<std::uint64_t>(k.budget.max_trials));
+  mix(static_cast<std::uint64_t>(k.budget.chunk_trials));
+  mix(k.budget.span_zero_rate ? 1u : 0u);
+  return static_cast<std::size_t>(h);
+}
+
+RobustnessReport EvaluationEngine::evaluate_robustness_cached(
+    const nn::Model& model, const std::vector<std::size_t>& actions,
+    const FaultConfig& faults, const RobustnessOptions& options) const {
+  RobustnessKey key{&model,          actions,        faults,
+                    options.trials,  options.samples, options.input_seed,
+                    options.mode,    options.kernels, options.budget};
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = rob_memo_.find(key);
+    if (it != rob_memo_.end()) {
+      rob_lru_.splice(rob_lru_.begin(), rob_lru_, it->second);
+      ++rob_stats_.hits;
+      OBS_COUNTER_ADD("autohet_mc_memo_hits_total", 1);
+      return it->second->second;
+    }
+    ++rob_stats_.misses;
+    OBS_COUNTER_ADD("autohet_mc_memo_misses_total", 1);
+  }
+  // First visit: evaluate with the cross-allocation layer cache wired in —
+  // consecutive search episodes differ in allocation but share per-layer
+  // (layer, candidate) choices and the trial seed stream, so fabric
+  // construction collapses to copies of prebuilt burned layers. Reports
+  // are bit-identical with or without the cache.
+  RobustnessOptions opts = options;
+  if (opts.layer_cache == nullptr) opts.layer_cache = &layer_cache_;
+  const RobustnessReport report =
+      evaluate_robustness(model, actions, faults, opts);
+  if (config_.robustness_memo_capacity == 0) return report;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (rob_memo_.find(key) == rob_memo_.end()) {
+    rob_lru_.emplace_front(key, report);
+    rob_memo_.emplace(std::move(key), rob_lru_.begin());
+    while (rob_memo_.size() > config_.robustness_memo_capacity) {
+      rob_memo_.erase(rob_lru_.back().first);
+      rob_lru_.pop_back();
+      ++rob_stats_.evictions;
+    }
+  }
+  return report;
+}
+
 EvaluationEngine::CacheStats EvaluationEngine::cache_stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+EvaluationEngine::CacheStats EvaluationEngine::robustness_cache_stats()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rob_stats_;
 }
 
 void EvaluationEngine::clear_cache() const {
@@ -392,6 +474,10 @@ void EvaluationEngine::clear_cache() const {
   memo_.clear();
   lru_.clear();
   stats_ = CacheStats{};
+  rob_memo_.clear();
+  rob_lru_.clear();
+  rob_stats_ = CacheStats{};
+  layer_cache_.clear();
 }
 
 }  // namespace autohet::reram

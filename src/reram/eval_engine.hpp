@@ -57,6 +57,10 @@ struct EvalEngineConfig {
   /// Worker threads for `evaluate_batch`. 0 = evaluate serially on the
   /// calling thread; N > 0 = lazily create an internal ThreadPool(N).
   std::size_t threads = 0;
+  /// Maximum memoized `RobustnessReport`s for evaluate_robustness_cached
+  /// (LRU-evicted; 0 disables that memo). Sized for a search loop: ~500
+  /// episodes revisit far fewer distinct allocations once converged.
+  std::size_t robustness_memo_capacity = 1024;
 };
 
 class EvaluationEngine {
@@ -113,6 +117,17 @@ class EvaluationEngine {
       const nn::Model& model, const std::vector<std::size_t>& actions,
       const FaultConfig& faults, const RobustnessOptions& options = {}) const;
 
+  /// Memoized evaluate_robustness for in-loop (per-episode) use: reports
+  /// are cached in an LRU keyed by (model, allocation fingerprint,
+  /// FaultConfig, budget knobs), so a search that revisits an allocation
+  /// pays the Monte-Carlo cost once. Pair it with a small adaptive
+  /// `RobustnessBudget` — the memo amortizes repeats, the budget bounds
+  /// first-visit cost. Thread settings are deliberately not part of the
+  /// key (reports are byte-identical at any thread count).
+  RobustnessReport evaluate_robustness_cached(
+      const nn::Model& model, const std::vector<std::size_t>& actions,
+      const FaultConfig& faults, const RobustnessOptions& options = {}) const;
+
   struct CacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -123,6 +138,8 @@ class EvaluationEngine {
     }
   };
   CacheStats cache_stats() const;
+  /// Hit/miss/eviction counters of the evaluate_robustness_cached memo.
+  CacheStats robustness_cache_stats() const;
   void clear_cache() const;
 
  private:
@@ -176,10 +193,41 @@ class EvaluationEngine {
                              KeyHash>
       memo_;
   mutable CacheStats stats_;
+
+  // ---- robustness-report memo (guarded by mutex_) ----
+  /// Everything evaluate_robustness_cached's result depends on. Thread /
+  /// pool / cache knobs are excluded on purpose: reports are byte-identical
+  /// across them, so one memo serves every execution configuration.
+  struct RobustnessKey {
+    const nn::Model* model = nullptr;
+    std::vector<std::size_t> actions;
+    FaultConfig faults;
+    int trials = 0;
+    int samples = 0;
+    std::uint64_t input_seed = 0;
+    DatapathMode mode = DatapathMode::kInteger;
+    KernelPolicy kernels = KernelPolicy::kFast;
+    RobustnessBudget budget;
+    bool operator==(const RobustnessKey&) const = default;
+  };
+  struct RobustnessKeyHash {
+    std::size_t operator()(const RobustnessKey& k) const noexcept;
+  };
+  using RobLruList = std::list<std::pair<RobustnessKey, RobustnessReport>>;
+  mutable RobLruList rob_lru_;  ///< front = most recently used
+  mutable std::unordered_map<RobustnessKey, RobLruList::iterator,
+                             RobustnessKeyHash>
+      rob_memo_;
+  mutable CacheStats rob_stats_;
+
   mutable std::unique_ptr<common::ThreadPool> pool_;  ///< lazy, when threads>0
   /// Cross-call Monte-Carlo fabric cache for evaluate_robustness (its own
   /// internal locking; byte-identical reports — see TrialFabricCache).
   mutable TrialFabricCache mc_cache_;
+  /// Cross-allocation per-layer fabric cache for
+  /// evaluate_robustness_cached first visits (its own internal locking;
+  /// bit-identical reports — see LayerFabricCache).
+  mutable LayerFabricCache layer_cache_;
 
   // Unsynchronized memo helpers (callers hold mutex_).
   const NetworkReport* lookup_locked(

@@ -38,6 +38,105 @@ void FaultConfig::validate() const {
                 "cell_bits must divide 8");
 }
 
+WilsonInterval wilson_interval(double successes, double n, double z) {
+  if (n <= 0.0) return {};
+  const double p = successes / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double spread =
+      z * std::sqrt((p * (1.0 - p) + z2 / (4.0 * n)) / n) / denom;
+  return {std::max(0.0, center - spread), std::min(1.0, center + spread)};
+}
+
+void RobustnessBudget::validate() const {
+  AUTOHET_CHECK(ci_halfwidth > 0.0 && ci_halfwidth < 1.0,
+                "ci_halfwidth must be in (0, 1)");
+  AUTOHET_CHECK(min_trials > 0, "min_trials must be positive");
+  AUTOHET_CHECK(max_trials >= 0, "max_trials must be non-negative");
+  AUTOHET_CHECK(max_trials == 0 || max_trials >= min_trials,
+                "max_trials must be 0 or >= min_trials");
+  AUTOHET_CHECK(chunk_trials > 0, "chunk_trials must be positive");
+}
+
+SequentialStopper::SequentialStopper(const RobustnessBudget& budget,
+                                     int requested)
+    : budget_(budget) {
+  budget_.validate();
+  AUTOHET_CHECK(requested > 0, "stopper needs a positive trial cap");
+  cap_ = budget_.max_trials > 0 ? budget_.max_trials : requested;
+  min_ = std::min(budget_.min_trials, cap_);
+}
+
+void SequentialStopper::add_trial(std::int64_t successes,
+                                  std::int64_t samples) {
+  AUTOHET_CHECK(samples > 0 && successes >= 0 && successes <= samples,
+                "trial successes must be within the sample count");
+  AUTOHET_CHECK(m_ == 0 || m_ == samples,
+                "every trial must contribute the same sample count");
+  m_ = samples;
+  ++trials_;
+  successes_ += successes;
+  n_ += samples;
+  const double p_t =
+      static_cast<double>(successes) / static_cast<double>(samples);
+  sum_p_ += p_t;
+  sum_p2_ += p_t * p_t;
+}
+
+double SequentialStopper::design_effect() const noexcept {
+  if (trials_ < 2 || m_ < 2) return 1.0;
+  const double p = static_cast<double>(successes_) /
+                   static_cast<double>(n_);
+  if (p <= 0.0 || p >= 1.0) return 1.0;  // no spread ⇒ no clustering signal
+  const double t = static_cast<double>(trials_);
+  const double m = static_cast<double>(m_);
+  // Unbiased between-trial variance of the per-trial proportions; p equals
+  // their mean because every trial carries the same m.
+  const double var_b =
+      std::max(0.0, (sum_p2_ - t * p * p) / (t - 1.0));
+  // Moment estimator: Var(p_t) = p(1−p)/m · (1 + (m−1)ρ), clamped to a
+  // valid correlation.
+  const double rho = std::clamp(
+      (m * var_b / (p * (1.0 - p)) - 1.0) / (m - 1.0), 0.0, 1.0);
+  return 1.0 + (m - 1.0) * rho;
+}
+
+WilsonInterval SequentialStopper::pooled_interval() const {
+  if (n_ <= 0) return {};
+  return wilson_interval(static_cast<double>(successes_),
+                         static_cast<double>(n_));
+}
+
+WilsonInterval SequentialStopper::interval() const {
+  if (n_ <= 0) return {};
+  const double deff = design_effect();
+  const double n_eff = static_cast<double>(n_) / deff;
+  const double p = static_cast<double>(successes_) /
+                   static_cast<double>(n_);
+  return wilson_interval(p * n_eff, n_eff);
+}
+
+int SequentialStopper::next_boundary(int executed) const noexcept {
+  const int target = executed < min_ ? min_ : executed + budget_.chunk_trials;
+  return std::min(cap_, target);
+}
+
+bool SequentialStopper::should_stop() const noexcept {
+  if (trials_ >= cap_) return true;
+  if (trials_ < min_) return false;
+  return pooled_interval().halfwidth() <= budget_.ci_halfwidth;
+}
+
+FaultConfig spanning_probe(const FaultConfig& config) noexcept {
+  FaultConfig probe = config;
+  // kRecordCap53 · 2⁻⁵³ = 2⁻⁴ exactly, so thr53(rate) lands on the cap.
+  probe.stuck_at_zero_rate =
+      static_cast<double>(FaultModel::kRecordCap53) * 0x1.0p-53;
+  probe.stuck_at_one_rate = 0.0;
+  return probe;
+}
+
 double FaultModel::level_noise_amplification(int cell_bits) noexcept {
   double scale_sum = 0.0;  // Σ_p 4^{p·b} over the 8/b planes
   for (int p = 0; p < 8 / cell_bits; ++p) {

@@ -91,11 +91,146 @@ struct FaultMapStats {
   }
 };
 
+/// Wilson score interval for a Bernoulli proportion: the set of p whose
+/// z-score test would not reject `successes` hits in `n` draws. Unlike the
+/// normal approximation it stays inside [0, 1] and behaves sanely at
+/// p̂ ∈ {0, 1}, which is exactly where fault sweeps live (rate-0 points
+/// agree on every sample).
+struct WilsonInterval {
+  double lower = 0.0;
+  double upper = 1.0;
+  double halfwidth() const noexcept { return 0.5 * (upper - lower); }
+};
+
+/// z for the two-sided 95% interval — the sequential stopping rule's
+/// confidence level.
+inline constexpr double kWilsonZ95 = 1.959963984540054;
+
+/// Wilson interval on `successes` hits in `n` draws (n <= 0 ⇒ [0, 1]).
+/// Takes doubles so callers can pass a design-effect-adjusted effective
+/// sample size (see SequentialStopper::interval).
+WilsonInterval wilson_interval(double successes, double n,
+                               double z = kWilsonZ95);
+
+/// Monte-Carlo trial budget: how many fault-map trials a robustness
+/// evaluation spends. The default `kFixed` mode runs exactly the configured
+/// trial count — reports stay byte-identical to the pre-budget code.
+/// `kAdaptive` runs trials in chunks and stops as soon as the Wilson CI
+/// half-width of the pooled per-sample agreement falls to `ci_halfwidth`
+/// (never before `min_trials`, never past the cap), spending the full
+/// budget only on points whose accuracy is genuinely uncertain. Executed
+/// trials use the same `FaultConfig::for_trial` seed stream as fixed mode,
+/// so an adaptive run that stops after T trials reports exactly the fixed-
+/// mode statistics of its first T trials (a prefix, not an approximation).
+struct RobustnessBudget {
+  enum class Mode { kFixed, kAdaptive };
+  Mode mode = Mode::kFixed;
+  /// Adaptive target: stop once the pooled agreement CI half-width is ≤
+  /// this (95% Wilson).
+  double ci_halfwidth = 0.05;
+  /// Adaptive clamps: never stop before `min_trials`; `max_trials` caps the
+  /// spend (0 = use RobustnessOptions::trials as the cap).
+  int min_trials = 2;
+  int max_trials = 0;
+  /// Trials evaluated between CI checks after `min_trials` — stopping
+  /// decisions happen at chunk boundaries only, so the executed trial count
+  /// is a pure function of the sample outcomes, never of thread scheduling.
+  int chunk_trials = 1;
+  /// Adaptive-mode cross-rate cache spanning: serve zero-stuck-rate grid
+  /// points by replaying the shared variation-only recording (see
+  /// TrialFabricCache) instead of re-burning a fresh fabric per trial.
+  /// Statistically equivalent, *not* byte-identical — a zero-rate burn-in
+  /// skips the stuck draws and is a different RNG stream — so it never
+  /// applies in kFixed mode.
+  bool span_zero_rate = true;
+
+  void validate() const;
+  bool operator==(const RobustnessBudget&) const = default;
+};
+
+/// The sequential stopping rule, factored out of the Monte-Carlo loop so
+/// its statistics are unit-testable on raw Bernoulli streams. Feed it one
+/// completed trial at a time (`add_trial`); `next_boundary` yields the
+/// trial index to run up to before the next decision, and `should_stop`
+/// answers the decision. Deterministic: the stop point depends only on the
+/// budget and the per-trial success counts.
+///
+/// Two intervals, two jobs:
+///  - `pooled_interval()` treats the n = trials·samples outcomes as
+///    independent Bernoulli draws. `should_stop` targets its half-width —
+///    this is the budget knob: spend trials until the pooled agreement
+///    estimate is tight, then stop.
+///  - `interval()` is *cluster-robust* and is what reports carry. Samples
+///    within one trial share one fault map, so they are positively
+///    correlated and the pooled CI is anti-conservative exactly at the
+///    bimodal grid points (a fabric either survives or collapses). The
+///    stopper estimates the intra-trial correlation ρ from the
+///    between-trial variance of per-trial proportions (moment estimator:
+///    Var(p_t) = p(1−p)/m · (1 + (m−1)ρ)), inflates the variance by the
+///    Kish design effect DEFF = 1 + (m−1)·ρ̂ and evaluates the Wilson
+///    interval at the effective sample size n/DEFF. Consistent trials
+///    (ρ̂ = 0) keep the full n; fully clustered trials degrade to one
+///    effective draw per trial. At a strongly clustered point the adaptive
+///    run stops on the pooled target (bounding cost) while the reported
+///    robust CI stays honestly wide — adaptivity never overstates the
+///    precision actually achieved.
+class SequentialStopper {
+ public:
+  /// `requested` is the trial cap (RobustnessOptions::trials when the
+  /// budget leaves max_trials at 0).
+  SequentialStopper(const RobustnessBudget& budget, int requested);
+
+  /// Records one completed trial's pooled sample outcomes.
+  void add_trial(std::int64_t successes, std::int64_t samples);
+
+  /// First decision boundary after `executed` trials: min_trials for the
+  /// opening chunk, then chunk_trials at a time, clamped to the cap.
+  int next_boundary(int executed) const noexcept;
+
+  /// True once the pooled CI half-width target is met (at or past
+  /// min_trials) or the trial cap is exhausted.
+  bool should_stop() const noexcept;
+
+  /// True when should_stop() fired on the CI target rather than the cap.
+  bool stopped_early() const noexcept {
+    return should_stop() && trials_ < cap_;
+  }
+
+  /// Plain 95% Wilson CI on the pooled per-sample agreement — the stopping
+  /// target (see above).
+  WilsonInterval pooled_interval() const;
+  /// Cluster-robust 95% Wilson CI on the pooled agreement (see above) —
+  /// the interval reports carry.
+  WilsonInterval interval() const;
+  /// The estimated Kish design effect 1 + (m−1)·ρ̂ (1 until two trials
+  /// with between-trial spread have been fed).
+  double design_effect() const noexcept;
+  int trials() const noexcept { return trials_; }
+  int cap() const noexcept { return cap_; }
+
+ private:
+  RobustnessBudget budget_;
+  int cap_ = 0;        ///< effective max trials
+  int min_ = 0;        ///< effective min trials (≤ cap)
+  int trials_ = 0;     ///< trials fed so far
+  std::int64_t successes_ = 0;
+  std::int64_t n_ = 0;   ///< pooled sample draws
+  std::int64_t m_ = 0;   ///< samples per trial (constant across trials)
+  double sum_p_ = 0.0;   ///< Σ per-trial proportions
+  double sum_p2_ = 0.0;  ///< Σ squared per-trial proportions
+};
+
 /// Monte-Carlo robustness of one configuration (accuracy-under-faults over
 /// N seeded trials). Produced by `monte_carlo_robustness` (functional.hpp)
 /// and `EvaluationEngine::evaluate_robustness`.
 struct RobustnessReport {
-  int trials = 0;
+  int trials = 0;            ///< trials actually executed
+  int trials_requested = 0;  ///< the configured budget (== trials in kFixed)
+  bool early_stopped = false;  ///< adaptive CI target met before the cap
+  /// 95% Wilson CI on the pooled per-sample agreement across the executed
+  /// trials — the quantity the adaptive stopping rule resolves.
+  double accuracy_ci_lower = 0.0;
+  double accuracy_ci_upper = 1.0;
   int samples = 0;
   double mean_accuracy = 0.0;    ///< mean argmax agreement vs ideal fabric
   double stddev_accuracy = 0.0;  ///< across trials (population stddev)
@@ -236,6 +371,17 @@ class FaultModel {
   std::uint64_t stuck_sum_thr53_ = 0;   ///< u < z₀+z₁ ⟺ bits53 < this
   std::vector<double> level_s_safe_;    ///< indexed by level, [0..mask]
 };
+
+/// The canonical recording config for cross-rate cache spanning: `config`
+/// with its stuck rates replaced by the largest recordable rate (summed
+/// threshold == FaultModel::kRecordCap53, i.e. 2⁻⁴). A recording burn
+/// captures *every* stuck draw below the cap regardless of the rate values,
+/// so the probe's recording is identical to the one any in-cap nonzero-rate
+/// config sharing (seed, program_sigma, cell_bits) would produce — it exists
+/// so a zero-stuck-rate grid point (whose own burn-in skips the stuck draws
+/// entirely and is therefore not recordable) can join the shared recorded
+/// fabric family. Replaying it at zero rates forces no candidates.
+FaultConfig spanning_probe(const FaultConfig& config) noexcept;
 
 /// Closed-form per-layer fault vulnerability in [0, 1]: the expected
 /// relative MVM output error of `layer` mapped as `m` under `faults`.

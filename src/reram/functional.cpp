@@ -354,6 +354,25 @@ SimulatedModel::SimulatedModel(const nn::Model& model,
   }
 }
 
+SimulatedModel::SimulatedModel(const nn::Model& model, DatapathMode mode,
+                               const FaultConfig& faults, KernelPolicy policy,
+                               std::vector<MappedLayer> layers)
+    : model_(&model),
+      mode_(mode),
+      fault_model_(faults),
+      policy_(policy),
+      layers_(std::move(layers)) {
+  AUTOHET_CHECK(layers_.size() == model.spec().mappable_layers().size(),
+                "one prebuilt layer per mappable layer required");
+  AUTOHET_CHECK(faults.read_sigma == 0.0 || mode == DatapathMode::kInteger,
+                "read noise requires the integer datapath");
+  // Mirrors the shape-list constructor; packing is idempotent, so layers
+  // prebuilt packed pass through untouched.
+  if (mode_ == DatapathMode::kBitSerial && policy_ == KernelPolicy::kFast) {
+    for (auto& layer : layers_) layer.prepare_packed();
+  }
+}
+
 SimulatedModel SimulatedModel::with_faults(const FaultConfig& faults) const {
   AUTOHET_CHECK(fault_model_.ideal(),
                 "with_faults requires a clean (ideal) fabric to clone");
@@ -916,6 +935,78 @@ void TrialFabricCache::clear() {
   trials_.clear();
 }
 
+std::shared_ptr<const MappedLayer> LayerFabricCache::layer(
+    const nn::Model& model, std::size_t layer_index,
+    const mapping::CrossbarShape& shape, const FaultConfig& faults,
+    KernelPolicy policy, const std::function<MappedLayer()>& build) {
+  const Key key{&model, layer_index, shape.rows, shape.cols, faults, policy};
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [k, s] : slots_) {
+      if (k == key) {
+        slot = s;
+        break;
+      }
+    }
+    if (!slot) {
+      if (slots_.size() >= kMaxSlots) slots_.clear();
+      slot = std::make_shared<Slot>();
+      slots_.emplace_back(key, slot);
+    }
+  }
+  // Build outside the list lock (per-slot serialization only), exactly as
+  // TrialFabricCache does.
+  std::lock_guard<std::mutex> fill(slot->m);
+  const bool hit = slot->value != nullptr;
+  if (!hit) slot->value = std::make_shared<const MappedLayer>(build());
+  std::lock_guard<std::mutex> lock(mutex_);
+  hit ? ++stats_.hits : ++stats_.builds;
+  return slot->value;
+}
+
+std::shared_ptr<const TrialFabricCache::IdealRefs>
+LayerFabricCache::ideal_refs(
+    const nn::Model& model, DatapathMode mode, int samples,
+    std::uint64_t input_seed, KernelPolicy policy,
+    const std::function<TrialFabricCache::IdealRefs()>& build) {
+  const RefsKey key{&model, mode, samples, input_seed, policy};
+  std::shared_ptr<RefsSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [k, s] : refs_slots_) {
+      if (k == key) {
+        slot = s;
+        break;
+      }
+    }
+    if (!slot) {
+      if (refs_slots_.size() >= kMaxRefsSlots) refs_slots_.clear();
+      slot = std::make_shared<RefsSlot>();
+      refs_slots_.emplace_back(key, slot);
+    }
+  }
+  std::lock_guard<std::mutex> fill(slot->m);
+  const bool hit = slot->value != nullptr;
+  if (!hit) {
+    slot->value = std::make_shared<const TrialFabricCache::IdealRefs>(build());
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  hit ? ++stats_.refs_hits : ++stats_.refs_builds;
+  return slot->value;
+}
+
+LayerFabricCache::Stats LayerFabricCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void LayerFabricCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.clear();
+  refs_slots_.clear();
+}
+
 RobustnessReport monte_carlo_robustness(
     const nn::Model& model, const std::vector<mapping::CrossbarShape>& shapes,
     const FaultConfig& faults, const RobustnessOptions& options) {
@@ -924,17 +1015,59 @@ RobustnessReport monte_carlo_robustness(
                 "robustness needs at least one trial and one sample");
   AUTOHET_CHECK(options.threads >= 0, "threads must be non-negative");
   faults.validate();
+  options.budget.validate();
+  const bool adaptive =
+      options.budget.mode == RobustnessBudget::Mode::kAdaptive;
+  // The stopper owns the budget arithmetic: the effective cap (max_trials,
+  // falling back to options.trials) and the chunk-boundary schedule. Fixed
+  // mode ignores it for decisions and only reads the final CI off it.
+  SequentialStopper stopper(options.budget, options.trials);
+  const int requested = adaptive ? stopper.cap() : options.trials;
   const bool scalar = options.kernels == KernelPolicy::kScalarReference;
   // The scalar baseline must measure the honest uncached path; the cache
   // only ever accelerates the fast kernels.
   TrialFabricCache* cache = scalar ? nullptr : options.cache;
   const bool cache_trials =
       cache != nullptr && FaultModel(faults).record_eligible();
+  // Adaptive-only cross-rate spanning: a zero-stuck-rate config cannot be
+  // recorded from its own stream (the stuck draws are skipped entirely),
+  // but it *can* replay the shared recorded family — the probe recording is
+  // rate-independent and replaying it under zero thresholds forces nothing.
+  // Statistically equivalent, not byte-identical, so kFixed never takes it.
+  const bool span_zero =
+      adaptive && options.budget.span_zero_rate && cache != nullptr &&
+      !cache_trials && faults.stuck_at_zero_rate == 0.0 &&
+      faults.stuck_at_one_rate == 0.0 && faults.program_sigma > 0.0 &&
+      FaultModel(spanning_probe(faults)).record_eligible();
 
   RobustnessReport report;
-  report.trials = options.trials;
+  report.trials_requested = requested;
   report.samples = options.samples;
   report.min_accuracy = 1.0;
+
+  // Cross-allocation per-layer assembly (the in-search fast path): with a
+  // LayerFabricCache, ideal and trial fabrics are stitched together from
+  // shared prebuilt layers — bit-identical to a fresh build, because
+  // programming and burn-in are pure per-layer functions of the key.
+  LayerFabricCache* layer_cache = scalar ? nullptr : options.layer_cache;
+  const auto assemble = [&](const FaultConfig& fc) -> SimulatedModel {
+    const auto mappable = model.spec().mappable_layers();
+    std::vector<MappedLayer> prebuilt;
+    prebuilt.reserve(shapes.size());
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      const auto shared = layer_cache->layer(
+          model, i, shapes[i], fc, options.kernels, [&] {
+            const FaultModel fm(fc);
+            return MappedLayer(mappable[i], model.weight(i), shapes[i],
+                               fm.ideal() ? nullptr : &fm,
+                               static_cast<std::uint64_t>(i),
+                               options.kernels);
+          });
+      prebuilt.push_back(*shared);
+    }
+    return SimulatedModel(model, options.mode, fc, options.kernels,
+                          std::move(prebuilt));
+  };
 
   // The ideal fabric is the reference: agreement with it isolates device
   // non-ideality from the (always present) 8-bit quantization error. The
@@ -942,7 +1075,10 @@ RobustnessReport monte_carlo_robustness(
   // a sweep's whole rate × cell-bits grid.
   const auto build_refs = [&]() {
     TrialFabricCache::IdealRefs refs{
-        SimulatedModel(model, shapes, options.mode, {}, options.kernels),
+        layer_cache != nullptr
+            ? assemble({})
+            : SimulatedModel(model, shapes, options.mode, {},
+                             options.kernels),
         {},
         {},
         {}};
@@ -958,8 +1094,16 @@ RobustnessReport monte_carlo_robustness(
     }
     return refs;
   };
+  // The layer cache's reference store wins when present: references are
+  // allocation-invariant (partition-exact ideal forward), so one set
+  // serves every allocation a search visits — the workload-keyed
+  // TrialFabricCache would rebuild them on each new allocation.
   const std::shared_ptr<const TrialFabricCache::IdealRefs> refs =
-      cache != nullptr
+      layer_cache != nullptr
+          ? layer_cache->ideal_refs(model, options.mode, options.samples,
+                                    options.input_seed, options.kernels,
+                                    build_refs)
+      : cache != nullptr
           ? cache->ideal_refs({&model, shapes, options.mode, options.samples,
                                options.input_seed},
                               build_refs)
@@ -989,7 +1133,7 @@ RobustnessReport monte_carlo_robustness(
     std::vector<double> layer_err;  // samples × num_layers, row-major
     double wall_ms = 0.0;           // build + sum of this trial's chunks
   };
-  std::vector<TrialResult> trials(static_cast<std::size_t>(options.trials));
+  std::vector<TrialResult> trials(static_cast<std::size_t>(requested));
   for (auto& res : trials) {
     res.agree.assign(static_cast<std::size_t>(options.samples), 0);
     res.logit_err.resize(static_cast<std::size_t>(options.samples));
@@ -1009,11 +1153,21 @@ RobustnessReport monte_carlo_robustness(
       return SimulatedModel(model, shapes, options.mode, trial_faults,
                             options.kernels);
     }
-    if (cache_trials) {
+    // Layer assembly beats the record/replay machinery when allocations
+    // churn (the trial seed stream is fixed, so every layer burn is shared
+    // across episodes); the workload-keyed TrialFabricCache would evict on
+    // every new allocation anyway.
+    if (layer_cache != nullptr) return assemble(trial_faults);
+    if (cache_trials || span_zero) {
       const auto slot = cache->trial_fabric(trial_faults, [&] {
         TrialBurnRecord rec;
-        SimulatedModel fabric =
-            refs->ideal.with_faults_recorded(trial_faults, rec);
+        // A spanning (zero-rate) point burns the canonical probe config so
+        // the recording it leaves behind is the exact one every in-cap
+        // nonzero-rate point of this (seed, sigma, bits) generation records
+        // — one burned fabric family serves the whole rate row.
+        const FaultConfig burn =
+            span_zero ? spanning_probe(trial_faults) : trial_faults;
+        SimulatedModel fabric = refs->ideal.with_faults_recorded(burn, rec);
         return TrialFabricCache::TrialFabric{std::move(fabric),
                                              std::move(rec)};
       });
@@ -1066,71 +1220,113 @@ RobustnessReport monte_carlo_robustness(
   // handed down to forward_traced_batch) covers the rest, so threads > 1
   // alone justifies the parallel path — even for a lone trial and sample.
   const bool parallel = !scalar && threads > 1;
-  if (parallel) {
-    std::optional<common::ThreadPool> local_pool;
-    common::ThreadPool* pool = options.pool;
-    if (pool == nullptr) {
-      local_pool.emplace(static_cast<std::size_t>(threads));
-      pool = &*local_pool;
-    }
-    // Trials are processed in generations: phase A builds a block of trial
-    // fabrics concurrently, phase B fans the block's flattened
-    // (trial, chunk) items across the pool. Blocking bounds peak fabric
-    // memory at ~block fabrics instead of options.trials.
-    const std::size_t block =
-        std::max<std::size_t>(pool->size(), 8);
-    const auto n_trials = static_cast<std::size_t>(options.trials);
-    for (std::size_t b0 = 0; b0 < n_trials; b0 += block) {
-      const std::size_t b1 = std::min(n_trials, b0 + block);
-      std::vector<std::optional<SimulatedModel>> fabrics(b1 - b0);
-      std::vector<double> build_ms(b1 - b0, 0.0);
-      pool->parallel_for(b0, b1, [&](std::size_t t) {
-        OBS_SPAN("fault_trial_build");
-        const auto t0 = std::chrono::steady_clock::now();
-        fabrics[t - b0].emplace(build_fabric(t));
-        trials[t].stats = fabrics[t - b0]->fault_stats();
-        build_ms[t - b0] = std::chrono::duration<double, std::milli>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count();
-      });
-      const auto cpt = static_cast<std::size_t>(chunks_per_trial);
-      std::vector<double> chunk_ms((b1 - b0) * cpt, 0.0);
-      pool->parallel_for(0, (b1 - b0) * cpt, [&](std::size_t item) {
-        OBS_SPAN("fault_trial_chunk");
-        const std::size_t t = b0 + item / cpt;
-        const int c = static_cast<int>(item % cpt);
-        chunk_ms[item] = run_chunk(*fabrics[t - b0], trials[t], c, pool);
-      });
-      for (std::size_t t = b0; t < b1; ++t) {
-        double ms = build_ms[t - b0];
-        for (std::size_t c = 0; c < cpt; ++c) {
-          ms += chunk_ms[(t - b0) * cpt + c];
-        }
-        trials[t].wall_ms = ms;
-      }
-    }
-  } else {
-    for (std::size_t t = 0; t < trials.size(); ++t) {
-      OBS_SPAN("fault_trial");
-      const auto t0 = std::chrono::steady_clock::now();
-      const SimulatedModel faulty = build_fabric(t);
-      trials[t].stats = faulty.fault_stats();
-      for (int c = 0; c < chunks_per_trial; ++c) {
-        run_chunk(faulty, trials[t], c, /*pool=*/nullptr);
-      }
-      trials[t].wall_ms = std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count();
-    }
+  std::optional<common::ThreadPool> local_pool;
+  common::ThreadPool* pool = options.pool;
+  if (parallel && pool == nullptr) {
+    local_pool.emplace(static_cast<std::size_t>(threads));
+    pool = &*local_pool;
   }
 
-  // Ordered reduction: every accumulator sees its terms in the exact (t, s,
-  // l) order of the serial loop, so reports are byte-identical across
-  // thread counts and kernel policies.
+  // Runs trials [w0, w1), filling their result slots. Parallel trials are
+  // processed in generations: phase A builds a block of trial fabrics
+  // concurrently, phase B fans the block's flattened (trial, chunk) items
+  // across the pool. Blocking bounds peak fabric memory at ~block fabrics
+  // instead of the whole budget.
+  const auto run_trials = [&](std::size_t w0, std::size_t w1) {
+    if (parallel) {
+      const std::size_t block = std::max<std::size_t>(pool->size(), 8);
+      for (std::size_t b0 = w0; b0 < w1; b0 += block) {
+        const std::size_t b1 = std::min(w1, b0 + block);
+        std::vector<std::optional<SimulatedModel>> fabrics(b1 - b0);
+        std::vector<double> build_ms(b1 - b0, 0.0);
+        pool->parallel_for(b0, b1, [&](std::size_t t) {
+          OBS_SPAN("fault_trial_build");
+          const auto t0 = std::chrono::steady_clock::now();
+          fabrics[t - b0].emplace(build_fabric(t));
+          trials[t].stats = fabrics[t - b0]->fault_stats();
+          build_ms[t - b0] = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+        });
+        const auto cpt = static_cast<std::size_t>(chunks_per_trial);
+        std::vector<double> chunk_ms((b1 - b0) * cpt, 0.0);
+        pool->parallel_for(0, (b1 - b0) * cpt, [&](std::size_t item) {
+          OBS_SPAN("fault_trial_chunk");
+          const std::size_t t = b0 + item / cpt;
+          const int c = static_cast<int>(item % cpt);
+          chunk_ms[item] = run_chunk(*fabrics[t - b0], trials[t], c, pool);
+        });
+        for (std::size_t t = b0; t < b1; ++t) {
+          double ms = build_ms[t - b0];
+          for (std::size_t c = 0; c < cpt; ++c) {
+            ms += chunk_ms[(t - b0) * cpt + c];
+          }
+          trials[t].wall_ms = ms;
+        }
+      }
+    } else {
+      for (std::size_t t = w0; t < w1; ++t) {
+        OBS_SPAN("fault_trial");
+        const auto t0 = std::chrono::steady_clock::now();
+        const SimulatedModel faulty = build_fabric(t);
+        trials[t].stats = faulty.fault_stats();
+        for (int c = 0; c < chunks_per_trial; ++c) {
+          run_chunk(faulty, trials[t], c, /*pool=*/nullptr);
+        }
+        trials[t].wall_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+      }
+    }
+  };
+
+  // Wave loop. Fixed mode runs one wave over the whole budget — identical
+  // work, scheduling and reduction order to the fixed-product code, so
+  // reports stay byte-identical. Adaptive mode runs to the next decision
+  // boundary, feeds the pooled per-sample agreement to the stopping rule
+  // (integer sums — thread-order free) and stops once the CI resolves or
+  // the cap fires. Executed trials are a prefix of the fixed-mode stream.
+  std::size_t executed = 0;
+  const auto n_requested = static_cast<std::size_t>(requested);
+  while (executed < n_requested) {
+    const std::size_t wave_end =
+        adaptive ? static_cast<std::size_t>(
+                       stopper.next_boundary(static_cast<int>(executed)))
+                 : n_requested;
+    if (adaptive) {
+      OBS_SPAN("mc_budget_wave");
+      run_trials(executed, wave_end);
+    } else {
+      run_trials(executed, wave_end);
+    }
+    for (std::size_t t = executed; t < wave_end; ++t) {
+      std::int64_t agree = 0;
+      for (const char a : trials[t].agree) agree += a;
+      stopper.add_trial(agree, options.samples);
+    }
+    executed = wave_end;
+    if (adaptive && stopper.should_stop()) break;
+  }
+  report.trials = static_cast<int>(executed);
+  report.early_stopped = adaptive && stopper.stopped_early();
+  const WilsonInterval pooled_ci = stopper.interval();
+  report.accuracy_ci_lower = pooled_ci.lower;
+  report.accuracy_ci_upper = pooled_ci.upper;
+  if (report.early_stopped) {
+    OBS_SPAN("mc_early_stop");
+    OBS_COUNTER_ADD("autohet_mc_early_stops_total", 1);
+  }
+  OBS_COUNTER_ADD("autohet_mc_trials_saved_total",
+                  static_cast<std::int64_t>(n_requested - executed));
+
+  // Ordered reduction over the executed trials: every accumulator sees its
+  // terms in the exact (t, s, l) order of the serial loop, so reports are
+  // byte-identical across thread counts and kernel policies.
   double acc_sum = 0.0;
   double acc_sq_sum = 0.0;
   double logit_err_sum = 0.0;
-  for (const TrialResult& res : trials) {
+  for (std::size_t t = 0; t < executed; ++t) {
+    const TrialResult& res = trials[t];
     report.fault_stats += res.stats;
     int agree = 0;
     for (int s = 0; s < options.samples; ++s) {
@@ -1154,7 +1350,7 @@ RobustnessReport monte_carlo_robustness(
     OBS_HIST_RECORD("autohet_mc_trial_ms", res.wall_ms);
   }
 
-  const double n = static_cast<double>(options.trials);
+  const double n = static_cast<double>(executed);
   report.mean_accuracy = acc_sum / n;
   report.stddev_accuracy = std::sqrt(
       std::max(0.0, acc_sq_sum / n - report.mean_accuracy *

@@ -313,6 +313,16 @@ class SimulatedModel {
   }
   KernelPolicy policy() const noexcept { return policy_; }
 
+  /// Assembles a fabric from prebuilt per-layer fabrics (the
+  /// LayerFabricCache path). `layers[i]` must have been built from this
+  /// model's mappable layer i (same spec, weight, shape) under `faults`
+  /// with layer id i and `policy` — then the result is bit-identical to
+  /// the shape-list constructor: per-layer programming and burn-in are
+  /// pure functions of exactly those inputs.
+  SimulatedModel(const nn::Model& model, DatapathMode mode,
+                 const FaultConfig& faults, KernelPolicy policy,
+                 std::vector<MappedLayer> layers);
+
   /// Aggregate stuck-at / variation counts over all layers (zero when the
   /// fabric is ideal).
   FaultMapStats fault_stats() const noexcept;
@@ -433,10 +443,100 @@ class TrialFabricCache {
   Stats stats_;
 };
 
+/// Cross-allocation per-layer fabric cache (the in-search fabric cache).
+///
+/// A programmed-and-burned MappedLayer is a pure function of (layer spec +
+/// weights, crossbar shape, fault config, layer id, kernel policy): the
+/// burn-in RNG stream is seeded per layer, independent of the rest of the
+/// allocation. An RL search revisits the same per-layer (layer, candidate)
+/// choices under one fixed FaultConfig even though whole allocations rarely
+/// repeat, so an L×C table of prebuilt layers turns the per-episode
+/// Monte-Carlo fabric construction into plain copies — no re-quantization,
+/// no burn-in RNG. Fabrics assembled from cached layers are bit-identical
+/// to constructor-built ones (tested).
+///
+/// Thread-safe; bounded (all entries are dropped when the cap is hit — the
+/// steady state of one search is a few dozen entries, so eviction only
+/// fires when workloads churn).
+class LayerFabricCache {
+ public:
+  /// Returns the (shared, immutable) prebuilt layer for the key, building
+  /// it via `build` on first use. Builds for distinct keys proceed
+  /// concurrently (per-slot locking).
+  std::shared_ptr<const MappedLayer> layer(
+      const nn::Model& model, std::size_t layer_index,
+      const mapping::CrossbarShape& shape, const FaultConfig& faults,
+      KernelPolicy policy, const std::function<MappedLayer()>& build);
+
+  /// Allocation-invariant ideal references for the assembly path, keyed by
+  /// (model, mode, samples, input_seed, policy) — no shapes. One reference
+  /// set serves every allocation: the ideal fabric's forward is
+  /// partition-exact on both datapaths (integer sums reassociate exactly
+  /// and an ideal fabric has no read noise), so reference outputs are
+  /// bit-identical across crossbar tilings (tested).
+  std::shared_ptr<const TrialFabricCache::IdealRefs> ideal_refs(
+      const nn::Model& model, DatapathMode mode, int samples,
+      std::uint64_t input_seed, KernelPolicy policy,
+      const std::function<TrialFabricCache::IdealRefs()>& build);
+
+  struct Stats {
+    std::uint64_t builds = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t refs_builds = 0;
+    std::uint64_t refs_hits = 0;
+  };
+  Stats stats() const;
+  void clear();
+
+ private:
+  struct Key {
+    const nn::Model* model = nullptr;
+    std::size_t layer_index = 0;
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    FaultConfig faults;
+    KernelPolicy policy = KernelPolicy::kFast;
+    bool operator==(const Key&) const = default;
+  };
+  struct Slot {
+    std::mutex m;
+    std::shared_ptr<const MappedLayer> value;
+  };
+  struct RefsKey {
+    const nn::Model* model = nullptr;
+    DatapathMode mode = DatapathMode::kInteger;
+    int samples = 0;
+    std::uint64_t input_seed = 0;
+    KernelPolicy policy = KernelPolicy::kFast;
+    bool operator==(const RefsKey&) const = default;
+  };
+  struct RefsSlot {
+    std::mutex m;
+    std::shared_ptr<const TrialFabricCache::IdealRefs> value;
+  };
+  /// Hard entry cap: one search holds L layers × C candidates × (ideal +
+  /// one trial config) ≈ dozens; 512 leaves room for several concurrent
+  /// workloads before wholesale eviction.
+  static constexpr std::size_t kMaxSlots = 512;
+  static constexpr std::size_t kMaxRefsSlots = 8;
+
+  mutable std::mutex mutex_;  ///< guards the slot lists, not the builds
+  std::vector<std::pair<Key, std::shared_ptr<Slot>>> slots_;
+  std::vector<std::pair<RefsKey, std::shared_ptr<RefsSlot>>> refs_slots_;
+  Stats stats_;
+};
+
 /// Knobs of the Monte-Carlo robustness evaluation.
 struct RobustnessOptions {
   int trials = 8;    ///< independent fault-map seeds
   int samples = 16;  ///< synthetic inputs evaluated per trial
+  /// Trial budget (reram/faults.hpp). The default kFixed runs exactly
+  /// `trials` — byte-identical reports. kAdaptive runs the same seeded
+  /// trial stream but stops at the first chunk boundary where the pooled
+  /// agreement's Wilson CI half-width meets `budget.ci_halfwidth`
+  /// (`trials` caps the spend unless budget.max_trials overrides it), and
+  /// unlocks zero-stuck-rate cache spanning when a cache is supplied.
+  RobustnessBudget budget;
   std::uint64_t input_seed = 0x1a9e5ULL;
   DatapathMode mode = DatapathMode::kInteger;
   /// Worker threads for the trial fan-out: 1 = serial (default), 0 = one
@@ -455,6 +555,16 @@ struct RobustnessOptions {
   /// baseline. EvaluationEngine::evaluate_robustness supplies its own
   /// cache automatically.
   TrialFabricCache* cache = nullptr;
+  /// Optional cross-allocation per-layer fabric cache (see
+  /// LayerFabricCache). When set (and the fast kernels are active), the
+  /// ideal fabric and every trial fabric are assembled from shared
+  /// prebuilt layers instead of re-programming and re-burning per call —
+  /// the fast path for the per-episode in-search robustness reward, where
+  /// consecutive calls differ in allocation but share per-layer choices.
+  /// Reports are bit-identical to the uncached path (tested). Ignored by
+  /// the scalar baseline. EvaluationEngine::evaluate_robustness_cached
+  /// supplies the engine's cache automatically.
+  LayerFabricCache* layer_cache = nullptr;
   /// Optional externally owned worker pool for the parallel fan-out. When
   /// null and threads > 1, a pool of `threads` workers is created for the
   /// call; when set, `pool` is used as-is (its size wins over `threads`
